@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the performance-critical kernels:
+//! out-of-order simulation throughput, memory-hierarchy simulation,
+//! stage-1 engine training, k-means clustering and counter selection.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use perfbug_core::counter_select::{select_counters, SelectionThresholds};
+use perfbug_ml::{Dataset, Gbt, GbtParams, Mlp, MlpParams, Regressor};
+use perfbug_uarch::{presets, simulate, BugSpec};
+use perfbug_workloads::{benchmark, kmeans::kmeans, Inst, Opcode, WorkloadScale};
+
+fn probe_trace() -> Vec<Inst> {
+    let scale = WorkloadScale::tiny();
+    let spec = benchmark("458.sjeng").expect("suite benchmark");
+    let program = spec.program(&scale);
+    spec.probes(&scale)[0].trace(&program)
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let trace = probe_trace();
+    let sky = presets::skylake();
+    c.bench_function("uarch_sim_3k_insts_skylake", |b| {
+        b.iter(|| simulate(&sky, None, &trace, 500))
+    });
+    c.bench_function("uarch_sim_3k_insts_with_bug", |b| {
+        b.iter(|| {
+            simulate(&sky, Some(BugSpec::SerializeOpcode { x: Opcode::Logic }), &trace, 500)
+        })
+    });
+    let mem_cfg = perfbug_memsim::config::by_name("Skylake").expect("preset");
+    c.bench_function("memsim_3k_insts_skylake", |b| {
+        b.iter(|| perfbug_memsim::simulate_memory(&mem_cfg, None, &trace, 300))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // A stage-1-shaped dataset: 300 samples x 8 features.
+    let rows: Vec<Vec<f64>> = (0..300)
+        .map(|i| (0..8).map(|j| ((i * (j + 3)) as f64 * 0.013).sin()).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>() * 0.2 + 0.5).collect();
+    let data = Dataset::from_rows(&rows, &y).expect("aligned");
+    c.bench_function("gbt250_train_300x8", |b| {
+        b.iter_batched(
+            || Gbt::new(GbtParams::default()),
+            |mut m| m.fit(&data, None),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mlp64_train_300x8_50epochs", |b| {
+        b.iter_batched(
+            || {
+                Mlp::new(MlpParams {
+                    hidden: vec![64],
+                    max_epochs: 50,
+                    patience: 50,
+                    ..MlpParams::default()
+                })
+            },
+            |mut m| m.fit(&data, None),
+            BatchSize::SmallInput,
+        )
+    });
+    let trained = {
+        let mut m = Gbt::new(GbtParams::default());
+        m.fit(&data, None);
+        m
+    };
+    c.bench_function("gbt250_infer_300", |b| b.iter(|| trained.predict(data.x())));
+}
+
+fn bench_pipeline_pieces(c: &mut Criterion) {
+    // k-means on SimPoint-shaped data: 78 intervals x 15 dims, k = 26.
+    let points: Vec<Vec<f64>> = (0..78)
+        .map(|i| (0..15).map(|j| (((i / 3) * 31 + j * 7) as f64 * 0.17).sin()).collect())
+        .collect();
+    c.bench_function("kmeans_78x15_k26", |b| b.iter(|| kmeans(&points, 26, 1, 200)));
+
+    // Counter selection on a probe-shaped pool: 400 steps x 53 counters.
+    let rows: Vec<Vec<f64>> = (0..400)
+        .map(|i| (0..53).map(|j| ((i * (j + 2)) as f64 * 0.011).sin()).collect())
+        .collect();
+    let target: Vec<f64> = rows.iter().map(|r| r[3] * 0.7 + r[10] * 0.3).collect();
+    let thresholds = SelectionThresholds::default();
+    c.bench_function("counter_selection_400x53", |b| {
+        b.iter(|| select_counters(&rows, &target, &thresholds, &[]))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulators, bench_engines, bench_pipeline_pieces
+);
+criterion_main!(kernels);

@@ -1,0 +1,76 @@
+//! Figure 6 — GBT-250 IPC estimation on bug-free vs buggy designs.
+//!
+//! Paper shape: on the bug-free design the inferred series hugs the
+//! simulated one; with the bug inserted the model keeps predicting
+//! bug-free-looking IPC while the simulated IPC drops, so the Eq. (1)
+//! error inflates drastically.
+
+use perfbug_bench::{banner, gbt250};
+use perfbug_core::bugs::BugCatalog;
+use perfbug_core::experiment::{collect, CaptureSpec};
+use perfbug_core::stage1::inference_error;
+use perfbug_uarch::BugSpec;
+use perfbug_workloads::{benchmark, Opcode};
+
+fn main() {
+    banner("Figure 6", "GBT-250 inference: bug-free vs Bug 1 (XOR-dense gcc probe, bzip2 probe)");
+    let bug1 = BugSpec::IssueOnlyIfOldest { x: Opcode::Xor };
+    let mut config = perfbug_bench::base_config(vec![gbt250()], 0);
+    config.catalog = BugCatalog::new(vec![bug1]);
+    config.benchmarks =
+        vec![benchmark("403.gcc").expect("suite"), benchmark("401.bzip2").expect("suite")];
+    // Find the XOR-dense gcc probe (the paper's "#12") dynamically, plus a
+    // bzip2 probe as the mild-contrast case.
+    let gcc_dense = {
+        let spec = benchmark("403.gcc").expect("suite");
+        let program = spec.program(&config.scale.workload);
+        let probes = spec.probes(&config.scale.workload);
+        probes
+            .iter()
+            .max_by(|a, b| {
+                let xor = |p: &perfbug_workloads::Probe| {
+                    let t = p.trace(&program);
+                    t.iter().filter(|i| i.opcode == Opcode::Xor).count() as f64 / t.len() as f64
+                };
+                xor(a).partial_cmp(&xor(b)).expect("finite")
+            })
+            .expect("gcc has probes")
+            .id()
+    };
+    let targets = [gcc_dense, "401.bzip2#2".to_string()];
+    config.max_probes = Some(42); // all probes of both benchmarks
+    let targets: Vec<&str> = targets.iter().map(String::as_str).collect();
+    config.captures = targets
+        .iter()
+        .flat_map(|id| {
+            [
+                CaptureSpec { probe_id: id.to_string(), arch: "Skylake".into(), bug: None },
+                CaptureSpec { probe_id: id.to_string(), arch: "Skylake".into(), bug: Some(0) },
+            ]
+        })
+        .collect();
+
+    println!("collecting (gcc + bzip2, Bug 1 = 'if XOR is oldest, issue only XOR')...");
+    let col = collect(&config);
+
+    for id in &targets {
+        for bug in [None, Some(0usize)] {
+            let Some(c) = col
+                .captures
+                .iter()
+                .find(|c| &c.probe_id == id && c.bug == bug && c.arch == "Skylake")
+            else {
+                println!("(capture {id} bug={bug:?} missing at this scale)");
+                continue;
+            };
+            let label = if bug.is_some() { "Bug 1" } else { "Bug-Free" };
+            let delta = inference_error(&c.simulated, &c.inferred);
+            println!("\n--- {id} on Skylake ({label}), Eq.(1) error = {delta:.3} ---");
+            println!("{:>6} {:>12} {:>12}", "step", "Simulation", "ML Inference");
+            for t in 0..c.simulated.len() {
+                println!("{:>6} {:>12.4} {:>12.4}", t, c.simulated[t], c.inferred[t]);
+            }
+        }
+    }
+    println!("\nexpected shape: per-probe Eq.(1) error much larger with the bug inserted.");
+}

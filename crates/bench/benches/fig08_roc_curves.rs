@@ -1,0 +1,64 @@
+//! Figure 8 — ROC curves of GBT-250 detection for four bug types.
+//!
+//! Paper shape: high-impact types (Serialized, IfOldestIssueOnlyX) reach
+//! the top-left corner (detectable without false positives); subtler
+//! types (IfXUsesRegNDelayT) trace lower curves.
+
+use perfbug_bench::{banner, gbt250};
+use perfbug_core::bugs::BugCatalog;
+use perfbug_core::experiment::{collect, evaluate_two_stage};
+use perfbug_core::stage2::Stage2Params;
+use perfbug_core::DetectionMetrics;
+use perfbug_uarch::BugSpec;
+use perfbug_workloads::Opcode;
+
+fn main() {
+    banner("Figure 8", "ROC curves for GBT-250 on four bug types");
+    // The four featured types plus distractor types so that each fold has
+    // cross-type training positives.
+    use BugSpec::*;
+    use Opcode::*;
+    let catalog = BugCatalog::new(vec![
+        // Featured: Serialized.
+        SerializeOpcode { x: Xor },
+        SerializeOpcode { x: Sub },
+        SerializeOpcode { x: FpMul },
+        // Featured: IssueXOnlyIfOldest.
+        IssueOnlyIfOldest { x: Popcnt },
+        IssueOnlyIfOldest { x: Xor },
+        IssueOnlyIfOldest { x: Load },
+        // Featured: IfXUsesRegNDelayT.
+        OpcodeUsesRegDelay { x: Add, r: 0, t: 10 },
+        OpcodeUsesRegDelay { x: Load, r: 3, t: 8 },
+        OpcodeUsesRegDelay { x: Xor, r: 1, t: 20 },
+        // Featured: IfOldestIssueOnlyX.
+        IfOldestIssueOnlyX { x: Xor },
+        IfOldestIssueOnlyX { x: Add },
+        IfOldestIssueOnlyX { x: FpAdd },
+        // Distractors for training diversity.
+        MispredictExtraDelay { t: 12 },
+        L2ExtraLatency { t: 8 },
+        RobBelowDelay { n: 16, t: 6 },
+    ]);
+    let mut config = perfbug_bench::base_config(vec![gbt250()], 20);
+    config.catalog = catalog;
+    println!("collecting ({} variants)...", config.catalog.len());
+    let col = collect(&config);
+    let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
+
+    let featured = ["SerializeX", "IssueXOnlyIfOldest", "IfXUsesRegNDelayT", "IfOldestIssueOnlyX"];
+    for fold in &eval.folds {
+        if !featured.contains(&fold.type_name.as_str()) {
+            continue;
+        }
+        let curve = DetectionMetrics::roc(&fold.decisions);
+        let m = DetectionMetrics::from_decisions(&fold.decisions);
+        println!("\n--- {} (AUC {:.3}) ---", fold.type_name, m.roc_auc);
+        println!("{:>8} {:>8}", "FPR", "TPR");
+        for p in curve {
+            println!("{:>8.3} {:>8.3}", p.fpr, p.tpr);
+        }
+    }
+    println!("\nexpected shape: scheduler-serialisation types near the top-left corner;");
+    println!("the register-delay type with visibly lower AUC.");
+}

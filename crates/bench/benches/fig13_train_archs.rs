@@ -1,0 +1,38 @@
+//! Figure 13 — effect of the number of training microarchitectures.
+//!
+//! Paper shape: shrinking the training sets (dropping artificial designs)
+//! hurts detection — the artificial designs are necessary data
+//! augmentation for separating microarchitectural variation from bugs.
+
+use perfbug_bench::{banner, gbt250};
+use perfbug_core::experiment::{collect, evaluate_two_stage, ArchPartition};
+use perfbug_core::report::Table;
+use perfbug_core::stage2::Stage2Params;
+
+fn main() {
+    banner("Figure 13", "All vs reduced training microarchitectures (GBT-250)");
+    let mut table = Table::new(vec!["configuration", "sets I/II/III", "TPR", "FPR"]);
+    for (label, partition) in
+        [("All Samples", ArchPartition::paper()), ("Reduced Samples", ArchPartition::reduced())]
+    {
+        let sizes = format!(
+            "{}/{}/{}",
+            partition.train.len(),
+            partition.val.len(),
+            partition.stage2_extra.len()
+        );
+        let mut config = perfbug_bench::base_config(vec![gbt250()], 12);
+        config.partition = partition;
+        println!("collecting with {label} ({sizes})...");
+        let col = collect(&config);
+        let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
+        table.row(vec![
+            label.to_string(),
+            sizes,
+            format!("{:.2}", eval.metrics.tpr),
+            format!("{:.2}", eval.metrics.fpr),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected shape: reduced training designs detect fewer bugs / alarm more.");
+}

@@ -1,0 +1,28 @@
+//! Developer tool: measures probe-extraction, trace-generation and
+//! simulation throughput per benchmark, plus cross-design IPC spreads.
+//!
+//! ```sh
+//! cargo run --release -p perfbug-bench --bin speed_test
+//! ```
+
+use std::time::Instant;
+fn main() {
+    let scale = perfbug_workloads::WorkloadScale::default();
+    for name in ["400.perlbench", "403.gcc", "426.mcf", "433.milc", "444.namd", "458.sjeng", "462.libquantum"] {
+        let spec = perfbug_workloads::benchmark(name).unwrap();
+        let program = spec.program(&scale);
+        let probes = spec.probes(&scale);
+        let trace = probes[0].trace(&program);
+        let sky = perfbug_uarch::presets::skylake();
+        let ivy = perfbug_uarch::presets::ivybridge();
+        let k8 = perfbug_uarch::presets::k8();
+        let t0 = Instant::now();
+        let rs = perfbug_uarch::simulate(&sky, None, &trace, 1000);
+        let dt = t0.elapsed();
+        let ri = perfbug_uarch::simulate(&ivy, None, &trace, 1000);
+        let rk = perfbug_uarch::simulate(&k8, None, &trace, 1000);
+        let speedup = (rs.total_cycles as f64 / 4.0).recip() / (ri.total_cycles as f64 / 3.4).recip();
+        println!("{name:16} sky ipc {:.2} ivy ipc {:.2} k8 ipc {:.2} | sky/ivy time-speedup {:.2} | steps {} | {:.1} ms/sim",
+            rs.overall_ipc(), ri.overall_ipc(), rk.overall_ipc(), speedup, rs.ipc.len(), dt.as_secs_f64()*1e3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared helpers for the table/figure regeneration harness.
+//!
+//! Every bench target regenerates one table or figure of the paper. Two
+//! scales are supported, selected by the `PERFBUG_SCALE` environment
+//! variable:
+//!
+//! * `quick` (default) — reduced probe counts and engine widths so the
+//!   whole harness completes in tens of minutes on a laptop;
+//! * `paper` — the full 190-probe, 42-variant configuration.
+//!
+//! Outputs are plain text: the same rows/series the paper reports, plus a
+//! header stating the scale. Absolute values are expected to differ from
+//! the paper (different substrate); the *shape* is the reproduction target.
+
+use perfbug_core::bugs::BugCatalog;
+use perfbug_core::experiment::{CollectionConfig, ProbeScale};
+use perfbug_core::stage1::EngineSpec;
+use perfbug_ml::{CnnParams, GbtParams, LassoParams, LstmParams, MlpParams};
+
+/// Harness scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Reduced scale (default).
+    Quick,
+    /// Full paper-shaped scale.
+    Paper,
+}
+
+/// Reads `PERFBUG_SCALE` (`quick` default, `paper` for the full runs).
+pub fn bench_scale() -> BenchScale {
+    match std::env::var("PERFBUG_SCALE").as_deref() {
+        Ok("paper") | Ok("full") => BenchScale::Paper,
+        _ => BenchScale::Quick,
+    }
+}
+
+/// Picks a probe cap: `quick` at reduced scale, unlimited at paper scale.
+pub fn probe_cap(quick: usize) -> Option<usize> {
+    match bench_scale() {
+        BenchScale::Quick => Some(quick),
+        BenchScale::Paper => None,
+    }
+}
+
+/// Scales a neural width: reduced at quick scale, paper value otherwise.
+pub fn width(paper_width: usize, quick_width: usize) -> usize {
+    match bench_scale() {
+        BenchScale::Quick => quick_width,
+        BenchScale::Paper => paper_width,
+    }
+}
+
+/// Prints the standard header of a regeneration target.
+pub fn banner(id: &str, title: &str) {
+    println!("==========================================================");
+    println!("{id}: {title}");
+    println!("scale: {:?} (set PERFBUG_SCALE=paper for the full run)", bench_scale());
+    println!("==========================================================");
+}
+
+/// The default catalogue at the current scale.
+pub fn catalog() -> BugCatalog {
+    match bench_scale() {
+        BenchScale::Quick => BugCatalog::core_small(),
+        BenchScale::Paper => BugCatalog::core_full(),
+    }
+}
+
+/// A ready-to-run collection config at the current scale.
+pub fn base_config(engines: Vec<EngineSpec>, quick_probes: usize) -> CollectionConfig {
+    let mut config = CollectionConfig::new(engines, catalog());
+    config.scale = ProbeScale::default();
+    config.max_probes = probe_cap(quick_probes);
+    config
+}
+
+/// GBT-250 (the paper's best engine — full size at every scale).
+pub fn gbt250() -> EngineSpec {
+    EngineSpec::Gbt(GbtParams { n_trees: 250, ..GbtParams::default() })
+}
+
+/// GBT-150.
+pub fn gbt150() -> EngineSpec {
+    EngineSpec::Gbt(GbtParams { n_trees: 150, ..GbtParams::default() })
+}
+
+/// Lasso.
+pub fn lasso() -> EngineSpec {
+    EngineSpec::Lasso(LassoParams::default())
+}
+
+/// `<layers>-MLP-<width>` scaled to the bench scale.
+pub fn mlp(layers: usize, paper_width: usize, quick_width: usize) -> EngineSpec {
+    EngineSpec::Mlp(MlpParams {
+        hidden: vec![width(paper_width, quick_width); layers],
+        max_epochs: match bench_scale() {
+            BenchScale::Quick => 150,
+            BenchScale::Paper => 400,
+        },
+        ..MlpParams::default()
+    })
+}
+
+/// `<blocks>-CNN-<width>` scaled to the bench scale.
+pub fn cnn(blocks: usize, paper_width: usize, quick_width: usize) -> EngineSpec {
+    EngineSpec::Cnn(CnnParams {
+        conv_blocks: blocks,
+        hidden: width(paper_width, quick_width),
+        max_epochs: match bench_scale() {
+            BenchScale::Quick => 120,
+            BenchScale::Paper => 300,
+        },
+        ..CnnParams::default()
+    })
+}
+
+/// `<layers>-LSTM-<width>` scaled to the bench scale.
+pub fn lstm(layers: usize, paper_width: usize, quick_width: usize) -> EngineSpec {
+    EngineSpec::Lstm(LstmParams {
+        layers,
+        hidden: width(paper_width, quick_width),
+        max_epochs: match bench_scale() {
+            BenchScale::Quick => 100,
+            BenchScale::Paper => 250,
+        },
+        ..LstmParams::default()
+    })
+}
+
+/// Formats a `DetectionMetrics` row's severity cells.
+pub fn severity_cells(m: &perfbug_core::DetectionMetrics) -> Vec<String> {
+    m.tpr_by_severity
+        .iter()
+        .map(|v| perfbug_core::report::opt_f(*v, 2))
+        .collect()
+}

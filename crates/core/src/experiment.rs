@@ -1,0 +1,866 @@
+//! End-to-end experiment orchestration: probe simulation, stage-1 model
+//! training, error collection, and the leave-one-bug-type-out evaluation
+//! protocol of §V-B (Fig. 7).
+//!
+//! The expensive phase is *collection*: every probe is simulated on every
+//! design of the experiment partition, bug-free and with every catalogue
+//! bug, and one stage-1 model per (probe, engine) is trained to produce the
+//! per-run inference errors. The cheap phase is *evaluation*: stage-2
+//! classifiers (or the baseline) are re-fit per held-out bug type from the
+//! collected error matrix.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use perfbug_uarch::{presets, simulate, ArchSet, BugSpec, MicroarchConfig};
+use perfbug_workloads::{spec2006, BenchmarkSpec, Probe, Program, WorkloadScale};
+
+use crate::baseline::{BaselineClassifier, BaselineParams, BaselineSample};
+use crate::bugs::{BugCatalog, Severity};
+use crate::counter_select::{leakage_banned_counters, select_counters, CounterMode};
+use crate::detmetrics::{Decision, DetectionMetrics};
+use crate::stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
+use crate::stage2::{Stage2Classifier, Stage2Params};
+
+/// Ceiling applied to stage-1 inference errors so that non-convergent
+/// models (the paper's LSTM outliers) cannot poison stage-2 statistics —
+/// the paper likewise drops "LSTM results with huge errors".
+const DELTA_CEILING: f64 = 1e6;
+
+/// Simulation scale knobs shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeScale {
+    /// Workload scale (instructions per probe interval).
+    pub workload: WorkloadScale,
+    /// Counter sampling period in cycles (stands in for the paper's 500 k).
+    pub step_cycles: u64,
+}
+
+impl Default for ProbeScale {
+    fn default() -> Self {
+        ProbeScale { workload: WorkloadScale::default(), step_cycles: 1000 }
+    }
+}
+
+impl ProbeScale {
+    /// Reduced scale for tests.
+    pub fn tiny() -> Self {
+        ProbeScale { workload: WorkloadScale::tiny(), step_cycles: 400 }
+    }
+}
+
+/// The disjoint design sets of the experiment (Table II roles).
+#[derive(Debug, Clone)]
+pub struct ArchPartition {
+    /// Set I — trains stage-1 models.
+    pub train: Vec<MicroarchConfig>,
+    /// Set II — validates stage-1 training; labels stage 2.
+    pub val: Vec<MicroarchConfig>,
+    /// Set III — additional stage-2 labels.
+    pub stage2_extra: Vec<MicroarchConfig>,
+    /// Set IV — held-out test designs.
+    pub test: Vec<MicroarchConfig>,
+}
+
+impl ArchPartition {
+    /// The paper's partition (Table II).
+    pub fn paper() -> Self {
+        ArchPartition {
+            train: presets::by_set(ArchSet::I),
+            val: presets::by_set(ArchSet::II),
+            stage2_extra: presets::by_set(ArchSet::III),
+            test: presets::by_set(ArchSet::IV),
+        }
+    }
+
+    /// The reduced partition of §V-H (Fig. 13): training sets shrink and
+    /// prefer real designs; the test set is unchanged.
+    pub fn reduced() -> Self {
+        let keep = |set: ArchSet, n: usize| -> Vec<MicroarchConfig> {
+            let mut designs = presets::by_set(set);
+            designs.sort_by_key(|a| !a.real); // real designs first
+            designs.truncate(n);
+            designs
+        };
+        ArchPartition {
+            train: keep(ArchSet::I, 5),
+            val: keep(ArchSet::II, 2),
+            stage2_extra: keep(ArchSet::III, 2),
+            test: presets::by_set(ArchSet::IV),
+        }
+    }
+
+    /// Designs whose runs are evaluated by stage 2 (sets II, III and IV).
+    pub fn eval_archs(&self) -> Vec<&MicroarchConfig> {
+        self.val.iter().chain(&self.stage2_extra).chain(&self.test).collect()
+    }
+}
+
+/// Identifies one simulated run: a design and an optional catalogue bug.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunKey {
+    /// Design name.
+    pub arch: String,
+    /// The design's experiment set.
+    pub set: ArchSet,
+    /// Index into the bug catalogue (`None` = bug-free).
+    pub bug: Option<usize>,
+}
+
+/// Metadata of one collected probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeMeta {
+    /// Probe identifier (`benchmark#ordinal`).
+    pub id: String,
+    /// Source benchmark.
+    pub benchmark: String,
+    /// SimPoint weight within its benchmark.
+    pub weight: f64,
+}
+
+/// A captured (simulated, inferred) series for figure regeneration.
+#[derive(Debug, Clone)]
+pub struct CapturedSeries {
+    /// Probe identifier.
+    pub probe_id: String,
+    /// Design name.
+    pub arch: String,
+    /// Catalogue bug index (`None` = bug-free).
+    pub bug: Option<usize>,
+    /// Engine name.
+    pub engine: String,
+    /// Simulated per-step target.
+    pub simulated: Vec<f64>,
+    /// Model-inferred per-step target.
+    pub inferred: Vec<f64>,
+}
+
+/// Request to capture series for one (probe, design, bug) triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureSpec {
+    /// Probe identifier to capture.
+    pub probe_id: String,
+    /// Design name.
+    pub arch: String,
+    /// Catalogue bug index (`None` = bug-free).
+    pub bug: Option<usize>,
+}
+
+/// Per-engine collection output.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Engine display name.
+    pub name: String,
+    /// Eq.-(1) inference errors, `[probe][run key]`.
+    pub deltas: Vec<Vec<f64>>,
+    /// Total stage-1 training time across probes.
+    pub train_time: Duration,
+    /// Total stage-1 inference time across probes and runs.
+    pub infer_time: Duration,
+}
+
+/// Everything the evaluation phase needs, collected in one pass.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    /// Run keys, shared by all per-probe vectors.
+    pub keys: Vec<RunKey>,
+    /// Probe metadata in probe order.
+    pub probes: Vec<ProbeMeta>,
+    /// Per-engine inference errors.
+    pub engines: Vec<EngineResult>,
+    /// Overall target metric (IPC) per `[probe][key]`.
+    pub overall_ipc: Vec<Vec<f64>>,
+    /// Aggregated per-run features for the baseline, `[probe][key]`.
+    pub agg_features: Vec<Vec<Vec<f64>>>,
+    /// Captured series for figures.
+    pub captures: Vec<CapturedSeries>,
+    /// The bug catalogue used.
+    pub catalog: BugCatalog,
+}
+
+/// Configuration of one collection pass.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Simulation scale.
+    pub scale: ProbeScale,
+    /// Stage-1 engines to train (sharing the simulations).
+    pub engines: Vec<EngineSpec>,
+    /// Counter selection mode.
+    pub counter_mode: CounterMode,
+    /// Stage-1 feature window size.
+    pub window: usize,
+    /// Whether design-parameter features are used (§V-G).
+    pub arch_features: bool,
+    /// Bug catalogue to inject.
+    pub catalog: BugCatalog,
+    /// Benchmarks providing probes.
+    pub benchmarks: Vec<BenchmarkSpec>,
+    /// Optional cap on the number of probes (round-robin across
+    /// benchmarks, preserving coverage).
+    pub max_probes: Option<usize>,
+    /// Design partition.
+    pub partition: ArchPartition,
+    /// A bug silently injected into every presumed-bug-free design
+    /// (Table V's "bugs in presumed bug-free training" rows).
+    pub presumed_bugfree_bug: Option<BugSpec>,
+    /// Series to capture for figure regeneration.
+    pub captures: Vec<CaptureSpec>,
+    /// Worker threads for probe-level parallelism.
+    pub threads: usize,
+}
+
+impl CollectionConfig {
+    /// A reasonable default configuration at reproduction scale: the full
+    /// Table II partition, the supplied engines and catalogue, automatic
+    /// counter selection, window 1 and design features on.
+    pub fn new(engines: Vec<EngineSpec>, catalog: BugCatalog) -> Self {
+        CollectionConfig {
+            scale: ProbeScale::default(),
+            engines,
+            counter_mode: CounterMode::default(),
+            window: 1,
+            arch_features: true,
+            catalog,
+            benchmarks: spec2006(),
+            max_probes: None,
+            partition: ArchPartition::paper(),
+            presumed_bugfree_bug: None,
+            captures: Vec::new(),
+            threads: 2,
+        }
+    }
+}
+
+/// Output of processing one probe.
+struct ProbeOutput {
+    deltas: Vec<Vec<f64>>, // [engine][key]
+    times: Vec<(Duration, Duration)>,
+    overall_ipc: Vec<f64>,
+    agg: Vec<Vec<f64>>,
+    captures: Vec<CapturedSeries>,
+}
+
+/// Builds the run-key list for a partition and catalogue.
+fn build_keys(partition: &ArchPartition, catalog: &BugCatalog) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for arch in partition.eval_archs() {
+        keys.push(RunKey { arch: arch.name.clone(), set: arch.set, bug: None });
+        for i in 0..catalog.len() {
+            keys.push(RunKey { arch: arch.name.clone(), set: arch.set, bug: Some(i) });
+        }
+    }
+    keys
+}
+
+/// Selects up to `max` probes round-robin across benchmarks.
+fn subsample_probes(per_benchmark: Vec<Vec<Probe>>, max: Option<usize>) -> Vec<Probe> {
+    let total: usize = per_benchmark.iter().map(Vec::len).sum();
+    let budget = max.unwrap_or(total).min(total);
+    let mut taken = Vec::with_capacity(budget);
+    let mut cursors = vec![0usize; per_benchmark.len()];
+    while taken.len() < budget {
+        let mut advanced = false;
+        for (b, probes) in per_benchmark.iter().enumerate() {
+            if taken.len() >= budget {
+                break;
+            }
+            if cursors[b] < probes.len() {
+                taken.push(probes[cursors[b]].clone());
+                cursors[b] += 1;
+                advanced = true;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    taken
+}
+
+/// Runs the full collection pass: simulate, select counters, train stage-1
+/// models and gather inference errors for every (probe, run key).
+///
+/// # Panics
+///
+/// Panics if the configuration has no engines, no benchmarks, or no
+/// designs in a required set.
+pub fn collect(config: &CollectionConfig) -> Collection {
+    assert!(!config.engines.is_empty(), "collection needs at least one engine");
+    assert!(!config.benchmarks.is_empty(), "collection needs benchmarks");
+    assert!(!config.partition.train.is_empty(), "Set I must not be empty");
+    assert!(!config.partition.test.is_empty(), "Set IV must not be empty");
+
+    let keys = build_keys(&config.partition, &config.catalog);
+
+    // Build programs and probes per benchmark.
+    let programs: Vec<Program> =
+        config.benchmarks.iter().map(|b| b.program(&config.scale.workload)).collect();
+    let per_benchmark: Vec<Vec<Probe>> = config
+        .benchmarks
+        .iter()
+        .map(|b| b.probes(&config.scale.workload))
+        .collect();
+    let probes = subsample_probes(per_benchmark, config.max_probes);
+    assert!(!probes.is_empty(), "no probes extracted");
+    let program_of = |probe: &Probe| -> &Program {
+        let idx = config
+            .benchmarks
+            .iter()
+            .position(|b| b.name == probe.benchmark)
+            .expect("probe from configured benchmark");
+        &programs[idx]
+    };
+
+    let metas: Vec<ProbeMeta> = probes
+        .iter()
+        .map(|p| ProbeMeta { id: p.id(), benchmark: p.benchmark.clone(), weight: p.weight })
+        .collect();
+
+    // Parallel probe processing.
+    let next = AtomicUsize::new(0);
+    let outputs: Mutex<Vec<Option<ProbeOutput>>> = Mutex::new((0..probes.len()).map(|_| None).collect());
+    let workers = config.threads.clamp(1, 8);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= probes.len() {
+                    break;
+                }
+                let probe = &probes[i];
+                let out = process_probe(config, &keys, probe, program_of(probe));
+                outputs.lock().expect("worker poisoned the lock")[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let outputs: Vec<ProbeOutput> = outputs
+        .into_inner()
+        .expect("lock intact")
+        .into_iter()
+        .map(|o| o.expect("every probe processed"))
+        .collect();
+
+    // Transpose per-probe outputs into per-engine results.
+    let mut engines: Vec<EngineResult> = config
+        .engines
+        .iter()
+        .map(|e| EngineResult {
+            name: e.name(),
+            deltas: Vec::with_capacity(probes.len()),
+            train_time: Duration::ZERO,
+            infer_time: Duration::ZERO,
+        })
+        .collect();
+    let mut overall_ipc = Vec::with_capacity(probes.len());
+    let mut agg_features = Vec::with_capacity(probes.len());
+    let mut captures = Vec::new();
+    for out in outputs {
+        for (e, engine) in engines.iter_mut().enumerate() {
+            engine.deltas.push(out.deltas[e].clone());
+            engine.train_time += out.times[e].0;
+            engine.infer_time += out.times[e].1;
+        }
+        overall_ipc.push(out.overall_ipc);
+        agg_features.push(out.agg);
+        captures.extend(out.captures);
+    }
+
+    Collection {
+        keys,
+        probes: metas,
+        engines,
+        overall_ipc,
+        agg_features,
+        captures,
+        catalog: config.catalog.clone(),
+    }
+}
+
+/// Simulates and models one probe.
+fn process_probe(
+    config: &CollectionConfig,
+    keys: &[RunKey],
+    probe: &Probe,
+    program: &Program,
+) -> ProbeOutput {
+    let trace = probe.trace(program);
+    let scale = &config.scale;
+
+    let run = |arch: &MicroarchConfig, bug: Option<BugSpec>| -> (RunSeries, f64) {
+        // The presumed-bug-free defect contaminates every run: it is part
+        // of the "design" as far as this experiment is concerned.
+        let effective = bug.or(config.presumed_bugfree_bug);
+        let pr = simulate(arch, effective, &trace, scale.step_cycles);
+        let overall = pr.overall_ipc();
+        (
+            RunSeries {
+                rows: pr.counter_rows,
+                target: pr.ipc,
+                arch_features: arch.feature_vector(),
+            },
+            overall,
+        )
+    };
+
+    // Bug-free training (Set I) and validation (Set II) runs.
+    let train_runs: Vec<RunSeries> =
+        config.partition.train.iter().map(|a| run(a, None).0).collect();
+    let val_named: Vec<(String, RunSeries, f64)> = config
+        .partition
+        .val
+        .iter()
+        .map(|a| {
+            let (series, ipc) = run(a, None);
+            (a.name.clone(), series, ipc)
+        })
+        .collect();
+
+    // Counter selection on pooled Set-I data.
+    let selected = match &config.counter_mode {
+        CounterMode::Automatic(thresholds) => {
+            let mut rows = Vec::new();
+            let mut target = Vec::new();
+            for r in &train_runs {
+                rows.extend(r.rows.iter().cloned());
+                target.extend_from_slice(&r.target);
+            }
+            select_counters(&rows, &target, thresholds, &leakage_banned_counters())
+        }
+        CounterMode::Manual(cols) => cols.clone(),
+    };
+    let features = FeatureSpec {
+        selected,
+        arch_features: config.arch_features,
+        window: config.window.max(1),
+    };
+
+    // Evaluation runs for every key (reusing Set-II bug-free runs).
+    let arch_by_name = |name: &str| -> &MicroarchConfig {
+        config
+            .partition
+            .eval_archs()
+            .into_iter()
+            .find(|a| a.name == name)
+            .expect("key references partition design")
+    };
+    let mut eval_runs: Vec<(RunSeries, f64)> = Vec::with_capacity(keys.len());
+    for key in keys {
+        if key.bug.is_none() {
+            if let Some((_, series, ipc)) =
+                val_named.iter().find(|(name, _, _)| name == &key.arch)
+            {
+                eval_runs.push((series.clone(), *ipc));
+                continue;
+            }
+        }
+        let bug = key.bug.map(|i| config.catalog.variants()[i]);
+        eval_runs.push(run(arch_by_name(&key.arch), bug));
+    }
+
+    // Aggregated features for the baseline: mean counter row + design
+    // features + the simulated overall IPC.
+    let agg: Vec<Vec<f64>> = eval_runs
+        .iter()
+        .map(|(series, ipc)| {
+            let n = series.rows.len().max(1) as f64;
+            let width = series.rows.first().map_or(0, Vec::len);
+            let mut mean = vec![0.0; width];
+            for row in &series.rows {
+                for (m, v) in mean.iter_mut().zip(row) {
+                    *m += v;
+                }
+            }
+            mean.iter_mut().for_each(|m| *m /= n);
+            mean.extend_from_slice(&series.arch_features);
+            mean.push(*ipc);
+            mean
+        })
+        .collect();
+
+    // Train each engine once, infer on every key.
+    let val_runs: Vec<RunSeries> = val_named.iter().map(|(_, s, _)| s.clone()).collect();
+    let mut deltas = Vec::with_capacity(config.engines.len());
+    let mut times = Vec::with_capacity(config.engines.len());
+    let mut captures = Vec::new();
+    for engine in &config.engines {
+        let t0 = Instant::now();
+        let model = ProbeModel::train(engine, features.clone(), &train_runs, &val_runs);
+        let train_time = t0.elapsed();
+        let t1 = Instant::now();
+        let mut engine_deltas = Vec::with_capacity(keys.len());
+        for (key, (series, _)) in keys.iter().zip(&eval_runs) {
+            let inferred = model.infer(series);
+            let mut delta = inference_error(&series.target, &inferred);
+            if !delta.is_finite() || delta > DELTA_CEILING {
+                delta = DELTA_CEILING;
+            }
+            engine_deltas.push(delta);
+            let wanted = config.captures.iter().any(|c| {
+                c.probe_id == probe.id() && c.arch == key.arch && c.bug == key.bug
+            });
+            if wanted {
+                captures.push(CapturedSeries {
+                    probe_id: probe.id(),
+                    arch: key.arch.clone(),
+                    bug: key.bug,
+                    engine: engine.name(),
+                    simulated: series.target.clone(),
+                    inferred,
+                });
+            }
+        }
+        let infer_time = t1.elapsed();
+        deltas.push(engine_deltas);
+        times.push((train_time, infer_time));
+    }
+
+    ProbeOutput {
+        deltas,
+        times,
+        overall_ipc: eval_runs.iter().map(|(_, ipc)| *ipc).collect(),
+        agg,
+        captures,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Evaluation
+// --------------------------------------------------------------------------
+
+/// Per-variant average relative IPC impact, measured on the held-out test
+/// designs: SimPoint-weighted per benchmark, averaged over benchmarks (the
+/// paper's "average IPC impact across the studied applications"), averaged
+/// over the Set-IV designs.
+pub fn severity_impacts(col: &Collection) -> Vec<f64> {
+    let n_variants = col.catalog.len();
+    let mut impacts = vec![0.0; n_variants];
+    let benchmarks: Vec<String> = {
+        let mut names: Vec<String> = col.probes.iter().map(|p| p.benchmark.clone()).collect();
+        names.dedup();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let test_archs: Vec<&RunKey> = col
+        .keys
+        .iter()
+        .filter(|k| k.set == ArchSet::IV && k.bug.is_none())
+        .collect();
+    for (v, impact) in impacts.iter_mut().enumerate() {
+        let mut arch_sum = 0.0;
+        for base_key in &test_archs {
+            let bug_idx = col
+                .keys
+                .iter()
+                .position(|k| k.arch == base_key.arch && k.bug == Some(v))
+                .expect("bug key exists for every design");
+            let base_idx = col
+                .keys
+                .iter()
+                .position(|k| k.arch == base_key.arch && k.bug.is_none())
+                .expect("bug-free key exists");
+            let mut bench_sum = 0.0;
+            let mut bench_count = 0.0;
+            for bench in &benchmarks {
+                let mut base_ipc = 0.0;
+                let mut bug_ipc = 0.0;
+                let mut weight_total = 0.0;
+                for (p, meta) in col.probes.iter().enumerate() {
+                    if &meta.benchmark != bench {
+                        continue;
+                    }
+                    base_ipc += meta.weight * col.overall_ipc[p][base_idx];
+                    bug_ipc += meta.weight * col.overall_ipc[p][bug_idx];
+                    weight_total += meta.weight;
+                }
+                if weight_total > 0.0 && base_ipc > 0.0 {
+                    bench_sum += (base_ipc - bug_ipc) / base_ipc;
+                    bench_count += 1.0;
+                }
+            }
+            if bench_count > 0.0 {
+                arch_sum += bench_sum / bench_count;
+            }
+        }
+        *impact = (arch_sum / test_archs.len().max(1) as f64).max(0.0);
+    }
+    impacts
+}
+
+/// The decisions of one leave-one-type-out fold.
+#[derive(Debug, Clone)]
+pub struct FoldResult {
+    /// The held-out bug type.
+    pub type_id: u32,
+    /// Name of the held-out type.
+    pub type_name: String,
+    /// Test-time decisions of this fold.
+    pub decisions: Vec<Decision>,
+}
+
+/// Full evaluation outcome.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Metrics pooled over all folds.
+    pub metrics: DetectionMetrics,
+    /// Per-fold decisions (for per-type ROC curves, Fig. 8).
+    pub folds: Vec<FoldResult>,
+    /// Measured per-variant impact (severity source).
+    pub impacts: Vec<f64>,
+}
+
+fn sample_vector(deltas: &[Vec<f64>], probe_subset: &[usize], key_idx: usize) -> Vec<f64> {
+    probe_subset.iter().map(|&p| deltas[p][key_idx]).collect()
+}
+
+/// Evaluates the two-stage methodology with the leave-one-bug-type-out
+/// protocol, using `engine_idx` of the collection's engines and only the
+/// probes in `probe_subset` (pass `0..n` for all probes; Fig. 9 passes
+/// reduced subsets).
+///
+/// # Panics
+///
+/// Panics if indices are out of range or the subset is empty.
+pub fn evaluate_two_stage_subset(
+    col: &Collection,
+    engine_idx: usize,
+    params: Stage2Params,
+    probe_subset: &[usize],
+) -> Evaluation {
+    assert!(!probe_subset.is_empty(), "need at least one probe");
+    let deltas = &col.engines[engine_idx].deltas;
+    let impacts = severity_impacts(col);
+    let mut folds = Vec::new();
+
+    for type_id in col.catalog.type_ids() {
+        let held_out = col.catalog.variants_of_type(type_id);
+        // Training samples from sets II and III.
+        let mut train_pos = Vec::new();
+        let mut train_neg = Vec::new();
+        for (k, key) in col.keys.iter().enumerate() {
+            if !matches!(key.set, ArchSet::II | ArchSet::III) {
+                continue;
+            }
+            match key.bug {
+                None => train_neg.push(sample_vector(deltas, probe_subset, k)),
+                Some(v) if !held_out.contains(&v) => {
+                    train_pos.push(sample_vector(deltas, probe_subset, k))
+                }
+                Some(_) => {}
+            }
+        }
+        let clf = Stage2Classifier::fit(params, &train_pos, &train_neg);
+
+        // Test on Set IV: the held-out type's variants plus bug-free runs.
+        let mut decisions = Vec::new();
+        for (k, key) in col.keys.iter().enumerate() {
+            if key.set != ArchSet::IV {
+                continue;
+            }
+            let (has_bug, severity) = match key.bug {
+                None => (false, None),
+                Some(v) if held_out.contains(&v) => {
+                    (true, Some(Severity::grade(impacts[v])))
+                }
+                Some(_) => continue,
+            };
+            let sample = sample_vector(deltas, probe_subset, k);
+            decisions.push(Decision {
+                score: clf.score(&sample),
+                flagged: clf.classify(&sample),
+                has_bug,
+                severity,
+            });
+        }
+        let type_name = held_out
+            .first()
+            .map(|&v| col.catalog.variants()[v].type_name().to_string())
+            .unwrap_or_default();
+        folds.push(FoldResult { type_id, type_name, decisions });
+    }
+
+    let pooled: Vec<Decision> = folds.iter().flat_map(|f| f.decisions.clone()).collect();
+    Evaluation { metrics: DetectionMetrics::from_decisions(&pooled), folds, impacts }
+}
+
+/// Evaluates the two-stage methodology over all probes.
+pub fn evaluate_two_stage(col: &Collection, engine_idx: usize, params: Stage2Params) -> Evaluation {
+    let all: Vec<usize> = (0..col.probes.len()).collect();
+    evaluate_two_stage_subset(col, engine_idx, params, &all)
+}
+
+/// Evaluates the single-stage voting baseline (§II) under the same
+/// leave-one-type-out protocol, using the collection's aggregated
+/// features.
+pub fn evaluate_baseline(col: &Collection, params: &BaselineParams) -> Evaluation {
+    let impacts = severity_impacts(col);
+    let mut folds = Vec::new();
+    for type_id in col.catalog.type_ids() {
+        let held_out = col.catalog.variants_of_type(type_id);
+        // Per-probe training samples over sets II and III.
+        let train_keys: Vec<usize> = col
+            .keys
+            .iter()
+            .enumerate()
+            .filter(|(_, key)| {
+                matches!(key.set, ArchSet::II | ArchSet::III)
+                    && key.bug.map_or(true, |v| !held_out.contains(&v))
+            })
+            .map(|(k, _)| k)
+            .collect();
+        let per_probe: Vec<Vec<BaselineSample>> = (0..col.probes.len())
+            .map(|p| {
+                train_keys
+                    .iter()
+                    .map(|&k| BaselineSample {
+                        features: col.agg_features[p][k].clone(),
+                        has_bug: col.keys[k].bug.is_some(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let clf = BaselineClassifier::fit(params, &per_probe);
+
+        let mut decisions = Vec::new();
+        for (k, key) in col.keys.iter().enumerate() {
+            if key.set != ArchSet::IV {
+                continue;
+            }
+            let (has_bug, severity) = match key.bug {
+                None => (false, None),
+                Some(v) if held_out.contains(&v) => {
+                    (true, Some(Severity::grade(impacts[v])))
+                }
+                Some(_) => continue,
+            };
+            let features: Vec<&[f64]> =
+                (0..col.probes.len()).map(|p| col.agg_features[p][k].as_slice()).collect();
+            decisions.push(Decision {
+                score: clf.score(&features),
+                flagged: clf.classify(&features),
+                has_bug,
+                severity,
+            });
+        }
+        let type_name = held_out
+            .first()
+            .map(|&v| col.catalog.variants()[v].type_name().to_string())
+            .unwrap_or_default();
+        folds.push(FoldResult { type_id, type_name, decisions });
+    }
+    let pooled: Vec<Decision> = folds.iter().flat_map(|f| f.decisions.clone()).collect();
+    Evaluation { metrics: DetectionMetrics::from_decisions(&pooled), folds, impacts }
+}
+
+/// Pools the Eq.-(1) errors of bug-free Set-IV runs for one engine — the
+/// population whose statistics Table IV reports.
+pub fn bugfree_test_errors(col: &Collection, engine_idx: usize) -> Vec<f64> {
+    let deltas = &col.engines[engine_idx].deltas;
+    let mut out = Vec::new();
+    for (k, key) in col.keys.iter().enumerate() {
+        if key.set == ArchSet::IV && key.bug.is_none() {
+            for probe_deltas in deltas {
+                out.push(probe_deltas[k]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfbug_ml::GbtParams;
+    use perfbug_workloads::benchmark;
+
+    /// A deliberately tiny configuration exercising the full pipeline.
+    fn tiny_config() -> CollectionConfig {
+        let catalog = BugCatalog::new(vec![
+            BugSpec::SerializeOpcode { x: perfbug_workloads::Opcode::Logic },
+            BugSpec::L2ExtraLatency { t: 30 },
+            BugSpec::MispredictExtraDelay { t: 25 },
+        ]);
+        let mut config = CollectionConfig::new(
+            vec![EngineSpec::Gbt(GbtParams { n_trees: 40, ..GbtParams::default() })],
+            catalog,
+        );
+        config.scale = ProbeScale::tiny();
+        config.benchmarks = vec![
+            benchmark("458.sjeng").expect("suite"),
+            benchmark("462.libquantum").expect("suite"),
+        ];
+        config.max_probes = Some(6);
+        config.threads = 2;
+        config
+    }
+
+    #[test]
+    fn collection_shapes_are_consistent() {
+        let config = tiny_config();
+        let col = collect(&config);
+        assert_eq!(col.probes.len(), 6);
+        // 10 eval designs x (1 + 3 bugs) keys.
+        assert_eq!(col.keys.len(), 10 * 4);
+        for engine in &col.engines {
+            assert_eq!(engine.deltas.len(), col.probes.len());
+            for d in &engine.deltas {
+                assert_eq!(d.len(), col.keys.len());
+                assert!(d.iter().all(|v| v.is_finite() && *v >= 0.0));
+            }
+        }
+        assert_eq!(col.overall_ipc.len(), col.probes.len());
+        assert_eq!(col.agg_features[0].len(), col.keys.len());
+    }
+
+    #[test]
+    fn end_to_end_detection_beats_chance() {
+        let config = tiny_config();
+        let col = collect(&config);
+        let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
+        // With severe injected bugs the detector must do better than a
+        // coin flip on this tiny setup.
+        assert!(eval.metrics.roc_auc > 0.5, "AUC {}", eval.metrics.roc_auc);
+        assert_eq!(eval.folds.len(), 3);
+        // Pooled decisions: 3 folds x (4 test designs x (1 neg + 1 pos)).
+        assert_eq!(eval.metrics.positives + eval.metrics.negatives, 24);
+    }
+
+    #[test]
+    fn severity_impacts_nonnegative() {
+        let config = tiny_config();
+        let col = collect(&config);
+        let impacts = severity_impacts(&col);
+        assert_eq!(impacts.len(), 3);
+        assert!(impacts.iter().all(|i| *i >= 0.0));
+    }
+
+    #[test]
+    fn probe_subsetting_reduces_columns() {
+        let config = tiny_config();
+        let col = collect(&config);
+        let full = evaluate_two_stage(&col, 0, Stage2Params::default());
+        let subset = evaluate_two_stage_subset(&col, 0, Stage2Params::default(), &[0, 1, 2]);
+        assert_eq!(full.folds.len(), subset.folds.len());
+    }
+
+    #[test]
+    fn subsample_round_robins() {
+        let config = tiny_config();
+        let col = collect(&config);
+        // Both benchmarks must be represented in the 6 probes.
+        let benches: std::collections::HashSet<&str> =
+            col.probes.iter().map(|p| p.benchmark.as_str()).collect();
+        assert_eq!(benches.len(), 2);
+    }
+
+    #[test]
+    fn bugfree_errors_are_per_probe_per_test_arch() {
+        let config = tiny_config();
+        let col = collect(&config);
+        let errors = bugfree_test_errors(&col, 0);
+        assert_eq!(errors.len(), 4 * col.probes.len());
+    }
+}

@@ -1,0 +1,196 @@
+//! Bug-localisation hints from probe-level detection signals (§VII).
+//!
+//! The paper's future-work section proposes using the probes that trigger
+//! detection as *symptoms* for localisation: characteristics shared by the
+//! loudest probes (dominant instruction types, memory- vs
+//! compute-boundness) point at candidate units. This module implements
+//! that analysis: per-probe workload traits are correlated with the
+//! stage-2 γ⁺ vector, producing a ranked list of suspicious probes and of
+//! workload traits that best explain the detection.
+
+use perfbug_ml::metrics::pearson;
+use perfbug_workloads::{Inst, Opcode, ALL_OPCODES};
+
+/// Workload-composition traits of one probe trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeTraits {
+    /// Named trait values, all in `[0, 1]`.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Computes composition traits from a probe trace: per-opcode fractions
+/// plus aggregate memory/control/compute boundness.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+pub fn traits_of(trace: &[Inst]) -> ProbeTraits {
+    assert!(!trace.is_empty(), "cannot profile an empty trace");
+    let n = trace.len() as f64;
+    let mut values = Vec::new();
+    for op in ALL_OPCODES {
+        let count = trace.iter().filter(|i| i.opcode == op).count();
+        if count > 0 {
+            values.push((format!("{op:?}").to_lowercase(), count as f64 / n));
+        }
+    }
+    let memory = trace.iter().filter(|i| i.opcode.is_memory()).count() as f64 / n;
+    let control = trace.iter().filter(|i| i.opcode.is_control()).count() as f64 / n;
+    values.push(("memory_bound".to_string(), memory));
+    values.push(("control_bound".to_string(), control));
+    values.push(("compute_bound".to_string(), (1.0 - memory - control).max(0.0)));
+    let fp = trace
+        .iter()
+        .filter(|i| {
+            matches!(i.opcode, Opcode::FpAdd | Opcode::FpMul | Opcode::FpDiv | Opcode::VecFp)
+        })
+        .count() as f64
+        / n;
+    values.push(("fp_intensity".to_string(), fp));
+    ProbeTraits { values }
+}
+
+/// One localisation report.
+#[derive(Debug, Clone)]
+pub struct Localization {
+    /// Probes ranked by γ⁺, loudest first: `(probe id, γ⁺)`.
+    pub ranked_probes: Vec<(String, f64)>,
+    /// Traits ranked by correlation with γ⁺ across probes:
+    /// `(trait, Pearson r)`. Positive r means "louder probes have more of
+    /// this trait" — the localisation clue.
+    pub trait_correlations: Vec<(String, f64)>,
+}
+
+impl Localization {
+    /// A one-line human-readable hypothesis built from the top trait.
+    pub fn hypothesis(&self) -> String {
+        match self.trait_correlations.first() {
+            Some((name, r)) if *r > 0.3 => format!(
+                "detection concentrates on {name}-heavy probes (r = {r:.2}); \
+                 inspect the unit servicing them"
+            ),
+            _ => "no single workload trait explains the detection; \
+                  suspect a broadly-visible (untargeted) defect"
+                .to_string(),
+        }
+    }
+}
+
+/// Correlates probe traits with the stage-2 γ⁺ signal.
+///
+/// `probes` pairs each probe id with its traits; `gamma_pos` is the γ⁺
+/// vector of the design under test, aligned with `probes`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than three probes are supplied (no
+/// meaningful correlation below that).
+pub fn localize(probes: &[(String, ProbeTraits)], gamma_pos: &[f64]) -> Localization {
+    assert_eq!(probes.len(), gamma_pos.len(), "one gamma per probe");
+    assert!(probes.len() >= 3, "localisation needs at least three probes");
+
+    let mut ranked_probes: Vec<(String, f64)> = probes
+        .iter()
+        .zip(gamma_pos)
+        .map(|((id, _), &g)| (id.clone(), g))
+        .collect();
+    ranked_probes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Collect the union of trait names.
+    let mut names: Vec<String> = Vec::new();
+    for (_, t) in probes {
+        for (name, _) in &t.values {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    }
+    let mut trait_correlations: Vec<(String, f64)> = names
+        .into_iter()
+        .map(|name| {
+            let series: Vec<f64> = probes
+                .iter()
+                .map(|(_, t)| {
+                    t.values
+                        .iter()
+                        .find(|(n, _)| n == &name)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            let r = pearson(&series, gamma_pos);
+            (name, r)
+        })
+        .collect();
+    trait_correlations
+        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    Localization { ranked_probes, trait_correlations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfbug_workloads::NO_REG;
+
+    fn trace_with_xor_frac(frac: f64, n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| {
+                let mut inst = Inst::nop(0x1000 + i as u32 * 4);
+                inst.opcode = if (i as f64 / n as f64) < frac { Opcode::Xor } else { Opcode::Add };
+                inst.src1 = 1;
+                inst.src2 = 2;
+                inst.dst = 3;
+                let _ = NO_REG;
+                inst
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traits_sum_sensibly() {
+        let trace = trace_with_xor_frac(0.25, 400);
+        let traits = traits_of(&trace);
+        let xor = traits.values.iter().find(|(n, _)| n == "xor").expect("xor present").1;
+        assert!((xor - 0.25).abs() < 1e-9);
+        let compute =
+            traits.values.iter().find(|(n, _)| n == "compute_bound").expect("present").1;
+        assert!((compute - 1.0).abs() < 1e-9, "pure ALU trace is fully compute bound");
+    }
+
+    #[test]
+    fn xor_bug_localises_to_xor_trait() {
+        // Probes with more XOR scream louder — the correlation must rank
+        // the xor trait first.
+        let probes: Vec<(String, ProbeTraits)> = (0..6)
+            .map(|i| {
+                let frac = i as f64 / 10.0;
+                (format!("p{i}"), traits_of(&trace_with_xor_frac(frac, 300)))
+            })
+            .collect();
+        let gammas: Vec<f64> = (0..6).map(|i| 1.0 + 2.0 * i as f64).collect();
+        let loc = localize(&probes, &gammas);
+        assert_eq!(loc.ranked_probes[0].0, "p5");
+        let top = &loc.trait_correlations[0];
+        assert_eq!(top.0, "xor", "xor must be the most correlated trait: {loc:?}");
+        assert!(top.1 > 0.9);
+        assert!(loc.hypothesis().contains("xor"));
+    }
+
+    #[test]
+    fn flat_gammas_yield_no_hypothesis() {
+        let probes: Vec<(String, ProbeTraits)> = (0..4)
+            .map(|i| (format!("p{i}"), traits_of(&trace_with_xor_frac(0.1 * i as f64, 200))))
+            .collect();
+        let gammas = vec![1.0; 4];
+        let loc = localize(&probes, &gammas);
+        assert!(loc.hypothesis().contains("no single workload trait"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn too_few_probes_panics() {
+        let probes = vec![("a".to_string(), traits_of(&trace_with_xor_frac(0.1, 50)))];
+        localize(&probes, &[1.0]);
+    }
+}

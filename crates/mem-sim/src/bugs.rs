@@ -1,0 +1,117 @@
+//! The six memory-system performance-bug types of §IV-D.
+
+/// Cache level selector for bugs with per-level variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// First-level data cache.
+    L1d,
+    /// Second-level cache.
+    L2,
+}
+
+/// One injected memory-system performance bug (at most one per simulation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemBugSpec {
+    /// Bug 1 — on a cache-block access the replacement-policy age counter
+    /// is not updated, so recency information is lost.
+    NoAgeUpdate {
+        /// Affected level.
+        level: CacheLevel,
+    },
+    /// Bug 2 — evictions pick the most recently used block instead of the
+    /// least recently used one.
+    EvictMru {
+        /// Affected level.
+        level: CacheLevel,
+    },
+    /// Bug 3 — after `n` load misses, each read is delayed by `t` extra
+    /// cycles (variants for L1D and L2).
+    MissesDelay {
+        /// Affected level.
+        level: CacheLevel,
+        /// Miss-count threshold.
+        n: u32,
+        /// Extra delay in cycles.
+        t: u32,
+    },
+    /// Bug 4 — Signature Path Prefetcher signatures are reset, making the
+    /// prefetcher predict from a zeroed signature (wrong addresses).
+    SppSignatureReset,
+    /// Bug 5 — lookahead prefetching follows the path with the *least*
+    /// confidence.
+    SppLeastConfidence,
+    /// Bug 6 — every `n`-th prefetch is marked executed without actually
+    /// being issued (found in the original SPP code).
+    SppDroppedPrefetch {
+        /// Drop period.
+        n: u32,
+    },
+}
+
+impl MemBugSpec {
+    /// The paper's memory bug-type number (1–6).
+    pub fn type_id(&self) -> u32 {
+        match self {
+            MemBugSpec::NoAgeUpdate { .. } => 1,
+            MemBugSpec::EvictMru { .. } => 2,
+            MemBugSpec::MissesDelay { .. } => 3,
+            MemBugSpec::SppSignatureReset => 4,
+            MemBugSpec::SppLeastConfidence => 5,
+            MemBugSpec::SppDroppedPrefetch { .. } => 6,
+        }
+    }
+
+    /// Short type name.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MemBugSpec::NoAgeUpdate { .. } => "NoAgeUpdate",
+            MemBugSpec::EvictMru { .. } => "EvictMRU",
+            MemBugSpec::MissesDelay { .. } => "NMissesDelayT",
+            MemBugSpec::SppSignatureReset => "SppSignatureReset",
+            MemBugSpec::SppLeastConfidence => "SppLeastConfidence",
+            MemBugSpec::SppDroppedPrefetch { .. } => "SppDroppedPrefetch",
+        }
+    }
+
+    /// Human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            MemBugSpec::NoAgeUpdate { level } => {
+                format!("{level:?}: age counter not updated on access")
+            }
+            MemBugSpec::EvictMru { level } => format!("{level:?}: evict MRU instead of LRU"),
+            MemBugSpec::MissesDelay { level, n, t } => {
+                format!("{level:?}: after {n} load misses, delay reads {t} cycles")
+            }
+            MemBugSpec::SppSignatureReset => "SPP signatures reset".to_string(),
+            MemBugSpec::SppLeastConfidence => {
+                "SPP lookahead follows least-confidence path".to_string()
+            }
+            MemBugSpec::SppDroppedPrefetch { n } => {
+                format!("every {n}-th SPP prefetch dropped but marked executed")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_ids_cover_one_to_six() {
+        let bugs = [
+            MemBugSpec::NoAgeUpdate { level: CacheLevel::L1d },
+            MemBugSpec::EvictMru { level: CacheLevel::L2 },
+            MemBugSpec::MissesDelay { level: CacheLevel::L1d, n: 100, t: 5 },
+            MemBugSpec::SppSignatureReset,
+            MemBugSpec::SppLeastConfidence,
+            MemBugSpec::SppDroppedPrefetch { n: 4 },
+        ];
+        let ids: Vec<u32> = bugs.iter().map(MemBugSpec::type_id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+        for b in &bugs {
+            assert!(!b.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Set-associative cache with explicit age-counter LRU.
+//!
+//! Unlike the core simulator's cache, the replacement state here is an
+//! explicit per-line age counter so the paper's memory bugs 1 ("age counter
+//! not updated on access") and 2 ("evict the MRU block") can be injected at
+//! exactly the mechanism the paper describes.
+
+/// Cache line size in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// Replacement-policy defects injectable into a [`AgedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplacementBugs {
+    /// Bug 1: hits do not refresh the age counter.
+    pub skip_age_update: bool,
+    /// Bug 2: evict the most recently used block instead of the LRU one.
+    pub evict_mru: bool,
+}
+
+/// A set-associative cache with age-counter LRU replacement.
+#[derive(Debug, Clone)]
+pub struct AgedCache {
+    sets: u64,
+    ways: usize,
+    tags: Vec<u64>,
+    /// Age counters: 0 = most recently used.
+    ages: Vec<u32>,
+    /// Prefetch bit per line (for prefetcher usefulness accounting).
+    prefetched: Vec<bool>,
+    bugs: ReplacementBugs,
+}
+
+/// Result of a cache lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether the hit line had been brought in by a prefetch (cleared on
+    /// first demand hit).
+    pub prefetch_hit: bool,
+}
+
+impl AgedCache {
+    /// Builds a cache of `size` bytes and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields zero sets.
+    pub fn new(size: u64, assoc: u32) -> Self {
+        let ways = assoc.max(1) as usize;
+        let sets = (size / (LINE_BYTES * ways as u64)).max(1);
+        AgedCache {
+            sets,
+            ways,
+            tags: vec![u64::MAX; (sets as usize) * ways],
+            ages: vec![u32::MAX; (sets as usize) * ways],
+            prefetched: vec![false; (sets as usize) * ways],
+            bugs: ReplacementBugs::default(),
+        }
+    }
+
+    /// Installs replacement-policy bugs.
+    pub fn set_bugs(&mut self, bugs: ReplacementBugs) {
+        self.bugs = bugs;
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    fn slot_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr / LINE_BYTES;
+        let set = (line % self.sets) as usize;
+        (set * self.ways, line / self.sets)
+    }
+
+    /// Demand access: looks up `addr`, fills on miss. Returns hit status.
+    pub fn access(&mut self, addr: u64) -> LookupResult {
+        self.access_inner(addr, false)
+    }
+
+    /// Prefetch fill: like a miss fill but marks the line as prefetched.
+    /// Returns whether the line was already present.
+    pub fn prefetch_fill(&mut self, addr: u64) -> bool {
+        let (base, tag) = self.slot_range(addr);
+        if self.tags[base..base + self.ways].contains(&tag) {
+            return true;
+        }
+        let victim = self.pick_victim(base);
+        self.tags[base + victim] = tag;
+        self.prefetched[base + victim] = true;
+        self.touch(base, victim);
+        false
+    }
+
+    fn access_inner(&mut self, addr: u64, _is_write: bool) -> LookupResult {
+        let (base, tag) = self.slot_range(addr);
+        let hit_way = self.tags[base..base + self.ways].iter().position(|&t| t == tag);
+        match hit_way {
+            Some(way) => {
+                let was_prefetch = self.prefetched[base + way];
+                self.prefetched[base + way] = false;
+                if !self.bugs.skip_age_update {
+                    self.touch(base, way);
+                }
+                LookupResult { hit: true, prefetch_hit: was_prefetch }
+            }
+            None => {
+                let victim = self.pick_victim(base);
+                self.tags[base + victim] = tag;
+                self.prefetched[base + victim] = false;
+                // Fills always stamp the age (the line must have *some*
+                // recency state); bug 1 affects the hit path.
+                self.touch(base, victim);
+                LookupResult { hit: false, prefetch_hit: false }
+            }
+        }
+    }
+
+    fn pick_victim(&self, base: usize) -> usize {
+        // Invalid ways first.
+        if let Some(w) = self.tags[base..base + self.ways].iter().position(|&t| t == u64::MAX) {
+            return w;
+        }
+        let ages = &self.ages[base..base + self.ways];
+        if self.bugs.evict_mru {
+            // Most recently used = smallest age.
+            ages.iter().enumerate().min_by_key(|(_, &a)| a).map(|(i, _)| i).expect("ways > 0")
+        } else {
+            ages.iter().enumerate().max_by_key(|(_, &a)| a).map(|(i, _)| i).expect("ways > 0")
+        }
+    }
+
+    fn touch(&mut self, base: usize, way: usize) {
+        for a in &mut self.ages[base..base + self.ways] {
+            *a = a.saturating_add(1);
+        }
+        self.ages[base + way] = 0;
+    }
+
+    /// Whether `addr` is resident (no state change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (base, tag) = self.slot_range(addr);
+        self.tags[base..base + self.ways].contains(&tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache2() -> AgedCache {
+        // 2 sets x 2 ways.
+        AgedCache::new(256, 2)
+    }
+
+    #[test]
+    fn fill_and_hit() {
+        let mut c = cache2();
+        assert!(!c.access(0).hit);
+        assert!(c.access(0).hit);
+        assert!(c.access(63).hit); // same line
+        assert!(!c.access(64).hit); // next line, other set
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = cache2();
+        // Set stride: 2 sets -> lines 0, 2, 4 map to set 0.
+        let (a, b, d) = (0u64, 128, 256);
+        c.access(a);
+        c.access(b);
+        c.access(a); // refresh a
+        c.access(d); // evicts b
+        assert!(c.contains(a) && !c.contains(b) && c.contains(d));
+    }
+
+    #[test]
+    fn bug_no_age_update_forgets_recency() {
+        let mut c = cache2();
+        c.set_bugs(ReplacementBugs { skip_age_update: true, ..Default::default() });
+        let (a, b, d) = (0u64, 128, 256);
+        c.access(a);
+        c.access(b);
+        c.access(a); // with the bug this does NOT refresh a
+        c.access(d); // evicts a (oldest fill) instead of b
+        assert!(!c.contains(a), "bugged cache must forget the re-used line");
+        assert!(c.contains(b) && c.contains(d));
+    }
+
+    #[test]
+    fn bug_evict_mru_thrashes() {
+        let mut c = cache2();
+        c.set_bugs(ReplacementBugs { evict_mru: true, ..Default::default() });
+        let (a, b, d) = (0u64, 128, 256);
+        c.access(a);
+        c.access(b); // b is MRU
+        c.access(d); // evicts b (MRU) instead of a
+        assert!(c.contains(a) && !c.contains(b) && c.contains(d));
+    }
+
+    #[test]
+    fn prefetch_fill_marks_lines() {
+        let mut c = cache2();
+        assert!(!c.prefetch_fill(0));
+        let r = c.access(0);
+        assert!(r.hit && r.prefetch_hit, "first demand hit sees the prefetch bit");
+        let r = c.access(0);
+        assert!(r.hit && !r.prefetch_hit, "bit clears after first use");
+    }
+}

@@ -1,0 +1,538 @@
+//! 1-D convolutional network regressor.
+//!
+//! Following the paper (§III-C), the per-step feature vector is treated as a
+//! one-dimensional signal (after Eren et al. and Lee et al.), convolved by a
+//! stack of `conv -> ReLU -> max-pool(2)` blocks, then flattened into a
+//! ReLU dense layer and a linear output.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::adam::Adam;
+use crate::dataset::Dataset;
+use crate::metrics::mse;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// Hyper-parameters for [`Cnn`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnnParams {
+    /// Number of `conv -> ReLU -> pool` blocks (paper prefix, e.g.
+    /// `4-CNN-150` has 4).
+    pub conv_blocks: usize,
+    /// Convolution channels per block.
+    pub filters: usize,
+    /// Width of the dense hidden layer after flattening (paper postfix).
+    pub hidden: usize,
+    /// Learning rate for Adam.
+    pub lr: f64,
+    /// Global-norm gradient clip (the paper uses 0.01).
+    pub clip_norm: Option<f64>,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Hard cap on training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs.
+    pub patience: usize,
+    /// Seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for CnnParams {
+    fn default() -> Self {
+        CnnParams {
+            conv_blocks: 1,
+            filters: 8,
+            hidden: 64,
+            lr: 1e-3,
+            clip_norm: Some(0.01),
+            batch_size: 32,
+            max_epochs: 300,
+            patience: 100,
+            seed: 0,
+        }
+    }
+}
+
+const KERNEL: usize = 3;
+
+#[derive(Debug, Clone)]
+struct ConvLayer {
+    in_ch: usize,
+    out_ch: usize,
+    /// Weights `[out_ch][in_ch][KERNEL]` flattened.
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl ConvLayer {
+    fn w_at(&self, o: usize, c: usize, k: usize) -> f64 {
+        self.w[(o * self.in_ch + c) * KERNEL + k]
+    }
+}
+
+/// Per-sample forward activations of one conv block (kept for backward).
+#[derive(Debug, Clone)]
+struct BlockTrace {
+    /// Pre-activation conv output `[ch][len]`.
+    pre: Vec<Vec<f64>>,
+    /// Pooled output `[ch][len/2]`.
+    pooled: Vec<Vec<f64>>,
+    /// Argmax index into `relu` for each pooled element.
+    argmax: Vec<Vec<usize>>,
+}
+
+/// 1-D convolutional regressor over feature vectors.
+#[derive(Debug, Clone)]
+pub struct Cnn {
+    params: CnnParams,
+    convs: Vec<ConvLayer>,
+    /// Dense hidden layer: `[hidden][flat]` weights + biases.
+    dense_w: Vec<f64>,
+    dense_b: Vec<f64>,
+    /// Output layer: `[1][hidden]` weights + bias.
+    out_w: Vec<f64>,
+    out_b: f64,
+    flat_len: usize,
+    n_features: usize,
+    scaler: Option<StandardScaler>,
+}
+
+impl Cnn {
+    /// Creates an untrained CNN.
+    pub fn new(params: CnnParams) -> Self {
+        Cnn {
+            params,
+            convs: Vec::new(),
+            dense_w: Vec::new(),
+            dense_b: Vec::new(),
+            out_w: Vec::new(),
+            out_b: 0.0,
+            flat_len: 0,
+            n_features: 0,
+            scaler: None,
+        }
+    }
+
+    /// Total number of trainable parameters (0 before fit).
+    pub fn n_params(&self) -> usize {
+        self.convs.iter().map(|c| c.w.len() + c.b.len()).sum::<usize>()
+            + self.dense_w.len()
+            + self.dense_b.len()
+            + self.out_w.len()
+            + 1
+    }
+
+    fn init(&mut self, n_features: usize, rng: &mut impl Rng) {
+        self.n_features = n_features;
+        self.convs.clear();
+        let mut len = n_features;
+        let mut in_ch = 1;
+        for _ in 0..self.params.conv_blocks {
+            if len < 2 {
+                break; // signal too short to pool further
+            }
+            let out_ch = self.params.filters;
+            let scale = (2.0 / (in_ch * KERNEL) as f64).sqrt();
+            let w = (0..out_ch * in_ch * KERNEL)
+                .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                .collect();
+            self.convs.push(ConvLayer { in_ch, out_ch, w, b: vec![0.0; out_ch] });
+            len /= 2;
+            in_ch = out_ch;
+        }
+        self.flat_len = len * in_ch;
+        let h = self.params.hidden;
+        let scale = (2.0 / self.flat_len as f64).sqrt();
+        self.dense_w =
+            (0..h * self.flat_len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        self.dense_b = vec![0.0; h];
+        let scale = (2.0 / h as f64).sqrt();
+        self.out_w = (0..h).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        self.out_b = 0.0;
+    }
+
+    fn conv_forward(layer: &ConvLayer, input: &[Vec<f64>]) -> BlockTrace {
+        let len = input[0].len();
+        let mut pre = vec![vec![0.0; len]; layer.out_ch];
+        for o in 0..layer.out_ch {
+            for p in 0..len {
+                let mut s = layer.b[o];
+                for c in 0..layer.in_ch {
+                    for k in 0..KERNEL {
+                        let idx = p as isize + k as isize - 1; // same padding
+                        if idx >= 0 && (idx as usize) < len {
+                            s += layer.w_at(o, c, k) * input[c][idx as usize];
+                        }
+                    }
+                }
+                pre[o][p] = s;
+            }
+        }
+        let relu: Vec<Vec<f64>> =
+            pre.iter().map(|ch| ch.iter().map(|v| v.max(0.0)).collect()).collect();
+        let pooled_len = len / 2;
+        let mut pooled = vec![vec![0.0; pooled_len]; layer.out_ch];
+        let mut argmax = vec![vec![0usize; pooled_len]; layer.out_ch];
+        for o in 0..layer.out_ch {
+            for q in 0..pooled_len {
+                let (a, b) = (relu[o][2 * q], relu[o][2 * q + 1]);
+                if a >= b {
+                    pooled[o][q] = a;
+                    argmax[o][q] = 2 * q;
+                } else {
+                    pooled[o][q] = b;
+                    argmax[o][q] = 2 * q + 1;
+                }
+            }
+        }
+        BlockTrace { pre, pooled, argmax }
+    }
+
+    /// Full forward pass; returns (block traces, hidden pre-act, hidden
+    /// post-act, output).
+    fn forward(&self, x: &[f64]) -> (Vec<BlockTrace>, Vec<f64>, Vec<f64>, f64) {
+        let mut signal: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut traces = Vec::with_capacity(self.convs.len());
+        for layer in &self.convs {
+            let trace = Self::conv_forward(layer, &signal);
+            signal = trace.pooled.clone();
+            traces.push(trace);
+        }
+        let flat: Vec<f64> = signal.iter().flat_map(|ch| ch.iter().copied()).collect();
+        debug_assert_eq!(flat.len(), self.flat_len);
+        let h = self.params.hidden;
+        let mut hidden_pre = vec![0.0; h];
+        for (i, hp) in hidden_pre.iter_mut().enumerate() {
+            let row = &self.dense_w[i * self.flat_len..(i + 1) * self.flat_len];
+            *hp = self.dense_b[i] + row.iter().zip(&flat).map(|(w, v)| w * v).sum::<f64>();
+        }
+        let hidden: Vec<f64> = hidden_pre.iter().map(|v| v.max(0.0)).collect();
+        let out =
+            self.out_b + self.out_w.iter().zip(&hidden).map(|(w, v)| w * v).sum::<f64>();
+        (traces, flat, hidden, out)
+    }
+
+    /// Backward pass accumulating into a `CnnGrad`; returns squared error.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        x: &[f64],
+        traces: &[BlockTrace],
+        flat: &[f64],
+        hidden: &[f64],
+        out: f64,
+        target: f64,
+        grad: &mut CnnGrad,
+    ) -> f64 {
+        let err = out - target;
+        let d_out = 2.0 * err;
+        grad.out_b += d_out;
+        let h = self.params.hidden;
+        let mut d_hidden = vec![0.0; h];
+        for i in 0..h {
+            grad.out_w[i] += d_out * hidden[i];
+            if hidden[i] > 0.0 {
+                d_hidden[i] = d_out * self.out_w[i];
+            }
+        }
+        let mut d_flat = vec![0.0; self.flat_len];
+        for i in 0..h {
+            let d = d_hidden[i];
+            if d == 0.0 {
+                continue;
+            }
+            grad.dense_b[i] += d;
+            let row = i * self.flat_len;
+            for j in 0..self.flat_len {
+                grad.dense_w[row + j] += d * flat[j];
+                d_flat[j] += d * self.dense_w[row + j];
+            }
+        }
+        // Un-flatten into per-channel gradient of the last pooled output.
+        let mut d_signal: Vec<Vec<f64>> = Vec::new();
+        if let Some(last) = traces.last() {
+            let ch = last.pooled.len();
+            let len = last.pooled[0].len();
+            d_signal = (0..ch).map(|c| d_flat[c * len..(c + 1) * len].to_vec()).collect();
+        }
+        // Backward through conv blocks in reverse.
+        for (bi, layer) in self.convs.iter().enumerate().rev() {
+            let trace = &traces[bi];
+            let input: Vec<Vec<f64>> = if bi == 0 {
+                vec![x.to_vec()]
+            } else {
+                traces[bi - 1].pooled.clone()
+            };
+            let len = trace.pre[0].len();
+            // Through pool: route gradient to argmax positions.
+            let mut d_relu = vec![vec![0.0; len]; layer.out_ch];
+            for o in 0..layer.out_ch {
+                for q in 0..trace.pooled[o].len() {
+                    d_relu[o][trace.argmax[o][q]] += d_signal[o][q];
+                }
+            }
+            // Through ReLU.
+            for o in 0..layer.out_ch {
+                for p in 0..len {
+                    if trace.pre[o][p] <= 0.0 {
+                        d_relu[o][p] = 0.0;
+                    }
+                }
+            }
+            // Conv weight/bias/input gradients.
+            let mut d_input = vec![vec![0.0; input[0].len()]; layer.in_ch];
+            let g = &mut grad.convs[bi];
+            for o in 0..layer.out_ch {
+                for p in 0..len {
+                    let d = d_relu[o][p];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    g.b[o] += d;
+                    for c in 0..layer.in_ch {
+                        for k in 0..KERNEL {
+                            let idx = p as isize + k as isize - 1;
+                            if idx >= 0 && (idx as usize) < input[c].len() {
+                                g.w[(o * layer.in_ch + c) * KERNEL + k] +=
+                                    d * input[c][idx as usize];
+                                d_input[c][idx as usize] += d * layer.w_at(o, c, k);
+                            }
+                        }
+                    }
+                }
+            }
+            d_signal = d_input;
+        }
+        err * err
+    }
+
+    fn eval(&self, data: &Dataset) -> f64 {
+        let preds: Vec<f64> = (0..data.len()).map(|i| self.forward(data.sample(i).0).3).collect();
+        mse(&preds, data.y())
+    }
+
+    fn flatten_grads(&self, grad: &CnnGrad, out: &mut Vec<f64>) {
+        out.clear();
+        for g in &grad.convs {
+            out.extend_from_slice(&g.w);
+            out.extend_from_slice(&g.b);
+        }
+        out.extend_from_slice(&grad.dense_w);
+        out.extend_from_slice(&grad.dense_b);
+        out.extend_from_slice(&grad.out_w);
+        out.push(grad.out_b);
+    }
+
+    fn flatten_params(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for c in &self.convs {
+            out.extend_from_slice(&c.w);
+            out.extend_from_slice(&c.b);
+        }
+        out.extend_from_slice(&self.dense_w);
+        out.extend_from_slice(&self.dense_b);
+        out.extend_from_slice(&self.out_w);
+        out.push(self.out_b);
+    }
+
+    fn unflatten_params(&mut self, flat: &[f64]) {
+        let mut i = 0;
+        for c in &mut self.convs {
+            let (wn, bn) = (c.w.len(), c.b.len());
+            c.w.copy_from_slice(&flat[i..i + wn]);
+            i += wn;
+            c.b.copy_from_slice(&flat[i..i + bn]);
+            i += bn;
+        }
+        let dn = self.dense_w.len();
+        self.dense_w.copy_from_slice(&flat[i..i + dn]);
+        i += dn;
+        let bn = self.dense_b.len();
+        self.dense_b.copy_from_slice(&flat[i..i + bn]);
+        i += bn;
+        let on = self.out_w.len();
+        self.out_w.copy_from_slice(&flat[i..i + on]);
+        i += on;
+        self.out_b = flat[i];
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ConvGrad {
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct CnnGrad {
+    convs: Vec<ConvGrad>,
+    dense_w: Vec<f64>,
+    dense_b: Vec<f64>,
+    out_w: Vec<f64>,
+    out_b: f64,
+}
+
+impl CnnGrad {
+    fn zeros_like(net: &Cnn) -> Self {
+        CnnGrad {
+            convs: net
+                .convs
+                .iter()
+                .map(|c| ConvGrad { w: vec![0.0; c.w.len()], b: vec![0.0; c.b.len()] })
+                .collect(),
+            dense_w: vec![0.0; net.dense_w.len()],
+            dense_b: vec![0.0; net.dense_b.len()],
+            out_w: vec![0.0; net.out_w.len()],
+            out_b: 0.0,
+        }
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.convs {
+            c.w.iter_mut().for_each(|v| *v = 0.0);
+            c.b.iter_mut().for_each(|v| *v = 0.0);
+        }
+        self.dense_w.iter_mut().for_each(|v| *v = 0.0);
+        self.dense_b.iter_mut().for_each(|v| *v = 0.0);
+        self.out_w.iter_mut().for_each(|v| *v = 0.0);
+        self.out_b = 0.0;
+    }
+
+    fn scale(&mut self, s: f64) {
+        for c in &mut self.convs {
+            c.w.iter_mut().for_each(|v| *v *= s);
+            c.b.iter_mut().for_each(|v| *v *= s);
+        }
+        self.dense_w.iter_mut().for_each(|v| *v *= s);
+        self.dense_b.iter_mut().for_each(|v| *v *= s);
+        self.out_w.iter_mut().for_each(|v| *v *= s);
+        self.out_b *= s;
+    }
+}
+
+impl Regressor for Cnn {
+    fn fit(&mut self, train: &Dataset, val: Option<&Dataset>) {
+        assert!(!train.is_empty(), "cannot fit CNN on an empty dataset");
+        assert!(train.n_features() >= 2, "CNN needs at least 2 features to convolve");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.seed);
+        let scaler = StandardScaler::fit(train.x());
+        let train_scaled =
+            Dataset::new(scaler.transform(train.x()), train.y().to_vec()).expect("shape kept");
+        let val_scaled = val.map(|v| {
+            Dataset::new(scaler.transform(v.x()), v.y().to_vec()).expect("shape kept")
+        });
+        self.init(train.n_features(), &mut rng);
+        self.scaler = None;
+
+        let n_params = self.n_params();
+        let mut adam = Adam::new(n_params, self.params.lr, self.params.clip_norm);
+        let mut grad = CnnGrad::zeros_like(self);
+        let mut flat_grad = Vec::with_capacity(n_params);
+        let mut flat_params = Vec::with_capacity(n_params);
+        let mut order: Vec<usize> = (0..train_scaled.len()).collect();
+        let mut best = Vec::new();
+        self.flatten_params(&mut best);
+        let mut best_loss = f64::INFINITY;
+        let mut stale = 0;
+        for _epoch in 0..self.params.max_epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.params.batch_size.max(1)) {
+                grad.reset();
+                for &i in chunk {
+                    let (row, y) = train_scaled.sample(i);
+                    let (traces, flat, hidden, out) = self.forward(row);
+                    self.backward(row, &traces, &flat, &hidden, out, y, &mut grad);
+                }
+                grad.scale(1.0 / chunk.len() as f64);
+                self.flatten_grads(&grad, &mut flat_grad);
+                self.flatten_params(&mut flat_params);
+                adam.step(&mut flat_params, &flat_grad);
+                self.unflatten_params(&flat_params);
+            }
+            let monitored = val_scaled.as_ref().unwrap_or(&train_scaled);
+            let loss = self.eval(monitored);
+            if loss + 1e-12 < best_loss {
+                best_loss = loss;
+                self.flatten_params(&mut best);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.params.patience {
+                    break;
+                }
+            }
+        }
+        self.unflatten_params(&best);
+        self.scaler = Some(scaler);
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("Cnn::predict_row called before fit");
+        let z = scaler.transform_row(x);
+        self.forward(&z).3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned_data(n: usize) -> Dataset {
+        // 8-feature signal whose target depends on a local pattern.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                (0..8).map(|j| ((t + j as f64) * 0.9).sin()).collect()
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[2] * r[3] + 0.3 * r[5]).collect();
+        Dataset::from_rows(&rows, &y).unwrap()
+    }
+
+    #[test]
+    fn learns_local_pattern() {
+        let data = patterned_data(150);
+        let mut m = Cnn::new(CnnParams {
+            conv_blocks: 1,
+            filters: 8,
+            hidden: 32,
+            max_epochs: 250,
+            clip_norm: None,
+            lr: 3e-3,
+            ..CnnParams::default()
+        });
+        m.fit(&data, None);
+        let err = mse(&m.predict(data.x()), data.y());
+        assert!(err < 0.1, "mse {err}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = patterned_data(40);
+        let params =
+            CnnParams { conv_blocks: 1, filters: 4, hidden: 8, max_epochs: 10, ..CnnParams::default() };
+        let mut a = Cnn::new(params);
+        let mut b = Cnn::new(params);
+        a.fit(&data, None);
+        b.fit(&data, None);
+        assert_eq!(a.predict_row(data.sample(3).0), b.predict_row(data.sample(3).0));
+    }
+
+    #[test]
+    fn deep_stack_clamps_to_signal_length() {
+        // 8 features can only be pooled 3 times; asking for 6 blocks must
+        // not panic or produce an empty flat layer.
+        let data = patterned_data(30);
+        let mut m = Cnn::new(CnnParams {
+            conv_blocks: 6,
+            filters: 4,
+            hidden: 8,
+            max_epochs: 3,
+            ..CnnParams::default()
+        });
+        m.fit(&data, None);
+        assert!(m.predict_row(data.sample(0).0).is_finite());
+    }
+}

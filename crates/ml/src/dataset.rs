@@ -1,0 +1,245 @@
+//! Supervised regression datasets (feature rows and time-series sequences).
+
+use std::error::Error;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::Matrix;
+
+/// Error building a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature rows had inconsistent lengths.
+    RaggedRows,
+    /// The number of rows and targets differ.
+    LengthMismatch {
+        /// Number of feature rows supplied.
+        rows: usize,
+        /// Number of target values supplied.
+        targets: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::RaggedRows => write!(f, "feature rows have inconsistent lengths"),
+            DatasetError::LengthMismatch { rows, targets } => {
+                write!(f, "{rows} feature rows but {targets} targets")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A supervised regression dataset: one target value per feature row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from feature rows and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::RaggedRows`] when rows have inconsistent
+    /// lengths and [`DatasetError::LengthMismatch`] when `rows.len() !=
+    /// targets.len()`.
+    pub fn from_rows(rows: &[Vec<f64>], targets: &[f64]) -> Result<Self, DatasetError> {
+        if rows.len() != targets.len() {
+            return Err(DatasetError::LengthMismatch { rows: rows.len(), targets: targets.len() });
+        }
+        let x = Matrix::from_rows(rows).ok_or(DatasetError::RaggedRows)?;
+        Ok(Dataset { x, y: targets.to_vec() })
+    }
+
+    /// Builds a dataset from an existing matrix and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::LengthMismatch`] when the row count of `x`
+    /// differs from `y.len()`.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self, DatasetError> {
+        if x.rows() != y.len() {
+            return Err(DatasetError::LengthMismatch { rows: x.rows(), targets: y.len() });
+        }
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The feature matrix.
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The target vector.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Returns the sample at `i` as `(features, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> (&[f64], f64) {
+        (self.x.row(i), self.y[i])
+    }
+
+    /// Returns a new dataset restricted to the given sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Deterministically shuffles and splits into `(train, validation)`
+    /// where the validation part holds `val_fraction` of the samples
+    /// (rounded down, at least one sample kept on each side when possible).
+    pub fn split(&self, val_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let mut n_val = ((self.len() as f64) * val_fraction) as usize;
+        if self.len() >= 2 {
+            n_val = n_val.clamp(1, self.len() - 1);
+        }
+        let (val_idx, train_idx) = indices.split_at(n_val);
+        (self.select(train_idx), self.select(val_idx))
+    }
+}
+
+/// A time-series training sequence: per-step feature vectors and targets.
+///
+/// Used by sequence models ([`crate::Lstm`]): one probe run on one
+/// microarchitecture yields one sequence whose steps are the sampled
+/// performance-counter windows.
+#[derive(Debug, Clone)]
+pub struct Sequence {
+    /// Feature vector per time step.
+    pub steps: Vec<Vec<f64>>,
+    /// Target value per time step (same length as `steps`).
+    pub targets: Vec<f64>,
+}
+
+impl Sequence {
+    /// Builds a sequence, validating that steps and targets align and all
+    /// step vectors have equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::LengthMismatch`] or
+    /// [`DatasetError::RaggedRows`] on malformed input.
+    pub fn new(steps: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, DatasetError> {
+        if steps.len() != targets.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: steps.len(),
+                targets: targets.len(),
+            });
+        }
+        let dim = steps.first().map_or(0, Vec::len);
+        if steps.iter().any(|s| s.len() != dim) {
+            return Err(DatasetError::RaggedRows);
+        }
+        Ok(Sequence { steps, targets })
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sequence holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Feature dimensionality per step (0 for an empty sequence).
+    pub fn n_features(&self) -> usize {
+        self.steps.first().map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        Dataset::from_rows(&rows, &y).unwrap()
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let err = Dataset::from_rows(&[vec![1.0]], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, DatasetError::LengthMismatch { rows: 1, targets: 2 });
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy();
+        let (train, val) = d.split(0.3, 7);
+        assert_eq!(train.len() + val.len(), d.len());
+        assert_eq!(val.len(), 3);
+        assert_eq!(train.n_features(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy();
+        let (a, _) = d.split(0.3, 42);
+        let (b, _) = d.split(0.3, 42);
+        assert_eq!(a.y(), b.y());
+    }
+
+    #[test]
+    fn split_keeps_at_least_one_sample_per_side() {
+        let d = toy();
+        let (train, val) = d.split(0.0, 1);
+        assert_eq!(val.len(), 1);
+        assert_eq!(train.len(), 9);
+        let (train, val) = d.split(1.0, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(val.len(), 9);
+    }
+
+    #[test]
+    fn sequence_validation() {
+        assert!(Sequence::new(vec![vec![1.0], vec![2.0]], vec![0.1, 0.2]).is_ok());
+        assert!(Sequence::new(vec![vec![1.0]], vec![0.1, 0.2]).is_err());
+        assert!(Sequence::new(vec![vec![1.0], vec![2.0, 3.0]], vec![0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn select_picks_rows() {
+        let d = toy();
+        let s = d.select(&[9, 0]);
+        assert_eq!(s.y(), &[9.0, 0.0]);
+        assert_eq!(s.sample(0).0, &[9.0, 81.0]);
+    }
+}

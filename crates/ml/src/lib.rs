@@ -1,0 +1,91 @@
+//! # perfbug-ml
+//!
+//! From-scratch machine learning engines and metrics used by the
+//! performance-bug-detection methodology of *"Automatic Microprocessor
+//! Performance Bug Detection"* (HPCA 2021).
+//!
+//! The paper's stage-1 IPC models are implemented natively in Rust:
+//!
+//! * [`Lasso`] — L1-regularised linear regression (scikit-learn analogue),
+//! * [`Mlp`] — multi-layer perceptron (Keras analogue),
+//! * [`Cnn`] — 1-D convolutional network (Keras analogue),
+//! * [`Lstm`] — long short-term memory network (Keras analogue),
+//! * [`Gbt`] — gradient-boosted regression trees (XGBoost analogue).
+//!
+//! All engines train with deterministic seeded initialisation so that
+//! experiments are reproducible. Neural engines use the [`Adam`] optimiser
+//! with gradient clipping and early stopping on a validation set, matching
+//! the training protocol of the paper (§V-A).
+//!
+//! ```
+//! use perfbug_ml::{Dataset, Gbt, GbtParams, Regressor};
+//!
+//! // y = 2*x0 + noise-free offset
+//! let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+//! let y = vec![0.0, 2.0, 4.0, 6.0];
+//! let data = Dataset::from_rows(&x, &y).unwrap();
+//! let mut model = Gbt::new(GbtParams { n_trees: 50, ..GbtParams::default() });
+//! model.fit(&data, None);
+//! let pred = model.predict_row(&[1.5]);
+//! assert!((pred - 3.0).abs() < 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod cnn;
+mod dataset;
+mod gbt;
+mod linear;
+mod lstm;
+mod matrix;
+pub mod metrics;
+mod mlp;
+mod scaler;
+
+pub use adam::Adam;
+pub use cnn::{Cnn, CnnParams};
+pub use dataset::{Dataset, DatasetError, Sequence};
+pub use gbt::{Gbt, GbtParams};
+pub use linear::{Lasso, LassoParams};
+pub use lstm::{Lstm, LstmParams};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpParams};
+pub use scaler::StandardScaler;
+
+/// A trained (or trainable) regression model operating on independent rows.
+///
+/// Implemented by every stage-1 engine except [`Lstm`], which consumes whole
+/// time-series sequences and implements [`SequenceRegressor`] instead.
+pub trait Regressor {
+    /// Fits the model to `train`. When `val` is provided, engines that
+    /// support early stopping monitor validation loss and restore the best
+    /// parameters seen (the paper stops after 100 epochs without
+    /// improvement on the validation microarchitectures).
+    fn fit(&mut self, train: &Dataset, val: Option<&Dataset>);
+
+    /// Predicts the target for a single feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the feature count seen during
+    /// [`fit`](Regressor::fit).
+    fn predict_row(&self, x: &[f64]) -> f64;
+
+    /// Predicts the target for every row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+/// A regression model over time-series sequences (one prediction per step).
+pub trait SequenceRegressor {
+    /// Fits the model on whole sequences, optionally early-stopping on a
+    /// validation set of sequences.
+    fn fit_sequences(&mut self, train: &[Sequence], val: Option<&[Sequence]>);
+
+    /// Predicts one target value per time step of `seq`, consuming the
+    /// sequence statefully from its first step.
+    fn predict_sequence(&self, steps: &[Vec<f64>]) -> Vec<f64>;
+}

@@ -1,0 +1,482 @@
+//! Long short-term memory network for per-step time-series regression.
+//!
+//! The paper feeds the counter time series of a probe to an LSTM and reads
+//! an IPC estimate at every step; history is carried by the recurrent state
+//! (§III-C). Models are named `<layers>-LSTM-<hidden>` (e.g. `1-LSTM-500`).
+//! Training is full back-propagation through time with Adam and gradient
+//! clipping — the paper notes that LSTMs are hard to train and exhibit
+//! non-convergent outliers, which this implementation reproduces when the
+//! clip is disabled.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::adam::Adam;
+use crate::dataset::Sequence;
+use crate::scaler::StandardScaler;
+use crate::{Matrix, SequenceRegressor};
+
+/// Hyper-parameters for [`Lstm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LstmParams {
+    /// Number of stacked LSTM layers (paper prefix).
+    pub layers: usize,
+    /// Hidden state width per layer (paper postfix).
+    pub hidden: usize,
+    /// Learning rate for Adam.
+    pub lr: f64,
+    /// Global-norm gradient clip (the paper uses 0.01).
+    pub clip_norm: Option<f64>,
+    /// Hard cap on training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs.
+    pub patience: usize,
+    /// Seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for LstmParams {
+    fn default() -> Self {
+        LstmParams {
+            layers: 1,
+            hidden: 32,
+            lr: 3e-3,
+            clip_norm: Some(0.01),
+            max_epochs: 200,
+            patience: 100,
+            seed: 0,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Parameter layout for one LSTM layer inside the flat buffer.
+#[derive(Debug, Clone, Copy)]
+struct LayerLayout {
+    in_dim: usize,
+    hidden: usize,
+    /// Offset of `Wx` (`4H x in_dim`).
+    wx: usize,
+    /// Offset of `Wh` (`4H x H`).
+    wh: usize,
+    /// Offset of `b` (`4H`).
+    b: usize,
+}
+
+impl LayerLayout {
+    fn size(&self) -> usize {
+        4 * self.hidden * (self.in_dim + self.hidden + 1)
+    }
+}
+
+/// Activations of one layer over one sequence, kept for BPTT.
+#[derive(Debug, Default, Clone)]
+struct LayerTrace {
+    /// Inputs per step.
+    x: Vec<Vec<f64>>,
+    /// Gates per step: i, f, g, o (each length H).
+    i: Vec<Vec<f64>>,
+    f: Vec<Vec<f64>>,
+    g: Vec<Vec<f64>>,
+    o: Vec<Vec<f64>>,
+    /// Cell state per step.
+    c: Vec<Vec<f64>>,
+    /// tanh(c) per step.
+    tc: Vec<Vec<f64>>,
+    /// Hidden state per step.
+    h: Vec<Vec<f64>>,
+}
+
+/// Stacked LSTM regressor with a linear per-step output head.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    params: LstmParams,
+    layouts: Vec<LayerLayout>,
+    /// Flat parameters: all layers, then output head (`H` weights + bias).
+    theta: Vec<f64>,
+    out_w_off: usize,
+    n_features: usize,
+    scaler: Option<StandardScaler>,
+}
+
+impl Lstm {
+    /// Creates an untrained LSTM.
+    pub fn new(params: LstmParams) -> Self {
+        Lstm {
+            params,
+            layouts: Vec::new(),
+            theta: Vec::new(),
+            out_w_off: 0,
+            n_features: 0,
+            scaler: None,
+        }
+    }
+
+    /// Total number of trainable parameters (0 before fit).
+    pub fn n_params(&self) -> usize {
+        self.theta.len()
+    }
+
+    fn init(&mut self, n_features: usize, rng: &mut impl Rng) {
+        self.n_features = n_features;
+        self.layouts.clear();
+        let h = self.params.hidden;
+        let mut off = 0;
+        for l in 0..self.params.layers.max(1) {
+            let in_dim = if l == 0 { n_features } else { h };
+            let layout = LayerLayout {
+                in_dim,
+                hidden: h,
+                wx: off,
+                wh: off + 4 * h * in_dim,
+                b: off + 4 * h * (in_dim + h),
+            };
+            off += layout.size();
+            self.layouts.push(layout);
+        }
+        self.out_w_off = off;
+        let total = off + h + 1;
+        let mut theta = vec![0.0; total];
+        for layout in &self.layouts {
+            let scale = (1.0 / layout.in_dim as f64).sqrt();
+            for w in &mut theta[layout.wx..layout.wh] {
+                *w = (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+            }
+            let scale = (1.0 / layout.hidden as f64).sqrt();
+            for w in &mut theta[layout.wh..layout.b] {
+                *w = (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+            }
+            // Forget-gate bias starts at 1.0 (standard trick for gradient
+            // flow); other gate biases start at 0.
+            for j in 0..layout.hidden {
+                theta[layout.b + layout.hidden + j] = 1.0;
+            }
+        }
+        let scale = (1.0 / h as f64).sqrt();
+        for w in &mut theta[self.out_w_off..self.out_w_off + h] {
+            *w = (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+        }
+        self.theta = theta;
+    }
+
+    /// Runs the stack over `steps`, returning per-layer traces and per-step
+    /// predictions.
+    fn forward(&self, steps: &[Vec<f64>]) -> (Vec<LayerTrace>, Vec<f64>) {
+        let h_dim = self.params.hidden;
+        let mut traces: Vec<LayerTrace> = vec![LayerTrace::default(); self.layouts.len()];
+        let mut preds = Vec::with_capacity(steps.len());
+        let mut h_prev = vec![vec![0.0; h_dim]; self.layouts.len()];
+        let mut c_prev = vec![vec![0.0; h_dim]; self.layouts.len()];
+        for step in steps {
+            let mut input = step.clone();
+            for (li, layout) in self.layouts.iter().enumerate() {
+                let mut gates = vec![0.0; 4 * h_dim];
+                for (r, gate) in gates.iter_mut().enumerate() {
+                    let mut s = self.theta[layout.b + r];
+                    let wx_row = layout.wx + r * layout.in_dim;
+                    for (k, xv) in input.iter().enumerate() {
+                        s += self.theta[wx_row + k] * xv;
+                    }
+                    let wh_row = layout.wh + r * h_dim;
+                    for (k, hv) in h_prev[li].iter().enumerate() {
+                        s += self.theta[wh_row + k] * hv;
+                    }
+                    *gate = s;
+                }
+                let i: Vec<f64> = gates[..h_dim].iter().map(|&v| sigmoid(v)).collect();
+                let f: Vec<f64> = gates[h_dim..2 * h_dim].iter().map(|&v| sigmoid(v)).collect();
+                let g: Vec<f64> = gates[2 * h_dim..3 * h_dim].iter().map(|&v| v.tanh()).collect();
+                let o: Vec<f64> = gates[3 * h_dim..].iter().map(|&v| sigmoid(v)).collect();
+                let c: Vec<f64> = (0..h_dim)
+                    .map(|j| f[j] * c_prev[li][j] + i[j] * g[j])
+                    .collect();
+                let tc: Vec<f64> = c.iter().map(|v| v.tanh()).collect();
+                let h: Vec<f64> = (0..h_dim).map(|j| o[j] * tc[j]).collect();
+                let t = &mut traces[li];
+                t.x.push(input.clone());
+                t.i.push(i);
+                t.f.push(f);
+                t.g.push(g);
+                t.o.push(o);
+                t.c.push(c.clone());
+                t.tc.push(tc);
+                t.h.push(h.clone());
+                h_prev[li] = h.clone();
+                c_prev[li] = c;
+                input = h;
+            }
+            let out_w = &self.theta[self.out_w_off..self.out_w_off + h_dim];
+            let out_b = self.theta[self.out_w_off + h_dim];
+            let pred = out_b + out_w.iter().zip(&input).map(|(w, v)| w * v).sum::<f64>();
+            preds.push(pred);
+        }
+        (traces, preds)
+    }
+
+    /// BPTT for one sequence; accumulates into `grad` and returns the mean
+    /// squared error over the sequence.
+    fn backward(
+        &self,
+        traces: &[LayerTrace],
+        preds: &[f64],
+        targets: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        let h_dim = self.params.hidden;
+        let n_layers = self.layouts.len();
+        let steps = preds.len();
+        let inv_t = 1.0 / steps as f64;
+        let out_w = self.out_w_off;
+
+        // dh[layer] carries gradient flowing into h_t of that layer from
+        // the future; dc likewise for cell state.
+        let mut dh_next = vec![vec![0.0; h_dim]; n_layers];
+        let mut dc_next = vec![vec![0.0; h_dim]; n_layers];
+        let mut sq_err = 0.0;
+        for t in (0..steps).rev() {
+            let err = preds[t] - targets[t];
+            sq_err += err * err;
+            let d_pred = 2.0 * err * inv_t;
+            // Output head gradient and seed for the top layer's dh.
+            let top = n_layers - 1;
+            let h_top = &traces[top].h[t];
+            grad[out_w + h_dim] += d_pred;
+            let mut dh_from_above: Vec<f64> = (0..h_dim)
+                .map(|j| {
+                    grad[out_w + j] += d_pred * h_top[j];
+                    d_pred * self.theta[out_w + j]
+                })
+                .collect();
+            for li in (0..n_layers).rev() {
+                let layout = self.layouts[li];
+                let tr = &traces[li];
+                let dh: Vec<f64> = (0..h_dim)
+                    .map(|j| dh_from_above[j] + dh_next[li][j])
+                    .collect();
+                let (i, f, g, o) = (&tr.i[t], &tr.f[t], &tr.g[t], &tr.o[t]);
+                let tc = &tr.tc[t];
+                let c_prev: Vec<f64> = if t > 0 { tr.c[t - 1].clone() } else { vec![0.0; h_dim] };
+                let mut da = vec![0.0; 4 * h_dim];
+                let mut dc_prev = vec![0.0; h_dim];
+                for j in 0..h_dim {
+                    let do_ = dh[j] * tc[j];
+                    let dc = dh[j] * o[j] * (1.0 - tc[j] * tc[j]) + dc_next[li][j];
+                    let di = dc * g[j];
+                    let dg = dc * i[j];
+                    let df = dc * c_prev[j];
+                    dc_prev[j] = dc * f[j];
+                    da[j] = di * i[j] * (1.0 - i[j]);
+                    da[h_dim + j] = df * f[j] * (1.0 - f[j]);
+                    da[2 * h_dim + j] = dg * (1.0 - g[j] * g[j]);
+                    da[3 * h_dim + j] = do_ * o[j] * (1.0 - o[j]);
+                }
+                dc_next[li] = dc_prev;
+                // Parameter gradients and downstream gradients.
+                let x = &tr.x[t];
+                let h_prev: Vec<f64> =
+                    if t > 0 { tr.h[t - 1].clone() } else { vec![0.0; h_dim] };
+                let mut dx = vec![0.0; layout.in_dim];
+                let mut dh_prev = vec![0.0; h_dim];
+                for (r, &d) in da.iter().enumerate() {
+                    if d == 0.0 {
+                        continue;
+                    }
+                    grad[layout.b + r] += d;
+                    let wx_row = layout.wx + r * layout.in_dim;
+                    for (k, xv) in x.iter().enumerate() {
+                        grad[wx_row + k] += d * xv;
+                        dx[k] += d * self.theta[wx_row + k];
+                    }
+                    let wh_row = layout.wh + r * h_dim;
+                    for (k, hv) in h_prev.iter().enumerate() {
+                        grad[wh_row + k] += d * hv;
+                        dh_prev[k] += d * self.theta[wh_row + k];
+                    }
+                }
+                dh_next[li] = dh_prev;
+                // dx feeds the layer below as part of its dh at this step.
+                dh_from_above = dx;
+            }
+        }
+        sq_err * inv_t
+    }
+
+    fn eval(&self, seqs: &[Sequence]) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for s in seqs {
+            let (_, preds) = self.forward(&s.steps);
+            for (p, y) in preds.iter().zip(&s.targets) {
+                total += (p - y) * (p - y);
+            }
+            n += s.len();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    fn scale_sequences(&self, seqs: &[Sequence]) -> Vec<Sequence> {
+        let scaler = self.scaler.as_ref().expect("scaler fitted");
+        seqs.iter()
+            .map(|s| Sequence {
+                steps: s.steps.iter().map(|row| scaler.transform_row(row)).collect(),
+                targets: s.targets.clone(),
+            })
+            .collect()
+    }
+}
+
+impl SequenceRegressor for Lstm {
+    fn fit_sequences(&mut self, train: &[Sequence], val: Option<&[Sequence]>) {
+        assert!(!train.is_empty(), "cannot fit LSTM on no sequences");
+        let n_features = train[0].n_features();
+        assert!(
+            train.iter().all(|s| s.n_features() == n_features && !s.is_empty()),
+            "all training sequences must be non-empty with equal feature counts"
+        );
+        // Fit the scaler over every step of every sequence.
+        let all_rows: Vec<Vec<f64>> =
+            train.iter().flat_map(|s| s.steps.iter().cloned()).collect();
+        let flat = Matrix::from_rows(&all_rows).expect("validated shapes");
+        self.scaler = Some(StandardScaler::fit(&flat));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.seed);
+        self.init(n_features, &mut rng);
+
+        let train_scaled = self.scale_sequences(train);
+        let val_scaled = val.map(|v| self.scale_sequences(v));
+
+        let mut adam = Adam::new(self.theta.len(), self.params.lr, self.params.clip_norm);
+        let mut order: Vec<usize> = (0..train_scaled.len()).collect();
+        let mut grad = vec![0.0; self.theta.len()];
+        let mut best = self.theta.clone();
+        let mut best_loss = f64::INFINITY;
+        let mut stale = 0;
+        for _epoch in 0..self.params.max_epochs {
+            order.shuffle(&mut rng);
+            for &si in &order {
+                let seq = &train_scaled[si];
+                let (traces, preds) = self.forward(&seq.steps);
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                self.backward(&traces, &preds, &seq.targets, &mut grad);
+                adam.step(&mut self.theta, &grad);
+            }
+            let loss = match &val_scaled {
+                Some(v) => self.eval(v),
+                None => self.eval(&train_scaled),
+            };
+            if loss.is_finite() && loss + 1e-12 < best_loss {
+                best_loss = loss;
+                best.copy_from_slice(&self.theta);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.params.patience {
+                    break;
+                }
+            }
+        }
+        self.theta = best;
+    }
+
+    fn predict_sequence(&self, steps: &[Vec<f64>]) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("Lstm::predict_sequence called before fit");
+        let scaled: Vec<Vec<f64>> = steps.iter().map(|r| scaler.transform_row(r)).collect();
+        self.forward(&scaled).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Target depends on the running mean of the input — requires state.
+    fn stateful_sequences(n_seq: usize, len: usize) -> Vec<Sequence> {
+        (0..n_seq)
+            .map(|s| {
+                let mut acc = 0.0;
+                let mut steps = Vec::new();
+                let mut targets = Vec::new();
+                for t in 0..len {
+                    let x = ((s * 7 + t) as f64 * 0.61).sin();
+                    acc = 0.8 * acc + 0.2 * x;
+                    steps.push(vec![x]);
+                    targets.push(acc);
+                }
+                Sequence::new(steps, targets).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_stateful_target() {
+        let seqs = stateful_sequences(6, 25);
+        let mut m = Lstm::new(LstmParams {
+            layers: 1,
+            hidden: 12,
+            max_epochs: 300,
+            clip_norm: None,
+            lr: 1e-2,
+            ..LstmParams::default()
+        });
+        m.fit_sequences(&seqs, None);
+        let mut total = 0.0;
+        let mut n = 0;
+        for s in &seqs {
+            let preds = m.predict_sequence(&s.steps);
+            for (p, y) in preds.iter().zip(&s.targets) {
+                total += (p - y) * (p - y);
+                n += 1;
+            }
+        }
+        let err = total / n as f64;
+        assert!(err < 0.02, "mse {err}");
+    }
+
+    #[test]
+    fn stacked_layers_run() {
+        let seqs = stateful_sequences(3, 10);
+        let mut m = Lstm::new(LstmParams {
+            layers: 2,
+            hidden: 6,
+            max_epochs: 10,
+            ..LstmParams::default()
+        });
+        m.fit_sequences(&seqs, None);
+        let preds = m.predict_sequence(&seqs[0].steps);
+        assert_eq!(preds.len(), 10);
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seqs = stateful_sequences(3, 8);
+        let params = LstmParams { hidden: 4, max_epochs: 5, ..LstmParams::default() };
+        let mut a = Lstm::new(params);
+        let mut b = Lstm::new(params);
+        a.fit_sequences(&seqs, None);
+        b.fit_sequences(&seqs, None);
+        assert_eq!(a.predict_sequence(&seqs[0].steps), b.predict_sequence(&seqs[0].steps));
+    }
+
+    #[test]
+    fn early_stopping_with_validation() {
+        let seqs = stateful_sequences(6, 15);
+        let (train, val) = seqs.split_at(4);
+        let mut m = Lstm::new(LstmParams {
+            hidden: 8,
+            max_epochs: 120,
+            patience: 15,
+            ..LstmParams::default()
+        });
+        m.fit_sequences(train, Some(val));
+        assert!(m.eval(&m.scale_sequences(val)).is_finite());
+    }
+}

@@ -1,0 +1,238 @@
+//! Statistical metrics: Pearson correlation, regression errors, ROC AUC.
+
+/// Pearson correlation coefficient between two equally sized samples.
+///
+/// Returns 0.0 when either sample has (numerically) zero variance, which is
+/// the convention the paper's counter-selection step needs: a constant
+/// counter carries no information about IPC and must not be selected.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equally sized samples");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    let denom = (va * vb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        (cov / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mse requires equally sized samples");
+    assert!(!pred.is_empty(), "mse of an empty sample is undefined");
+    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mae requires equally sized samples");
+    assert!(!pred.is_empty(), "mae of an empty sample is undefined");
+    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Area under the ROC curve for binary labels given real-valued scores.
+///
+/// Higher scores should indicate the positive class. Ties are handled with
+/// the standard rank-based (Mann-Whitney) formulation. Returns 0.5 when
+/// either class is absent, matching the "random guess" convention the paper
+/// uses as the uninformative reference.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "roc_auc requires one label per score");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending with mid-ranks for ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(labels).filter_map(|(r, &l)| l.then_some(*r)).sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False positive rate at this threshold.
+    pub fpr: f64,
+    /// True positive rate at this threshold.
+    pub tpr: f64,
+    /// The score threshold producing this point (classify positive when
+    /// `score >= threshold`).
+    pub threshold: f64,
+}
+
+/// Computes the ROC curve (sorted by ascending FPR) for scores and labels.
+///
+/// The returned curve always starts at `(0, 0)` (threshold `+inf`) and ends
+/// at `(1, 1)` (threshold `-inf`). Returns an empty curve when either class
+/// is absent.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "roc_curve requires one label per score");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume all samples tied at this score before emitting a point.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            fpr: fp as f64 / n_neg as f64,
+            tpr: tp as f64 / n_pos as f64,
+            threshold,
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [-2.0, -4.0, -6.0, -8.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_sample_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn mse_and_mae() {
+        let p = [1.0, 2.0];
+        let t = [0.0, 4.0];
+        assert!((mse(&p, &t) - 2.5).abs() < 1e-12);
+        assert!((mae(&p, &t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_separable_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.3, 0.7], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_with_ties() {
+        // Two positives and two negatives all tied: AUC must be 0.5.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+        // Monotone non-decreasing in both axes.
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn roc_curve_matches_auc_trapezoid() {
+        let scores = [0.05, 0.3, 0.2, 0.6, 0.9, 0.7];
+        let labels = [false, false, true, true, true, false];
+        let curve = roc_curve(&scores, &labels);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        assert!((area - roc_auc(&scores, &labels)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Multi-layer perceptron regressor (ReLU hidden layers, linear output).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::adam::Adam;
+use crate::dataset::Dataset;
+use crate::metrics::mse;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// Hyper-parameters for [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpParams {
+    /// Sizes of the hidden layers (the paper names models
+    /// `<layers>-MLP-<neurons>`, e.g. `1-MLP-500` is `hidden: vec![500]`).
+    pub hidden: Vec<usize>,
+    /// Learning rate for Adam.
+    pub lr: f64,
+    /// Global-norm gradient clip (the paper uses 0.01).
+    pub clip_norm: Option<f64>,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Hard cap on training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience: stop after this many epochs without
+    /// validation improvement (the paper uses 100).
+    pub patience: usize,
+    /// Seed for weight initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: vec![64],
+            lr: 1e-3,
+            clip_norm: Some(0.01),
+            batch_size: 32,
+            max_epochs: 400,
+            patience: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Fully connected feed-forward regressor.
+///
+/// Features are standardised internally. Training uses MSE loss, the
+/// [`Adam`] optimiser with gradient clipping, and early stopping on the
+/// validation dataset when one is supplied (matching §V-A of the paper).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    params: MlpParams,
+    /// Layer sizes including input and output: `[in, h1, ..., 1]`.
+    sizes: Vec<usize>,
+    /// Flat parameter buffer: per layer, weights (out*in) then biases (out).
+    theta: Vec<f64>,
+    scaler: Option<StandardScaler>,
+}
+
+impl Mlp {
+    /// Creates an untrained MLP.
+    pub fn new(params: MlpParams) -> Self {
+        Mlp { params, sizes: Vec::new(), theta: Vec::new(), scaler: None }
+    }
+
+    /// Total number of trainable parameters (0 before fit).
+    pub fn n_params(&self) -> usize {
+        self.theta.len()
+    }
+
+    fn layer_offsets(sizes: &[usize]) -> Vec<(usize, usize, usize)> {
+        // (weight_offset, bias_offset, next_offset) per layer
+        let mut offs = Vec::new();
+        let mut cur = 0;
+        for l in 0..sizes.len() - 1 {
+            let w = sizes[l + 1] * sizes[l];
+            let b = sizes[l + 1];
+            offs.push((cur, cur + w, cur + w + b));
+            cur += w + b;
+        }
+        offs
+    }
+
+    fn init(&mut self, n_features: usize, rng: &mut impl Rng) {
+        let mut sizes = vec![n_features];
+        sizes.extend_from_slice(&self.params.hidden);
+        sizes.push(1);
+        let offs = Self::layer_offsets(&sizes);
+        let total = offs.last().map_or(0, |o| o.2);
+        let mut theta = vec![0.0; total];
+        for (l, &(w_off, b_off, _)) in offs.iter().enumerate() {
+            // He initialisation for ReLU layers.
+            let scale = (2.0 / sizes[l] as f64).sqrt();
+            for w in &mut theta[w_off..b_off] {
+                *w = (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+            }
+        }
+        self.sizes = sizes;
+        self.theta = theta;
+    }
+
+    /// Forward pass storing per-layer activations; returns activations
+    /// (`acts[0]` is the input, `acts.last()` the scalar output).
+    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let offs = Self::layer_offsets(&self.sizes);
+        let n_layers = self.sizes.len() - 1;
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(n_layers + 1);
+        acts.push(x.to_vec());
+        for (l, &(w_off, b_off, _)) in offs.iter().enumerate() {
+            let n_in = self.sizes[l];
+            let n_out = self.sizes[l + 1];
+            let prev = &acts[l];
+            let mut out = vec![0.0; n_out];
+            for (o, out_v) in out.iter_mut().enumerate() {
+                let row = &self.theta[w_off + o * n_in..w_off + (o + 1) * n_in];
+                let mut s = self.theta[b_off + o];
+                for (w, a) in row.iter().zip(prev) {
+                    s += w * a;
+                }
+                *out_v = if l + 1 < n_layers { s.max(0.0) } else { s };
+            }
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Accumulates gradients for one sample into `grad`; returns squared
+    /// error.
+    fn backward(&self, acts: &[Vec<f64>], target: f64, grad: &mut [f64]) -> f64 {
+        let offs = Self::layer_offsets(&self.sizes);
+        let n_layers = self.sizes.len() - 1;
+        let out = acts[n_layers][0];
+        let err = out - target;
+        // dL/dout for MSE (factor 2 folded into lr choice; use 2*err for
+        // textbook MSE derivative).
+        let mut delta = vec![2.0 * err];
+        for l in (0..n_layers).rev() {
+            let (w_off, b_off, _) = offs[l];
+            let n_in = self.sizes[l];
+            let n_out = self.sizes[l + 1];
+            let prev = &acts[l];
+            let mut next_delta = vec![0.0; n_in];
+            for o in 0..n_out {
+                let d = delta[o];
+                if d == 0.0 {
+                    continue;
+                }
+                grad[b_off + o] += d;
+                let w_row = w_off + o * n_in;
+                for i in 0..n_in {
+                    grad[w_row + i] += d * prev[i];
+                    next_delta[i] += d * self.theta[w_row + i];
+                }
+            }
+            if l > 0 {
+                // ReLU derivative on the previous layer's activations.
+                for (nd, a) in next_delta.iter_mut().zip(prev) {
+                    if *a <= 0.0 {
+                        *nd = 0.0;
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        err * err
+    }
+
+    fn eval(&self, data: &Dataset) -> f64 {
+        let preds: Vec<f64> = (0..data.len())
+            .map(|i| self.forward(data.sample(i).0).last().unwrap()[0])
+            .collect();
+        mse(&preds, data.y())
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, train: &Dataset, val: Option<&Dataset>) {
+        assert!(!train.is_empty(), "cannot fit MLP on an empty dataset");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.seed);
+        let scaler = StandardScaler::fit(train.x());
+        let x = scaler.transform(train.x());
+        let train_scaled = Dataset::new(x, train.y().to_vec()).expect("shape preserved");
+        let val_scaled = val.map(|v| {
+            Dataset::new(scaler.transform(v.x()), v.y().to_vec()).expect("shape preserved")
+        });
+        self.init(train.n_features(), &mut rng);
+        self.scaler = None; // forward() during training uses pre-scaled data
+
+        let mut adam = Adam::new(self.theta.len(), self.params.lr, self.params.clip_norm);
+        let mut order: Vec<usize> = (0..train_scaled.len()).collect();
+        let mut best_theta = self.theta.clone();
+        let mut best_loss = f64::INFINITY;
+        let mut stale = 0usize;
+        let mut grad = vec![0.0; self.theta.len()];
+        for _epoch in 0..self.params.max_epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.params.batch_size.max(1)) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                for &i in chunk {
+                    let (row, y) = train_scaled.sample(i);
+                    let acts = self.forward(row);
+                    self.backward(&acts, y, &mut grad);
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                grad.iter_mut().for_each(|g| *g *= inv);
+                adam.step(&mut self.theta, &grad);
+            }
+            let monitored = val_scaled.as_ref().unwrap_or(&train_scaled);
+            let loss = self.eval(monitored);
+            if loss + 1e-12 < best_loss {
+                best_loss = loss;
+                best_theta.copy_from_slice(&self.theta);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.params.patience {
+                    break;
+                }
+            }
+        }
+        self.theta = best_theta;
+        self.scaler = Some(scaler);
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("Mlp::predict_row called before fit");
+        let z = scaler.transform_row(x);
+        self.forward(&z).last().expect("network has layers")[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nonlinear_data(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * 4.0 - 2.0;
+                vec![t, t * t]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[1] * 0.5 + r[0]).collect();
+        Dataset::from_rows(&rows, &y).unwrap()
+    }
+
+    #[test]
+    fn learns_smooth_function() {
+        let data = nonlinear_data(120);
+        let mut m = Mlp::new(MlpParams {
+            hidden: vec![32],
+            max_epochs: 300,
+            clip_norm: None,
+            lr: 3e-3,
+            ..MlpParams::default()
+        });
+        m.fit(&data, None);
+        let preds = m.predict(data.x());
+        let err = mse(&preds, data.y());
+        assert!(err < 0.1, "mse {err}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let data = nonlinear_data(60);
+        let (train, val) = data.split(0.25, 3);
+        let mut m = Mlp::new(MlpParams {
+            hidden: vec![16],
+            max_epochs: 150,
+            patience: 10,
+            clip_norm: None,
+            lr: 3e-3,
+            ..MlpParams::default()
+        });
+        m.fit(&train, Some(&val));
+        // Validation error should be finite and reasonable after restore.
+        let preds = m.predict(val.x());
+        assert!(mse(&preds, val.y()).is_finite());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = nonlinear_data(60);
+        let params = MlpParams { hidden: vec![8], max_epochs: 30, ..MlpParams::default() };
+        let mut a = Mlp::new(params.clone());
+        let mut b = Mlp::new(params);
+        a.fit(&data, None);
+        b.fit(&data, None);
+        assert_eq!(a.predict_row(data.sample(0).0), b.predict_row(data.sample(0).0));
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let data = nonlinear_data(20);
+        let mut m = Mlp::new(MlpParams {
+            hidden: vec![5],
+            max_epochs: 1,
+            ..MlpParams::default()
+        });
+        m.fit(&data, None);
+        // 2 inputs -> 5 hidden -> 1 output: (2*5 + 5) + (5*1 + 1) = 21.
+        assert_eq!(m.n_params(), 21);
+    }
+}

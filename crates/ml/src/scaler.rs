@@ -1,0 +1,126 @@
+//! Z-score feature standardisation.
+
+use crate::matrix::Matrix;
+
+/// Per-feature z-score scaler (`(x - mean) / std`).
+///
+/// Features with zero variance are passed through centred only, so constant
+/// columns (e.g. microarchitecture design parameters that do not vary within
+/// a training set) do not produce NaNs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Learns means and standard deviations from the rows of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a scaler on an empty matrix");
+        let n = x.rows() as f64;
+        let mut means = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for (m, v) in means.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for ((var, v), m) in vars.iter_mut().zip(x.row(r)).zip(&means) {
+                let d = v - m;
+                *var += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Transforms a matrix into standardised space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted feature count.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            self.transform_row_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Standardises one feature row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn transform_row_in_place(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "feature count mismatch");
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Standardises one feature row into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.transform_row_in_place(&mut out);
+        out
+    }
+
+    /// Fitted per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-feature standard deviations (1.0 for constant features).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_to_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]]).unwrap();
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        let mean0: f64 = t.column(0).iter().sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        // Constant column survives without NaN.
+        assert!(t.column(1).iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn row_and_matrix_transforms_agree() {
+        let x = Matrix::from_rows(&[vec![2.0, -1.0], vec![4.0, 3.0]]).unwrap();
+        let scaler = StandardScaler::fit(&x);
+        let m = scaler.transform(&x);
+        let r = scaler.transform_row(x.row(1));
+        assert_eq!(m.row(1), r.as_slice());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the ML foundations.
+
+use perfbug_ml::metrics::{mae, mse, pearson, roc_auc, roc_curve};
+use perfbug_ml::{Dataset, Gbt, GbtParams, Lasso, LassoParams, Matrix, Regressor, StandardScaler};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn pearson_is_bounded(a in finite_vec(20), b in finite_vec(20)) {
+        let r = pearson(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn pearson_is_symmetric(a in finite_vec(12), b in finite_vec(12)) {
+        prop_assert!((pearson(&a, &b) - pearson(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_scale_invariant(a in finite_vec(12), b in finite_vec(12), k in 0.1..10.0f64) {
+        let scaled: Vec<f64> = b.iter().map(|v| v * k + 3.0).collect();
+        prop_assert!((pearson(&a, &b) - pearson(&a, &scaled)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_mae_nonnegative_and_zero_on_self(a in finite_vec(10)) {
+        prop_assert!(mse(&a, &a).abs() < 1e-12);
+        prop_assert!(mae(&a, &a).abs() < 1e-12);
+        let shifted: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        prop_assert!(mse(&a, &shifted) > 0.0);
+        prop_assert!(mae(&a, &shifted) > 0.0);
+    }
+
+    #[test]
+    fn auc_within_bounds(scores in finite_vec(16), flips in prop::collection::vec(any::<bool>(), 16)) {
+        let auc = roc_auc(&scores, &flips);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_complement_symmetry(scores in finite_vec(16), flips in prop::collection::vec(any::<bool>(), 16)) {
+        // Negating scores must mirror the AUC around 0.5.
+        let pos = flips.iter().filter(|&&f| f).count();
+        prop_assume!(pos > 0 && pos < flips.len());
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let a = roc_auc(&scores, &flips);
+        let b = roc_auc(&neg, &flips);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roc_curve_is_monotone(scores in finite_vec(16), flips in prop::collection::vec(any::<bool>(), 16)) {
+        let curve = roc_curve(&scores, &flips);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_rows_have_unit_stats(rows in prop::collection::vec(finite_vec(4), 3..20)) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let scaler = StandardScaler::fit(&m);
+        let t = scaler.transform(&m);
+        for c in 0..t.cols() {
+            let col = t.column(c);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn gbt_training_reduces_loss(seed in 0u64..1000) {
+        // Random-but-learnable target: piecewise function of one feature.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![((i as u64 * 37 + seed) % 101) as f64 / 10.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| if r[0] > 5.0 { 2.0 } else { -1.0 }).collect();
+        let data = Dataset::from_rows(&rows, &y).unwrap();
+        let mut model = Gbt::new(GbtParams { n_trees: 30, ..GbtParams::default() });
+        model.fit(&data, None);
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let base_mse = mse(&vec![base; y.len()], &y);
+        let model_mse = mse(&model.predict(data.x()), &y);
+        prop_assert!(model_mse <= base_mse + 1e-9);
+    }
+
+    #[test]
+    fn lasso_never_worse_than_mean_on_train(seed in 0u64..200) {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![((i as u64 * 13 + seed) % 17) as f64, ((i as u64 * 7) % 5) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 0.5 - r[1]).collect();
+        let data = Dataset::from_rows(&rows, &y).unwrap();
+        let mut model = Lasso::new(LassoParams { alpha: 0.01, ..LassoParams::default() });
+        model.fit(&data, None);
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let base_mse = mse(&vec![base; y.len()], &y);
+        let model_mse = mse(&model.predict(data.x()), &y);
+        prop_assert!(model_mse <= base_mse + 1e-9);
+    }
+
+    #[test]
+    fn dataset_split_partitions(frac in 0.1..0.9f64, seed in any::<u64>()) {
+        let rows: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let d = Dataset::from_rows(&rows, &y).unwrap();
+        let (train, val) = d.split(frac, seed);
+        prop_assert_eq!(train.len() + val.len(), d.len());
+        // Every original target appears exactly once across the split.
+        let mut all: Vec<f64> = train.y().iter().chain(val.y()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        prop_assert_eq!(all, expect);
+    }
+}

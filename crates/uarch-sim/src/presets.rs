@@ -1,0 +1,561 @@
+//! The twenty microarchitecture presets of Tables II and III.
+//!
+//! Eight real designs (Intel Broadwell, Cedarview, Ivybridge, Skylake,
+//! Silvermont; AMD Jaguar, K8, K10) and twelve artificial ones with
+//! realistic settings, partitioned into the paper's four disjoint sets:
+//! Set I trains stage-1 models, Set II validates them and labels stage 2,
+//! Set III adds stage-2 labels, Set IV (all real) is held out for testing.
+
+use perfbug_workloads::FuClass;
+
+use crate::config::{ArchSet, CacheConfig, FuLatency, MicroarchConfig};
+
+fn skylake_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![IntAlu, Vector, FpUnit, IntMult, Divider, Branch],
+        vec![IntAlu, Vector, FpMult, FpUnit, IntMult],
+        vec![Load],
+        vec![Load],
+        vec![Store],
+        vec![IntAlu, Vector],
+        vec![IntAlu, Branch],
+    ]
+}
+
+fn broadwell_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![IntAlu, FpMult, FpUnit, Vector, IntMult, Divider, Branch],
+        vec![IntAlu, Vector, FpMult, IntMult],
+        vec![Load],
+        vec![Load],
+        vec![Store],
+        vec![IntAlu, Vector],
+        vec![IntAlu, Branch],
+    ]
+}
+
+fn cedarview_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![IntAlu, Load, Store, Vector, IntMult, Divider],
+        vec![IntAlu, Vector, FpUnit, Branch],
+        vec![Load],
+        vec![Store],
+    ]
+}
+
+fn jaguar_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![IntAlu, Vector],
+        vec![IntAlu, Vector],
+        vec![FpUnit, IntMult],
+        vec![FpMult, Divider],
+        vec![Load],
+        vec![Store],
+    ]
+}
+
+fn silvermont_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![Load, Store],
+        vec![IntAlu, IntMult],
+        vec![IntAlu, Branch],
+        vec![FpMult, Divider],
+        vec![FpUnit],
+    ]
+}
+
+fn ivybridge_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![IntAlu, Vector, FpMult, Divider],
+        vec![IntAlu, Vector, IntMult, FpUnit],
+        vec![Load],
+        vec![Load],
+        vec![Store],
+        vec![IntAlu, Vector, Branch, FpUnit],
+    ]
+}
+
+fn k8_ports() -> Vec<Vec<FuClass>> {
+    use FuClass::*;
+    vec![
+        vec![IntAlu, Vector, IntMult],
+        vec![IntAlu, Vector],
+        vec![IntAlu, Vector],
+        vec![Load],
+        vec![Store],
+        vec![FpUnit],
+        vec![FpUnit],
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn arch(
+    name: &str,
+    set: ArchSet,
+    real: bool,
+    clock_ghz: f64,
+    width: u32,
+    rob_size: u32,
+    l1: CacheConfig,
+    l2: CacheConfig,
+    l3: Option<CacheConfig>,
+    fu: FuLatency,
+    ports: Vec<Vec<FuClass>>,
+) -> MicroarchConfig {
+    let cfg = MicroarchConfig {
+        name: name.to_string(),
+        set,
+        real,
+        clock_ghz,
+        width,
+        rob_size,
+        iq_size: (rob_size / 2).clamp(16, 64),
+        lq_size: (rob_size / 2).clamp(12, 72),
+        sq_size: (rob_size / 3).clamp(8, 56),
+        phys_regs: rob_size + 48,
+        l1i: l1,
+        l1d: l1,
+        l2,
+        l3,
+        mem_latency_ns: 80.0,
+        fu,
+        ports,
+        bp_table_bits: 12,
+        btb_entries: 4096,
+        mispredict_penalty: 8,
+    };
+    cfg.validate();
+    cfg
+}
+
+/// Intel Broadwell (Set I).
+pub fn broadwell() -> MicroarchConfig {
+    arch(
+        "Broadwell",
+        ArchSet::I,
+        true,
+        4.0,
+        4,
+        192,
+        CacheConfig::kib(32, 8, 4),
+        CacheConfig::kib(256, 8, 12),
+        Some(CacheConfig::mib(64, 16, 59)),
+        FuLatency { fp: 5, mul: 3, div: 20 },
+        broadwell_ports(),
+    )
+}
+
+/// Intel Cedarview-like superscalar with out-of-order completion (Set I).
+pub fn cedarview() -> MicroarchConfig {
+    arch(
+        "Cedarview",
+        ArchSet::I,
+        true,
+        1.8,
+        2,
+        32,
+        CacheConfig::kib(32, 8, 3),
+        CacheConfig::kib(512, 8, 15),
+        None,
+        FuLatency { fp: 5, mul: 4, div: 30 },
+        cedarview_ports(),
+    )
+}
+
+/// AMD Jaguar (Set I).
+pub fn jaguar() -> MicroarchConfig {
+    arch(
+        "Jaguar",
+        ArchSet::I,
+        true,
+        1.8,
+        2,
+        56,
+        CacheConfig::kib(32, 8, 3),
+        CacheConfig::mib(2, 16, 26),
+        None,
+        FuLatency { fp: 4, mul: 3, div: 20 },
+        jaguar_ports(),
+    )
+}
+
+/// Artificial 2 (Set I).
+pub fn artificial2() -> MicroarchConfig {
+    arch(
+        "Artificial 2",
+        ArchSet::I,
+        false,
+        4.0,
+        8,
+        168,
+        CacheConfig::kib(32, 2, 5),
+        CacheConfig::kib(256, 8, 16),
+        None,
+        FuLatency { fp: 4, mul: 4, div: 20 },
+        skylake_ports(),
+    )
+}
+
+/// Artificial 3 (Set I).
+pub fn artificial3() -> MicroarchConfig {
+    arch(
+        "Artificial 3",
+        ArchSet::I,
+        false,
+        3.0,
+        8,
+        32,
+        CacheConfig::kib(32, 2, 3),
+        CacheConfig::kib(512, 16, 24),
+        Some(CacheConfig::mib(8, 32, 52)),
+        FuLatency { fp: 4, mul: 4, div: 20 },
+        skylake_ports(),
+    )
+}
+
+/// Artificial 4 (Set I).
+pub fn artificial4() -> MicroarchConfig {
+    arch(
+        "Artificial 4",
+        ArchSet::I,
+        false,
+        4.0,
+        2,
+        192,
+        CacheConfig::kib(64, 8, 3),
+        CacheConfig::mib(1, 8, 20),
+        Some(CacheConfig::mib(32, 16, 28)),
+        FuLatency { fp: 5, mul: 3, div: 20 },
+        broadwell_ports(),
+    )
+}
+
+/// Artificial 6 (Set I).
+pub fn artificial6() -> MicroarchConfig {
+    arch(
+        "Artificial 6",
+        ArchSet::I,
+        false,
+        3.5,
+        4,
+        192,
+        CacheConfig::kib(64, 8, 4),
+        CacheConfig::mib(1, 8, 16),
+        Some(CacheConfig::mib(8, 32, 36)),
+        FuLatency { fp: 4, mul: 4, div: 20 },
+        skylake_ports(),
+    )
+}
+
+/// Artificial 7 (Set I).
+pub fn artificial7() -> MicroarchConfig {
+    arch(
+        "Artificial 7",
+        ArchSet::I,
+        false,
+        3.0,
+        4,
+        32,
+        CacheConfig::kib(16, 8, 3),
+        CacheConfig::kib(512, 16, 12),
+        Some(CacheConfig::mib(32, 32, 28)),
+        FuLatency { fp: 2, mul: 7, div: 69 },
+        silvermont_ports(),
+    )
+}
+
+/// Artificial 10 (Set I).
+pub fn artificial10() -> MicroarchConfig {
+    arch(
+        "Artificial 10",
+        ArchSet::I,
+        false,
+        1.5,
+        8,
+        32,
+        CacheConfig::kib(32, 2, 2),
+        CacheConfig::kib(256, 16, 24),
+        Some(CacheConfig::mib(64, 32, 36)),
+        FuLatency { fp: 5, mul: 4, div: 30 },
+        cedarview_ports(),
+    )
+}
+
+/// Artificial 11 (Set I).
+pub fn artificial11() -> MicroarchConfig {
+    arch(
+        "Artificial 11",
+        ArchSet::I,
+        false,
+        3.5,
+        4,
+        32,
+        CacheConfig::kib(64, 4, 5),
+        CacheConfig::kib(256, 4, 24),
+        None,
+        FuLatency { fp: 5, mul: 4, div: 30 },
+        cedarview_ports(),
+    )
+}
+
+/// Intel Ivybridge (Set II).
+pub fn ivybridge() -> MicroarchConfig {
+    arch(
+        "Ivybridge",
+        ArchSet::II,
+        true,
+        3.4,
+        4,
+        168,
+        CacheConfig::kib(32, 8, 4),
+        CacheConfig::kib(256, 8, 11),
+        Some(CacheConfig::mib(16, 16, 28)),
+        FuLatency { fp: 5, mul: 3, div: 20 },
+        ivybridge_ports(),
+    )
+}
+
+/// Artificial 0 (Set II).
+pub fn artificial0() -> MicroarchConfig {
+    arch(
+        "Artificial 0",
+        ArchSet::II,
+        false,
+        2.5,
+        4,
+        192,
+        CacheConfig::kib(64, 2, 4),
+        CacheConfig::kib(512, 4, 12),
+        None,
+        FuLatency { fp: 5, mul: 3, div: 20 },
+        broadwell_ports(),
+    )
+}
+
+/// Artificial 9 (Set II).
+pub fn artificial9() -> MicroarchConfig {
+    arch(
+        "Artificial 9",
+        ArchSet::II,
+        false,
+        3.5,
+        8,
+        192,
+        CacheConfig::kib(16, 4, 5),
+        CacheConfig::mib(1, 4, 20),
+        Some(CacheConfig::mib(64, 16, 44)),
+        FuLatency { fp: 4, mul: 3, div: 11 },
+        k8_ports(),
+    )
+}
+
+/// Artificial 1 (Set III).
+pub fn artificial1() -> MicroarchConfig {
+    arch(
+        "Artificial 1",
+        ArchSet::III,
+        false,
+        1.5,
+        4,
+        192,
+        CacheConfig::kib(64, 8, 5),
+        CacheConfig::mib(2, 8, 16),
+        None,
+        FuLatency { fp: 4, mul: 3, div: 11 },
+        k8_ports(),
+    )
+}
+
+/// Artificial 5 (Set III).
+pub fn artificial5() -> MicroarchConfig {
+    arch(
+        "Artificial 5",
+        ArchSet::III,
+        false,
+        3.5,
+        2,
+        32,
+        CacheConfig::kib(32, 4, 5),
+        CacheConfig::kib(256, 4, 16),
+        Some(CacheConfig::mib(8, 32, 44)),
+        FuLatency { fp: 4, mul: 3, div: 11 },
+        k8_ports(),
+    )
+}
+
+/// Artificial 8 (Set III).
+pub fn artificial8() -> MicroarchConfig {
+    arch(
+        "Artificial 8",
+        ArchSet::III,
+        false,
+        3.0,
+        2,
+        192,
+        CacheConfig::kib(32, 2, 2),
+        CacheConfig::mib(1, 16, 16),
+        Some(CacheConfig::mib(32, 32, 52)),
+        FuLatency { fp: 4, mul: 3, div: 11 },
+        k8_ports(),
+    )
+}
+
+/// AMD K8 (Set IV).
+pub fn k8() -> MicroarchConfig {
+    arch(
+        "K8",
+        ArchSet::IV,
+        true,
+        2.0,
+        3,
+        24,
+        CacheConfig::kib(64, 2, 4),
+        CacheConfig::kib(512, 16, 12),
+        None,
+        FuLatency { fp: 4, mul: 3, div: 11 },
+        k8_ports(),
+    )
+}
+
+/// AMD K10 (Set IV).
+pub fn k10() -> MicroarchConfig {
+    arch(
+        "K10",
+        ArchSet::IV,
+        true,
+        2.8,
+        3,
+        24,
+        CacheConfig::kib(64, 2, 4),
+        CacheConfig::kib(512, 16, 12),
+        Some(CacheConfig::mib(6, 16, 40)),
+        FuLatency { fp: 4, mul: 3, div: 11 },
+        k8_ports(),
+    )
+}
+
+/// Intel Silvermont (Set IV).
+pub fn silvermont() -> MicroarchConfig {
+    arch(
+        "Silvermont",
+        ArchSet::IV,
+        true,
+        2.2,
+        2,
+        32,
+        CacheConfig::kib(32, 8, 3),
+        CacheConfig::mib(1, 16, 14),
+        None,
+        FuLatency { fp: 2, mul: 7, div: 69 },
+        silvermont_ports(),
+    )
+}
+
+/// Intel Skylake (Set IV).
+pub fn skylake() -> MicroarchConfig {
+    arch(
+        "Skylake",
+        ArchSet::IV,
+        true,
+        4.0,
+        4,
+        256,
+        CacheConfig::kib(32, 8, 4),
+        CacheConfig::kib(256, 4, 12),
+        Some(CacheConfig::mib(8, 16, 34)),
+        FuLatency { fp: 4, mul: 4, div: 20 },
+        skylake_ports(),
+    )
+}
+
+/// All twenty designs of Table II, in table order.
+pub fn all() -> Vec<MicroarchConfig> {
+    vec![
+        broadwell(),
+        cedarview(),
+        jaguar(),
+        artificial2(),
+        artificial3(),
+        artificial4(),
+        artificial6(),
+        artificial7(),
+        artificial10(),
+        artificial11(),
+        ivybridge(),
+        artificial0(),
+        artificial9(),
+        artificial1(),
+        artificial5(),
+        artificial8(),
+        k8(),
+        k10(),
+        silvermont(),
+        skylake(),
+    ]
+}
+
+/// Designs belonging to one experiment set.
+pub fn by_set(set: ArchSet) -> Vec<MicroarchConfig> {
+    all().into_iter().filter(|a| a.set == set).collect()
+}
+
+/// Looks up a design by name.
+pub fn by_name(name: &str) -> Option<MicroarchConfig> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_designs_partitioned() {
+        let all = all();
+        assert_eq!(all.len(), 20);
+        assert_eq!(by_set(ArchSet::I).len(), 10);
+        assert_eq!(by_set(ArchSet::II).len(), 3);
+        assert_eq!(by_set(ArchSet::III).len(), 3);
+        assert_eq!(by_set(ArchSet::IV).len(), 4);
+        // Every design validates (constructor already checks, but be sure).
+        for a in &all {
+            a.validate();
+        }
+    }
+
+    #[test]
+    fn set_four_is_all_real() {
+        assert!(by_set(ArchSet::IV).iter().all(|a| a.real));
+    }
+
+    #[test]
+    fn eight_real_designs() {
+        assert_eq!(all().iter().filter(|a| a.real).count(), 8);
+    }
+
+    #[test]
+    fn table_two_spot_checks() {
+        let sky = skylake();
+        assert_eq!(sky.rob_size, 256);
+        assert_eq!(sky.width, 4);
+        assert_eq!(sky.l2.size, 256 * 1024);
+        assert_eq!(sky.l2.assoc, 4);
+        let k8 = k8();
+        assert_eq!(k8.rob_size, 24);
+        assert!(k8.l3.is_none());
+        let a7 = artificial7();
+        assert_eq!(a7.fu.div, 69);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Ivybridge").is_some());
+        assert!(by_name("Artificial 9").is_some());
+        assert!(by_name("Pentium 4").is_none());
+    }
+}

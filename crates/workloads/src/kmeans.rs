@@ -1,0 +1,194 @@
+//! K-means clustering with k-means++ seeding (Lloyd's algorithm).
+//!
+//! Used by the SimPoint extraction step to group basic-block vectors into
+//! phases. Deterministic for a given seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED_SALT: u64 = 0x6b6d_6561_6e73; // "kmeans"
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on `points`.
+///
+/// `k` is clamped to the number of points. Initialisation is k-means++;
+/// iteration stops when assignments are stable or `max_iter` is reached.
+/// Empty clusters are re-seeded with the point farthest from its current
+/// centroid.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k` is zero, or points have inconsistent
+/// dimensions.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmeans {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(k > 0, "k must be positive");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+    let k = k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(seed ^ SEED_SALT);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 1e-18 {
+            // All points coincide with a centroid; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if pick < d {
+                    chosen = i;
+                    break;
+                }
+                pick -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..max_iter {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update step: recompute means; re-seed empty clusters with the
+        // point currently farthest from its assigned centroid.
+        let mut counts = vec![0usize; centroids.len()];
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, v) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let farthest = || -> usize {
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, sq_dist(p, &centroids[assignments[i]])))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .expect("points nonempty")
+        };
+        let mut new_centroids = Vec::with_capacity(centroids.len());
+        for (c, sum) in sums.iter().enumerate() {
+            if counts[c] == 0 {
+                new_centroids.push(points[farthest()].clone());
+            } else {
+                new_centroids.push(sum.iter().map(|s| s / counts[c] as f64).collect());
+            }
+        }
+        centroids = new_centroids;
+    }
+
+    let inertia =
+        points.iter().zip(&assignments).map(|(p, &a)| sq_dist(p, &centroids[a])).sum();
+    Kmeans { assignments, centroids, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            pts.push(vec![5.0 + (i as f64) * 0.01, 5.0]);
+            pts.push(vec![-5.0, 5.0 + (i as f64) * 0.01]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let pts = blobs();
+        let result = kmeans(&pts, 3, 1, 100);
+        // Points of the same blob share a cluster.
+        for chunk in 0..3 {
+            let first = result.assignments[chunk];
+            for i in 0..10 {
+                assert_eq!(result.assignments[chunk + 3 * i], first);
+            }
+        }
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, 3, 9, 100);
+        let b = kmeans(&pts, 3, 9, 100);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let result = kmeans(&pts, 10, 0, 10);
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let pts = blobs();
+        let result = kmeans(&pts, 3, 4, 100);
+        for (p, &a) in pts.iter().zip(&result.assignments) {
+            let my_d = sq_dist(p, &result.centroids[a]);
+            for c in &result.centroids {
+                assert!(my_d <= sq_dist(p, c) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_points_do_not_hang() {
+        let pts = vec![vec![1.0, 1.0]; 8];
+        let result = kmeans(&pts, 3, 2, 50);
+        assert_eq!(result.assignments.len(), 8);
+        assert!(result.inertia < 1e-12);
+    }
+}

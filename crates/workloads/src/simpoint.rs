@@ -1,0 +1,241 @@
+//! SimPoint extraction: clustering intervals into representative probes.
+//!
+//! The paper's key probe-design idea (§III-B1) is to use SimPoints not for
+//! performance *estimation* but as an automatic source of short,
+//! orthogonal, performance-relevant microbenchmarks. This module performs
+//! the SimPoint pipeline — interval BBV profiling, random projection,
+//! k-means — and emits one [`SimPoint`] per cluster: the interval nearest
+//! the centroid plus its weight.
+
+use crate::bbv::{profile, random_project};
+use crate::isa::Inst;
+use crate::kmeans::kmeans;
+use crate::program::Program;
+
+/// Dimension SimPoint 3.0 projects BBVs to before clustering.
+pub const PROJECTED_DIM: usize = 15;
+
+/// A selected representative interval of a program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Index of the representative interval within the profiled window.
+    pub interval: usize,
+    /// Cluster this interval represents.
+    pub cluster: usize,
+    /// Fraction of all intervals belonging to this cluster.
+    pub weight: f64,
+}
+
+/// Parameters of a SimPoint extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimPointConfig {
+    /// Instructions per interval.
+    pub interval_len: usize,
+    /// Number of intervals profiled from the start of the trace.
+    pub n_intervals: usize,
+    /// Number of clusters (the paper fixes per-benchmark counts, Table I).
+    pub k: usize,
+    /// Clustering seed.
+    pub seed: u64,
+}
+
+/// Extracts SimPoints from a program.
+///
+/// Returns one entry per non-empty cluster, sorted by interval index.
+/// Weights sum to 1 over the returned set.
+///
+/// # Panics
+///
+/// Panics if any configuration field is zero.
+pub fn extract_simpoints(program: &Program, config: &SimPointConfig) -> Vec<SimPoint> {
+    assert!(config.k > 0, "k must be positive");
+    let bbvs = profile(program, config.interval_len, config.n_intervals);
+    let projected = random_project(&bbvs, PROJECTED_DIM, config.seed);
+    let result = kmeans(&projected, config.k, config.seed, 200);
+
+    let n_clusters = result.centroids.len();
+    let mut best: Vec<Option<(usize, f64)>> = vec![None; n_clusters];
+    let mut sizes = vec![0usize; n_clusters];
+    for (i, (point, &cluster)) in projected.iter().zip(&result.assignments).enumerate() {
+        sizes[cluster] += 1;
+        let d: f64 = point
+            .iter()
+            .zip(&result.centroids[cluster])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        if best[cluster].map_or(true, |(_, bd)| d < bd) {
+            best[cluster] = Some((i, d));
+        }
+    }
+    let total = result.assignments.len() as f64;
+    let mut points: Vec<SimPoint> = best
+        .iter()
+        .enumerate()
+        .filter_map(|(c, slot)| {
+            slot.map(|(interval, _)| SimPoint {
+                interval,
+                cluster: c,
+                weight: sizes[c] as f64 / total,
+            })
+        })
+        .collect();
+    points.sort_by_key(|s| s.interval);
+    points
+}
+
+/// A performance probe: one benchmark SimPoint used as a microbenchmark.
+///
+/// The probe records *where* its trace lives; the trace itself is
+/// regenerated deterministically on demand with [`Probe::trace`] so that
+/// hundreds of probes do not need to be held in memory at once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Probe {
+    /// Benchmark (program) name this probe was extracted from.
+    pub benchmark: String,
+    /// SimPoint ordinal within the benchmark (0-based; the paper's
+    /// "SimPoint #12 of gcc" is `simpoint == 11` of `benchmark == "403.gcc"`).
+    pub simpoint: usize,
+    /// Interval index within the profiled window.
+    pub interval: usize,
+    /// Instructions per interval.
+    pub interval_len: usize,
+    /// SimPoint weight of this probe's cluster.
+    pub weight: f64,
+}
+
+impl Probe {
+    /// Human-readable probe identifier, e.g. `403.gcc#12`.
+    pub fn id(&self) -> String {
+        format!("{}#{}", self.benchmark, self.simpoint + 1)
+    }
+
+    /// Regenerates this probe's instruction trace from its program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not the benchmark this probe was extracted
+    /// from (checked by name).
+    pub fn trace(&self, program: &Program) -> Vec<Inst> {
+        assert_eq!(
+            program.name(),
+            self.benchmark,
+            "probe {} replayed on wrong program {}",
+            self.id(),
+            program.name()
+        );
+        let mut walker = program.walker();
+        walker.skip(self.interval as u64 * self.interval_len as u64);
+        walker.take_trace(self.interval_len)
+    }
+}
+
+/// Builds probes for every SimPoint of a program.
+pub fn extract_probes(program: &Program, config: &SimPointConfig) -> Vec<Probe> {
+    extract_simpoints(program, config)
+        .into_iter()
+        .enumerate()
+        .map(|(ordinal, sp)| Probe {
+            benchmark: program.name().to_string(),
+            simpoint: ordinal,
+            interval: sp.interval,
+            interval_len: config.interval_len,
+            weight: sp.weight,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{PhaseSpec, Program, Segment};
+    use crate::Opcode;
+
+    fn three_phase_program() -> Program {
+        let a = PhaseSpec { mix: vec![(Opcode::Add, 1.0)], ..PhaseSpec::default() };
+        let b = PhaseSpec { mix: vec![(Opcode::FpMul, 1.0)], ..PhaseSpec::default() };
+        let c = PhaseSpec {
+            mix: vec![(Opcode::Xor, 1.0)],
+            load_frac: 0.4,
+            ..PhaseSpec::default()
+        };
+        Program::build(
+            "three",
+            &[a, b, c],
+            vec![
+                Segment { phase: 0, insts: 3000 },
+                Segment { phase: 1, insts: 3000 },
+                Segment { phase: 2, insts: 3000 },
+                Segment { phase: 0, insts: 3000 },
+            ],
+            21,
+        )
+    }
+
+    fn config() -> SimPointConfig {
+        SimPointConfig { interval_len: 1000, n_intervals: 12, k: 3, seed: 5 }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let p = three_phase_program();
+        let sps = extract_simpoints(&p, &config());
+        assert!(!sps.is_empty());
+        let total: f64 = sps.iter().map(|s| s.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpoints_cover_distinct_phases() {
+        let p = three_phase_program();
+        let sps = extract_simpoints(&p, &config());
+        assert_eq!(sps.len(), 3);
+        // Representatives must come from different thirds of the schedule
+        // (phases are 3 intervals each).
+        let mut phase_of: Vec<usize> = sps.iter().map(|s| (s.interval / 3).min(3)).collect();
+        phase_of.sort_unstable();
+        phase_of.dedup();
+        assert!(phase_of.len() >= 2, "representatives collapsed: {sps:?}");
+    }
+
+    #[test]
+    fn probe_trace_matches_direct_walk() {
+        let p = three_phase_program();
+        let probes = extract_probes(&p, &config());
+        let probe = &probes[1];
+        let direct = {
+            let mut w = p.walker();
+            w.skip(probe.interval as u64 * 1000);
+            w.take_trace(1000)
+        };
+        assert_eq!(probe.trace(&p), direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong program")]
+    fn probe_rejects_wrong_program() {
+        let p = three_phase_program();
+        let probes = extract_probes(&p, &config());
+        let other = Program::build(
+            "other",
+            &[PhaseSpec::default()],
+            vec![Segment { phase: 0, insts: 100 }],
+            0,
+        );
+        probes[0].trace(&other);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let p = three_phase_program();
+        let a = extract_probes(&p, &config());
+        let b = extract_probes(&p, &config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_ids_are_one_based() {
+        let p = three_phase_program();
+        let probes = extract_probes(&p, &config());
+        assert_eq!(probes[0].id(), "three#1");
+    }
+}

@@ -1,0 +1,874 @@
+//! Synthetic stand-ins for the ten SPEC CPU2006 benchmarks of Table I.
+//!
+//! Each [`BenchmarkSpec`] lowers to a phase-structured [`Program`] whose
+//! instruction mix, branch behaviour, memory footprint and phase count are
+//! modelled on the corresponding SPEC application. The per-benchmark
+//! SimPoint counts (`k`) match Table I of the paper exactly — 190 probes in
+//! total across the suite.
+
+use crate::program::{MemStreamSpec, PhaseSpec, Program, Segment};
+use crate::simpoint::{extract_probes, Probe, SimPointConfig};
+use crate::Opcode;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Global workload scale knob.
+///
+/// The paper's SimPoints hold ~10 M instructions each; at reproduction
+/// scale an interval (= probe length) defaults to 20 k instructions. All
+/// pipeline stages (BBV profiling, probe extraction, simulation) consume
+/// this value so the scale can be raised uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadScale {
+    /// Instructions per SimPoint interval (= per probe).
+    pub interval_len: usize,
+}
+
+impl Default for WorkloadScale {
+    fn default() -> Self {
+        WorkloadScale { interval_len: 20_000 }
+    }
+}
+
+impl WorkloadScale {
+    /// A reduced scale for unit/integration tests.
+    pub fn tiny() -> Self {
+        WorkloadScale { interval_len: 3_000 }
+    }
+}
+
+// Stream shorthand helpers.
+fn small(stride: u32) -> MemStreamSpec {
+    MemStreamSpec { stride, working_set: 1 << 14 } // 16 KiB: L1-resident
+}
+fn medium(stride: u32) -> MemStreamSpec {
+    MemStreamSpec { stride, working_set: 1 << 18 } // 256 KiB: L2-resident
+}
+fn large(stride: u32) -> MemStreamSpec {
+    MemStreamSpec { stride, working_set: 1 << 23 } // 8 MiB: L3/memory
+}
+fn chasing(working_set: u32) -> MemStreamSpec {
+    MemStreamSpec { stride: 0, working_set } // random: pointer chasing
+}
+
+/// One benchmark of the synthetic suite.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// SPEC-style benchmark name (e.g. `403.gcc`).
+    pub name: &'static str,
+    /// Number of SimPoints to extract (Table I of the paper).
+    pub k: usize,
+    /// Benchmark generation seed.
+    pub seed: u64,
+    phases: Vec<PhaseSpec>,
+    /// Scheduling weight per phase (how often it recurs).
+    phase_weights: Vec<f64>,
+}
+
+impl BenchmarkSpec {
+    /// Number of intervals profiled for SimPoint extraction.
+    pub fn n_intervals(&self) -> usize {
+        (3 * self.k).max(48)
+    }
+
+    /// Lowers this benchmark into a concrete program at the given scale.
+    pub fn program(&self, scale: &WorkloadScale) -> Program {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x5c4e_d01e);
+        let total_weight: f64 = self.phase_weights.iter().sum();
+        let budget =
+            (self.n_intervals() as u64 + 8) * scale.interval_len as u64 * 5 / 4;
+        let mut schedule = Vec::new();
+        let mut emitted = 0u64;
+        // Guarantee every phase appears at least once early so clustering
+        // can see all behaviours, then draw by weight.
+        for phase in 0..self.phases.len() {
+            let insts = scale.interval_len as u64 * rng.gen_range(2..4);
+            schedule.push(Segment { phase, insts });
+            emitted += insts;
+        }
+        while emitted < budget {
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut phase = 0;
+            for (i, &w) in self.phase_weights.iter().enumerate() {
+                if pick < w {
+                    phase = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let insts = scale.interval_len as u64 * rng.gen_range(2..5);
+            schedule.push(Segment { phase, insts });
+            emitted += insts;
+        }
+        Program::build(self.name, &self.phases, schedule, self.seed)
+    }
+
+    /// SimPoint extraction parameters for this benchmark at `scale`.
+    pub fn simpoint_config(&self, scale: &WorkloadScale) -> SimPointConfig {
+        SimPointConfig {
+            interval_len: scale.interval_len,
+            n_intervals: self.n_intervals(),
+            k: self.k,
+            seed: self.seed,
+        }
+    }
+
+    /// Convenience: builds the program and extracts its probes.
+    pub fn probes(&self, scale: &WorkloadScale) -> Vec<Probe> {
+        let program = self.program(scale);
+        extract_probes(&program, &self.simpoint_config(scale))
+    }
+}
+
+/// The ten-benchmark suite of Table I (190 SimPoints in total).
+pub fn spec2006() -> Vec<BenchmarkSpec> {
+    vec![
+        perlbench(),
+        bzip2(),
+        gcc(),
+        mcf(),
+        milc(),
+        cactus_adm(),
+        namd(),
+        soplex(),
+        sjeng(),
+        libquantum(),
+    ]
+}
+
+/// Looks up one benchmark of the suite by name.
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    spec2006().into_iter().find(|b| b.name == name)
+}
+
+fn perlbench() -> BenchmarkSpec {
+    // Interpreter: indirect dispatch, chaotic branches, small blocks.
+    let dispatch = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Logic, 2.0), (Opcode::Sub, 1.5), (Opcode::Shift, 1.0)],
+        load_frac: 0.24,
+        store_frac: 0.10,
+        chaotic_branch_frac: 0.5,
+        indirect_frac: 0.25,
+        n_blocks: 14,
+        block_len: 7,
+        streams: vec![small(8), medium(16)],
+        dep_distance: 3,
+    };
+    let regex = PhaseSpec {
+        mix: vec![(Opcode::Logic, 2.5), (Opcode::Shift, 2.0), (Opcode::Add, 1.0), (Opcode::Xor, 0.5)],
+        load_frac: 0.28,
+        store_frac: 0.06,
+        chaotic_branch_frac: 0.6,
+        indirect_frac: 0.05,
+        n_blocks: 10,
+        block_len: 6,
+        streams: vec![small(1), small(4)],
+        dep_distance: 2,
+    };
+    let gc = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Sub, 1.0), (Opcode::Logic, 1.0)],
+        load_frac: 0.30,
+        store_frac: 0.16,
+        chaotic_branch_frac: 0.3,
+        indirect_frac: 0.1,
+        n_blocks: 8,
+        block_len: 9,
+        streams: vec![medium(24), chasing(1 << 20)],
+        dep_distance: 4,
+    };
+    let string_ops = PhaseSpec {
+        mix: vec![(Opcode::VecInt, 1.5), (Opcode::Add, 1.5), (Opcode::Logic, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.2,
+        chaotic_branch_frac: 0.15,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 12,
+        streams: vec![medium(8), medium(8)],
+        dep_distance: 6,
+    };
+    let numeric = PhaseSpec {
+        mix: vec![(Opcode::Mul, 1.0), (Opcode::Add, 2.0), (Opcode::Div, 0.2)],
+        load_frac: 0.18,
+        store_frac: 0.08,
+        chaotic_branch_frac: 0.2,
+        indirect_frac: 0.02,
+        n_blocks: 7,
+        block_len: 10,
+        streams: vec![small(8)],
+        dep_distance: 3,
+    };
+    BenchmarkSpec {
+        name: "400.perlbench",
+        k: 14,
+        seed: 400,
+        phases: vec![dispatch, regex, gc, string_ops, numeric],
+        phase_weights: vec![3.0, 2.0, 1.0, 1.5, 1.0],
+    }
+}
+
+fn bzip2() -> BenchmarkSpec {
+    // Compression: shift/logic loops, sorting with data-dependent branches.
+    let huffman = PhaseSpec {
+        mix: vec![(Opcode::Shift, 3.0), (Opcode::Logic, 2.0), (Opcode::Add, 1.5)],
+        load_frac: 0.2,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.35,
+        indirect_frac: 0.0,
+        n_blocks: 9,
+        block_len: 8,
+        streams: vec![small(1), medium(4)],
+        dep_distance: 2,
+    };
+    let sorting = PhaseSpec {
+        mix: vec![(Opcode::Sub, 2.5), (Opcode::Add, 1.5), (Opcode::Logic, 1.0)],
+        load_frac: 0.32,
+        store_frac: 0.14,
+        chaotic_branch_frac: 0.55,
+        indirect_frac: 0.0,
+        n_blocks: 11,
+        block_len: 7,
+        streams: vec![medium(4), chasing(1 << 19)],
+        dep_distance: 3,
+    };
+    let mtf = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Logic, 1.5), (Opcode::Xor, 0.8)],
+        load_frac: 0.35,
+        store_frac: 0.2,
+        chaotic_branch_frac: 0.25,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 10,
+        streams: vec![small(1), small(2)],
+        dep_distance: 2,
+    };
+    let rle = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Sub, 1.0), (Opcode::Shift, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.22,
+        chaotic_branch_frac: 0.1,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 14,
+        streams: vec![large(8)],
+        dep_distance: 5,
+    };
+    let crc = PhaseSpec {
+        mix: vec![(Opcode::Xor, 2.5), (Opcode::Shift, 2.0), (Opcode::Logic, 1.0)],
+        load_frac: 0.22,
+        store_frac: 0.05,
+        chaotic_branch_frac: 0.05,
+        indirect_frac: 0.0,
+        n_blocks: 4,
+        block_len: 12,
+        streams: vec![large(4)],
+        dep_distance: 1,
+    };
+    let bitstream = PhaseSpec {
+        mix: vec![(Opcode::Shift, 2.5), (Opcode::Logic, 2.0), (Opcode::Add, 1.0)],
+        load_frac: 0.15,
+        store_frac: 0.25,
+        chaotic_branch_frac: 0.2,
+        indirect_frac: 0.0,
+        n_blocks: 7,
+        block_len: 9,
+        streams: vec![medium(1)],
+        dep_distance: 2,
+    };
+    BenchmarkSpec {
+        name: "401.bzip2",
+        k: 23,
+        seed: 401,
+        phases: vec![huffman, sorting, mtf, rle, crc, bitstream],
+        phase_weights: vec![2.0, 3.0, 1.5, 1.0, 0.7, 1.5],
+    }
+}
+
+fn gcc() -> BenchmarkSpec {
+    // Compiler: branchy, big footprint, plus a rare XOR-rich phase that
+    // reproduces the paper's SimPoint-#12 visibility anecdote (Fig. 3).
+    let parse = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Sub, 1.5), (Opcode::Logic, 1.5)],
+        load_frac: 0.26,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.5,
+        indirect_frac: 0.12,
+        n_blocks: 16,
+        block_len: 6,
+        streams: vec![medium(16), chasing(1 << 21)],
+        dep_distance: 3,
+    };
+    let dataflow = PhaseSpec {
+        mix: vec![(Opcode::Logic, 2.5), (Opcode::Add, 1.5), (Opcode::Shift, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.35,
+        indirect_frac: 0.02,
+        n_blocks: 12,
+        block_len: 8,
+        streams: vec![medium(8), medium(32)],
+        dep_distance: 4,
+    };
+    let regalloc = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Sub, 2.0), (Opcode::Logic, 1.0)],
+        load_frac: 0.28,
+        store_frac: 0.15,
+        chaotic_branch_frac: 0.45,
+        indirect_frac: 0.05,
+        n_blocks: 10,
+        block_len: 7,
+        streams: vec![chasing(1 << 19), small(8)],
+        dep_distance: 3,
+    };
+    // The rare phase: bitmap-heavy liveness analysis — >2x the XOR density.
+    let bitmaps = PhaseSpec {
+        mix: vec![(Opcode::Xor, 3.0), (Opcode::Logic, 2.0), (Opcode::Shift, 1.0)],
+        load_frac: 0.25,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.1,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 11,
+        streams: vec![medium(8)],
+        dep_distance: 2,
+    };
+    let emit = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Shift, 1.0), (Opcode::Logic, 1.0)],
+        load_frac: 0.2,
+        store_frac: 0.25,
+        chaotic_branch_frac: 0.25,
+        indirect_frac: 0.08,
+        n_blocks: 9,
+        block_len: 8,
+        streams: vec![large(16)],
+        dep_distance: 4,
+    };
+    let macroexp = PhaseSpec {
+        mix: vec![(Opcode::Add, 1.5), (Opcode::Logic, 1.5), (Opcode::Sub, 1.0)],
+        load_frac: 0.33,
+        store_frac: 0.18,
+        chaotic_branch_frac: 0.4,
+        indirect_frac: 0.15,
+        n_blocks: 13,
+        block_len: 6,
+        streams: vec![chasing(1 << 20), small(4)],
+        dep_distance: 2,
+    };
+    BenchmarkSpec {
+        name: "403.gcc",
+        k: 18,
+        seed: 403,
+        phases: vec![parse, dataflow, regalloc, bitmaps, emit, macroexp],
+        phase_weights: vec![3.0, 2.0, 2.0, 0.5, 1.5, 1.5],
+    }
+}
+
+fn mcf() -> BenchmarkSpec {
+    // Network simplex: pointer chasing over a huge working set, low IPC.
+    let arcs = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Sub, 1.5), (Opcode::Mul, 0.3)],
+        load_frac: 0.42,
+        store_frac: 0.08,
+        chaotic_branch_frac: 0.5,
+        indirect_frac: 0.0,
+        n_blocks: 8,
+        block_len: 7,
+        streams: vec![chasing(1 << 25), chasing(1 << 23)],
+        dep_distance: 1,
+    };
+    let pricing = PhaseSpec {
+        mix: vec![(Opcode::Sub, 2.0), (Opcode::Add, 1.5), (Opcode::Logic, 0.5)],
+        load_frac: 0.45,
+        store_frac: 0.05,
+        chaotic_branch_frac: 0.6,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 8,
+        streams: vec![chasing(1 << 25)],
+        dep_distance: 1,
+    };
+    let flow_update = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Sub, 1.0)],
+        load_frac: 0.35,
+        store_frac: 0.2,
+        chaotic_branch_frac: 0.3,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 9,
+        streams: vec![chasing(1 << 24), medium(8)],
+        dep_distance: 2,
+    };
+    let tree = PhaseSpec {
+        mix: vec![(Opcode::Add, 1.5), (Opcode::Logic, 1.0), (Opcode::Sub, 1.0)],
+        load_frac: 0.4,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.45,
+        indirect_frac: 0.0,
+        n_blocks: 7,
+        block_len: 6,
+        streams: vec![chasing(1 << 22)],
+        dep_distance: 1,
+    };
+    BenchmarkSpec {
+        name: "426.mcf",
+        k: 15,
+        seed: 426,
+        phases: vec![arcs, pricing, flow_update, tree],
+        phase_weights: vec![3.0, 2.0, 1.5, 1.5],
+    }
+}
+
+fn milc() -> BenchmarkSpec {
+    // Lattice QCD: FP mul/add over streaming large arrays.
+    let su3_mult = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 3.0), (Opcode::FpAdd, 2.5), (Opcode::VecFp, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.02,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 16,
+        streams: vec![large(16), large(16), large(32)],
+        dep_distance: 6,
+    };
+    let gauge = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 2.5), (Opcode::FpMul, 2.0), (Opcode::Add, 0.5)],
+        load_frac: 0.33,
+        store_frac: 0.15,
+        chaotic_branch_frac: 0.05,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 14,
+        streams: vec![large(8), large(8)],
+        dep_distance: 4,
+    };
+    let cg_solver = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0), (Opcode::FpDiv, 0.15)],
+        load_frac: 0.35,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.08,
+        indirect_frac: 0.0,
+        n_blocks: 7,
+        block_len: 12,
+        streams: vec![large(8), medium(8)],
+        dep_distance: 3,
+    };
+    let scatter = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 1.5), (Opcode::Add, 1.5), (Opcode::FpMul, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.25,
+        chaotic_branch_frac: 0.1,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 10,
+        streams: vec![chasing(1 << 23), large(16)],
+        dep_distance: 3,
+    };
+    let int_setup = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Mul, 1.0), (Opcode::Shift, 0.8)],
+        load_frac: 0.25,
+        store_frac: 0.15,
+        chaotic_branch_frac: 0.15,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 9,
+        streams: vec![medium(8)],
+        dep_distance: 3,
+    };
+    BenchmarkSpec {
+        name: "433.milc",
+        k: 20,
+        seed: 433,
+        phases: vec![su3_mult, gauge, cg_solver, scatter, int_setup],
+        phase_weights: vec![3.0, 2.0, 2.5, 1.0, 0.8],
+    }
+}
+
+fn cactus_adm() -> BenchmarkSpec {
+    // Numerical relativity: long FP dependency chains, stencil walks.
+    let stencil = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 2.5), (Opcode::FpAdd, 2.5), (Opcode::FpDiv, 0.1)],
+        load_frac: 0.34,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.02,
+        indirect_frac: 0.0,
+        n_blocks: 4,
+        block_len: 24,
+        streams: vec![large(8), large(8), large(8)],
+        dep_distance: 1,
+    };
+    let rhs = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 2.0), (Opcode::FpMul, 2.0), (Opcode::VecFp, 0.8)],
+        load_frac: 0.3,
+        store_frac: 0.14,
+        chaotic_branch_frac: 0.03,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 20,
+        streams: vec![large(16), medium(8)],
+        dep_distance: 2,
+    };
+    let boundary = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 1.5), (Opcode::Add, 1.5), (Opcode::Sub, 1.0)],
+        load_frac: 0.28,
+        store_frac: 0.2,
+        chaotic_branch_frac: 0.25,
+        indirect_frac: 0.0,
+        n_blocks: 7,
+        block_len: 8,
+        streams: vec![medium(8), small(8)],
+        dep_distance: 3,
+    };
+    let reduction = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 3.0), (Opcode::FpMul, 0.5)],
+        load_frac: 0.4,
+        store_frac: 0.02,
+        chaotic_branch_frac: 0.02,
+        indirect_frac: 0.0,
+        n_blocks: 3,
+        block_len: 12,
+        streams: vec![large(8)],
+        dep_distance: 1,
+    };
+    BenchmarkSpec {
+        name: "436.cactusADM",
+        k: 16,
+        seed: 436,
+        phases: vec![stencil, rhs, boundary, reduction],
+        phase_weights: vec![3.5, 2.0, 1.0, 1.0],
+    }
+}
+
+fn namd() -> BenchmarkSpec {
+    // Molecular dynamics: high-ILP FP with good locality.
+    let pairlist = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0), (Opcode::Sub, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.08,
+        chaotic_branch_frac: 0.35,
+        indirect_frac: 0.0,
+        n_blocks: 8,
+        block_len: 10,
+        streams: vec![medium(16), medium(32)],
+        dep_distance: 6,
+    };
+    let force_short = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 3.0), (Opcode::FpAdd, 2.5), (Opcode::FpDiv, 0.2)],
+        load_frac: 0.28,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.1,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 18,
+        streams: vec![medium(8), small(8)],
+        dep_distance: 8,
+    };
+    let force_long = PhaseSpec {
+        mix: vec![(Opcode::VecFp, 2.0), (Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0)],
+        load_frac: 0.26,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.05,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 16,
+        streams: vec![large(16), medium(8)],
+        dep_distance: 7,
+    };
+    let integrate = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 2.5), (Opcode::FpMul, 1.5)],
+        load_frac: 0.3,
+        store_frac: 0.2,
+        chaotic_branch_frac: 0.03,
+        indirect_frac: 0.0,
+        n_blocks: 4,
+        block_len: 12,
+        streams: vec![medium(8)],
+        dep_distance: 5,
+    };
+    let exclusion = PhaseSpec {
+        mix: vec![(Opcode::Logic, 2.0), (Opcode::Add, 1.5), (Opcode::FpAdd, 1.0)],
+        load_frac: 0.32,
+        store_frac: 0.06,
+        chaotic_branch_frac: 0.4,
+        indirect_frac: 0.0,
+        n_blocks: 7,
+        block_len: 7,
+        streams: vec![small(4), medium(16)],
+        dep_distance: 3,
+    };
+    let cell_update = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 1.5), (Opcode::Add, 1.5), (Opcode::Mul, 0.5)],
+        load_frac: 0.28,
+        store_frac: 0.18,
+        chaotic_branch_frac: 0.15,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 9,
+        streams: vec![medium(24)],
+        dep_distance: 4,
+    };
+    BenchmarkSpec {
+        name: "444.namd",
+        k: 26,
+        seed: 444,
+        phases: vec![pairlist, force_short, force_long, integrate, exclusion, cell_update],
+        phase_weights: vec![1.5, 3.0, 2.5, 1.0, 1.0, 1.0],
+    }
+}
+
+fn soplex() -> BenchmarkSpec {
+    // Simplex LP solver: FP with divides, sparse-matrix gathers.
+    let factor = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 2.5), (Opcode::FpAdd, 2.0), (Opcode::FpDiv, 0.5)],
+        load_frac: 0.32,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.15,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 12,
+        streams: vec![chasing(1 << 22), medium(8)],
+        dep_distance: 2,
+    };
+    let pricing = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 2.0), (Opcode::Sub, 1.5), (Opcode::FpMul, 1.5)],
+        load_frac: 0.38,
+        store_frac: 0.05,
+        chaotic_branch_frac: 0.45,
+        indirect_frac: 0.0,
+        n_blocks: 8,
+        block_len: 8,
+        streams: vec![large(8), chasing(1 << 21)],
+        dep_distance: 2,
+    };
+    let ratio_test = PhaseSpec {
+        mix: vec![(Opcode::FpDiv, 1.0), (Opcode::FpAdd, 2.0), (Opcode::Sub, 1.5)],
+        load_frac: 0.3,
+        store_frac: 0.06,
+        chaotic_branch_frac: 0.5,
+        indirect_frac: 0.0,
+        n_blocks: 7,
+        block_len: 7,
+        streams: vec![medium(8)],
+        dep_distance: 2,
+    };
+    let update = PhaseSpec {
+        mix: vec![(Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0), (Opcode::Add, 1.0)],
+        load_frac: 0.3,
+        store_frac: 0.2,
+        chaotic_branch_frac: 0.1,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 11,
+        streams: vec![large(8), medium(16)],
+        dep_distance: 4,
+    };
+    let setup = PhaseSpec {
+        mix: vec![(Opcode::Add, 2.0), (Opcode::Logic, 1.0), (Opcode::Mul, 0.6)],
+        load_frac: 0.3,
+        store_frac: 0.18,
+        chaotic_branch_frac: 0.3,
+        indirect_frac: 0.03,
+        n_blocks: 9,
+        block_len: 7,
+        streams: vec![medium(16), small(8)],
+        dep_distance: 3,
+    };
+    BenchmarkSpec {
+        name: "450.soplex",
+        k: 21,
+        seed: 450,
+        phases: vec![factor, pricing, ratio_test, update, setup],
+        phase_weights: vec![2.5, 2.5, 1.5, 2.0, 1.0],
+    }
+}
+
+fn sjeng() -> BenchmarkSpec {
+    // Chess search: chaotic branches, bit-board logic, popcount.
+    let search = PhaseSpec {
+        mix: vec![(Opcode::Logic, 2.0), (Opcode::Add, 1.5), (Opcode::Sub, 1.5)],
+        load_frac: 0.26,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.65,
+        indirect_frac: 0.05,
+        n_blocks: 14,
+        block_len: 6,
+        streams: vec![small(8), medium(16)],
+        dep_distance: 3,
+    };
+    let eval = PhaseSpec {
+        mix: vec![(Opcode::Popcnt, 1.5), (Opcode::Logic, 2.5), (Opcode::Shift, 2.0)],
+        load_frac: 0.22,
+        store_frac: 0.04,
+        chaotic_branch_frac: 0.35,
+        indirect_frac: 0.0,
+        n_blocks: 8,
+        block_len: 9,
+        streams: vec![small(8)],
+        dep_distance: 2,
+    };
+    let movegen = PhaseSpec {
+        mix: vec![(Opcode::Shift, 2.5), (Opcode::Logic, 2.0), (Opcode::Xor, 1.0)],
+        load_frac: 0.2,
+        store_frac: 0.15,
+        chaotic_branch_frac: 0.4,
+        indirect_frac: 0.0,
+        n_blocks: 9,
+        block_len: 8,
+        streams: vec![small(4), small(16)],
+        dep_distance: 2,
+    };
+    let hash_probe = PhaseSpec {
+        mix: vec![(Opcode::Xor, 1.5), (Opcode::Logic, 1.5), (Opcode::Add, 1.0)],
+        load_frac: 0.4,
+        store_frac: 0.1,
+        chaotic_branch_frac: 0.55,
+        indirect_frac: 0.0,
+        n_blocks: 6,
+        block_len: 7,
+        streams: vec![chasing(1 << 23)],
+        dep_distance: 2,
+    };
+    let quiesce = PhaseSpec {
+        mix: vec![(Opcode::Sub, 2.0), (Opcode::Logic, 1.5), (Opcode::Add, 1.5)],
+        load_frac: 0.24,
+        store_frac: 0.08,
+        chaotic_branch_frac: 0.6,
+        indirect_frac: 0.03,
+        n_blocks: 10,
+        block_len: 6,
+        streams: vec![small(8), medium(8)],
+        dep_distance: 3,
+    };
+    BenchmarkSpec {
+        name: "458.sjeng",
+        k: 19,
+        seed: 458,
+        phases: vec![search, eval, movegen, hash_probe, quiesce],
+        phase_weights: vec![3.0, 2.0, 2.0, 1.0, 1.5],
+    }
+}
+
+fn libquantum() -> BenchmarkSpec {
+    // Quantum simulation: XOR-heavy streaming over a huge amplitude array.
+    let toffoli = PhaseSpec {
+        mix: vec![(Opcode::Xor, 3.0), (Opcode::Logic, 2.0), (Opcode::Add, 1.0)],
+        load_frac: 0.35,
+        store_frac: 0.15,
+        chaotic_branch_frac: 0.05,
+        indirect_frac: 0.0,
+        n_blocks: 4,
+        block_len: 10,
+        streams: vec![large(16), large(16)],
+        dep_distance: 2,
+    };
+    let cnot = PhaseSpec {
+        mix: vec![(Opcode::Xor, 2.5), (Opcode::Logic, 1.5), (Opcode::Shift, 1.0)],
+        load_frac: 0.38,
+        store_frac: 0.18,
+        chaotic_branch_frac: 0.03,
+        indirect_frac: 0.0,
+        n_blocks: 3,
+        block_len: 9,
+        streams: vec![large(16)],
+        dep_distance: 1,
+    };
+    let sigma = PhaseSpec {
+        mix: vec![(Opcode::Logic, 2.0), (Opcode::Add, 1.5), (Opcode::Xor, 1.0)],
+        load_frac: 0.35,
+        store_frac: 0.12,
+        chaotic_branch_frac: 0.1,
+        indirect_frac: 0.0,
+        n_blocks: 5,
+        block_len: 8,
+        streams: vec![large(32), medium(8)],
+        dep_distance: 2,
+    };
+    let measure = PhaseSpec {
+        mix: vec![(Opcode::FpAdd, 1.5), (Opcode::FpMul, 1.5), (Opcode::Add, 1.0)],
+        load_frac: 0.4,
+        store_frac: 0.04,
+        chaotic_branch_frac: 0.2,
+        indirect_frac: 0.0,
+        n_blocks: 4,
+        block_len: 9,
+        streams: vec![large(8)],
+        dep_distance: 3,
+    };
+    BenchmarkSpec {
+        name: "462.libquantum",
+        k: 18,
+        seed: 462,
+        phases: vec![toffoli, cnot, sigma, measure],
+        phase_weights: vec![3.0, 2.5, 1.5, 1.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_simpoint_counts() {
+        let suite = spec2006();
+        assert_eq!(suite.len(), 10);
+        let total: usize = suite.iter().map(|b| b.k).sum();
+        assert_eq!(total, 190, "Table I lists 190 SimPoints in total");
+        let gcc = benchmark("403.gcc").unwrap();
+        assert_eq!(gcc.k, 18);
+        let namd = benchmark("444.namd").unwrap();
+        assert_eq!(namd.k, 26);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(benchmark("999.nothing").is_none());
+    }
+
+    #[test]
+    fn programs_build_at_tiny_scale() {
+        let scale = WorkloadScale::tiny();
+        for spec in spec2006() {
+            let program = spec.program(&scale);
+            assert_eq!(program.name(), spec.name);
+            assert!(program.n_blocks() > 0);
+            // Schedule must cover the profiled window.
+            let needed = (spec.n_intervals() * scale.interval_len) as u64;
+            assert!(program.schedule_len() >= needed);
+        }
+    }
+
+    #[test]
+    fn probe_extraction_yields_k_probes() {
+        // Use the two cheapest benchmarks to keep test time low.
+        let scale = WorkloadScale::tiny();
+        let spec = benchmark("426.mcf").unwrap();
+        let probes = spec.probes(&scale);
+        assert_eq!(probes.len(), spec.k);
+        let weights: f64 = probes.iter().map(|p| p.weight).sum();
+        assert!((weights - 1.0).abs() < 1e-9);
+        // All intervals distinct.
+        let mut intervals: Vec<usize> = probes.iter().map(|p| p.interval).collect();
+        intervals.sort_unstable();
+        intervals.dedup();
+        assert_eq!(intervals.len(), probes.len());
+    }
+
+    #[test]
+    fn gcc_has_a_xor_rich_simpoint() {
+        // The Fig. 3 anecdote: one gcc SimPoint is much denser in XOR than
+        // the benchmark average.
+        let scale = WorkloadScale::tiny();
+        let spec = benchmark("403.gcc").unwrap();
+        let program = spec.program(&scale);
+        let probes = extract_probes(&program, &spec.simpoint_config(&scale));
+        let xor_density = |p: &Probe| {
+            let trace = p.trace(&program);
+            trace.iter().filter(|i| i.opcode == Opcode::Xor).count() as f64 / trace.len() as f64
+        };
+        let densities: Vec<f64> = probes.iter().map(xor_density).collect();
+        let mean = densities.iter().sum::<f64>() / densities.len() as f64;
+        let max = densities.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 2.0 * mean, "max {max:.4} mean {mean:.4}");
+    }
+}

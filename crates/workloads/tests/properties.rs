@@ -1,0 +1,93 @@
+//! Property-based tests for the workload substrate.
+
+use perfbug_workloads::kmeans::kmeans;
+use perfbug_workloads::{Opcode, PhaseSpec, Program, Segment};
+use proptest::prelude::*;
+
+fn arb_phase() -> impl Strategy<Value = PhaseSpec> {
+    (
+        2usize..12,              // n_blocks
+        3usize..16,              // block_len
+        0.0..0.4f64,             // load_frac
+        0.0..0.25f64,            // store_frac
+        0.0..0.7f64,             // chaotic
+        0.0..0.3f64,             // indirect
+        1usize..8,               // dep distance
+    )
+        .prop_map(|(n_blocks, block_len, load_frac, store_frac, chaotic, indirect, dep)| {
+            PhaseSpec {
+                mix: vec![(Opcode::Add, 1.0), (Opcode::Xor, 0.5), (Opcode::FpMul, 0.5)],
+                load_frac,
+                store_frac,
+                chaotic_branch_frac: chaotic,
+                indirect_frac: indirect,
+                n_blocks,
+                block_len,
+                dep_distance: dep,
+                ..PhaseSpec::default()
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_program_walks_deterministically(
+        phases in prop::collection::vec(arb_phase(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let schedule: Vec<Segment> =
+            (0..phases.len()).map(|p| Segment { phase: p, insts: 700 }).collect();
+        let program = Program::build("prop", &phases, schedule, seed);
+        let a = program.walker().take_trace(2500);
+        let b = program.walker().take_trace(2500);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traces_are_well_formed(
+        phases in prop::collection::vec(arb_phase(), 1..3),
+        seed in any::<u64>(),
+    ) {
+        let schedule: Vec<Segment> =
+            (0..phases.len()).map(|p| Segment { phase: p, insts: 600 }).collect();
+        let program = Program::build("prop", &phases, schedule, seed);
+        let mut walker = program.walker();
+        for _ in 0..2000 {
+            let inst = walker.next_inst();
+            prop_assert!(inst.size >= 1 && inst.size <= 15, "x86-like sizes");
+            prop_assert!(inst.opcode.is_memory() == (inst.mem_addr != 0));
+            if inst.opcode.is_control() {
+                prop_assert!(inst.target != 0, "control flow must carry a target");
+            }
+            prop_assert!(walker.current_block() < program.n_blocks());
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_never_negative_and_assignment_valid(
+        pts in prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 3), 4..40),
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let result = kmeans(&pts, k, seed, 50);
+        prop_assert!(result.inertia >= 0.0);
+        prop_assert_eq!(result.assignments.len(), pts.len());
+        let k_eff = result.centroids.len();
+        prop_assert!(result.assignments.iter().all(|&a| a < k_eff));
+    }
+
+    #[test]
+    fn kmeans_more_clusters_never_increase_inertia(
+        pts in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 2), 8..30),
+        seed in any::<u64>(),
+    ) {
+        // k-means++ with enough iterations: inertia at k=4 should not be
+        // (much) worse than k=1 — a loose sanity bound rather than strict
+        // monotonicity (local optima permitting small noise).
+        let k1 = kmeans(&pts, 1, seed, 50).inertia;
+        let k4 = kmeans(&pts, 4, seed, 100).inertia;
+        prop_assert!(k4 <= k1 * 1.001 + 1e-9, "k=4 inertia {k4} vs k=1 {k1}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Bug hunt: diagnose a single suspect design with per-probe γ ratios.
+//!
+//! Models the workflow of a performance validation engineer: a "new"
+//! microarchitecture (Skylake with an injected instruction-scheduling bug)
+//! is probed, and the stage-2 γ⁺ diagnostics show *which* probes scream —
+//! the paper's suggested starting point for bug localisation (§VII).
+//!
+//! ```sh
+//! cargo run --release --example bug_hunt
+//! ```
+
+use perfbug_core::bugs::BugCatalog;
+use perfbug_core::experiment::{collect, CollectionConfig, ProbeScale};
+use perfbug_core::stage1::EngineSpec;
+use perfbug_core::stage2::{Stage2Classifier, Stage2Params};
+use perfbug_uarch::{ArchSet, BugSpec};
+use perfbug_workloads::{benchmark, Opcode};
+
+fn main() {
+    // The suspect defect: XOR issues only when oldest in the queue — the
+    // low-impact Bug 1 of the paper's Fig. 1, hard to see in overall IPC.
+    let suspect = BugSpec::IssueOnlyIfOldest { x: Opcode::Xor };
+    let catalog = BugCatalog::new(vec![
+        suspect,
+        // Labelled training bugs of *different* types.
+        BugSpec::SerializeOpcode { x: Opcode::Logic },
+        BugSpec::MispredictExtraDelay { t: 20 },
+        BugSpec::L2ExtraLatency { t: 16 },
+        BugSpec::RobBelowDelay { n: 16, t: 8 },
+    ]);
+
+    let mut config = CollectionConfig::new(vec![EngineSpec::gbt250()], catalog);
+    config.scale = ProbeScale::tiny();
+    config.benchmarks = vec![
+        benchmark("403.gcc").expect("suite benchmark"),
+        benchmark("462.libquantum").expect("suite benchmark"),
+        benchmark("458.sjeng").expect("suite benchmark"),
+    ];
+    config.max_probes = Some(12);
+
+    println!("simulating probes and training stage-1 models...");
+    let col = collect(&config);
+
+    // Stage-2 training data: sets II/III with the *other* bug types.
+    let mut train_pos = Vec::new();
+    let mut train_neg = Vec::new();
+    let deltas = &col.engines[0].deltas;
+    for (k, key) in col.keys.iter().enumerate() {
+        if !matches!(key.set, ArchSet::II | ArchSet::III) {
+            continue;
+        }
+        let sample: Vec<f64> = deltas.iter().map(|d| d[k]).collect();
+        match key.bug {
+            None => train_neg.push(sample),
+            Some(0) => {} // the suspect type is unseen in training
+            Some(_) => train_pos.push(sample),
+        }
+    }
+    let clf = Stage2Classifier::fit(Stage2Params::default(), &train_pos, &train_neg);
+    println!("stage 2 trained: alpha = {:.2}", clf.alpha());
+
+    // The design under test: Skylake with the suspect bug (unseen type).
+    let key_idx = col
+        .keys
+        .iter()
+        .position(|k| k.arch == "Skylake" && k.bug == Some(0))
+        .expect("suspect key exists");
+    let sample: Vec<f64> = deltas.iter().map(|d| d[key_idx]).collect();
+    let verdict = clf.classify(&sample);
+    println!(
+        "\nSkylake + '{}': score {:.2} -> {}",
+        suspect.describe(),
+        clf.score(&sample),
+        if verdict { "BUG DETECTED" } else { "no bug detected" }
+    );
+
+    // Diagnostics: which probes triggered, and what do they share? This is
+    // the paper's §VII localisation idea, implemented in
+    // `perfbug_core::localize`.
+    let (gamma_pos, _) = clf.gammas(&sample);
+    let probe_traits: Vec<(String, perfbug_core::localize::ProbeTraits)> = config
+        .benchmarks
+        .iter()
+        .flat_map(|b| {
+            let program = b.program(&config.scale.workload);
+            b.probes(&config.scale.workload)
+                .into_iter()
+                .map(move |p| (p.id(), perfbug_core::localize::traits_of(&p.trace(&program))))
+        })
+        .filter(|(id, _)| col.probes.iter().any(|m| &m.id == id))
+        .collect();
+    // Align trait order with the collection's probe order.
+    let aligned: Vec<(String, perfbug_core::localize::ProbeTraits)> = col
+        .probes
+        .iter()
+        .map(|m| {
+            probe_traits
+                .iter()
+                .find(|(id, _)| id == &m.id)
+                .cloned()
+                .expect("traits computed for every collected probe")
+        })
+        .collect();
+    let localization = perfbug_core::localize::localize(&aligned, &gamma_pos);
+    println!("\nloudest probes (stage-2 gamma+):");
+    for (id, g) in localization.ranked_probes.iter().take(5) {
+        println!("  {id:24} gamma+ = {g:8.2}");
+    }
+    println!("\ntraits most correlated with the detection signal:");
+    for (name, r) in localization.trait_correlations.iter().take(4) {
+        println!("  {name:16} r = {r:+.2}");
+    }
+    println!("localisation hint: {}", localization.hypothesis());
+
+    // Contrast: the bug-free Skylake must pass.
+    let clean_idx = col
+        .keys
+        .iter()
+        .position(|k| k.arch == "Skylake" && k.bug.is_none())
+        .expect("bug-free key exists");
+    let clean: Vec<f64> = deltas.iter().map(|d| d[clean_idx]).collect();
+    println!(
+        "bug-free Skylake: score {:.2} -> {}",
+        clf.score(&clean),
+        if clf.classify(&clean) { "FALSE ALARM" } else { "passes" }
+    );
+}

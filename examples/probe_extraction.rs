@@ -1,0 +1,66 @@
+//! SimPoint probe extraction walkthrough (§III-B1, Fig. 3).
+//!
+//! Shows how performance probes are mined from a long-running workload:
+//! basic-block-vector profiling, k-means clustering, representative
+//! selection — and reproduces the paper's observation that one gcc
+//! SimPoint is far denser in XOR instructions than the benchmark average,
+//! which is exactly what gives probes their bug visibility.
+//!
+//! ```sh
+//! cargo run --release --example probe_extraction
+//! ```
+
+use perfbug_workloads::{benchmark, extract_simpoints, Opcode, WorkloadScale};
+
+fn main() {
+    let scale = WorkloadScale::default();
+    let spec = benchmark("403.gcc").expect("suite benchmark");
+    let program = spec.program(&scale);
+    let config = spec.simpoint_config(&scale);
+
+    println!(
+        "profiling {}: {} intervals x {} instructions, k = {}",
+        spec.name, config.n_intervals, config.interval_len, config.k
+    );
+    let simpoints = extract_simpoints(&program, &config);
+    println!("extracted {} SimPoints (weights sum to 1):\n", simpoints.len());
+
+    println!("{:>10} {:>10} {:>8} {:>10} {:>10}", "simpoint", "interval", "weight", "xor-frac", "mem-frac");
+    let probes = spec.probes(&scale);
+    let mut xor_fracs = Vec::new();
+    for (i, probe) in probes.iter().enumerate() {
+        let trace = probe.trace(&program);
+        let xor = trace.iter().filter(|x| x.opcode == Opcode::Xor).count() as f64
+            / trace.len() as f64;
+        let mem = trace.iter().filter(|x| x.opcode.is_memory()).count() as f64
+            / trace.len() as f64;
+        xor_fracs.push(xor);
+        println!(
+            "{:>10} {:>10} {:>8.3} {:>9.2}% {:>9.2}%",
+            format!("#{}", i + 1),
+            probe.interval,
+            probe.weight,
+            xor * 100.0,
+            mem * 100.0
+        );
+        let _ = simpoints[i];
+    }
+
+    let mean = xor_fracs.iter().sum::<f64>() / xor_fracs.len() as f64;
+    let (max_idx, max) = xor_fracs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "\nXOR density: benchmark mean {:.2}%, SimPoint #{} reaches {:.2}% ({:.1}x the mean)",
+        mean * 100.0,
+        max_idx + 1,
+        max * 100.0,
+        max / mean
+    );
+    println!(
+        "-> a scheduling bug affecting XOR is nearly invisible in whole-program IPC\n\
+         but lights up on that one probe — the Fig. 3 effect."
+    );
+}

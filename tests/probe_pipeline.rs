@@ -1,0 +1,97 @@
+//! Cross-crate consistency tests: workloads feeding both simulators.
+
+use perfbug_uarch::{presets, simulate, Counter};
+use perfbug_workloads::{benchmark, spec2006, WorkloadScale};
+
+#[test]
+fn suite_has_exactly_190_simpoints() {
+    let total: usize = spec2006().iter().map(|b| b.k).sum();
+    assert_eq!(total, 190, "Table I: 190 SimPoints across the ten benchmarks");
+}
+
+#[test]
+fn probe_runs_are_internally_consistent() {
+    let scale = WorkloadScale::tiny();
+    let spec = benchmark("401.bzip2").expect("suite benchmark");
+    let program = spec.program(&scale);
+    let probe = &spec.probes(&scale)[0];
+    let trace = probe.trace(&program);
+    let cfg = presets::ivybridge();
+    let run = simulate(&cfg, None, &trace, 400);
+
+    // Every instruction of the trace commits exactly once.
+    assert_eq!(run.total_insts, trace.len() as u64);
+    // Per-step IPC is consistent with the overall figure.
+    let overall = run.overall_ipc();
+    assert!(overall > 0.0 && overall <= cfg.width as f64);
+    // Step IPCs bracket the overall IPC.
+    let max_step = run.ipc.iter().cloned().fold(0.0, f64::max);
+    let min_step = run.ipc.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(min_step <= overall && overall <= max_step * 1.01);
+}
+
+#[test]
+fn counters_track_trace_composition() {
+    let scale = WorkloadScale::tiny();
+    let spec = benchmark("433.milc").expect("suite benchmark");
+    let program = spec.program(&scale);
+    let probe = &spec.probes(&scale)[0];
+    let trace = probe.trace(&program);
+    let run = simulate(&presets::skylake(), None, &trace, 400);
+
+    let names = perfbug_uarch::counter_names();
+    let col = |name: &str| names.iter().position(|n| *n == name).expect("known counter");
+    let total =
+        |name: &str| run.counter_rows.iter().map(|r| r[col(name)]).sum::<f64>();
+
+    // Committed = trace length (allowing the dropped partial step).
+    assert!(total("committed_insts") <= trace.len() as f64);
+    assert!(total("committed_insts") > trace.len() as f64 * 0.5);
+
+    // Load counter ~ trace load count (same partial-step caveat).
+    let loads_in_trace =
+        trace.iter().filter(|i| i.opcode == perfbug_workloads::Opcode::Load).count() as f64;
+    assert!(total("loads") <= loads_in_trace);
+    assert!(total("loads") >= loads_in_trace * 0.5);
+
+    // Cache-hierarchy counters respect containment.
+    assert!(total("l1d_misses") <= total("l1d_accesses"));
+    assert!(total("l2_misses") <= total("l2_accesses") + 1e-9);
+    assert!(total("mem_accesses") <= total("l2_misses") + 1e-9);
+    let _ = Counter::Cycles; // keep the import meaningful
+}
+
+#[test]
+fn memory_and_core_simulators_share_traces() {
+    let scale = WorkloadScale::tiny();
+    let spec = benchmark("462.libquantum").expect("suite benchmark");
+    let program = spec.program(&scale);
+    let probe = &spec.probes(&scale)[0];
+    let trace = probe.trace(&program);
+
+    let core_run = simulate(&presets::skylake(), None, &trace, 400);
+    let mem_cfg = perfbug_memsim::config::by_name("Skylake").expect("preset");
+    let mem_run = perfbug_memsim::simulate_memory(&mem_cfg, None, &trace, 300);
+
+    assert_eq!(core_run.total_insts, mem_run.total_insts);
+    // Both observe the same number of loads in the trace.
+    let loads = trace
+        .iter()
+        .filter(|i| i.opcode == perfbug_workloads::Opcode::Load)
+        .count() as f64;
+    let mem_names = perfbug_memsim::mem_counter_names();
+    let load_col = mem_names.iter().position(|n| *n == "loads").expect("counter");
+    let mem_loads: f64 = mem_run.counter_rows.iter().map(|r| r[load_col]).sum();
+    assert!(mem_loads <= loads && mem_loads >= loads * 0.5);
+}
+
+#[test]
+fn weights_are_probability_distributions() {
+    let scale = WorkloadScale::tiny();
+    for spec in [benchmark("426.mcf").unwrap(), benchmark("436.cactusADM").unwrap()] {
+        let probes = spec.probes(&scale);
+        let total: f64 = probes.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{}: weights sum {total}", spec.name);
+        assert!(probes.iter().all(|p| p.weight > 0.0));
+    }
+}
