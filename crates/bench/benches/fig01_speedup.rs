@@ -12,7 +12,10 @@ use perfbug_uarch::{presets, simulate, BugSpec};
 use perfbug_workloads::{benchmark, Opcode, WorkloadScale};
 
 fn main() {
-    banner("Figure 1", "Skylake vs Ivybridge speedup, bug-free and with bugs 1/2");
+    banner(
+        "Figure 1",
+        "Skylake vs Ivybridge speedup, bug-free and with bugs 1/2",
+    );
     let benchmarks = [
         "400.perlbench",
         "401.bzip2",
@@ -51,7 +54,9 @@ fn main() {
         let spec = benchmark(name).expect("suite benchmark");
         let trace = {
             let program = spec.program(&scale);
-            program.walker().take_trace(prefix_intervals * scale.interval_len)
+            program
+                .walker()
+                .take_trace(prefix_intervals * scale.interval_len)
         };
         // Wall-time model: cycles / clock. Speedups vs Ivybridge.
         let time = |cfg: &perfbug_uarch::MicroarchConfig, bug: Option<BugSpec>| -> f64 {

@@ -11,7 +11,10 @@ use perfbug_uarch::{presets, simulate, BugSpec};
 use perfbug_workloads::{benchmark, Opcode, WorkloadScale};
 
 fn main() {
-    banner("Figure 3", "IPC by SimPoint in 403.gcc, bug-free vs Bug 1 (Skylake)");
+    banner(
+        "Figure 3",
+        "IPC by SimPoint in 403.gcc, bug-free vs Bug 1 (Skylake)",
+    );
     // The paper's Bug 1 restricts XOR scheduling. On this substrate the
     // probe-visible variant of that defect is "XOR issues only when
     // oldest" (same type family, §IV-C bug 2): invisible at application
@@ -23,15 +26,21 @@ fn main() {
     let probes = spec.probes(&scale);
     let sky = presets::skylake();
 
-    let mut table =
-        Table::new(vec!["simpoint", "weight", "xor-frac", "bug-free IPC", "bug IPC", "relative"]);
+    let mut table = Table::new(vec![
+        "simpoint",
+        "weight",
+        "xor-frac",
+        "bug-free IPC",
+        "bug IPC",
+        "relative",
+    ]);
     let mut weighted_base = 0.0;
     let mut weighted_bug = 0.0;
     let mut worst: (String, f64) = (String::new(), 1.0);
     for probe in &probes {
         let trace = probe.trace(&program);
-        let xor = trace.iter().filter(|i| i.opcode == Opcode::Xor).count() as f64
-            / trace.len() as f64;
+        let xor =
+            trace.iter().filter(|i| i.opcode == Opcode::Xor).count() as f64 / trace.len() as f64;
         let base = simulate(&sky, None, &trace, 1000).overall_ipc();
         let buggy = simulate(&sky, Some(bug1), &trace, 1000).overall_ipc();
         let rel = buggy / base;
@@ -54,6 +63,10 @@ fn main() {
         "whole-application (SimPoint-weighted) impact: {:.2}%",
         (1.0 - weighted_bug / weighted_base) * 100.0
     );
-    println!("worst single SimPoint: {} at {:.1}% of bug-free IPC", worst.0, worst.1 * 100.0);
+    println!(
+        "worst single SimPoint: {} at {:.1}% of bug-free IPC",
+        worst.0,
+        worst.1 * 100.0
+    );
     println!("expected shape: overall impact small; one XOR-dense SimPoint hit much harder.");
 }

@@ -9,7 +9,10 @@ use perfbug_uarch::{presets, simulate};
 use perfbug_workloads::{spec2006, WorkloadScale};
 
 fn main() {
-    banner("Figure 4", "Distribution of bug severity (average IPC impact)");
+    banner(
+        "Figure 4",
+        "Distribution of bug severity (average IPC impact)",
+    );
     let catalog = BugCatalog::core_full();
     let scale = WorkloadScale::default();
     let cap = probe_cap(20);
@@ -33,11 +36,17 @@ fn main() {
             break; // paper scale: three rounds across the suite
         }
     }
-    println!("measuring {} variants on {} probes (Skylake reference)...", catalog.len(), traces.len());
+    println!(
+        "measuring {} variants on {} probes (Skylake reference)...",
+        catalog.len(),
+        traces.len()
+    );
 
     let sky = presets::skylake();
-    let base_ipcs: Vec<f64> =
-        traces.iter().map(|(_, t)| simulate(&sky, None, t, 1000).overall_ipc()).collect();
+    let base_ipcs: Vec<f64> = traces
+        .iter()
+        .map(|(_, t)| simulate(&sky, None, t, 1000).overall_ipc())
+        .collect();
 
     let mut counts = [0usize; 4];
     let mut rows: Vec<(String, f64)> = Vec::new();
@@ -51,7 +60,10 @@ fn main() {
         }
         let impact = impact_sum / weight_sum;
         let sev = Severity::grade(impact);
-        let idx = Severity::all().iter().position(|s| *s == sev).expect("bucket");
+        let idx = Severity::all()
+            .iter()
+            .position(|s| *s == sev)
+            .expect("bucket");
         counts[idx] += 1;
         rows.push((variant.describe(), impact));
     }
@@ -67,7 +79,12 @@ fn main() {
 
     println!("per-variant impacts:");
     for (name, impact) in rows {
-        println!("  {:55} {:6.2}%  [{}]", name, impact * 100.0, Severity::grade(impact).label());
+        println!(
+            "  {:55} {:6.2}%  [{}]",
+            name,
+            impact * 100.0,
+            Severity::grade(impact).label()
+        );
     }
     println!("\nexpected shape: all four buckets populated (paper: each 20-30%).");
 }

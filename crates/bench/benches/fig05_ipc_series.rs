@@ -11,7 +11,10 @@ use perfbug_uarch::BugSpec;
 use perfbug_workloads::benchmark;
 
 fn main() {
-    banner("Figure 5", "IPC inference vs simulation on bug-free Skylake (3 SimPoints)");
+    banner(
+        "Figure 5",
+        "IPC inference vs simulation on bug-free Skylake (3 SimPoints)",
+    );
     let engines = vec![lstm(1, 500, 32), mlp(1, 2500, 160), gbt250()];
     let mut config = perfbug_bench::base_config(engines, 0);
     config.catalog = BugCatalog::new(vec![BugSpec::MispredictExtraDelay { t: 10 }]);
@@ -28,7 +31,11 @@ fn main() {
     let targets = ["403.gcc#1", "401.bzip2#2", "436.cactusADM#3"];
     config.captures = targets
         .iter()
-        .map(|id| CaptureSpec { probe_id: id.to_string(), arch: "Skylake".to_string(), bug: None })
+        .map(|id| CaptureSpec {
+            probe_id: id.to_string(),
+            arch: "Skylake".to_string(),
+            bug: None,
+        })
         .collect();
 
     println!("collecting (3 benchmarks, capture-only run)...");
@@ -40,7 +47,11 @@ fn main() {
             println!("\n(probe {id} not present at this scale)");
             continue;
         }
-        println!("\n--- {} on Skylake (bug-free), {} steps ---", id, captured[0].simulated.len());
+        println!(
+            "\n--- {} on Skylake (bug-free), {} steps ---",
+            id,
+            captured[0].simulated.len()
+        );
         print!("{:>6} {:>12}", "step", "Simulation");
         for c in &captured {
             print!(" {:>12}", c.engine);

@@ -13,12 +13,17 @@ use perfbug_uarch::BugSpec;
 use perfbug_workloads::{benchmark, Opcode};
 
 fn main() {
-    banner("Figure 6", "GBT-250 inference: bug-free vs Bug 1 (XOR-dense gcc probe, bzip2 probe)");
+    banner(
+        "Figure 6",
+        "GBT-250 inference: bug-free vs Bug 1 (XOR-dense gcc probe, bzip2 probe)",
+    );
     let bug1 = BugSpec::IssueOnlyIfOldest { x: Opcode::Xor };
     let mut config = perfbug_bench::base_config(vec![gbt250()], 0);
     config.catalog = BugCatalog::new(vec![bug1]);
-    config.benchmarks =
-        vec![benchmark("403.gcc").expect("suite"), benchmark("401.bzip2").expect("suite")];
+    config.benchmarks = vec![
+        benchmark("403.gcc").expect("suite"),
+        benchmark("401.bzip2").expect("suite"),
+    ];
     // Find the XOR-dense gcc probe (the paper's "#12") dynamically, plus a
     // bzip2 probe as the mild-contrast case.
     let gcc_dense = {
@@ -44,8 +49,16 @@ fn main() {
         .iter()
         .flat_map(|id| {
             [
-                CaptureSpec { probe_id: id.to_string(), arch: "Skylake".into(), bug: None },
-                CaptureSpec { probe_id: id.to_string(), arch: "Skylake".into(), bug: Some(0) },
+                CaptureSpec {
+                    probe_id: id.to_string(),
+                    arch: "Skylake".into(),
+                    bug: None,
+                },
+                CaptureSpec {
+                    probe_id: id.to_string(),
+                    arch: "Skylake".into(),
+                    bug: Some(0),
+                },
             ]
         })
         .collect();

@@ -28,9 +28,21 @@ fn main() {
         IssueOnlyIfOldest { x: Xor },
         IssueOnlyIfOldest { x: Load },
         // Featured: IfXUsesRegNDelayT.
-        OpcodeUsesRegDelay { x: Add, r: 0, t: 10 },
-        OpcodeUsesRegDelay { x: Load, r: 3, t: 8 },
-        OpcodeUsesRegDelay { x: Xor, r: 1, t: 20 },
+        OpcodeUsesRegDelay {
+            x: Add,
+            r: 0,
+            t: 10,
+        },
+        OpcodeUsesRegDelay {
+            x: Load,
+            r: 3,
+            t: 8,
+        },
+        OpcodeUsesRegDelay {
+            x: Xor,
+            r: 1,
+            t: 20,
+        },
         // Featured: IfOldestIssueOnlyX.
         IfOldestIssueOnlyX { x: Xor },
         IfOldestIssueOnlyX { x: Add },
@@ -46,7 +58,12 @@ fn main() {
     let col = collect(&config);
     let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
 
-    let featured = ["SerializeX", "IssueXOnlyIfOldest", "IfXUsesRegNDelayT", "IfOldestIssueOnlyX"];
+    let featured = [
+        "SerializeX",
+        "IssueXOnlyIfOldest",
+        "IfXUsesRegNDelayT",
+        "IfOldestIssueOnlyX",
+    ];
     for fold in &eval.folds {
         if !featured.contains(&fold.type_name.as_str()) {
             continue;

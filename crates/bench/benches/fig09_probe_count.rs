@@ -12,10 +12,16 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    banner("Figure 9", "TPR/FPR vs number of probes (by-error and random removal)");
+    banner(
+        "Figure 9",
+        "TPR/FPR vs number of probes (by-error and random removal)",
+    );
     let quick = matches!(bench_scale(), BenchScale::Quick);
     let config = perfbug_bench::base_config(vec![gbt250()], if quick { 30 } else { 190 });
-    println!("collecting {} probes...", config.max_probes.map_or("190".into(), |n| n.to_string()));
+    println!(
+        "collecting {} probes...",
+        config.max_probes.map_or("190".into(), |n| n.to_string())
+    );
     let col = collect(&config);
     let n = col.probes.len();
     let step = if quick { 5 } else { 15 };
@@ -40,7 +46,11 @@ fn main() {
     random_keep.shuffle(&mut rand::rngs::StdRng::seed_from_u64(99));
 
     let mut table = Table::new(vec![
-        "probes", "ByError TPR", "ByError FPR", "Random TPR", "Random FPR",
+        "probes",
+        "ByError TPR",
+        "ByError FPR",
+        "Random TPR",
+        "Random FPR",
     ]);
     let mut count = n;
     while count >= step {

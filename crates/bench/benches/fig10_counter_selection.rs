@@ -13,7 +13,10 @@ use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
 fn main() {
-    banner("Figure 10", "Effect of counter selection method (automatic vs manual)");
+    banner(
+        "Figure 10",
+        "Effect of counter selection method (automatic vs manual)",
+    );
     let engines = || vec![gbt250(), lstm(1, 500, 24)];
     let mut table = Table::new(vec!["configuration", "TPR", "FPR"]);
     for (label, mode) in [

@@ -13,9 +13,16 @@ use perfbug_core::stage2::Stage2Params;
 use perfbug_ml::metrics::mse;
 
 fn main() {
-    banner("Figure 11", "Effect of time-step size (x1..x4 of the default)");
-    let mut table =
-        Table::new(vec!["step (cycles)", "avg MSE (bug-free Set IV)", "TPR", "FPR"]);
+    banner(
+        "Figure 11",
+        "Effect of time-step size (x1..x4 of the default)",
+    );
+    let mut table = Table::new(vec![
+        "step (cycles)",
+        "avg MSE (bug-free Set IV)",
+        "TPR",
+        "FPR",
+    ]);
     for factor in 1..=4u64 {
         let mut config = perfbug_bench::base_config(vec![gbt250()], 12);
         config.scale.step_cycles = 1000 * factor;
@@ -40,7 +47,10 @@ fn main() {
                 })
             })
             .collect();
-        println!("collecting at step = {} cycles...", config.scale.step_cycles);
+        println!(
+            "collecting at step = {} cycles...",
+            config.scale.step_cycles
+        );
         let col = collect(&config);
         let mut mses = Vec::new();
         for c in &col.captures {

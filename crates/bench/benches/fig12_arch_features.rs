@@ -10,7 +10,10 @@ use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
 fn main() {
-    banner("Figure 12", "Effect of design-parameter features (on vs off)");
+    banner(
+        "Figure 12",
+        "Effect of design-parameter features (on vs off)",
+    );
     let engines = || vec![gbt250(), lstm(1, 500, 24)];
     let mut table = Table::new(vec!["configuration", "TPR", "FPR"]);
     for (label, on) in [("Arch Feat.", true), ("No Arch Feat.", false)] {

@@ -10,11 +10,15 @@ use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
 fn main() {
-    banner("Figure 13", "All vs reduced training microarchitectures (GBT-250)");
+    banner(
+        "Figure 13",
+        "All vs reduced training microarchitectures (GBT-250)",
+    );
     let mut table = Table::new(vec!["configuration", "sets I/II/III", "TPR", "FPR"]);
-    for (label, partition) in
-        [("All Samples", ArchPartition::paper()), ("Reduced Samples", ArchPartition::reduced())]
-    {
+    for (label, partition) in [
+        ("All Samples", ArchPartition::paper()),
+        ("Reduced Samples", ArchPartition::reduced()),
+    ] {
         let sizes = format!(
             "{}/{}/{}",
             partition.train.len(),

@@ -10,9 +10,11 @@ use perfbug_core::experiment::{bugfree_test_errors, collect};
 use perfbug_core::report::{stats, Table};
 use perfbug_uarch::BugSpec;
 
-
 fn main() {
-    banner("Table IV", "IPC modelling runtime and inference-error statistics");
+    banner(
+        "Table IV",
+        "IPC modelling runtime and inference-error statistics",
+    );
     let engines = vec![
         lasso(),
         lstm(1, 150, 16),
@@ -41,12 +43,20 @@ fn main() {
     println!(
         "training {} engines on {} probes (shared simulations)...",
         config.engines.len(),
-        config.max_probes.map_or("all".to_string(), |n| n.to_string())
+        config
+            .max_probes
+            .map_or("all".to_string(), |n| n.to_string())
     );
     let col = collect(&config);
 
     let mut table = Table::new(vec![
-        "ML Model", "Training", "Inference", "Average", "Std. Dev.", "Median", "90th Perc.",
+        "ML Model",
+        "Training",
+        "Inference",
+        "Average",
+        "Std. Dev.",
+        "Median",
+        "90th Perc.",
     ]);
     for (e, engine) in col.engines.iter().enumerate() {
         let errors = bugfree_test_errors(&col, e);

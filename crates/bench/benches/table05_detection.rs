@@ -33,7 +33,10 @@ fn row(table: &mut Table, training: &str, name: &str, m: &DetectionMetrics) {
 }
 
 fn main() {
-    banner("Table V", "Bug detection results (leave-one-bug-type-out, Set IV)");
+    banner(
+        "Table V",
+        "Bug detection results (leave-one-bug-type-out, Set IV)",
+    );
     let engines = vec![
         lasso(),
         lstm(1, 500, 24),
@@ -45,19 +48,34 @@ fn main() {
     let config = perfbug_bench::base_config(engines, 20);
     println!(
         "collecting {} probes x {} bug variants (this is the expensive pass)...",
-        config.max_probes.map_or("all".to_string(), |n| n.to_string()),
+        config
+            .max_probes
+            .map_or("all".to_string(), |n| n.to_string()),
         config.catalog.len()
     );
     let col = collect(&config);
 
     let mut table = Table::new(vec![
-        "Training", "Stage-1 model", "FPR", "TPR", "ROC AUC", "Precision",
-        "High", "Medium", "Low", "Very Low",
+        "Training",
+        "Stage-1 model",
+        "FPR",
+        "TPR",
+        "ROC AUC",
+        "Precision",
+        "High",
+        "Medium",
+        "Low",
+        "Very Low",
     ]);
 
     // Single-stage baseline (§II).
     let baseline_eval = evaluate_baseline(&col, &BaselineParams::default());
-    row(&mut table, "NoBug", "Single-stage baseline", &baseline_eval.metrics);
+    row(
+        &mut table,
+        "NoBug",
+        "Single-stage baseline",
+        &baseline_eval.metrics,
+    );
 
     // The two-stage methodology per engine.
     for (e, engine) in col.engines.iter().enumerate() {
@@ -69,7 +87,14 @@ fn main() {
     // (the paper's Bug 1 / Bug 2 rows, GBT-250 only).
     let presumed = [
         ("Bug1", BugSpec::IfOldestIssueOnlyX { x: Opcode::Xor }),
-        ("Bug2", BugSpec::OpcodeUsesRegDelay { x: Opcode::Add, r: 0, t: 10 }),
+        (
+            "Bug2",
+            BugSpec::OpcodeUsesRegDelay {
+                x: Opcode::Add,
+                r: 0,
+                t: 10,
+            },
+        ),
     ];
     for (label, bug) in presumed {
         let mut config = perfbug_bench::base_config(vec![gbt250()], 10);

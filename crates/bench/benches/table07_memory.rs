@@ -11,14 +11,23 @@ use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
 fn main() {
-    banner("Table VII", "Bug detection in memory systems (IPC and AMAT targets)");
+    banner(
+        "Table VII",
+        "Bug detection in memory systems (IPC and AMAT targets)",
+    );
     let mut table = Table::new(vec![
-        "Stage-1 metric", "Stage-1 model", "FPR", "TPR", "Precision",
-        "High", "Medium", "Low", "Very Low",
+        "Stage-1 metric",
+        "Stage-1 model",
+        "FPR",
+        "TPR",
+        "Precision",
+        "High",
+        "Medium",
+        "Low",
+        "Very Low",
     ]);
     for metric in [TargetMetric::Ipc, TargetMetric::Amat] {
-        let mut config =
-            MemCollectionConfig::new(vec![lstm(1, 500, 24), gbt250()], metric);
+        let mut config = MemCollectionConfig::new(vec![lstm(1, 500, 24), gbt250()], metric);
         if matches!(bench_scale(), BenchScale::Quick) {
             config.max_probes = Some(12);
         }

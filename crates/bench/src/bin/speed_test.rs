@@ -1,14 +1,35 @@
 //! Developer tool: measures probe-extraction, trace-generation and
-//! simulation throughput per benchmark, plus cross-design IPC spreads.
+//! simulation throughput per benchmark, cross-design IPC spreads, and the
+//! run-level parallel collection engine's throughput (runs/sec) against a
+//! serial baseline.
 //!
 //! ```sh
 //! cargo run --release -p perfbug-bench --bin speed_test
 //! ```
 
 use std::time::Instant;
-fn main() {
+
+use perfbug_core::bugs::BugCatalog;
+use perfbug_core::exec;
+use perfbug_core::experiment::{collect, CollectionConfig, ProbeScale};
+use perfbug_core::stage1::EngineSpec;
+use perfbug_ml::GbtParams;
+use perfbug_uarch::{simulate_into, BugSpec, ProbeRun};
+use perfbug_workloads::Opcode;
+
+fn per_benchmark_simulation() {
     let scale = perfbug_workloads::WorkloadScale::default();
-    for name in ["400.perlbench", "403.gcc", "426.mcf", "433.milc", "444.namd", "458.sjeng", "462.libquantum"] {
+    // One reused ProbeRun: the simulate loop below allocates no rows.
+    let mut run = ProbeRun::empty();
+    for name in [
+        "400.perlbench",
+        "403.gcc",
+        "426.mcf",
+        "433.milc",
+        "444.namd",
+        "458.sjeng",
+        "462.libquantum",
+    ] {
         let spec = perfbug_workloads::benchmark(name).unwrap();
         let program = spec.program(&scale);
         let probes = spec.probes(&scale);
@@ -17,12 +38,66 @@ fn main() {
         let ivy = perfbug_uarch::presets::ivybridge();
         let k8 = perfbug_uarch::presets::k8();
         let t0 = Instant::now();
-        let rs = perfbug_uarch::simulate(&sky, None, &trace, 1000);
+        simulate_into(&sky, None, &trace, 1000, &mut run);
         let dt = t0.elapsed();
-        let ri = perfbug_uarch::simulate(&ivy, None, &trace, 1000);
-        let rk = perfbug_uarch::simulate(&k8, None, &trace, 1000);
-        let speedup = (rs.total_cycles as f64 / 4.0).recip() / (ri.total_cycles as f64 / 3.4).recip();
-        println!("{name:16} sky ipc {:.2} ivy ipc {:.2} k8 ipc {:.2} | sky/ivy time-speedup {:.2} | steps {} | {:.1} ms/sim",
-            rs.overall_ipc(), ri.overall_ipc(), rk.overall_ipc(), speedup, rs.ipc.len(), dt.as_secs_f64()*1e3);
+        let (sky_ipc, sky_cycles, steps) = (run.overall_ipc(), run.total_cycles, run.ipc.len());
+        simulate_into(&ivy, None, &trace, 1000, &mut run);
+        let (ivy_ipc, ivy_cycles) = (run.overall_ipc(), run.total_cycles);
+        simulate_into(&k8, None, &trace, 1000, &mut run);
+        let k8_ipc = run.overall_ipc();
+        let speedup = (sky_cycles as f64 / 4.0).recip() / (ivy_cycles as f64 / 3.4).recip();
+        println!(
+            "{name:16} sky ipc {sky_ipc:.2} ivy ipc {ivy_ipc:.2} k8 ipc {k8_ipc:.2} | sky/ivy time-speedup {speedup:.2} | steps {steps} | {:.1} ms/sim",
+            dt.as_secs_f64() * 1e3
+        );
     }
+}
+
+/// Times one `collect()` pass and returns (runs simulated, seconds).
+fn timed_collect(threads: usize) -> (usize, f64) {
+    let catalog = BugCatalog::new(vec![
+        BugSpec::SerializeOpcode { x: Opcode::Logic },
+        BugSpec::L2ExtraLatency { t: 30 },
+        BugSpec::MispredictExtraDelay { t: 25 },
+    ]);
+    let mut config = CollectionConfig::new(
+        vec![EngineSpec::Gbt(GbtParams {
+            n_trees: 40,
+            ..GbtParams::default()
+        })],
+        catalog,
+    );
+    config.scale = ProbeScale::tiny();
+    config.benchmarks = vec![
+        perfbug_workloads::benchmark("458.sjeng").expect("suite"),
+        perfbug_workloads::benchmark("462.libquantum").expect("suite"),
+    ];
+    config.max_probes = Some(8);
+    config.threads = threads;
+    let n_units =
+        perfbug_core::experiment::simulation_units_per_probe(&config.partition, &config.catalog);
+    let t0 = Instant::now();
+    let col = collect(&config);
+    let secs = t0.elapsed().as_secs_f64();
+    (col.probes.len() * n_units, secs)
+}
+
+fn collection_throughput() {
+    let threads = exec::default_threads();
+    println!();
+    println!("collection throughput (tiny scale, GBT-40, 8 probes):");
+    let (runs, serial_secs) = timed_collect(1);
+    let serial_rps = runs as f64 / serial_secs;
+    println!(
+        "  threads=1            {runs:4} runs in {serial_secs:6.2}s -> {serial_rps:8.1} runs/sec"
+    );
+    let (runs, par_secs) = timed_collect(threads);
+    let par_rps = runs as f64 / par_secs;
+    println!("  threads={threads:<12} {runs:4} runs in {par_secs:6.2}s -> {par_rps:8.1} runs/sec");
+    println!("  parallel speedup: {:.2}x", par_rps / serial_rps);
+}
+
+fn main() {
+    per_benchmark_simulation();
+    collection_throughput();
 }

@@ -54,7 +54,10 @@ pub fn width(paper_width: usize, quick_width: usize) -> usize {
 pub fn banner(id: &str, title: &str) {
     println!("==========================================================");
     println!("{id}: {title}");
-    println!("scale: {:?} (set PERFBUG_SCALE=paper for the full run)", bench_scale());
+    println!(
+        "scale: {:?} (set PERFBUG_SCALE=paper for the full run)",
+        bench_scale()
+    );
     println!("==========================================================");
 }
 
@@ -76,12 +79,18 @@ pub fn base_config(engines: Vec<EngineSpec>, quick_probes: usize) -> CollectionC
 
 /// GBT-250 (the paper's best engine — full size at every scale).
 pub fn gbt250() -> EngineSpec {
-    EngineSpec::Gbt(GbtParams { n_trees: 250, ..GbtParams::default() })
+    EngineSpec::Gbt(GbtParams {
+        n_trees: 250,
+        ..GbtParams::default()
+    })
 }
 
 /// GBT-150.
 pub fn gbt150() -> EngineSpec {
-    EngineSpec::Gbt(GbtParams { n_trees: 150, ..GbtParams::default() })
+    EngineSpec::Gbt(GbtParams {
+        n_trees: 150,
+        ..GbtParams::default()
+    })
 }
 
 /// Lasso.

@@ -1,0 +1,255 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so the micro-benchmark API surface
+//! used by this workspace is implemented here: [`Criterion`] with
+//! `bench_function`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — per-benchmark warm-up followed by
+//! timed samples, reporting min/median/mean wall time per iteration — but
+//! the harness honours `--bench` style invocation and an optional name
+//! filter argument, so `cargo bench` works end to end.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. All variants behave the same
+/// in this stand-in: setup runs un-timed before every routine invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: route each through its own setup.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations.
+    timings: Vec<Duration>,
+}
+
+/// Target wall time spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(800);
+/// Target wall time spent warming up one benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            timings: Vec::new(),
+        }
+    }
+
+    /// Runs `routine` repeatedly, timing each invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < WARMUP_BUDGET && warm_iters < 10_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+        let budgeted = if per_iter.is_zero() {
+            self.samples
+        } else {
+            (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)) as usize
+        };
+        let n = budgeted
+            .clamp(1, self.samples.max(1) * 100)
+            .max(self.samples.min(10));
+        self.timings.clear();
+        self.timings.reserve(n);
+        for _ in 0..n {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.timings.push(t0.elapsed());
+        }
+    }
+
+    /// Runs `routine` over fresh values produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = warm_start.elapsed();
+        let budgeted = if per_iter.is_zero() {
+            self.samples
+        } else {
+            (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)) as usize
+        };
+        let n = budgeted.clamp(1, self.samples.max(1));
+        self.timings.clear();
+        self.timings.reserve(n);
+        for _ in 0..n {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour `cargo bench -- <filter>`: the first free argument that
+        // is not a harness flag filters benchmark names by substring.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            sample_size: 30,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configures a measurement time. Accepted for API compatibility; the
+    /// stand-in uses a fixed internal budget.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let mut timings = bencher.timings;
+        if timings.is_empty() {
+            println!("{name:<44} (no samples collected)");
+            return self;
+        }
+        timings.sort_unstable();
+        let min = timings[0];
+        let median = timings[timings.len() / 2];
+        let total: Duration = timings.iter().sum();
+        let mean = total / timings.len() as u32;
+        println!(
+            "{name:<44} time: [min {} | median {} | mean {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            timings.len()
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            filter: None,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64 + 4));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut bencher = Bencher::new(4);
+        bencher.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(!bencher.timings.is_empty());
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: Some("yes".into()),
+        };
+        let mut ran = false;
+        c.bench_function("no-match", |_b| ran = true);
+        assert!(!ran);
+        c.bench_function("yes-match", |b| {
+            b.iter(|| 1u32);
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,435 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so the subset of the proptest 1.x API
+//! used by this workspace's property tests is implemented here: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`prelude::any`] for `bool`/`u64`, `prop::collection::vec`, the
+//! [`proptest!`] test macro with optional `#![proptest_config(..)]`, and
+//! the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports
+//! its case index and generated inputs are reproducible from the fixed
+//! per-test seed, which is sufficient for this repository's deterministic
+//! test suites.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG type threaded through strategies.
+pub type TestRng = StdRng;
+
+/// Why a generated test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; try another case.
+    Reject,
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`proptest::test_runner::Config` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration requiring `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.gen()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` (upstream `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`proptest::collection` analogue), re-exported as
+/// `prop::collection` through the [`prop`] module.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniformly drawn from `[lo, hi)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange::Range(*r.start(), r.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Range(lo, hi) => rng.gen_range(lo..hi.max(lo + 1)),
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a strategy generating vectors of `element` values with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works as upstream.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Drives the generated cases of one property test. Used by [`proptest!`];
+/// not part of the public upstream API.
+pub fn run_property<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = <TestRng as SeedableRng>::seed_from_u64(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed at case {passed}: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` running the body
+/// over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with an inner config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Internal: expand each test fn.
+    (@run ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), __config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    // Entry without a config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property body, failing the case (not panicking
+/// directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} != {:?}): {}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case, drawing fresh inputs instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_bound_their_values(x in 3usize..10, f in -2.0..2.0f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1usize..4).prop_map(|n| n * 10)) {
+            prop_assert!(v == 10 || v == 20 || v == 30, "v = {v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_index() {
+        super::run_property("always_fails", ProptestConfig::with_cases(4), |_| {
+            Err(super::TestCaseError::Fail("nope".into()))
+        });
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}

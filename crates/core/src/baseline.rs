@@ -25,7 +25,11 @@ pub struct BaselineParams {
 impl Default for BaselineParams {
     fn default() -> Self {
         BaselineParams {
-            gbt: GbtParams { n_trees: 100, max_depth: 3, ..GbtParams::default() },
+            gbt: GbtParams {
+                n_trees: 100,
+                max_depth: 3,
+                ..GbtParams::default()
+            },
             theta_grid: (0.05, 0.95, 19),
             max_train_fpr: 0.25,
         }
@@ -113,7 +117,11 @@ impl BaselineClassifier {
     /// Panics if the number of feature vectors differs from the number of
     /// trained probes.
     pub fn vote_fraction(&self, per_probe_features: &[&[f64]]) -> f64 {
-        assert_eq!(per_probe_features.len(), self.models.len(), "probe count mismatch");
+        assert_eq!(
+            per_probe_features.len(),
+            self.models.len(),
+            "probe count mismatch"
+        );
         let votes = self
             .models
             .iter()
@@ -153,7 +161,10 @@ mod tests {
                         let has_bug = i % 2 == 1;
                         let signal = if has_bug { 1.0 } else { 0.0 };
                         let noise = ((i * 31 + p * 7) % 10) as f64 / 20.0;
-                        BaselineSample { features: vec![signal + noise, p as f64], has_bug }
+                        BaselineSample {
+                            features: vec![signal + noise, p as f64],
+                            has_bug,
+                        }
                     })
                     .collect()
             })
@@ -172,7 +183,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 16, "baseline should fit separable data, got {correct}/20");
+        assert!(
+            correct >= 16,
+            "baseline should fit separable data, got {correct}/20"
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl Severity {
 
     /// All buckets, mildest first.
     pub fn all() -> [Severity; 4] {
-        [Severity::VeryLow, Severity::Low, Severity::Medium, Severity::High]
+        [
+            Severity::VeryLow,
+            Severity::Low,
+            Severity::Medium,
+            Severity::High,
+        ]
     }
 }
 
@@ -90,9 +95,21 @@ impl BugCatalog {
             IfOldestIssueOnlyX { x: Add },
             IfOldestIssueOnlyX { x: FpAdd },
             // 4: If X depends on Y, delay T.
-            DelayIfDependsOn { x: Add, y: Load, t: 8 },
-            DelayIfDependsOn { x: Sub, y: Mul, t: 20 },
-            DelayIfDependsOn { x: FpMul, y: FpAdd, t: 6 },
+            DelayIfDependsOn {
+                x: Add,
+                y: Load,
+                t: 8,
+            },
+            DelayIfDependsOn {
+                x: Sub,
+                y: Mul,
+                t: 20,
+            },
+            DelayIfDependsOn {
+                x: FpMul,
+                y: FpAdd,
+                t: 6,
+            },
             // 5: IQ below N, delay T.
             IqBelowDelay { n: 4, t: 2 },
             IqBelowDelay { n: 8, t: 6 },
@@ -110,9 +127,21 @@ impl BugCatalog {
             StoresToLineDelay { n: 4, t: 12 },
             StoresToLineDelay { n: 2, t: 30 },
             // 9: N writes to register, delay T.
-            WritesToRegDelay { n: 64, t: 4, periodic: false },
-            WritesToRegDelay { n: 16, t: 10, periodic: false },
-            WritesToRegDelay { n: 32, t: 6, periodic: true },
+            WritesToRegDelay {
+                n: 64,
+                t: 4,
+                periodic: false,
+            },
+            WritesToRegDelay {
+                n: 16,
+                t: 10,
+                periodic: false,
+            },
+            WritesToRegDelay {
+                n: 32,
+                t: 6,
+                periodic: true,
+            },
             // 10: L2 latency + T.
             L2ExtraLatency { t: 2 },
             L2ExtraLatency { t: 8 },
@@ -126,9 +155,21 @@ impl BugCatalog {
             LongBranchDelay { bytes: 4, t: 10 },
             LongBranchDelay { bytes: 5, t: 20 },
             // 13: X uses register R, delay T.
-            OpcodeUsesRegDelay { x: Add, r: 0, t: 10 },
-            OpcodeUsesRegDelay { x: Load, r: 3, t: 8 },
-            OpcodeUsesRegDelay { x: Xor, r: 1, t: 20 },
+            OpcodeUsesRegDelay {
+                x: Add,
+                r: 0,
+                t: 10,
+            },
+            OpcodeUsesRegDelay {
+                x: Load,
+                r: 3,
+                t: 8,
+            },
+            OpcodeUsesRegDelay {
+                x: Xor,
+                r: 1,
+                t: 20,
+            },
             // 14: Predictor index mask.
             BtbIndexMask { lost_bits: 4 },
             BtbIndexMask { lost_bits: 8 },
@@ -145,16 +186,28 @@ impl BugCatalog {
             SerializeOpcode { x: Sub },
             IssueOnlyIfOldest { x: Xor },
             IfOldestIssueOnlyX { x: Xor },
-            DelayIfDependsOn { x: Add, y: Load, t: 12 },
+            DelayIfDependsOn {
+                x: Add,
+                y: Load,
+                t: 12,
+            },
             IqBelowDelay { n: 8, t: 6 },
             RobBelowDelay { n: 16, t: 6 },
             MispredictExtraDelay { t: 12 },
             StoresToLineDelay { n: 4, t: 12 },
-            WritesToRegDelay { n: 16, t: 10, periodic: false },
+            WritesToRegDelay {
+                n: 16,
+                t: 10,
+                periodic: false,
+            },
             L2ExtraLatency { t: 8 },
             FewerPhysRegs { n: 160 },
             LongBranchDelay { bytes: 4, t: 10 },
-            OpcodeUsesRegDelay { x: Add, r: 0, t: 10 },
+            OpcodeUsesRegDelay {
+                x: Add,
+                r: 0,
+                t: 10,
+            },
             BtbIndexMask { lost_bits: 8 },
         ])
     }
@@ -206,12 +259,28 @@ impl MemBugCatalog {
         use MemBugSpec::*;
         MemBugCatalog {
             variants: vec![
-                NoAgeUpdate { level: CacheLevel::L1d },
-                NoAgeUpdate { level: CacheLevel::L2 },
-                EvictMru { level: CacheLevel::L1d },
-                EvictMru { level: CacheLevel::L2 },
-                MissesDelay { level: CacheLevel::L1d, n: 500, t: 4 },
-                MissesDelay { level: CacheLevel::L2, n: 200, t: 20 },
+                NoAgeUpdate {
+                    level: CacheLevel::L1d,
+                },
+                NoAgeUpdate {
+                    level: CacheLevel::L2,
+                },
+                EvictMru {
+                    level: CacheLevel::L1d,
+                },
+                EvictMru {
+                    level: CacheLevel::L2,
+                },
+                MissesDelay {
+                    level: CacheLevel::L1d,
+                    n: 500,
+                    t: 4,
+                },
+                MissesDelay {
+                    level: CacheLevel::L2,
+                    n: 200,
+                    t: 20,
+                },
                 SppSignatureReset,
                 SppLeastConfidence,
                 SppDroppedPrefetch { n: 2 },

@@ -7,6 +7,7 @@
 //! to counter-set differences across designs.
 
 use perfbug_ml::metrics::pearson;
+use perfbug_workloads::RowMatrix;
 
 /// Thresholds of the two selection steps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,14 +62,14 @@ impl Default for CounterMode {
 ///
 /// Panics if `rows` and `target` lengths differ or are empty.
 pub fn select_counters(
-    rows: &[Vec<f64>],
+    rows: &RowMatrix,
     target: &[f64],
     thresholds: &SelectionThresholds,
     banned: &[usize],
 ) -> Vec<usize> {
     assert_eq!(rows.len(), target.len(), "one target per row required");
     assert!(!rows.is_empty(), "cannot select counters without data");
-    let n_cols = rows[0].len();
+    let n_cols = rows.width();
 
     // Step 1: correlation with the target.
     let mut scored: Vec<(usize, f64)> = (0..n_cols)
@@ -88,7 +89,11 @@ pub fn select_counters(
     // correlations when the 0.7 cut leaves too few.
     if kept.len() < thresholds.min_counters {
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        kept = scored.iter().copied().take(thresholds.min_counters).collect();
+        kept = scored
+            .iter()
+            .copied()
+            .take(thresholds.min_counters)
+            .collect();
     }
     // Strongest-first so redundancy pruning keeps the better of a pair.
     kept.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -191,7 +196,12 @@ pub fn manual_counter_indices() -> Vec<usize> {
     let mut cols: Vec<usize> = raw.iter().map(|&c| c as usize).collect();
     // Derived ratio counters: miss rates and branch fraction (by name).
     let names = perfbug_uarch::counter_names();
-    for wanted in ["l1d_miss_rate", "l2_miss_rate", "l3_miss_rate", "branch_frac"] {
+    for wanted in [
+        "l1d_miss_rate",
+        "l2_miss_rate",
+        "l3_miss_rate",
+        "branch_frac",
+    ] {
         if let Some(i) = names.iter().position(|n| *n == wanted) {
             cols.push(i);
         }
@@ -206,7 +216,7 @@ mod tests {
 
     /// Synthetic rows: col0 tracks target, col1 = 2*col0 (redundant), col2
     /// noise-ish, col3 anti-correlated.
-    fn synthetic() -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn synthetic() -> (RowMatrix, Vec<f64>) {
         let mut rows = Vec::new();
         let mut target = Vec::new();
         for i in 0..50 {
@@ -215,13 +225,16 @@ mod tests {
             rows.push(vec![t, 2.0 * t, noise, -t, 0.0]);
             target.push(t);
         }
-        (rows, target)
+        (RowMatrix::from_rows(&rows), target)
     }
 
     #[test]
     fn keeps_correlated_prunes_redundant() {
         let (rows, target) = synthetic();
-        let thresholds = SelectionThresholds { min_counters: 1, ..Default::default() };
+        let thresholds = SelectionThresholds {
+            min_counters: 1,
+            ..Default::default()
+        };
         let selected = select_counters(&rows, &target, &thresholds, &[]);
         // col0 and col1 are mutually redundant: exactly one survives.
         assert!(selected.contains(&0) ^ selected.contains(&1));
@@ -245,10 +258,16 @@ mod tests {
     fn respects_maximum() {
         // 100 identical copies of the target: redundancy pruning keeps one,
         // refill tops up to the minimum, but never past the maximum.
-        let rows: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![(i as f64).sin(); 100]).collect();
+        let rows = RowMatrix::from_rows(
+            &(0..40)
+                .map(|i| vec![(i as f64).sin(); 100])
+                .collect::<Vec<_>>(),
+        );
         let target: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
-        let thresholds = SelectionThresholds { max_counters: 8, ..Default::default() };
+        let thresholds = SelectionThresholds {
+            max_counters: 8,
+            ..Default::default()
+        };
         let selected = select_counters(&rows, &target, &thresholds, &[]);
         assert!(selected.len() <= 8);
         assert!(selected.len() >= 4);

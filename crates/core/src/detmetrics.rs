@@ -50,17 +50,31 @@ impl DetectionMetrics {
         let negatives = decisions.len() - positives;
         let tp = decisions.iter().filter(|d| d.has_bug && d.flagged).count();
         let fp = decisions.iter().filter(|d| !d.has_bug && d.flagged).count();
-        let tpr = if positives > 0 { tp as f64 / positives as f64 } else { 0.0 };
-        let fpr = if negatives > 0 { fp as f64 / negatives as f64 } else { 0.0 };
-        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
+        let tpr = if positives > 0 {
+            tp as f64 / positives as f64
+        } else {
+            0.0
+        };
+        let fpr = if negatives > 0 {
+            fp as f64 / negatives as f64
+        } else {
+            0.0
+        };
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            1.0
+        };
         let scores: Vec<f64> = decisions.iter().map(|d| d.score).collect();
         let labels: Vec<bool> = decisions.iter().map(|d| d.has_bug).collect();
         let auc = roc_auc(&scores, &labels);
 
         let mut tpr_by_severity = [None; 4];
         for (i, sev) in Severity::all().into_iter().enumerate() {
-            let bucket: Vec<&Decision> =
-                decisions.iter().filter(|d| d.severity == Some(sev)).collect();
+            let bucket: Vec<&Decision> = decisions
+                .iter()
+                .filter(|d| d.severity == Some(sev))
+                .collect();
             if !bucket.is_empty() {
                 let hits = bucket.iter().filter(|d| d.flagged).count();
                 tpr_by_severity[i] = Some(hits as f64 / bucket.len() as f64);
@@ -90,7 +104,12 @@ mod tests {
     use super::*;
 
     fn d(score: f64, flagged: bool, has_bug: bool, severity: Option<Severity>) -> Decision {
-        Decision { score, flagged, has_bug, severity }
+        Decision {
+            score,
+            flagged,
+            has_bug,
+            severity,
+        }
     }
 
     #[test]
@@ -130,7 +149,10 @@ mod tests {
 
     #[test]
     fn nothing_flagged_has_unit_precision() {
-        let decisions = vec![d(0.1, false, true, Some(Severity::Low)), d(0.0, false, false, None)];
+        let decisions = vec![
+            d(0.1, false, true, Some(Severity::Low)),
+            d(0.0, false, false, None),
+        ];
         let m = DetectionMetrics::from_decisions(&decisions);
         assert_eq!(m.precision, 1.0);
         assert_eq!(m.tpr, 0.0);

@@ -1,0 +1,279 @@
+//! Run-level parallel execution engine.
+//!
+//! The collection phase of the methodology is embarrassingly parallel at
+//! *run* granularity — every (probe, design, bug) simulation and every
+//! (probe, engine) stage-1 training job is independent — but the work is
+//! heavily skewed: buggy runs stall pipelines for many more cycles than
+//! healthy ones, and neural engines train orders of magnitude longer than
+//! boosted trees. This module provides the scheduler the collection passes
+//! (`experiment::collect`, `memory::collect_memory`) are built on:
+//!
+//! * a sharded **work-stealing index scheduler** ([`Scheduler`]) — each
+//!   worker owns a contiguous shard of the task range and claims indices
+//!   with a single atomic `fetch_add`; once its shard is drained it steals
+//!   from the shard with the most remaining work, so skewed run costs
+//!   cannot idle a core;
+//! * **lock-free per-slot result writes** ([`SlotVec`]) — every task
+//!   publishes its result through its own `OnceLock`, eliminating the
+//!   global results mutex of the previous probe-granular loop;
+//! * [`parallel_map`] / [`parallel_map_with`] — scoped-thread drivers that
+//!   tie the two together and preserve index order, so results are
+//!   byte-identical regardless of worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The number of worker threads to use when the caller does not override
+/// it: the machine's available parallelism (1 when that cannot be
+/// determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One worker's contiguous slice of the task range.
+#[derive(Debug)]
+struct Shard {
+    /// Next unclaimed task index; may legitimately run past `end` when
+    /// thieves race, which simply means the shard is drained.
+    next: AtomicUsize,
+    /// One past the last task index of the shard.
+    end: usize,
+}
+
+impl Shard {
+    fn remaining(&self) -> usize {
+        self.end.saturating_sub(self.next.load(Ordering::Relaxed))
+    }
+
+    /// Claims the next index of this shard, if any is left.
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.end).then_some(i)
+    }
+}
+
+/// Work-stealing scheduler over the task indices `0..n_tasks`.
+///
+/// Claiming is wait-free in the common case (one `fetch_add` on the
+/// worker's own shard) and lock-free when stealing.
+#[derive(Debug)]
+pub struct Scheduler {
+    shards: Vec<Shard>,
+}
+
+impl Scheduler {
+    /// Partitions `0..n_tasks` into `workers` near-equal contiguous shards.
+    pub fn new(n_tasks: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let base = n_tasks / workers;
+        let extra = n_tasks % workers;
+        let mut shards = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            shards.push(Shard {
+                next: AtomicUsize::new(start),
+                end: start + len,
+            });
+            start += len;
+        }
+        Scheduler { shards }
+    }
+
+    /// Claims the next task for `worker`: from its own shard while it
+    /// lasts, then by stealing from the fullest other shard. Returns
+    /// `None` only once every task index has been claimed.
+    pub fn claim(&self, worker: usize) -> Option<usize> {
+        if let Some(i) = self.shards[worker % self.shards.len()].claim() {
+            return Some(i);
+        }
+        loop {
+            let victim = self
+                .shards
+                .iter()
+                .max_by_key(|s| s.remaining())
+                .filter(|s| s.remaining() > 0)?;
+            if let Some(i) = victim.claim() {
+                return Some(i);
+            }
+            // Lost the race for the victim's last tasks; rescan.
+        }
+    }
+}
+
+/// A fixed-size vector of write-once result slots.
+///
+/// Each parallel task publishes into its own slot, so no lock is shared
+/// between workers and results keep task order.
+#[derive(Debug)]
+pub struct SlotVec<T> {
+    slots: Vec<OnceLock<T>>,
+}
+
+impl<T> SlotVec<T> {
+    /// Creates `n` empty slots.
+    pub fn new(n: usize) -> Self {
+        SlotVec {
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Publishes the result of task `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `i` was already filled — every task index must be
+    /// claimed exactly once.
+    pub fn set(&self, i: usize, value: T) {
+        if self.slots[i].set(value).is_err() {
+            panic!("slot {i} filled twice");
+        }
+    }
+
+    /// Reads the result of task `i`, if published.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.slots[i].get()
+    }
+
+    /// Unwraps all slots into a plain vector, preserving task order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is still empty.
+    pub fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|| panic!("slot {i} never filled"))
+            })
+            .collect()
+    }
+}
+
+/// Runs `task(worker_state, index)` for every index in `0..n_tasks` on
+/// `threads` scoped workers (clamped to at least 1) and returns the
+/// results in index order. `init` builds one reusable state per worker
+/// (scratch buffers, pools); the single-threaded path runs inline without
+/// spawning.
+pub fn parallel_map_with<T, S, I, F>(n_tasks: usize, threads: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n_tasks.max(1));
+    if threads == 1 {
+        let mut state = init();
+        return (0..n_tasks).map(|i| task(&mut state, i)).collect();
+    }
+    let scheduler = Scheduler::new(n_tasks, threads);
+    let slots = SlotVec::new(n_tasks);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let scheduler = &scheduler;
+            let slots = &slots;
+            let init = &init;
+            let task = &task;
+            scope.spawn(move || {
+                let mut state = init();
+                while let Some(i) = scheduler.claim(worker) {
+                    slots.set(i, task(&mut state, i));
+                }
+            });
+        }
+    });
+    slots.into_vec()
+}
+
+/// [`parallel_map_with`] without per-worker state.
+pub fn parallel_map<T, F>(n_tasks: usize, threads: usize, task: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(n_tasks, threads, || (), |(), i| task(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scheduler_claims_every_task_exactly_once() {
+        for (n, workers) in [(0, 3), (1, 4), (7, 2), (100, 8), (5, 16)] {
+            let scheduler = Scheduler::new(n, workers);
+            let mut seen = vec![0u32; n];
+            for w in 0..workers {
+                while let Some(i) = scheduler.claim(w) {
+                    seen[i] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "n={n} workers={workers}: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_drains_skewed_shards() {
+        // Worker 1 never claims; worker 0 must steal worker 1's shard dry.
+        let scheduler = Scheduler::new(10, 2);
+        let mut count = 0;
+        while scheduler.claim(0).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let serial = parallel_map(257, 1, |i| (i as u64).wrapping_mul(0x9e3779b9));
+        let parallel = parallel_map(257, 8, |i| (i as u64).wrapping_mul(0x9e3779b9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_state_is_reused() {
+        // Each worker counts its claims in local state; the total across
+        // workers must equal the task count.
+        let total = AtomicU64::new(0);
+        let out = parallel_map_with(
+            64,
+            4,
+            || 0u64,
+            |claims, i| {
+                *claims += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_task_set() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn slotvec_rejects_double_set() {
+        let slots = SlotVec::new(2);
+        slots.set(0, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slots.set(0, 2)));
+        assert!(result.is_err());
+    }
+}

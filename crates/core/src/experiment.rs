@@ -9,12 +9,12 @@
 //! classifiers (or the baseline) are re-fit per held-out bug type from the
 //! collected error matrix.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use perfbug_uarch::{presets, simulate, ArchSet, BugSpec, MicroarchConfig};
-use perfbug_workloads::{spec2006, BenchmarkSpec, Probe, Program, WorkloadScale};
+use perfbug_workloads::{spec2006, BenchmarkSpec, Probe, Program, RowMatrix, WorkloadScale};
+
+use crate::exec;
 
 use crate::baseline::{BaselineClassifier, BaselineParams, BaselineSample};
 use crate::bugs::{BugCatalog, Severity};
@@ -26,7 +26,7 @@ use crate::stage2::{Stage2Classifier, Stage2Params};
 /// Ceiling applied to stage-1 inference errors so that non-convergent
 /// models (the paper's LSTM outliers) cannot poison stage-2 statistics —
 /// the paper likewise drops "LSTM results with huge errors".
-const DELTA_CEILING: f64 = 1e6;
+pub(crate) const DELTA_CEILING: f64 = 1e6;
 
 /// Simulation scale knobs shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,14 +39,20 @@ pub struct ProbeScale {
 
 impl Default for ProbeScale {
     fn default() -> Self {
-        ProbeScale { workload: WorkloadScale::default(), step_cycles: 1000 }
+        ProbeScale {
+            workload: WorkloadScale::default(),
+            step_cycles: 1000,
+        }
     }
 }
 
 impl ProbeScale {
     /// Reduced scale for tests.
     pub fn tiny() -> Self {
-        ProbeScale { workload: WorkloadScale::tiny(), step_cycles: 400 }
+        ProbeScale {
+            workload: WorkloadScale::tiny(),
+            step_cycles: 400,
+        }
     }
 }
 
@@ -93,7 +99,11 @@ impl ArchPartition {
 
     /// Designs whose runs are evaluated by stage 2 (sets II, III and IV).
     pub fn eval_archs(&self) -> Vec<&MicroarchConfig> {
-        self.val.iter().chain(&self.stage2_extra).chain(&self.test).collect()
+        self.val
+            .iter()
+            .chain(&self.stage2_extra)
+            .chain(&self.test)
+            .collect()
     }
 }
 
@@ -206,7 +216,8 @@ pub struct CollectionConfig {
     pub presumed_bugfree_bug: Option<BugSpec>,
     /// Series to capture for figure regeneration.
     pub captures: Vec<CaptureSpec>,
-    /// Worker threads for probe-level parallelism.
+    /// Worker threads for run-level parallelism (defaults to the machine's
+    /// available parallelism; clamped below at 1).
     pub threads: usize,
 }
 
@@ -227,30 +238,109 @@ impl CollectionConfig {
             partition: ArchPartition::paper(),
             presumed_bugfree_bug: None,
             captures: Vec::new(),
-            threads: 2,
+            threads: exec::default_threads(),
         }
     }
 }
 
-/// Output of processing one probe.
-struct ProbeOutput {
-    deltas: Vec<Vec<f64>>, // [engine][key]
-    times: Vec<(Duration, Duration)>,
-    overall_ipc: Vec<f64>,
+/// The simulation-unit grid of one collection pass.
+///
+/// A *unit* is one distinct (design, bug) combination; per probe, each
+/// unit is simulated exactly once and its result is shared by every
+/// consumer — stage-1 training (Set I), stage-1 validation (Set II), and
+/// every evaluation key. In particular the bug-free reference run of each
+/// design exists once per (probe, design) and is never re-simulated for
+/// the evaluation pass.
+struct SimGrid<'p> {
+    /// All distinct designs: Set I first, then the evaluation designs.
+    archs: Vec<&'p MicroarchConfig>,
+    /// Distinct (arch index, catalogue bug index) combinations.
+    units: Vec<(usize, Option<usize>)>,
+    /// Unit of each Set-I bug-free training run.
+    train_units: Vec<usize>,
+    /// Unit of each Set-II bug-free validation run.
+    val_units: Vec<usize>,
+    /// Unit of each run key (same order as `keys`).
+    key_units: Vec<usize>,
+    /// The run-key list of the collection.
+    keys: Vec<RunKey>,
+}
+
+impl<'p> SimGrid<'p> {
+    /// Builds the grid (and the aligned key list) for a partition and
+    /// catalogue.
+    fn build(partition: &'p ArchPartition, catalog: &BugCatalog) -> Self {
+        let mut archs: Vec<&MicroarchConfig> = partition.train.iter().collect();
+        let mut units = Vec::new();
+        let mut train_units = Vec::new();
+        for idx in 0..archs.len() {
+            train_units.push(units.len());
+            units.push((idx, None));
+        }
+        let mut val_units = Vec::new();
+        let mut key_units = Vec::new();
+        let mut keys = Vec::new();
+        for (ei, arch) in partition.eval_archs().into_iter().enumerate() {
+            let arch_idx = archs.len();
+            archs.push(arch);
+            let bugfree_unit = units.len();
+            units.push((arch_idx, None));
+            // Validation runs are the members of `partition.val` (the
+            // first entries of `eval_archs()`), not whichever designs
+            // happen to carry a Set-II tag — custom partitions may
+            // deliberately mix tags and vectors.
+            if ei < partition.val.len() {
+                val_units.push(bugfree_unit);
+            }
+            key_units.push(bugfree_unit);
+            keys.push(RunKey {
+                arch: arch.name.clone(),
+                set: arch.set,
+                bug: None,
+            });
+            for i in 0..catalog.len() {
+                key_units.push(units.len());
+                units.push((arch_idx, Some(i)));
+                keys.push(RunKey {
+                    arch: arch.name.clone(),
+                    set: arch.set,
+                    bug: Some(i),
+                });
+            }
+        }
+        SimGrid {
+            archs,
+            units,
+            train_units,
+            val_units,
+            key_units,
+            keys,
+        }
+    }
+}
+
+/// Number of distinct simulation units — (design, bug) combinations —
+/// every probe of a collection pass runs. [`collect`] simulates exactly
+/// `probes x this` runs; throughput tooling uses it to turn wall time
+/// into runs/sec without re-deriving the grid shape.
+pub fn simulation_units_per_probe(partition: &ArchPartition, catalog: &BugCatalog) -> usize {
+    SimGrid::build(partition, catalog).units.len()
+}
+
+/// Per-probe data derived from the simulated grid before engine training:
+/// the probe's counter selection and the baseline's aggregate features.
+struct ProbePrep {
+    features: FeatureSpec,
     agg: Vec<Vec<f64>>,
-    captures: Vec<CapturedSeries>,
+    overall_ipc: Vec<f64>,
 }
 
-/// Builds the run-key list for a partition and catalogue.
-fn build_keys(partition: &ArchPartition, catalog: &BugCatalog) -> Vec<RunKey> {
-    let mut keys = Vec::new();
-    for arch in partition.eval_archs() {
-        keys.push(RunKey { arch: arch.name.clone(), set: arch.set, bug: None });
-        for i in 0..catalog.len() {
-            keys.push(RunKey { arch: arch.name.clone(), set: arch.set, bug: Some(i) });
-        }
-    }
-    keys
+/// Output of one (probe, engine) training task.
+struct TrainOutput {
+    deltas: Vec<f64>,
+    train_time: Duration,
+    infer_time: Duration,
+    captures: Vec<CapturedSeries>,
 }
 
 /// Selects up to `max` probes round-robin across benchmarks.
@@ -286,16 +376,29 @@ fn subsample_probes(per_benchmark: Vec<Vec<Probe>>, max: Option<usize>) -> Vec<P
 /// Panics if the configuration has no engines, no benchmarks, or no
 /// designs in a required set.
 pub fn collect(config: &CollectionConfig) -> Collection {
-    assert!(!config.engines.is_empty(), "collection needs at least one engine");
+    assert!(
+        !config.engines.is_empty(),
+        "collection needs at least one engine"
+    );
     assert!(!config.benchmarks.is_empty(), "collection needs benchmarks");
-    assert!(!config.partition.train.is_empty(), "Set I must not be empty");
-    assert!(!config.partition.test.is_empty(), "Set IV must not be empty");
+    assert!(
+        !config.partition.train.is_empty(),
+        "Set I must not be empty"
+    );
+    assert!(
+        !config.partition.test.is_empty(),
+        "Set IV must not be empty"
+    );
 
-    let keys = build_keys(&config.partition, &config.catalog);
+    let grid = SimGrid::build(&config.partition, &config.catalog);
+    let keys = grid.keys.clone();
 
     // Build programs and probes per benchmark.
-    let programs: Vec<Program> =
-        config.benchmarks.iter().map(|b| b.program(&config.scale.workload)).collect();
+    let programs: Vec<Program> = config
+        .benchmarks
+        .iter()
+        .map(|b| b.program(&config.scale.workload))
+        .collect();
     let per_benchmark: Vec<Vec<Probe>> = config
         .benchmarks
         .iter()
@@ -314,36 +417,24 @@ pub fn collect(config: &CollectionConfig) -> Collection {
 
     let metas: Vec<ProbeMeta> = probes
         .iter()
-        .map(|p| ProbeMeta { id: p.id(), benchmark: p.benchmark.clone(), weight: p.weight })
+        .map(|p| ProbeMeta {
+            id: p.id(),
+            benchmark: p.benchmark.clone(),
+            weight: p.weight,
+        })
         .collect();
 
-    // Parallel probe processing.
-    let next = AtomicUsize::new(0);
-    let outputs: Mutex<Vec<Option<ProbeOutput>>> = Mutex::new((0..probes.len()).map(|_| None).collect());
-    let workers = config.threads.clamp(1, 8);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= probes.len() {
-                    break;
-                }
-                let probe = &probes[i];
-                let out = process_probe(config, &keys, probe, program_of(probe));
-                outputs.lock().expect("worker poisoned the lock")[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker panicked");
+    // Run-level parallel collection. Probes are processed in blocks (to
+    // bound peak memory); within a block the full (probe x unit) grid of
+    // simulations is scheduled onto the work-stealing pool, followed by
+    // the (probe x engine) training grid. Results are published into
+    // per-task slots and assembled in deterministic index order, so the
+    // output is identical for any worker count.
+    let threads = config.threads.max(1);
+    let n_units = grid.units.len();
+    let n_engines = config.engines.len();
+    let block = threads.max(2);
 
-    let outputs: Vec<ProbeOutput> = outputs
-        .into_inner()
-        .expect("lock intact")
-        .into_iter()
-        .map(|o| o.expect("every probe processed"))
-        .collect();
-
-    // Transpose per-probe outputs into per-engine results.
     let mut engines: Vec<EngineResult> = config
         .engines
         .iter()
@@ -357,15 +448,150 @@ pub fn collect(config: &CollectionConfig) -> Collection {
     let mut overall_ipc = Vec::with_capacity(probes.len());
     let mut agg_features = Vec::with_capacity(probes.len());
     let mut captures = Vec::new();
-    for out in outputs {
-        for (e, engine) in engines.iter_mut().enumerate() {
-            engine.deltas.push(out.deltas[e].clone());
-            engine.train_time += out.times[e].0;
-            engine.infer_time += out.times[e].1;
+
+    for block_start in (0..probes.len()).step_by(block) {
+        let block_probes = &probes[block_start..(block_start + block).min(probes.len())];
+
+        // Trace generation, one task per probe.
+        let traces: Vec<Vec<perfbug_workloads::Inst>> =
+            exec::parallel_map(block_probes.len(), threads, |i| {
+                block_probes[i].trace(program_of(&block_probes[i]))
+            });
+
+        // Phase A: the (probe x unit) simulation grid.
+        let sims: Vec<(RunSeries, f64)> =
+            exec::parallel_map(block_probes.len() * n_units, threads, |t| {
+                let (pi, u) = (t / n_units, t % n_units);
+                let (arch_idx, bug_idx) = grid.units[u];
+                let arch = grid.archs[arch_idx];
+                // The presumed-bug-free defect contaminates every run: it
+                // is part of the "design" for this experiment.
+                let bug = bug_idx
+                    .map(|i| config.catalog.variants()[i])
+                    .or(config.presumed_bugfree_bug);
+                let pr = simulate(arch, bug, &traces[pi], config.scale.step_cycles);
+                let overall = pr.overall_ipc();
+                (
+                    RunSeries {
+                        rows: pr.counter_rows,
+                        target: pr.ipc,
+                        arch_features: arch.feature_vector(),
+                    },
+                    overall,
+                )
+            });
+        let sims_of = |pi: usize| &sims[pi * n_units..(pi + 1) * n_units];
+
+        // Phase B: per-probe counter selection and baseline aggregates.
+        let preps: Vec<ProbePrep> = exec::parallel_map(block_probes.len(), threads, |pi| {
+            let units = sims_of(pi);
+            let selected = match &config.counter_mode {
+                CounterMode::Automatic(thresholds) => {
+                    let mut rows = RowMatrix::new(0);
+                    let mut target = Vec::new();
+                    for &u in &grid.train_units {
+                        rows.extend_from(&units[u].0.rows);
+                        target.extend_from_slice(&units[u].0.target);
+                    }
+                    select_counters(&rows, &target, thresholds, &leakage_banned_counters())
+                }
+                CounterMode::Manual(cols) => cols.clone(),
+            };
+            let features = FeatureSpec {
+                selected,
+                arch_features: config.arch_features,
+                window: config.window.max(1),
+            };
+            // Aggregated features for the baseline: mean counter row +
+            // design features + the simulated overall IPC.
+            let agg: Vec<Vec<f64>> = grid
+                .key_units
+                .iter()
+                .map(|&u| {
+                    let (series, ipc) = &units[u];
+                    let n = series.rows.len().max(1) as f64;
+                    let mut mean = vec![0.0; series.rows.width()];
+                    for row in &series.rows {
+                        for (m, v) in mean.iter_mut().zip(row) {
+                            *m += v;
+                        }
+                    }
+                    mean.iter_mut().for_each(|m| *m /= n);
+                    mean.extend_from_slice(&series.arch_features);
+                    mean.push(*ipc);
+                    mean
+                })
+                .collect();
+            let overall_ipc = grid.key_units.iter().map(|&u| units[u].1).collect();
+            ProbePrep {
+                features,
+                agg,
+                overall_ipc,
+            }
+        });
+
+        // Phase C: the (probe x engine) stage-1 training grid.
+        let outputs: Vec<TrainOutput> =
+            exec::parallel_map(block_probes.len() * n_engines, threads, |t| {
+                let (pi, e) = (t / n_engines, t % n_engines);
+                let probe = &block_probes[pi];
+                let units = sims_of(pi);
+                let engine = &config.engines[e];
+                let train_refs: Vec<&RunSeries> =
+                    grid.train_units.iter().map(|&u| &units[u].0).collect();
+                let val_refs: Vec<&RunSeries> =
+                    grid.val_units.iter().map(|&u| &units[u].0).collect();
+                let t0 = Instant::now();
+                let model =
+                    ProbeModel::train(engine, preps[pi].features.clone(), &train_refs, &val_refs);
+                let train_time = t0.elapsed();
+                let t1 = Instant::now();
+                let mut deltas = Vec::with_capacity(keys.len());
+                let mut captures = Vec::new();
+                for (key, &u) in keys.iter().zip(&grid.key_units) {
+                    let series = &units[u].0;
+                    let inferred = model.infer(series);
+                    let mut delta = inference_error(&series.target, &inferred);
+                    if !delta.is_finite() || delta > DELTA_CEILING {
+                        delta = DELTA_CEILING;
+                    }
+                    deltas.push(delta);
+                    let wanted = config.captures.iter().any(|c| {
+                        c.probe_id == probe.id() && c.arch == key.arch && c.bug == key.bug
+                    });
+                    if wanted {
+                        captures.push(CapturedSeries {
+                            probe_id: probe.id(),
+                            arch: key.arch.clone(),
+                            bug: key.bug,
+                            engine: engine.name(),
+                            simulated: series.target.clone(),
+                            inferred,
+                        });
+                    }
+                }
+                TrainOutput {
+                    deltas,
+                    train_time,
+                    infer_time: t1.elapsed(),
+                    captures,
+                }
+            });
+
+        // Deterministic assembly in (probe, engine) order, consuming the
+        // task outputs so deltas and captures move instead of cloning.
+        let mut outputs = outputs.into_iter();
+        for prep in preps {
+            overall_ipc.push(prep.overall_ipc);
+            agg_features.push(prep.agg);
+            for engine in engines.iter_mut() {
+                let out = outputs.next().expect("one output per (probe, engine)");
+                engine.deltas.push(out.deltas);
+                engine.train_time += out.train_time;
+                engine.infer_time += out.infer_time;
+                captures.extend(out.captures);
+            }
         }
-        overall_ipc.push(out.overall_ipc);
-        agg_features.push(out.agg);
-        captures.extend(out.captures);
     }
 
     Collection {
@@ -376,153 +602,6 @@ pub fn collect(config: &CollectionConfig) -> Collection {
         agg_features,
         captures,
         catalog: config.catalog.clone(),
-    }
-}
-
-/// Simulates and models one probe.
-fn process_probe(
-    config: &CollectionConfig,
-    keys: &[RunKey],
-    probe: &Probe,
-    program: &Program,
-) -> ProbeOutput {
-    let trace = probe.trace(program);
-    let scale = &config.scale;
-
-    let run = |arch: &MicroarchConfig, bug: Option<BugSpec>| -> (RunSeries, f64) {
-        // The presumed-bug-free defect contaminates every run: it is part
-        // of the "design" as far as this experiment is concerned.
-        let effective = bug.or(config.presumed_bugfree_bug);
-        let pr = simulate(arch, effective, &trace, scale.step_cycles);
-        let overall = pr.overall_ipc();
-        (
-            RunSeries {
-                rows: pr.counter_rows,
-                target: pr.ipc,
-                arch_features: arch.feature_vector(),
-            },
-            overall,
-        )
-    };
-
-    // Bug-free training (Set I) and validation (Set II) runs.
-    let train_runs: Vec<RunSeries> =
-        config.partition.train.iter().map(|a| run(a, None).0).collect();
-    let val_named: Vec<(String, RunSeries, f64)> = config
-        .partition
-        .val
-        .iter()
-        .map(|a| {
-            let (series, ipc) = run(a, None);
-            (a.name.clone(), series, ipc)
-        })
-        .collect();
-
-    // Counter selection on pooled Set-I data.
-    let selected = match &config.counter_mode {
-        CounterMode::Automatic(thresholds) => {
-            let mut rows = Vec::new();
-            let mut target = Vec::new();
-            for r in &train_runs {
-                rows.extend(r.rows.iter().cloned());
-                target.extend_from_slice(&r.target);
-            }
-            select_counters(&rows, &target, thresholds, &leakage_banned_counters())
-        }
-        CounterMode::Manual(cols) => cols.clone(),
-    };
-    let features = FeatureSpec {
-        selected,
-        arch_features: config.arch_features,
-        window: config.window.max(1),
-    };
-
-    // Evaluation runs for every key (reusing Set-II bug-free runs).
-    let arch_by_name = |name: &str| -> &MicroarchConfig {
-        config
-            .partition
-            .eval_archs()
-            .into_iter()
-            .find(|a| a.name == name)
-            .expect("key references partition design")
-    };
-    let mut eval_runs: Vec<(RunSeries, f64)> = Vec::with_capacity(keys.len());
-    for key in keys {
-        if key.bug.is_none() {
-            if let Some((_, series, ipc)) =
-                val_named.iter().find(|(name, _, _)| name == &key.arch)
-            {
-                eval_runs.push((series.clone(), *ipc));
-                continue;
-            }
-        }
-        let bug = key.bug.map(|i| config.catalog.variants()[i]);
-        eval_runs.push(run(arch_by_name(&key.arch), bug));
-    }
-
-    // Aggregated features for the baseline: mean counter row + design
-    // features + the simulated overall IPC.
-    let agg: Vec<Vec<f64>> = eval_runs
-        .iter()
-        .map(|(series, ipc)| {
-            let n = series.rows.len().max(1) as f64;
-            let width = series.rows.first().map_or(0, Vec::len);
-            let mut mean = vec![0.0; width];
-            for row in &series.rows {
-                for (m, v) in mean.iter_mut().zip(row) {
-                    *m += v;
-                }
-            }
-            mean.iter_mut().for_each(|m| *m /= n);
-            mean.extend_from_slice(&series.arch_features);
-            mean.push(*ipc);
-            mean
-        })
-        .collect();
-
-    // Train each engine once, infer on every key.
-    let val_runs: Vec<RunSeries> = val_named.iter().map(|(_, s, _)| s.clone()).collect();
-    let mut deltas = Vec::with_capacity(config.engines.len());
-    let mut times = Vec::with_capacity(config.engines.len());
-    let mut captures = Vec::new();
-    for engine in &config.engines {
-        let t0 = Instant::now();
-        let model = ProbeModel::train(engine, features.clone(), &train_runs, &val_runs);
-        let train_time = t0.elapsed();
-        let t1 = Instant::now();
-        let mut engine_deltas = Vec::with_capacity(keys.len());
-        for (key, (series, _)) in keys.iter().zip(&eval_runs) {
-            let inferred = model.infer(series);
-            let mut delta = inference_error(&series.target, &inferred);
-            if !delta.is_finite() || delta > DELTA_CEILING {
-                delta = DELTA_CEILING;
-            }
-            engine_deltas.push(delta);
-            let wanted = config.captures.iter().any(|c| {
-                c.probe_id == probe.id() && c.arch == key.arch && c.bug == key.bug
-            });
-            if wanted {
-                captures.push(CapturedSeries {
-                    probe_id: probe.id(),
-                    arch: key.arch.clone(),
-                    bug: key.bug,
-                    engine: engine.name(),
-                    simulated: series.target.clone(),
-                    inferred,
-                });
-            }
-        }
-        let infer_time = t1.elapsed();
-        deltas.push(engine_deltas);
-        times.push((train_time, infer_time));
-    }
-
-    ProbeOutput {
-        deltas,
-        times,
-        overall_ipc: eval_runs.iter().map(|(_, ipc)| *ipc).collect(),
-        agg,
-        captures,
     }
 }
 
@@ -662,9 +741,7 @@ pub fn evaluate_two_stage_subset(
             }
             let (has_bug, severity) = match key.bug {
                 None => (false, None),
-                Some(v) if held_out.contains(&v) => {
-                    (true, Some(Severity::grade(impacts[v])))
-                }
+                Some(v) if held_out.contains(&v) => (true, Some(Severity::grade(impacts[v]))),
                 Some(_) => continue,
             };
             let sample = sample_vector(deltas, probe_subset, k);
@@ -679,11 +756,19 @@ pub fn evaluate_two_stage_subset(
             .first()
             .map(|&v| col.catalog.variants()[v].type_name().to_string())
             .unwrap_or_default();
-        folds.push(FoldResult { type_id, type_name, decisions });
+        folds.push(FoldResult {
+            type_id,
+            type_name,
+            decisions,
+        });
     }
 
     let pooled: Vec<Decision> = folds.iter().flat_map(|f| f.decisions.clone()).collect();
-    Evaluation { metrics: DetectionMetrics::from_decisions(&pooled), folds, impacts }
+    Evaluation {
+        metrics: DetectionMetrics::from_decisions(&pooled),
+        folds,
+        impacts,
+    }
 }
 
 /// Evaluates the two-stage methodology over all probes.
@@ -707,7 +792,7 @@ pub fn evaluate_baseline(col: &Collection, params: &BaselineParams) -> Evaluatio
             .enumerate()
             .filter(|(_, key)| {
                 matches!(key.set, ArchSet::II | ArchSet::III)
-                    && key.bug.map_or(true, |v| !held_out.contains(&v))
+                    && key.bug.is_none_or(|v| !held_out.contains(&v))
             })
             .map(|(k, _)| k)
             .collect();
@@ -731,13 +816,12 @@ pub fn evaluate_baseline(col: &Collection, params: &BaselineParams) -> Evaluatio
             }
             let (has_bug, severity) = match key.bug {
                 None => (false, None),
-                Some(v) if held_out.contains(&v) => {
-                    (true, Some(Severity::grade(impacts[v])))
-                }
+                Some(v) if held_out.contains(&v) => (true, Some(Severity::grade(impacts[v]))),
                 Some(_) => continue,
             };
-            let features: Vec<&[f64]> =
-                (0..col.probes.len()).map(|p| col.agg_features[p][k].as_slice()).collect();
+            let features: Vec<&[f64]> = (0..col.probes.len())
+                .map(|p| col.agg_features[p][k].as_slice())
+                .collect();
             decisions.push(Decision {
                 score: clf.score(&features),
                 flagged: clf.classify(&features),
@@ -749,10 +833,18 @@ pub fn evaluate_baseline(col: &Collection, params: &BaselineParams) -> Evaluatio
             .first()
             .map(|&v| col.catalog.variants()[v].type_name().to_string())
             .unwrap_or_default();
-        folds.push(FoldResult { type_id, type_name, decisions });
+        folds.push(FoldResult {
+            type_id,
+            type_name,
+            decisions,
+        });
     }
     let pooled: Vec<Decision> = folds.iter().flat_map(|f| f.decisions.clone()).collect();
-    Evaluation { metrics: DetectionMetrics::from_decisions(&pooled), folds, impacts }
+    Evaluation {
+        metrics: DetectionMetrics::from_decisions(&pooled),
+        folds,
+        impacts,
+    }
 }
 
 /// Pools the Eq.-(1) errors of bug-free Set-IV runs for one engine — the
@@ -779,12 +871,17 @@ mod tests {
     /// A deliberately tiny configuration exercising the full pipeline.
     fn tiny_config() -> CollectionConfig {
         let catalog = BugCatalog::new(vec![
-            BugSpec::SerializeOpcode { x: perfbug_workloads::Opcode::Logic },
+            BugSpec::SerializeOpcode {
+                x: perfbug_workloads::Opcode::Logic,
+            },
             BugSpec::L2ExtraLatency { t: 30 },
             BugSpec::MispredictExtraDelay { t: 25 },
         ]);
         let mut config = CollectionConfig::new(
-            vec![EngineSpec::Gbt(GbtParams { n_trees: 40, ..GbtParams::default() })],
+            vec![EngineSpec::Gbt(GbtParams {
+                n_trees: 40,
+                ..GbtParams::default()
+            })],
             catalog,
         );
         config.scale = ProbeScale::tiny();

@@ -38,6 +38,7 @@ pub mod baseline;
 pub mod bugs;
 pub mod counter_select;
 pub mod detmetrics;
+pub mod exec;
 pub mod experiment;
 pub mod localize;
 pub mod memory;

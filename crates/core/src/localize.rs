@@ -38,11 +38,17 @@ pub fn traits_of(trace: &[Inst]) -> ProbeTraits {
     let control = trace.iter().filter(|i| i.opcode.is_control()).count() as f64 / n;
     values.push(("memory_bound".to_string(), memory));
     values.push(("control_bound".to_string(), control));
-    values.push(("compute_bound".to_string(), (1.0 - memory - control).max(0.0)));
+    values.push((
+        "compute_bound".to_string(),
+        (1.0 - memory - control).max(0.0),
+    ));
     let fp = trace
         .iter()
         .filter(|i| {
-            matches!(i.opcode, Opcode::FpAdd | Opcode::FpMul | Opcode::FpDiv | Opcode::VecFp)
+            matches!(
+                i.opcode,
+                Opcode::FpAdd | Opcode::FpMul | Opcode::FpDiv | Opcode::VecFp
+            )
         })
         .count() as f64
         / n;
@@ -87,7 +93,10 @@ impl Localization {
 /// meaningful correlation below that).
 pub fn localize(probes: &[(String, ProbeTraits)], gamma_pos: &[f64]) -> Localization {
     assert_eq!(probes.len(), gamma_pos.len(), "one gamma per probe");
-    assert!(probes.len() >= 3, "localisation needs at least three probes");
+    assert!(
+        probes.len() >= 3,
+        "localisation needs at least three probes"
+    );
 
     let mut ranked_probes: Vec<(String, f64)> = probes
         .iter()
@@ -122,10 +131,12 @@ pub fn localize(probes: &[(String, ProbeTraits)], gamma_pos: &[f64]) -> Localiza
             (name, r)
         })
         .collect();
-    trait_correlations
-        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    trait_correlations.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
-    Localization { ranked_probes, trait_correlations }
+    Localization {
+        ranked_probes,
+        trait_correlations,
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +148,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let mut inst = Inst::nop(0x1000 + i as u32 * 4);
-                inst.opcode = if (i as f64 / n as f64) < frac { Opcode::Xor } else { Opcode::Add };
+                inst.opcode = if (i as f64 / n as f64) < frac {
+                    Opcode::Xor
+                } else {
+                    Opcode::Add
+                };
                 inst.src1 = 1;
                 inst.src2 = 2;
                 inst.dst = 3;
@@ -151,11 +166,23 @@ mod tests {
     fn traits_sum_sensibly() {
         let trace = trace_with_xor_frac(0.25, 400);
         let traits = traits_of(&trace);
-        let xor = traits.values.iter().find(|(n, _)| n == "xor").expect("xor present").1;
+        let xor = traits
+            .values
+            .iter()
+            .find(|(n, _)| n == "xor")
+            .expect("xor present")
+            .1;
         assert!((xor - 0.25).abs() < 1e-9);
-        let compute =
-            traits.values.iter().find(|(n, _)| n == "compute_bound").expect("present").1;
-        assert!((compute - 1.0).abs() < 1e-9, "pure ALU trace is fully compute bound");
+        let compute = traits
+            .values
+            .iter()
+            .find(|(n, _)| n == "compute_bound")
+            .expect("present")
+            .1;
+        assert!(
+            (compute - 1.0).abs() < 1e-9,
+            "pure ALU trace is fully compute bound"
+        );
     }
 
     #[test]
@@ -172,7 +199,10 @@ mod tests {
         let loc = localize(&probes, &gammas);
         assert_eq!(loc.ranked_probes[0].0, "p5");
         let top = &loc.trait_correlations[0];
-        assert_eq!(top.0, "xor", "xor must be the most correlated trait: {loc:?}");
+        assert_eq!(
+            top.0, "xor",
+            "xor must be the most correlated trait: {loc:?}"
+        );
         assert!(top.1 > 0.9);
         assert!(loc.hypothesis().contains("xor"));
     }
@@ -180,7 +210,12 @@ mod tests {
     #[test]
     fn flat_gammas_yield_no_hypothesis() {
         let probes: Vec<(String, ProbeTraits)> = (0..4)
-            .map(|i| (format!("p{i}"), traits_of(&trace_with_xor_frac(0.1 * i as f64, 200))))
+            .map(|i| {
+                (
+                    format!("p{i}"),
+                    traits_of(&trace_with_xor_frac(0.1 * i as f64, 200)),
+                )
+            })
             .collect();
         let gammas = vec![1.0; 4];
         let loc = localize(&probes, &gammas);

@@ -5,19 +5,18 @@
 //! Results feed the same [`Collection`] / evaluation machinery as the core
 //! experiment.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use perfbug_memsim::{self as memsim, simulate_memory, MemArchConfig, MemBugSpec};
 use perfbug_uarch::ArchSet;
-use perfbug_workloads::{Probe, Program, WorkloadScale};
+use perfbug_workloads::{Probe, Program, RowMatrix, WorkloadScale};
 
 use crate::bugs::{BugCatalog, MemBugCatalog};
 use crate::counter_select::{select_counters, CounterMode, SelectionThresholds};
-use perfbug_memsim::mem_counter_names;
+use crate::exec;
 use crate::experiment::{Collection, EngineResult, ProbeMeta, RunKey};
 use crate::stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
+use perfbug_memsim::mem_counter_names;
 
 /// Which per-step series the stage-1 models learn to infer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +73,7 @@ impl MemCollectionConfig {
             }),
             catalog: MemBugCatalog::full(),
             max_probes: None,
-            threads: 2,
+            threads: exec::default_threads(),
         }
     }
 }
@@ -88,11 +87,11 @@ fn mem_set(set: memsim::ArchSet) -> ArchSet {
     }
 }
 
-struct MemProbeOutput {
-    deltas: Vec<Vec<f64>>,
-    times: Vec<(Duration, Duration)>,
-    overall: Vec<f64>,
-    agg: Vec<Vec<f64>>,
+/// Output of one (probe, engine) training task.
+struct MemTrainOutput {
+    deltas: Vec<f64>,
+    train_time: Duration,
+    infer_time: Duration,
 }
 
 /// Runs the memory-system collection pass. The returned [`Collection`]
@@ -105,21 +104,53 @@ struct MemProbeOutput {
 ///
 /// Panics if no engines are configured.
 pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
-    assert!(!config.engines.is_empty(), "collection needs at least one engine");
+    assert!(
+        !config.engines.is_empty(),
+        "collection needs at least one engine"
+    );
     let archs = memsim::config::all();
-    let train: Vec<&MemArchConfig> =
-        archs.iter().filter(|a| a.set == memsim::ArchSet::I).collect();
-    let eval: Vec<&MemArchConfig> =
-        archs.iter().filter(|a| a.set != memsim::ArchSet::I).collect();
-    let val: Vec<&MemArchConfig> =
-        archs.iter().filter(|a| a.set == memsim::ArchSet::II).collect();
+    let train: Vec<&MemArchConfig> = archs
+        .iter()
+        .filter(|a| a.set == memsim::ArchSet::I)
+        .collect();
+    let eval: Vec<&MemArchConfig> = archs
+        .iter()
+        .filter(|a| a.set != memsim::ArchSet::I)
+        .collect();
 
-    // Keys: every non-Set-I design, bug-free + every catalogue bug.
+    // The simulation-unit grid: Set-I bug-free runs first, then per
+    // evaluation design its bug-free reference run (shared between
+    // stage-1 validation and the bug-free key — the previous
+    // implementation simulated Set-II designs twice) and its bug runs.
+    let mut units: Vec<(&MemArchConfig, Option<usize>)> = Vec::new();
+    let mut train_units = Vec::new();
+    for arch in &train {
+        train_units.push(units.len());
+        units.push((arch, None));
+    }
+    let mut val_units = Vec::new();
+    let mut key_units = Vec::new();
     let mut keys = Vec::new();
     for arch in &eval {
-        keys.push(RunKey { arch: arch.name.clone(), set: mem_set(arch.set), bug: None });
+        let bugfree_unit = units.len();
+        units.push((arch, None));
+        if arch.set == memsim::ArchSet::II {
+            val_units.push(bugfree_unit);
+        }
+        key_units.push(bugfree_unit);
+        keys.push(RunKey {
+            arch: arch.name.clone(),
+            set: mem_set(arch.set),
+            bug: None,
+        });
         for i in 0..config.catalog.len() {
-            keys.push(RunKey { arch: arch.name.clone(), set: mem_set(arch.set), bug: Some(i) });
+            key_units.push(units.len());
+            units.push((arch, Some(i)));
+            keys.push(RunKey {
+                arch: arch.name.clone(),
+                set: mem_set(arch.set),
+                bug: Some(i),
+            });
         }
     }
 
@@ -146,51 +177,122 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
         })
         .collect();
 
-    let next = AtomicUsize::new(0);
-    let outputs: Mutex<Vec<Option<MemProbeOutput>>> =
-        Mutex::new((0..probes.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..config.threads.clamp(1, 8) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= probes.len() {
-                    break;
-                }
-                let (bi, probe) = &probes[i];
-                let out = process_mem_probe(config, &keys, probe, &programs[*bi], &train, &val, &eval);
-                outputs.lock().expect("worker poisoned the lock")[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    let outputs: Vec<MemProbeOutput> = outputs
-        .into_inner()
-        .expect("lock intact")
-        .into_iter()
-        .map(|o| o.expect("every probe processed"))
-        .collect();
+    let threads = config.threads.max(1);
+    let n_units = units.len();
+    let n_engines = config.engines.len();
+    let block = threads.max(2);
 
     let mut engines: Vec<EngineResult> = config
         .engines
         .iter()
         .map(|e| EngineResult {
             name: e.name(),
-            deltas: Vec::new(),
+            deltas: Vec::with_capacity(probes.len()),
             train_time: Duration::ZERO,
             infer_time: Duration::ZERO,
         })
         .collect();
-    let mut overall = Vec::new();
-    let mut agg = Vec::new();
-    for out in outputs {
-        for (e, engine) in engines.iter_mut().enumerate() {
-            engine.deltas.push(out.deltas[e].clone());
-            engine.train_time += out.times[e].0;
-            engine.infer_time += out.times[e].1;
+    let mut overall = Vec::with_capacity(probes.len());
+    let mut agg = Vec::with_capacity(probes.len());
+
+    for block_start in (0..probes.len()).step_by(block) {
+        let block_probes = &probes[block_start..(block_start + block).min(probes.len())];
+
+        let traces: Vec<Vec<perfbug_workloads::Inst>> =
+            exec::parallel_map(block_probes.len(), threads, |i| {
+                let (bi, probe) = &block_probes[i];
+                probe.trace(&programs[*bi])
+            });
+
+        // Phase A: the (probe x unit) simulation grid.
+        let sims: Vec<(RunSeries, f64)> =
+            exec::parallel_map(block_probes.len() * n_units, threads, |t| {
+                let (pi, u) = (t / n_units, t % n_units);
+                let (arch, bug_idx) = units[u];
+                let bug = bug_idx.map(|i| config.catalog.variants()[i]);
+                mem_run(config, arch, bug, &traces[pi])
+            });
+        let sims_of = |pi: usize| &sims[pi * n_units..(pi + 1) * n_units];
+
+        // Phase B: per-probe counter selection and baseline aggregates.
+        let preps: Vec<(FeatureSpec, Vec<Vec<f64>>, Vec<f64>)> =
+            exec::parallel_map(block_probes.len(), threads, |pi| {
+                let sims = sims_of(pi);
+                let features = FeatureSpec {
+                    selected: select_mem_counters(config, sims, &train_units),
+                    arch_features: true,
+                    window: 1,
+                };
+                let agg: Vec<Vec<f64>> = key_units
+                    .iter()
+                    .map(|&u| {
+                        let (series, overall) = &sims[u];
+                        let n = series.rows.len().max(1) as f64;
+                        let mut mean = vec![0.0; series.rows.width()];
+                        for row in &series.rows {
+                            for (m, v) in mean.iter_mut().zip(row) {
+                                *m += v;
+                            }
+                        }
+                        mean.iter_mut().for_each(|m| *m /= n);
+                        mean.extend_from_slice(&series.arch_features);
+                        mean.push(*overall);
+                        mean
+                    })
+                    .collect();
+                let overall = key_units.iter().map(|&u| sims[u].1).collect();
+                (features, agg, overall)
+            });
+
+        // Phase C: the (probe x engine) stage-1 training grid.
+        let outputs: Vec<MemTrainOutput> =
+            exec::parallel_map(block_probes.len() * n_engines, threads, |t| {
+                let (pi, e) = (t / n_engines, t % n_engines);
+                let sims = sims_of(pi);
+                let train_refs: Vec<&RunSeries> = train_units.iter().map(|&u| &sims[u].0).collect();
+                let val_refs: Vec<&RunSeries> = val_units.iter().map(|&u| &sims[u].0).collect();
+                let t0 = Instant::now();
+                let model = ProbeModel::train(
+                    &config.engines[e],
+                    preps[pi].0.clone(),
+                    &train_refs,
+                    &val_refs,
+                );
+                let train_time = t0.elapsed();
+                let t1 = Instant::now();
+                let deltas: Vec<f64> = key_units
+                    .iter()
+                    .map(|&u| {
+                        let series = &sims[u].0;
+                        let inferred = model.infer(series);
+                        let delta = inference_error(&series.target, &inferred);
+                        if delta.is_finite() {
+                            delta.min(crate::experiment::DELTA_CEILING)
+                        } else {
+                            crate::experiment::DELTA_CEILING
+                        }
+                    })
+                    .collect();
+                MemTrainOutput {
+                    deltas,
+                    train_time,
+                    infer_time: t1.elapsed(),
+                }
+            });
+
+        // Consume the task outputs so delta vectors move instead of
+        // cloning.
+        let mut outputs = outputs.into_iter();
+        for (_, probe_agg, probe_overall) in preps {
+            overall.push(probe_overall);
+            agg.push(probe_agg);
+            for engine in engines.iter_mut() {
+                let out = outputs.next().expect("one output per (probe, engine)");
+                engine.deltas.push(out.deltas);
+                engine.train_time += out.train_time;
+                engine.infer_time += out.infer_time;
+            }
         }
-        overall.push(out.overall);
-        agg.push(out.agg);
     }
 
     Collection {
@@ -201,6 +303,65 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
         agg_features: agg,
         captures: Vec::new(),
         catalog: mem_catalog_as_core(&config.catalog),
+    }
+}
+
+/// Simulates one memory run and shapes it for stage 1.
+fn mem_run(
+    config: &MemCollectionConfig,
+    arch: &MemArchConfig,
+    bug: Option<MemBugSpec>,
+    trace: &[perfbug_workloads::Inst],
+) -> (RunSeries, f64) {
+    let mr = simulate_memory(arch, bug, trace, config.step_cycles);
+    let (target, overall) = match config.metric {
+        TargetMetric::Ipc => (mr.ipc.clone(), mr.overall_ipc()),
+        TargetMetric::Amat => (mr.amat.clone(), mr.overall_amat()),
+    };
+    (
+        RunSeries {
+            rows: mr.counter_rows,
+            target,
+            arch_features: arch.feature_vector(),
+        },
+        overall,
+    )
+}
+
+/// Counter selection over the pooled Set-I runs of one probe.
+fn select_mem_counters(
+    config: &MemCollectionConfig,
+    sims: &[(RunSeries, f64)],
+    train_units: &[usize],
+) -> Vec<usize> {
+    match &config.counter_mode {
+        CounterMode::Automatic(thresholds) => {
+            let mut rows = RowMatrix::new(0);
+            let mut target = Vec::new();
+            for &u in train_units {
+                rows.extend_from(&sims[u].0.rows);
+                target.extend_from_slice(&sims[u].0.target);
+            }
+            // Same feature policy as the core experiment (see
+            // `leakage_banned_counters`): only composition/rate columns
+            // are candidates. "amat" is additionally the literal target
+            // when TargetMetric::Amat is selected.
+            let allowed = [
+                "l1d_miss_rate",
+                "l2_miss_rate",
+                "llc_miss_rate",
+                "pf_accuracy",
+                "mpki",
+            ];
+            let banned: Vec<usize> = mem_counter_names()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| !allowed.contains(&n.to_string().as_str()))
+                .map(|(i, _)| i)
+                .collect();
+            select_counters(&rows, &target, thresholds, &banned)
+        }
+        CounterMode::Manual(cols) => cols.clone(),
     }
 }
 
@@ -215,9 +376,15 @@ pub fn mem_catalog_as_core(catalog: &MemBugCatalog) -> BugCatalog {
     // ids must line up 1:1.
     let placeholder = |type_id: u32| -> BugSpec {
         match type_id {
-            1 => BugSpec::SerializeOpcode { x: perfbug_workloads::Opcode::Xor },
-            2 => BugSpec::IssueOnlyIfOldest { x: perfbug_workloads::Opcode::Xor },
-            3 => BugSpec::IfOldestIssueOnlyX { x: perfbug_workloads::Opcode::Xor },
+            1 => BugSpec::SerializeOpcode {
+                x: perfbug_workloads::Opcode::Xor,
+            },
+            2 => BugSpec::IssueOnlyIfOldest {
+                x: perfbug_workloads::Opcode::Xor,
+            },
+            3 => BugSpec::IfOldestIssueOnlyX {
+                x: perfbug_workloads::Opcode::Xor,
+            },
             4 => BugSpec::DelayIfDependsOn {
                 x: perfbug_workloads::Opcode::Add,
                 y: perfbug_workloads::Opcode::Load,
@@ -228,7 +395,11 @@ pub fn mem_catalog_as_core(catalog: &MemBugCatalog) -> BugCatalog {
         }
     };
     BugCatalog::new(
-        catalog.variants().iter().map(|m| placeholder(m.type_id())).collect(),
+        catalog
+            .variants()
+            .iter()
+            .map(|m| placeholder(m.type_id()))
+            .collect(),
     )
 }
 
@@ -236,116 +407,6 @@ pub fn mem_catalog_as_core(catalog: &MemBugCatalog) -> BugCatalog {
 /// collection's catalogue order.
 pub fn mem_variant_names(catalog: &MemBugCatalog) -> Vec<String> {
     catalog.variants().iter().map(|v| v.describe()).collect()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn process_mem_probe(
-    config: &MemCollectionConfig,
-    keys: &[RunKey],
-    probe: &Probe,
-    program: &Program,
-    train: &[&MemArchConfig],
-    val: &[&MemArchConfig],
-    eval: &[&MemArchConfig],
-) -> MemProbeOutput {
-    let trace = probe.trace(program);
-    let run = |arch: &MemArchConfig, bug: Option<MemBugSpec>| -> (RunSeries, f64) {
-        let mr = simulate_memory(arch, bug, &trace, config.step_cycles);
-        let (target, overall) = match config.metric {
-            TargetMetric::Ipc => (mr.ipc.clone(), mr.overall_ipc()),
-            TargetMetric::Amat => (mr.amat.clone(), mr.overall_amat()),
-        };
-        (
-            RunSeries { rows: mr.counter_rows, target, arch_features: arch.feature_vector() },
-            overall,
-        )
-    };
-
-    let train_runs: Vec<RunSeries> = train.iter().map(|a| run(a, None).0).collect();
-    let val_runs: Vec<RunSeries> = val.iter().map(|a| run(a, None).0).collect();
-
-    let selected = match &config.counter_mode {
-        CounterMode::Automatic(thresholds) => {
-            let mut rows = Vec::new();
-            let mut target = Vec::new();
-            for r in &train_runs {
-                rows.extend(r.rows.iter().cloned());
-                target.extend_from_slice(&r.target);
-            }
-            // Same feature policy as the core experiment (see
-            // `leakage_banned_counters`): only composition/rate columns
-            // are candidates. "amat" is additionally the literal target
-            // when TargetMetric::Amat is selected.
-            let allowed = ["l1d_miss_rate", "l2_miss_rate", "llc_miss_rate", "pf_accuracy", "mpki"];
-            let banned: Vec<usize> = mem_counter_names()
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| !allowed.contains(&n.to_string().as_str()))
-                .map(|(i, _)| i)
-                .collect();
-            select_counters(&rows, &target, thresholds, &banned)
-        }
-        CounterMode::Manual(cols) => cols.clone(),
-    };
-    let features = FeatureSpec { selected, arch_features: true, window: 1 };
-
-    let arch_by_name =
-        |name: &str| -> &MemArchConfig { eval.iter().find(|a| a.name == name).expect("key design") };
-    let eval_runs: Vec<(RunSeries, f64)> = keys
-        .iter()
-        .map(|key| {
-            let bug = key.bug.map(|i| config.catalog.variants()[i]);
-            run(arch_by_name(&key.arch), bug)
-        })
-        .collect();
-
-    let agg: Vec<Vec<f64>> = eval_runs
-        .iter()
-        .map(|(series, overall)| {
-            let n = series.rows.len().max(1) as f64;
-            let width = series.rows.first().map_or(0, Vec::len);
-            let mut mean = vec![0.0; width];
-            for row in &series.rows {
-                for (m, v) in mean.iter_mut().zip(row) {
-                    *m += v;
-                }
-            }
-            mean.iter_mut().for_each(|m| *m /= n);
-            mean.extend_from_slice(&series.arch_features);
-            mean.push(*overall);
-            mean
-        })
-        .collect();
-
-    let mut deltas = Vec::new();
-    let mut times = Vec::new();
-    for engine in &config.engines {
-        let t0 = Instant::now();
-        let model = ProbeModel::train(engine, features.clone(), &train_runs, &val_runs);
-        let train_time = t0.elapsed();
-        let t1 = Instant::now();
-        let engine_deltas: Vec<f64> = eval_runs
-            .iter()
-            .map(|(series, _)| {
-                let inferred = model.infer(series);
-                let delta = inference_error(&series.target, &inferred);
-                if delta.is_finite() {
-                    delta.min(1e6)
-                } else {
-                    1e6
-                }
-            })
-            .collect();
-        times.push((train_time, t1.elapsed()));
-        deltas.push(engine_deltas);
-    }
-
-    MemProbeOutput {
-        deltas,
-        times,
-        overall: eval_runs.iter().map(|(_, o)| *o).collect(),
-        agg,
-    }
 }
 
 #[cfg(test)]
@@ -357,7 +418,10 @@ mod tests {
 
     fn tiny_mem_config() -> MemCollectionConfig {
         let mut config = MemCollectionConfig::new(
-            vec![EngineSpec::Gbt(GbtParams { n_trees: 30, ..GbtParams::default() })],
+            vec![EngineSpec::Gbt(GbtParams {
+                n_trees: 30,
+                ..GbtParams::default()
+            })],
             TargetMetric::Amat,
         );
         config.workload = WorkloadScale::tiny();

@@ -6,9 +6,10 @@
 //! inference-error signal (Eq. 1) that stage 2 turns into a bug verdict.
 
 use perfbug_ml::{
-    Cnn, CnnParams, Dataset, Gbt, GbtParams, Lasso, LassoParams, Lstm, LstmParams, Mlp,
-    MlpParams, Regressor, Sequence, SequenceRegressor,
+    Cnn, CnnParams, Dataset, Gbt, GbtParams, Lasso, LassoParams, Lstm, LstmParams, Mlp, MlpParams,
+    Regressor, Sequence, SequenceRegressor,
 };
+use perfbug_workloads::RowMatrix;
 
 /// One simulated probe run prepared for modelling: per-step counter rows,
 /// the per-step target (IPC for the core study, IPC or AMAT for the memory
@@ -16,8 +17,8 @@ use perfbug_ml::{
 #[derive(Debug, Clone)]
 pub struct RunSeries {
     /// Per-step counter feature rows (full counter set; selection happens
-    /// in [`FeatureSpec`]).
-    pub rows: Vec<Vec<f64>>,
+    /// in [`FeatureSpec`]), stored contiguously.
+    pub rows: RowMatrix,
     /// Per-step target values aligned with `rows`.
     pub target: Vec<f64>,
     /// Static microarchitecture design-parameter features.
@@ -45,11 +46,10 @@ impl FeatureSpec {
         let w = self.window.max(1);
         (0..run.rows.len())
             .map(|t| {
-                let mut row =
-                    Vec::with_capacity(self.selected.len() * w + run.arch_features.len());
+                let mut row = Vec::with_capacity(self.selected.len() * w + run.arch_features.len());
                 for k in 0..w {
                     let idx = t.saturating_sub(w - 1 - k);
-                    let src = &run.rows[idx];
+                    let src = run.rows.row(idx);
                     row.extend(self.selected.iter().map(|&c| src[c]));
                 }
                 if self.arch_features {
@@ -97,12 +97,18 @@ impl EngineSpec {
 
     /// The paper's best-performing configuration (GBT-250).
     pub fn gbt250() -> Self {
-        EngineSpec::Gbt(GbtParams { n_trees: 250, ..GbtParams::default() })
+        EngineSpec::Gbt(GbtParams {
+            n_trees: 250,
+            ..GbtParams::default()
+        })
     }
 
     /// GBT-150 (the other boosted-tree row of Table IV).
     pub fn gbt150() -> Self {
-        EngineSpec::Gbt(GbtParams { n_trees: 150, ..GbtParams::default() })
+        EngineSpec::Gbt(GbtParams {
+            n_trees: 150,
+            ..GbtParams::default()
+        })
     }
 }
 
@@ -129,7 +135,9 @@ pub struct ProbeModel {
 
 impl ProbeModel {
     /// Trains a model on the bug-free training runs, early-stopping on the
-    /// validation runs where the engine supports it.
+    /// validation runs where the engine supports it. Runs are borrowed so
+    /// the caller's simulation results can be shared between consumers
+    /// without cloning the counter series.
     ///
     /// # Panics
     ///
@@ -137,13 +145,13 @@ impl ProbeModel {
     pub fn train(
         engine: &EngineSpec,
         features: FeatureSpec,
-        train: &[RunSeries],
-        val: &[RunSeries],
+        train: &[&RunSeries],
+        val: &[&RunSeries],
     ) -> ProbeModel {
         assert!(!train.is_empty(), "stage 1 needs training runs");
         let model = match engine {
             EngineSpec::Lstm(params) => {
-                let to_seq = |runs: &[RunSeries]| -> Vec<Sequence> {
+                let to_seq = |runs: &[&RunSeries]| -> Vec<Sequence> {
                     runs.iter()
                         .filter(|r| !r.rows.is_empty())
                         .map(|r| {
@@ -157,12 +165,16 @@ impl ProbeModel {
                 let mut lstm = Lstm::new(*params);
                 lstm.fit_sequences(
                     &train_seqs,
-                    if val_seqs.is_empty() { None } else { Some(&val_seqs) },
+                    if val_seqs.is_empty() {
+                        None
+                    } else {
+                        Some(&val_seqs)
+                    },
                 );
                 Trained::Seq(Box::new(lstm))
             }
             _ => {
-                let to_dataset = |runs: &[RunSeries]| -> Dataset {
+                let to_dataset = |runs: &[&RunSeries]| -> Dataset {
                     let mut rows = Vec::new();
                     let mut y = Vec::new();
                     for r in runs {
@@ -238,7 +250,11 @@ mod tests {
             })
             .collect();
         let target: Vec<f64> = rows.iter().map(|r| r[0] * 0.8 + 0.1).collect();
-        RunSeries { rows, target, arch_features: vec![offset] }
+        RunSeries {
+            rows: RowMatrix::from_rows(&rows),
+            target,
+            arch_features: vec![offset],
+        }
     }
 
     #[test]
@@ -265,25 +281,34 @@ mod tests {
     #[test]
     fn windowed_features_stack_history() {
         let run = toy_run(0.0, 5);
-        let spec = FeatureSpec { selected: vec![0, 2], arch_features: true, window: 2 };
+        let spec = FeatureSpec {
+            selected: vec![0, 2],
+            arch_features: true,
+            window: 2,
+        };
         let built = spec.build(&run);
         assert_eq!(built.len(), 5);
         // 2 selected x window 2 + 1 arch feature.
         assert_eq!(built[3].len(), 5);
         // Step 3's window is steps 2 and 3.
-        assert_eq!(built[3][0], run.rows[2][0]);
-        assert_eq!(built[3][2], run.rows[3][0]);
+        assert_eq!(built[3][0], run.rows.row(2)[0]);
+        assert_eq!(built[3][2], run.rows.row(3)[0]);
         // First step clamps to itself.
-        assert_eq!(built[0][0], run.rows[0][0]);
-        assert_eq!(built[0][2], run.rows[0][0]);
+        assert_eq!(built[0][0], run.rows.row(0)[0]);
+        assert_eq!(built[0][2], run.rows.row(0)[0]);
     }
 
     #[test]
     fn gbt_model_fits_bug_free_runs() {
         let train: Vec<RunSeries> = (0..4).map(|i| toy_run(i as f64 * 0.2, 30)).collect();
-        let val = vec![toy_run(0.15, 30)];
-        let features = FeatureSpec { selected: vec![0, 1], arch_features: true, window: 1 };
-        let model = ProbeModel::train(&EngineSpec::gbt250(), features, &train, &val);
+        let train_refs: Vec<&RunSeries> = train.iter().collect();
+        let val = toy_run(0.15, 30);
+        let features = FeatureSpec {
+            selected: vec![0, 1],
+            arch_features: true,
+            window: 1,
+        };
+        let model = ProbeModel::train(&EngineSpec::gbt250(), features, &train_refs, &[&val]);
         let test = toy_run(0.1, 30);
         let inferred = model.infer(&test);
         let err = inference_error(&test.target, &inferred);
@@ -294,13 +319,18 @@ mod tests {
     #[test]
     fn lstm_engine_trains_and_infers() {
         let train: Vec<RunSeries> = (0..3).map(|i| toy_run(i as f64 * 0.2, 15)).collect();
-        let features = FeatureSpec { selected: vec![0], arch_features: false, window: 1 };
+        let train_refs: Vec<&RunSeries> = train.iter().collect();
+        let features = FeatureSpec {
+            selected: vec![0],
+            arch_features: false,
+            window: 1,
+        };
         let engine = EngineSpec::Lstm(LstmParams {
             hidden: 8,
             max_epochs: 40,
             ..LstmParams::default()
         });
-        let model = ProbeModel::train(&engine, features, &train, &[]);
+        let model = ProbeModel::train(&engine, features, &train_refs, &[]);
         let preds = model.infer(&train[0]);
         assert_eq!(preds.len(), 15);
         assert!(preds.iter().all(|p| p.is_finite()));
@@ -310,17 +340,29 @@ mod tests {
     fn engine_names_match_paper_convention() {
         assert_eq!(EngineSpec::gbt250().name(), "GBT-250");
         assert_eq!(
-            EngineSpec::Lstm(LstmParams { layers: 1, hidden: 500, ..LstmParams::default() })
-                .name(),
+            EngineSpec::Lstm(LstmParams {
+                layers: 1,
+                hidden: 500,
+                ..LstmParams::default()
+            })
+            .name(),
             "1-LSTM-500"
         );
         assert_eq!(
-            EngineSpec::Mlp(MlpParams { hidden: vec![2500], ..MlpParams::default() }).name(),
+            EngineSpec::Mlp(MlpParams {
+                hidden: vec![2500],
+                ..MlpParams::default()
+            })
+            .name(),
             "1-MLP-2500"
         );
         assert_eq!(
-            EngineSpec::Cnn(CnnParams { conv_blocks: 4, hidden: 150, ..CnnParams::default() })
-                .name(),
+            EngineSpec::Cnn(CnnParams {
+                conv_blocks: 4,
+                hidden: 150,
+                ..CnnParams::default()
+            })
+            .name(),
             "4-CNN-150"
         );
         assert_eq!(EngineSpec::Lasso(LassoParams::default()).name(), "Lasso");

@@ -45,7 +45,11 @@ impl Stage2Params {
     /// error scales where bugs inflate probe errors by an order of
     /// magnitude; kept for ablation.
     pub fn paper_thresholds() -> Self {
-        Stage2Params { eta: 15.0, lambda: 5.0, ..Stage2Params::default() }
+        Stage2Params {
+            eta: 15.0,
+            lambda: 5.0,
+            ..Stage2Params::default()
+        }
     }
 }
 
@@ -79,11 +83,20 @@ impl Stage2Classifier {
     ///
     /// Panics if either class is empty or vector lengths are inconsistent.
     pub fn fit(params: Stage2Params, positives: &[Vec<f64>], negatives: &[Vec<f64>]) -> Self {
-        assert!(!positives.is_empty(), "stage 2 needs positive (buggy) samples");
-        assert!(!negatives.is_empty(), "stage 2 needs negative (bug-free) samples");
+        assert!(
+            !positives.is_empty(),
+            "stage 2 needs positive (buggy) samples"
+        );
+        assert!(
+            !negatives.is_empty(),
+            "stage 2 needs negative (bug-free) samples"
+        );
         let n_probes = positives[0].len();
         assert!(
-            positives.iter().chain(negatives).all(|v| v.len() == n_probes),
+            positives
+                .iter()
+                .chain(negatives)
+                .all(|v| v.len() == n_probes),
             "all error vectors must cover the same probes"
         );
 
@@ -178,8 +191,9 @@ mod tests {
         let positives: Vec<Vec<f64>> = (0..8)
             .map(|i| vec![0.1 + 0.01 * i as f64, 2.0 + 0.1 * i as f64, 0.2])
             .collect();
-        let negatives: Vec<Vec<f64>> =
-            (0..6).map(|i| vec![0.1 + 0.01 * i as f64, 0.15, 0.18]).collect();
+        let negatives: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.1 + 0.01 * i as f64, 0.15, 0.18])
+            .collect();
         (positives, negatives)
     }
 

@@ -101,9 +101,17 @@ mod tests {
     #[test]
     fn type_ids_cover_one_to_six() {
         let bugs = [
-            MemBugSpec::NoAgeUpdate { level: CacheLevel::L1d },
-            MemBugSpec::EvictMru { level: CacheLevel::L2 },
-            MemBugSpec::MissesDelay { level: CacheLevel::L1d, n: 100, t: 5 },
+            MemBugSpec::NoAgeUpdate {
+                level: CacheLevel::L1d,
+            },
+            MemBugSpec::EvictMru {
+                level: CacheLevel::L2,
+            },
+            MemBugSpec::MissesDelay {
+                level: CacheLevel::L1d,
+                n: 100,
+                t: 5,
+            },
             MemBugSpec::SppSignatureReset,
             MemBugSpec::SppLeastConfidence,
             MemBugSpec::SppDroppedPrefetch { n: 4 },

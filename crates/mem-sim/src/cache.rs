@@ -96,7 +96,9 @@ impl AgedCache {
 
     fn access_inner(&mut self, addr: u64, _is_write: bool) -> LookupResult {
         let (base, tag) = self.slot_range(addr);
-        let hit_way = self.tags[base..base + self.ways].iter().position(|&t| t == tag);
+        let hit_way = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag);
         match hit_way {
             Some(way) => {
                 let was_prefetch = self.prefetched[base + way];
@@ -104,7 +106,10 @@ impl AgedCache {
                 if !self.bugs.skip_age_update {
                     self.touch(base, way);
                 }
-                LookupResult { hit: true, prefetch_hit: was_prefetch }
+                LookupResult {
+                    hit: true,
+                    prefetch_hit: was_prefetch,
+                }
             }
             None => {
                 let victim = self.pick_victim(base);
@@ -113,22 +118,36 @@ impl AgedCache {
                 // Fills always stamp the age (the line must have *some*
                 // recency state); bug 1 affects the hit path.
                 self.touch(base, victim);
-                LookupResult { hit: false, prefetch_hit: false }
+                LookupResult {
+                    hit: false,
+                    prefetch_hit: false,
+                }
             }
         }
     }
 
     fn pick_victim(&self, base: usize) -> usize {
         // Invalid ways first.
-        if let Some(w) = self.tags[base..base + self.ways].iter().position(|&t| t == u64::MAX) {
+        if let Some(w) = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == u64::MAX)
+        {
             return w;
         }
         let ages = &self.ages[base..base + self.ways];
         if self.bugs.evict_mru {
             // Most recently used = smallest age.
-            ages.iter().enumerate().min_by_key(|(_, &a)| a).map(|(i, _)| i).expect("ways > 0")
+            ages.iter()
+                .enumerate()
+                .min_by_key(|(_, &a)| a)
+                .map(|(i, _)| i)
+                .expect("ways > 0")
         } else {
-            ages.iter().enumerate().max_by_key(|(_, &a)| a).map(|(i, _)| i).expect("ways > 0")
+            ages.iter()
+                .enumerate()
+                .max_by_key(|(_, &a)| a)
+                .map(|(i, _)| i)
+                .expect("ways > 0")
         }
     }
 
@@ -179,7 +198,10 @@ mod tests {
     #[test]
     fn bug_no_age_update_forgets_recency() {
         let mut c = cache2();
-        c.set_bugs(ReplacementBugs { skip_age_update: true, ..Default::default() });
+        c.set_bugs(ReplacementBugs {
+            skip_age_update: true,
+            ..Default::default()
+        });
         let (a, b, d) = (0u64, 128, 256);
         c.access(a);
         c.access(b);
@@ -192,7 +214,10 @@ mod tests {
     #[test]
     fn bug_evict_mru_thrashes() {
         let mut c = cache2();
-        c.set_bugs(ReplacementBugs { evict_mru: true, ..Default::default() });
+        c.set_bugs(ReplacementBugs {
+            evict_mru: true,
+            ..Default::default()
+        });
         let (a, b, d) = (0u64, 128, 256);
         c.access(a);
         c.access(b); // b is MRU
@@ -205,7 +230,10 @@ mod tests {
         let mut c = cache2();
         assert!(!c.prefetch_fill(0));
         let r = c.access(0);
-        assert!(r.hit && r.prefetch_hit, "first demand hit sees the prefetch bit");
+        assert!(
+            r.hit && r.prefetch_hit,
+            "first demand hit sees the prefetch bit"
+        );
         let r = c.access(0);
         assert!(r.hit && !r.prefetch_hit, "bit clears after first use");
     }

@@ -43,12 +43,20 @@ pub struct LevelConfig {
 impl LevelConfig {
     /// Convenience constructor with KiB sizing.
     pub fn kib(size_kib: u64, assoc: u32, latency: u32) -> Self {
-        LevelConfig { size: size_kib * 1024, assoc, latency }
+        LevelConfig {
+            size: size_kib * 1024,
+            assoc,
+            latency,
+        }
     }
 
     /// Convenience constructor with MiB sizing.
     pub fn mib(size_mib: u64, assoc: u32, latency: u32) -> Self {
-        LevelConfig { size: size_mib * 1024 * 1024, assoc, latency }
+        LevelConfig {
+            size: size_mib * 1024 * 1024,
+            assoc,
+            latency,
+        }
     }
 }
 
@@ -136,18 +144,114 @@ fn mem_arch(
 /// The twelve memory-hierarchy designs of the §IV-D evaluation.
 pub fn all() -> Vec<MemArchConfig> {
     vec![
-        mem_arch("Nehalem", ArchSet::I, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(256, 8, 10), LevelConfig::mib(8, 16, 38), 220),
-        mem_arch("Sandybridge", ArchSet::I, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(256, 8, 11), LevelConfig::mib(8, 16, 30), 210),
-        mem_arch("Haswell", ArchSet::I, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(256, 8, 11), LevelConfig::mib(8, 16, 34), 205),
-        mem_arch("Artificial M1", ArchSet::I, false, LevelConfig::kib(64, 4, 5), LevelConfig::kib(512, 8, 14), LevelConfig::mib(4, 16, 30), 240),
-        mem_arch("Artificial M2", ArchSet::I, false, LevelConfig::kib(16, 4, 3), LevelConfig::mib(1, 16, 18), LevelConfig::mib(16, 32, 44), 190),
-        mem_arch("Ivybridge", ArchSet::II, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(256, 8, 11), LevelConfig::mib(16, 16, 30), 215),
-        mem_arch("Artificial M3", ArchSet::II, false, LevelConfig::kib(32, 2, 3), LevelConfig::kib(512, 4, 12), LevelConfig::mib(2, 8, 26), 230),
-        mem_arch("Broadwell", ArchSet::III, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(256, 8, 12), LevelConfig::mib(6, 16, 42), 200),
-        mem_arch("Artificial M4", ArchSet::III, false, LevelConfig::kib(48, 12, 5), LevelConfig::mib(1, 16, 16), LevelConfig::mib(12, 12, 40), 225),
-        mem_arch("K10", ArchSet::IV, true, LevelConfig::kib(64, 2, 3), LevelConfig::kib(512, 16, 12), LevelConfig::mib(6, 16, 40), 235),
-        mem_arch("Ryzen7", ArchSet::IV, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(512, 8, 12), LevelConfig::mib(8, 16, 35), 200),
-        mem_arch("Skylake", ArchSet::IV, true, LevelConfig::kib(32, 8, 4), LevelConfig::kib(256, 4, 12), LevelConfig::mib(8, 16, 34), 195),
+        mem_arch(
+            "Nehalem",
+            ArchSet::I,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(256, 8, 10),
+            LevelConfig::mib(8, 16, 38),
+            220,
+        ),
+        mem_arch(
+            "Sandybridge",
+            ArchSet::I,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(256, 8, 11),
+            LevelConfig::mib(8, 16, 30),
+            210,
+        ),
+        mem_arch(
+            "Haswell",
+            ArchSet::I,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(256, 8, 11),
+            LevelConfig::mib(8, 16, 34),
+            205,
+        ),
+        mem_arch(
+            "Artificial M1",
+            ArchSet::I,
+            false,
+            LevelConfig::kib(64, 4, 5),
+            LevelConfig::kib(512, 8, 14),
+            LevelConfig::mib(4, 16, 30),
+            240,
+        ),
+        mem_arch(
+            "Artificial M2",
+            ArchSet::I,
+            false,
+            LevelConfig::kib(16, 4, 3),
+            LevelConfig::mib(1, 16, 18),
+            LevelConfig::mib(16, 32, 44),
+            190,
+        ),
+        mem_arch(
+            "Ivybridge",
+            ArchSet::II,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(256, 8, 11),
+            LevelConfig::mib(16, 16, 30),
+            215,
+        ),
+        mem_arch(
+            "Artificial M3",
+            ArchSet::II,
+            false,
+            LevelConfig::kib(32, 2, 3),
+            LevelConfig::kib(512, 4, 12),
+            LevelConfig::mib(2, 8, 26),
+            230,
+        ),
+        mem_arch(
+            "Broadwell",
+            ArchSet::III,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(256, 8, 12),
+            LevelConfig::mib(6, 16, 42),
+            200,
+        ),
+        mem_arch(
+            "Artificial M4",
+            ArchSet::III,
+            false,
+            LevelConfig::kib(48, 12, 5),
+            LevelConfig::mib(1, 16, 16),
+            LevelConfig::mib(12, 12, 40),
+            225,
+        ),
+        mem_arch(
+            "K10",
+            ArchSet::IV,
+            true,
+            LevelConfig::kib(64, 2, 3),
+            LevelConfig::kib(512, 16, 12),
+            LevelConfig::mib(6, 16, 40),
+            235,
+        ),
+        mem_arch(
+            "Ryzen7",
+            ArchSet::IV,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(512, 8, 12),
+            LevelConfig::mib(8, 16, 35),
+            200,
+        ),
+        mem_arch(
+            "Skylake",
+            ArchSet::IV,
+            true,
+            LevelConfig::kib(32, 8, 4),
+            LevelConfig::kib(256, 4, 12),
+            LevelConfig::mib(8, 16, 34),
+            195,
+        ),
     ]
 }
 
@@ -183,6 +287,9 @@ mod tests {
     #[test]
     fn feature_vector_matches_names() {
         let cfg = by_name("Skylake").unwrap();
-        assert_eq!(cfg.feature_vector().len(), MemArchConfig::feature_names().len());
+        assert_eq!(
+            cfg.feature_vector().len(),
+            MemArchConfig::feature_names().len()
+        );
     }
 }

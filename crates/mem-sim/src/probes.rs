@@ -41,7 +41,10 @@ mod tests {
         let suite = memory_suite();
         assert_eq!(suite.len(), 7);
         let total: usize = suite.iter().map(|s| s.k).sum();
-        assert_eq!(total, 22, "the paper uses 22 SimPoints for the memory study");
+        assert_eq!(
+            total, 22,
+            "the paper uses 22 SimPoints for the memory study"
+        );
     }
 
     #[test]

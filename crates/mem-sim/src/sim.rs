@@ -8,7 +8,7 @@
 //! window without simulating one — the per-step *shape* of AMAT and IPC is
 //! what the stage-1 models consume.
 
-use perfbug_workloads::{Inst, Opcode};
+use perfbug_workloads::{Inst, Opcode, RowMatrix};
 
 use crate::bugs::{CacheLevel, MemBugSpec};
 use crate::cache::{AgedCache, ReplacementBugs};
@@ -94,8 +94,9 @@ impl Raw {
 /// Result of simulating one probe on one memory hierarchy.
 #[derive(Debug, Clone)]
 pub struct MemRun {
-    /// One feature row per time step (see [`mem_counter_names`]).
-    pub counter_rows: Vec<Vec<f64>>,
+    /// One feature row per time step (see [`mem_counter_names`]),
+    /// stored contiguously.
+    pub counter_rows: RowMatrix,
     /// Per-step IPC.
     pub ipc: Vec<f64>,
     /// Per-step AMAT in cycles.
@@ -126,25 +127,27 @@ impl MemRun {
     }
 }
 
-fn sample_row(cur: &Raw, prev: &Raw, step_cycles: u64) -> (Vec<f64>, f64, f64) {
-    let mut row = Vec::with_capacity(N_MEM_COUNTERS);
+/// Appends the per-step feature row (raw deltas + derived ratios) into
+/// `out` without allocating, returning the step's (IPC, AMAT).
+fn sample_row_into(cur: &Raw, prev: &Raw, step_cycles: u64, out: &mut Vec<f64>) -> (f64, f64) {
     let mut delta = [0u64; N_MEM_RAW];
-    for i in 0..N_MEM_RAW {
-        delta[i] = cur.v[i] - prev.v[i];
-        row.push(delta[i] as f64);
+    out.reserve(N_MEM_COUNTERS);
+    for (d, (c, p)) in delta.iter_mut().zip(cur.v.iter().zip(&prev.v)) {
+        *d = c - p;
+        out.push(*d as f64);
     }
     let d = |c: C| delta[c as usize] as f64;
     let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
     let loads = d(C::Loads);
     let amat = ratio(d(C::LoadLatencySum), loads);
-    row.push(ratio(d(C::L1dMisses), loads));
-    row.push(ratio(d(C::L2Misses), d(C::L2Accesses)));
-    row.push(ratio(d(C::LlcMisses), d(C::LlcAccesses)));
-    row.push(amat);
-    row.push(ratio(d(C::PfUseful), d(C::PfIssued)));
-    row.push(ratio(d(C::L1dMisses) * 1000.0, d(C::Insts)));
+    out.push(ratio(d(C::L1dMisses), loads));
+    out.push(ratio(d(C::L2Misses), d(C::L2Accesses)));
+    out.push(ratio(d(C::LlcMisses), d(C::LlcAccesses)));
+    out.push(amat);
+    out.push(ratio(d(C::PfUseful), d(C::PfIssued)));
+    out.push(ratio(d(C::L1dMisses) * 1000.0, d(C::Insts)));
     let ipc = d(C::Insts) / step_cycles as f64;
-    (row, ipc, amat)
+    (ipc, amat)
 }
 
 /// Simulates `trace` on the memory hierarchy `cfg`, optionally with one
@@ -171,14 +174,20 @@ pub fn simulate_memory(
     let mut drop_period: Option<u32> = None;
     match bug {
         Some(MemBugSpec::NoAgeUpdate { level }) => {
-            let bugs = ReplacementBugs { skip_age_update: true, ..Default::default() };
+            let bugs = ReplacementBugs {
+                skip_age_update: true,
+                ..Default::default()
+            };
             match level {
                 CacheLevel::L1d => l1d.set_bugs(bugs),
                 CacheLevel::L2 => l2.set_bugs(bugs),
             }
         }
         Some(MemBugSpec::EvictMru { level }) => {
-            let bugs = ReplacementBugs { evict_mru: true, ..Default::default() };
+            let bugs = ReplacementBugs {
+                evict_mru: true,
+                ..Default::default()
+            };
             match level {
                 CacheLevel::L1d => l1d.set_bugs(bugs),
                 CacheLevel::L2 => l2.set_bugs(bugs),
@@ -188,19 +197,21 @@ pub fn simulate_memory(
             CacheLevel::L1d => l1_miss_delay = Some((n, t)),
             CacheLevel::L2 => l2_miss_delay = Some((n, t)),
         },
-        Some(MemBugSpec::SppSignatureReset) => {
-            spp.set_bugs(SppBugs { reset_signature: true, ..Default::default() })
-        }
-        Some(MemBugSpec::SppLeastConfidence) => {
-            spp.set_bugs(SppBugs { least_confidence: true, ..Default::default() })
-        }
+        Some(MemBugSpec::SppSignatureReset) => spp.set_bugs(SppBugs {
+            reset_signature: true,
+            ..Default::default()
+        }),
+        Some(MemBugSpec::SppLeastConfidence) => spp.set_bugs(SppBugs {
+            least_confidence: true,
+            ..Default::default()
+        }),
         Some(MemBugSpec::SppDroppedPrefetch { n }) => drop_period = Some(n.max(1)),
         None => {}
     }
 
     let mut raw = Raw::default();
     let mut snapshot = raw;
-    let mut rows = Vec::new();
+    let mut rows = RowMatrix::new(N_MEM_COUNTERS);
     let mut ipc_series = Vec::new();
     let mut amat_series = Vec::new();
 
@@ -310,10 +321,10 @@ pub fn simulate_memory(
         let cycles = qcycles / 4;
         while cycles >= next_boundary {
             raw.v[C::Cycles as usize] = next_boundary;
-            let (row, ipc, amat) = sample_row(&raw, &snapshot, step_cycles);
-            rows.push(row);
-            ipc_series.push(ipc);
-            amat_series.push(amat);
+            let mut step = (0.0, 0.0);
+            rows.push_row_with(|buf| step = sample_row_into(&raw, &snapshot, step_cycles, buf));
+            ipc_series.push(step.0);
+            amat_series.push(step.1);
             snapshot = raw;
             next_boundary += step_cycles;
         }
@@ -323,11 +334,11 @@ pub fn simulate_memory(
     let covered = snapshot.get(C::Cycles);
     if total_cycles > covered && (total_cycles - covered) * 2 >= step_cycles {
         raw.v[C::Cycles as usize] = total_cycles;
-        let (row, _, amat) = sample_row(&raw, &snapshot, step_cycles);
+        let mut step = (0.0, 0.0);
+        rows.push_row_with(|buf| step = sample_row_into(&raw, &snapshot, step_cycles, buf));
         let insts = raw.get(C::Insts) - snapshot.get(C::Insts);
         ipc_series.push(insts as f64 / (total_cycles - covered) as f64);
-        amat_series.push(amat);
-        rows.push(row);
+        amat_series.push(step.1);
     }
 
     MemRun {
@@ -403,7 +414,9 @@ mod tests {
         let healthy = simulate_memory(&skylake(), None, &trace, 200);
         let buggy = simulate_memory(
             &skylake(),
-            Some(MemBugSpec::EvictMru { level: CacheLevel::L1d }),
+            Some(MemBugSpec::EvictMru {
+                level: CacheLevel::L1d,
+            }),
             &trace,
             200,
         );
@@ -421,7 +434,11 @@ mod tests {
         let healthy = simulate_memory(&skylake(), None, &trace, 200);
         let buggy = simulate_memory(
             &skylake(),
-            Some(MemBugSpec::MissesDelay { level: CacheLevel::L1d, n: 50, t: 20 }),
+            Some(MemBugSpec::MissesDelay {
+                level: CacheLevel::L1d,
+                n: 50,
+                t: 20,
+            }),
             &trace,
             200,
         );

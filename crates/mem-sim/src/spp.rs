@@ -77,7 +77,12 @@ impl Spp {
     pub fn new(cfg: SppConfig) -> Self {
         Spp {
             st: vec![
-                StEntry { page: 0, last_offset: 0, signature: 0, valid: false };
+                StEntry {
+                    page: 0,
+                    last_offset: 0,
+                    signature: 0,
+                    valid: false
+                };
                 cfg.st_entries.max(1)
             ],
             pt: vec![PtEntry::default(); cfg.pt_entries.max(1)],
@@ -135,7 +140,12 @@ impl Spp {
                 Self::advance_signature(entry.signature, delta)
             };
         }
-        self.st[st_idx] = StEntry { page, last_offset: offset, signature, valid: true };
+        self.st[st_idx] = StEntry {
+            page,
+            last_offset: offset,
+            signature,
+            valid: true,
+        };
 
         // Lookahead walk.
         let mut prefetches = Vec::new();
@@ -147,17 +157,15 @@ impl Spp {
             if pt.sig_count == 0 {
                 break;
             }
-            let candidates = pt
-                .deltas
-                .iter()
-                .zip(&pt.counts)
-                .filter(|(_, &c)| c > 0);
+            let candidates = pt.deltas.iter().zip(&pt.counts).filter(|(_, &c)| c > 0);
             let chosen = if self.bugs.least_confidence {
                 candidates.min_by_key(|(_, &c)| c)
             } else {
                 candidates.max_by_key(|(_, &c)| c)
             };
-            let Some((&delta, &count)) = chosen else { break };
+            let Some((&delta, &count)) = chosen else {
+                break;
+            };
             let path_conf = confidence * (count as f64 / pt.sig_count as f64);
             if path_conf < self.cfg.confidence_threshold {
                 break;
@@ -196,7 +204,10 @@ mod tests {
         // should start prefetching ahead after a few accesses.
         let results = walk(&mut spp, 2, &(0..8).collect::<Vec<_>>());
         let issued: usize = results.iter().map(Vec::len).sum();
-        assert!(issued > 0, "stride-1 pattern must trigger lookahead prefetches");
+        assert!(
+            issued > 0,
+            "stride-1 pattern must trigger lookahead prefetches"
+        );
         // All prefetches stay in page 2.
         for r in &results {
             for &addr in r {
@@ -212,15 +223,18 @@ mod tests {
         let results = walk(&mut spp, 7, &offsets);
         // After warm-up, accessing offset k should prefetch k+1 (at least).
         let late = &results[20];
-        assert!(late.iter().any(|&a| (a >> BLOCK_SHIFT) as i64 % BLOCKS_PER_PAGE == 21));
+        assert!(late
+            .iter()
+            .any(|&a| (a >> BLOCK_SHIFT) as i64 % BLOCKS_PER_PAGE == 21));
     }
 
     #[test]
     fn signature_reset_bug_degrades_prefetching() {
         // A two-phase pattern (stride 1 then stride 2, alternating) that a
         // signature distinguishes but a zeroed signature conflates.
-        let pattern: Vec<i64> =
-            vec![0, 1, 3, 4, 6, 7, 9, 10, 12, 13, 15, 16, 18, 19, 21, 22, 24, 25, 27, 28];
+        let pattern: Vec<i64> = vec![
+            0, 1, 3, 4, 6, 7, 9, 10, 12, 13, 15, 16, 18, 19, 21, 22, 24, 25, 27, 28,
+        ];
         let run = |bugs: SppBugs| -> usize {
             let mut spp = Spp::new(SppConfig::default());
             spp.set_bugs(bugs);
@@ -243,7 +257,10 @@ mod tests {
             useful
         };
         let healthy = run(SppBugs::default());
-        let buggy = run(SppBugs { reset_signature: true, ..Default::default() });
+        let buggy = run(SppBugs {
+            reset_signature: true,
+            ..Default::default()
+        });
         assert!(
             buggy < healthy,
             "reset signatures must produce fewer useful prefetches ({buggy} !< {healthy})"
@@ -266,14 +283,26 @@ mod tests {
                 walk(spp, 2 * page + 1, &minority);
             }
         };
-        let mut healthy = Spp::new(SppConfig { confidence_threshold: 0.05, ..Default::default() });
-        let mut buggy = Spp::new(SppConfig { confidence_threshold: 0.05, ..Default::default() });
-        buggy.set_bugs(SppBugs { least_confidence: true, ..Default::default() });
+        let mut healthy = Spp::new(SppConfig {
+            confidence_threshold: 0.05,
+            ..Default::default()
+        });
+        let mut buggy = Spp::new(SppConfig {
+            confidence_threshold: 0.05,
+            ..Default::default()
+        });
+        buggy.set_bugs(SppBugs {
+            least_confidence: true,
+            ..Default::default()
+        });
         train(&mut healthy);
         train(&mut buggy);
         let h = walk(&mut healthy, 100, &[0, 1, 2]);
         let b = walk(&mut buggy, 100, &[0, 1, 2]);
-        assert_ne!(h, b, "bug 5 must choose a different lookahead path: {h:?} vs {b:?}");
+        assert_ne!(
+            h, b,
+            "bug 5 must choose a different lookahead path: {h:?} vs {b:?}"
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ mod tests {
         opt_f.step(&mut free, &tiny);
         let c_step = clipped[0];
         let f_step = free[0];
-        assert!(c_step.abs() > f_step.abs() * 0.5, "clip should keep Adam responsive");
+        assert!(
+            c_step.abs() > f_step.abs() * 0.5,
+            "clip should keep Adam responsive"
+        );
     }
 
     #[test]

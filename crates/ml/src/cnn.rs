@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 use crate::adam::Adam;
 use crate::dataset::Dataset;
+use crate::matrix::{axpy, dot, gemv};
 use crate::metrics::mse;
 use crate::scaler::StandardScaler;
 use crate::Regressor;
@@ -72,15 +73,41 @@ impl ConvLayer {
     }
 }
 
-/// Per-sample forward activations of one conv block (kept for backward).
-#[derive(Debug, Clone)]
+/// Forward activations of one conv block, in flat channel-major buffers
+/// (`ch x len` with stride `len`). Reused across samples: buffers are
+/// resized once and overwritten thereafter.
+#[derive(Debug, Clone, Default)]
 struct BlockTrace {
-    /// Pre-activation conv output `[ch][len]`.
-    pre: Vec<Vec<f64>>,
-    /// Pooled output `[ch][len/2]`.
-    pooled: Vec<Vec<f64>>,
-    /// Argmax index into `relu` for each pooled element.
-    argmax: Vec<Vec<usize>>,
+    /// Pre-activation conv output (`out_ch x len`).
+    pre: Vec<f64>,
+    /// Signal length entering this block.
+    len: usize,
+    /// Pooled output (`out_ch x len/2`).
+    pooled: Vec<f64>,
+    /// Pooled length (`len/2`).
+    pooled_len: usize,
+    /// Argmax offset (within the channel) for each pooled element.
+    argmax: Vec<usize>,
+}
+
+/// Reusable per-sample forward/backward buffers. Allocated once per fit
+/// (or per prediction) and recycled across every sample and epoch.
+#[derive(Debug, Clone, Default)]
+struct CnnScratch {
+    /// One trace per conv block.
+    traces: Vec<BlockTrace>,
+    /// Dense hidden activations (post-ReLU).
+    hidden: Vec<f64>,
+    /// Gradient wrt the dense hidden activations.
+    d_hidden: Vec<f64>,
+    /// Gradient wrt the flattened conv output.
+    d_flat: Vec<f64>,
+    /// Gradient wrt a block's ReLU output (`out_ch x len`).
+    d_relu: Vec<f64>,
+    /// Gradient wrt a block's input (`in_ch x len`).
+    d_input: Vec<f64>,
+    /// Secondary signal-gradient buffer (ping-pong with `d_input`).
+    d_signal: Vec<f64>,
 }
 
 /// 1-D convolutional regressor over feature vectors.
@@ -117,7 +144,10 @@ impl Cnn {
 
     /// Total number of trainable parameters (0 before fit).
     pub fn n_params(&self) -> usize {
-        self.convs.iter().map(|c| c.w.len() + c.b.len()).sum::<usize>()
+        self.convs
+            .iter()
+            .map(|c| c.w.len() + c.b.len())
+            .sum::<usize>()
             + self.dense_w.len()
             + self.dense_b.len()
             + self.out_w.len()
@@ -138,178 +168,204 @@ impl Cnn {
             let w = (0..out_ch * in_ch * KERNEL)
                 .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
                 .collect();
-            self.convs.push(ConvLayer { in_ch, out_ch, w, b: vec![0.0; out_ch] });
+            self.convs.push(ConvLayer {
+                in_ch,
+                out_ch,
+                w,
+                b: vec![0.0; out_ch],
+            });
             len /= 2;
             in_ch = out_ch;
         }
         self.flat_len = len * in_ch;
         let h = self.params.hidden;
         let scale = (2.0 / self.flat_len as f64).sqrt();
-        self.dense_w =
-            (0..h * self.flat_len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        self.dense_w = (0..h * self.flat_len)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
         self.dense_b = vec![0.0; h];
         let scale = (2.0 / h as f64).sqrt();
-        self.out_w = (0..h).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        self.out_w = (0..h)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
         self.out_b = 0.0;
     }
 
-    fn conv_forward(layer: &ConvLayer, input: &[Vec<f64>]) -> BlockTrace {
-        let len = input[0].len();
-        let mut pre = vec![vec![0.0; len]; layer.out_ch];
+    /// Convolves `input` (`in_ch x len`, flat channel-major) into the
+    /// trace's reusable buffers.
+    fn conv_forward(layer: &ConvLayer, input: &[f64], len: usize, trace: &mut BlockTrace) {
+        trace.len = len;
+        trace.pre.clear();
+        trace.pre.resize(layer.out_ch * len, 0.0);
         for o in 0..layer.out_ch {
-            for p in 0..len {
-                let mut s = layer.b[o];
-                for c in 0..layer.in_ch {
-                    for k in 0..KERNEL {
-                        let idx = p as isize + k as isize - 1; // same padding
-                        if idx >= 0 && (idx as usize) < len {
-                            s += layer.w_at(o, c, k) * input[c][idx as usize];
-                        }
+            let pre = &mut trace.pre[o * len..(o + 1) * len];
+            pre.iter_mut().for_each(|v| *v = layer.b[o]);
+            for c in 0..layer.in_ch {
+                let ch = &input[c * len..(c + 1) * len];
+                for k in 0..KERNEL {
+                    // Same padding: output p reads input p + k - 1.
+                    let w = layer.w_at(o, c, k);
+                    let shift = k as isize - 1;
+                    let (p0, p1) = match shift {
+                        -1 => (1, len),
+                        0 => (0, len),
+                        _ => (0, len.saturating_sub(1)),
+                    };
+                    for p in p0..p1 {
+                        pre[p] += w * ch[(p as isize + shift) as usize];
                     }
                 }
-                pre[o][p] = s;
             }
         }
-        let relu: Vec<Vec<f64>> =
-            pre.iter().map(|ch| ch.iter().map(|v| v.max(0.0)).collect()).collect();
         let pooled_len = len / 2;
-        let mut pooled = vec![vec![0.0; pooled_len]; layer.out_ch];
-        let mut argmax = vec![vec![0usize; pooled_len]; layer.out_ch];
+        trace.pooled_len = pooled_len;
+        trace.pooled.clear();
+        trace.pooled.resize(layer.out_ch * pooled_len, 0.0);
+        trace.argmax.clear();
+        trace.argmax.resize(layer.out_ch * pooled_len, 0);
         for o in 0..layer.out_ch {
+            let pre = &trace.pre[o * len..(o + 1) * len];
             for q in 0..pooled_len {
-                let (a, b) = (relu[o][2 * q], relu[o][2 * q + 1]);
-                if a >= b {
-                    pooled[o][q] = a;
-                    argmax[o][q] = 2 * q;
-                } else {
-                    pooled[o][q] = b;
-                    argmax[o][q] = 2 * q + 1;
-                }
+                let (a, b) = (pre[2 * q].max(0.0), pre[2 * q + 1].max(0.0));
+                let (v, idx) = if a >= b { (a, 2 * q) } else { (b, 2 * q + 1) };
+                trace.pooled[o * pooled_len + q] = v;
+                trace.argmax[o * pooled_len + q] = idx;
             }
         }
-        BlockTrace { pre, pooled, argmax }
     }
 
-    /// Full forward pass; returns (block traces, hidden pre-act, hidden
-    /// post-act, output).
-    fn forward(&self, x: &[f64]) -> (Vec<BlockTrace>, Vec<f64>, Vec<f64>, f64) {
-        let mut signal: Vec<Vec<f64>> = vec![x.to_vec()];
-        let mut traces = Vec::with_capacity(self.convs.len());
-        for layer in &self.convs {
-            let trace = Self::conv_forward(layer, &signal);
-            signal = trace.pooled.clone();
-            traces.push(trace);
+    /// Full forward pass into the scratch; returns the scalar output. The
+    /// dense layers run through the [`gemv`]/[`dot`] kernels and every
+    /// intermediate lives in a reused buffer.
+    fn forward_with(&self, x: &[f64], scratch: &mut CnnScratch) -> f64 {
+        scratch
+            .traces
+            .resize_with(self.convs.len(), BlockTrace::default);
+        let mut len = x.len();
+        for (bi, layer) in self.convs.iter().enumerate() {
+            let (done, rest) = scratch.traces.split_at_mut(bi);
+            let input: &[f64] = if bi == 0 { x } else { &done[bi - 1].pooled };
+            Self::conv_forward(layer, input, len, &mut rest[0]);
+            len = rest[0].pooled_len;
         }
-        let flat: Vec<f64> = signal.iter().flat_map(|ch| ch.iter().copied()).collect();
+        let flat: &[f64] = match scratch.traces.last() {
+            Some(last) => &last.pooled,
+            None => x,
+        };
         debug_assert_eq!(flat.len(), self.flat_len);
         let h = self.params.hidden;
-        let mut hidden_pre = vec![0.0; h];
-        for (i, hp) in hidden_pre.iter_mut().enumerate() {
-            let row = &self.dense_w[i * self.flat_len..(i + 1) * self.flat_len];
-            *hp = self.dense_b[i] + row.iter().zip(&flat).map(|(w, v)| w * v).sum::<f64>();
+        scratch.hidden.resize(h, 0.0);
+        gemv(&self.dense_w, h, self.flat_len, flat, &mut scratch.hidden);
+        for (v, b) in scratch.hidden.iter_mut().zip(&self.dense_b) {
+            *v = (*v + b).max(0.0);
         }
-        let hidden: Vec<f64> = hidden_pre.iter().map(|v| v.max(0.0)).collect();
-        let out =
-            self.out_b + self.out_w.iter().zip(&hidden).map(|(w, v)| w * v).sum::<f64>();
-        (traces, flat, hidden, out)
+        self.out_b + dot(&self.out_w, &scratch.hidden)
     }
 
-    /// Backward pass accumulating into a `CnnGrad`; returns squared error.
-    #[allow(clippy::too_many_arguments)]
-    fn backward(
+    /// Backward pass over the activations left by [`Cnn::forward_with`];
+    /// accumulates into `grad` and returns the squared error.
+    fn backward_with(
         &self,
         x: &[f64],
-        traces: &[BlockTrace],
-        flat: &[f64],
-        hidden: &[f64],
         out: f64,
         target: f64,
+        scratch: &mut CnnScratch,
         grad: &mut CnnGrad,
     ) -> f64 {
         let err = out - target;
         let d_out = 2.0 * err;
         grad.out_b += d_out;
         let h = self.params.hidden;
-        let mut d_hidden = vec![0.0; h];
-        for i in 0..h {
-            grad.out_w[i] += d_out * hidden[i];
-            if hidden[i] > 0.0 {
-                d_hidden[i] = d_out * self.out_w[i];
-            }
+        let hidden = &scratch.hidden;
+        axpy(d_out, hidden, &mut grad.out_w);
+        scratch.d_hidden.resize(h, 0.0);
+        for ((dh, &a), &w) in scratch.d_hidden.iter_mut().zip(hidden).zip(&self.out_w) {
+            *dh = if a > 0.0 { d_out * w } else { 0.0 };
         }
-        let mut d_flat = vec![0.0; self.flat_len];
-        for i in 0..h {
-            let d = d_hidden[i];
-            if d == 0.0 {
-                continue;
-            }
-            grad.dense_b[i] += d;
-            let row = i * self.flat_len;
-            for j in 0..self.flat_len {
-                grad.dense_w[row + j] += d * flat[j];
-                d_flat[j] += d * self.dense_w[row + j];
-            }
-        }
-        // Un-flatten into per-channel gradient of the last pooled output.
-        let mut d_signal: Vec<Vec<f64>> = Vec::new();
-        if let Some(last) = traces.last() {
-            let ch = last.pooled.len();
-            let len = last.pooled[0].len();
-            d_signal = (0..ch).map(|c| d_flat[c * len..(c + 1) * len].to_vec()).collect();
-        }
-        // Backward through conv blocks in reverse.
-        for (bi, layer) in self.convs.iter().enumerate().rev() {
-            let trace = &traces[bi];
-            let input: Vec<Vec<f64>> = if bi == 0 {
-                vec![x.to_vec()]
-            } else {
-                traces[bi - 1].pooled.clone()
-            };
-            let len = trace.pre[0].len();
-            // Through pool: route gradient to argmax positions.
-            let mut d_relu = vec![vec![0.0; len]; layer.out_ch];
-            for o in 0..layer.out_ch {
-                for q in 0..trace.pooled[o].len() {
-                    d_relu[o][trace.argmax[o][q]] += d_signal[o][q];
+        scratch.d_flat.clear();
+        scratch.d_flat.resize(self.flat_len, 0.0);
+        let flat_owned_by_trace = !scratch.traces.is_empty();
+        {
+            // `flat` aliases the last trace's pooled buffer, which the
+            // remaining backward steps only read.
+            let d_hidden = &scratch.d_hidden;
+            for (i, &d) in d_hidden.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
                 }
+                grad.dense_b[i] += d;
+                let row = i * self.flat_len;
+                let flat: &[f64] = if flat_owned_by_trace {
+                    &scratch.traces[scratch.traces.len() - 1].pooled
+                } else {
+                    x
+                };
+                axpy(d, flat, &mut grad.dense_w[row..row + self.flat_len]);
+                axpy(
+                    d,
+                    &self.dense_w[row..row + self.flat_len],
+                    &mut scratch.d_flat,
+                );
             }
-            // Through ReLU.
+        }
+        // Backward through conv blocks in reverse; the signal gradient
+        // ping-pongs between two reusable buffers.
+        scratch.d_signal.clear();
+        scratch.d_signal.extend_from_slice(&scratch.d_flat);
+        for (bi, layer) in self.convs.iter().enumerate().rev() {
+            let (done, rest) = scratch.traces.split_at_mut(bi);
+            let trace = &rest[0];
+            let (input, in_len): (&[f64], usize) = if bi == 0 {
+                (x, trace.len)
+            } else {
+                (&done[bi - 1].pooled, trace.len)
+            };
+            let len = trace.len;
+            // Through pool: route gradient to argmax positions, then gate
+            // by ReLU'(pre).
+            scratch.d_relu.clear();
+            scratch.d_relu.resize(layer.out_ch * len, 0.0);
             for o in 0..layer.out_ch {
-                for p in 0..len {
-                    if trace.pre[o][p] <= 0.0 {
-                        d_relu[o][p] = 0.0;
+                for q in 0..trace.pooled_len {
+                    let idx = trace.argmax[o * trace.pooled_len + q];
+                    if trace.pre[o * len + idx] > 0.0 {
+                        scratch.d_relu[o * len + idx] += scratch.d_signal[o * trace.pooled_len + q];
                     }
                 }
             }
             // Conv weight/bias/input gradients.
-            let mut d_input = vec![vec![0.0; input[0].len()]; layer.in_ch];
+            scratch.d_input.clear();
+            scratch.d_input.resize(layer.in_ch * in_len, 0.0);
             let g = &mut grad.convs[bi];
             for o in 0..layer.out_ch {
                 for p in 0..len {
-                    let d = d_relu[o][p];
+                    let d = scratch.d_relu[o * len + p];
                     if d == 0.0 {
                         continue;
                     }
                     g.b[o] += d;
                     for c in 0..layer.in_ch {
+                        let ch = &input[c * in_len..(c + 1) * in_len];
+                        let d_ch = &mut scratch.d_input[c * in_len..(c + 1) * in_len];
                         for k in 0..KERNEL {
                             let idx = p as isize + k as isize - 1;
-                            if idx >= 0 && (idx as usize) < input[c].len() {
-                                g.w[(o * layer.in_ch + c) * KERNEL + k] +=
-                                    d * input[c][idx as usize];
-                                d_input[c][idx as usize] += d * layer.w_at(o, c, k);
+                            if idx >= 0 && (idx as usize) < in_len {
+                                g.w[(o * layer.in_ch + c) * KERNEL + k] += d * ch[idx as usize];
+                                d_ch[idx as usize] += d * layer.w_at(o, c, k);
                             }
                         }
                     }
                 }
             }
-            d_signal = d_input;
+            std::mem::swap(&mut scratch.d_signal, &mut scratch.d_input);
         }
         err * err
     }
 
-    fn eval(&self, data: &Dataset) -> f64 {
-        let preds: Vec<f64> = (0..data.len()).map(|i| self.forward(data.sample(i).0).3).collect();
+    fn eval(&self, data: &Dataset, scratch: &mut CnnScratch) -> f64 {
+        let preds: Vec<f64> = (0..data.len())
+            .map(|i| self.forward_with(data.sample(i).0, scratch))
+            .collect();
         mse(&preds, data.y())
     }
 
@@ -380,7 +436,10 @@ impl CnnGrad {
             convs: net
                 .convs
                 .iter()
-                .map(|c| ConvGrad { w: vec![0.0; c.w.len()], b: vec![0.0; c.b.len()] })
+                .map(|c| ConvGrad {
+                    w: vec![0.0; c.w.len()],
+                    b: vec![0.0; c.b.len()],
+                })
                 .collect(),
             dense_w: vec![0.0; net.dense_w.len()],
             dense_b: vec![0.0; net.dense_b.len()],
@@ -415,20 +474,23 @@ impl CnnGrad {
 impl Regressor for Cnn {
     fn fit(&mut self, train: &Dataset, val: Option<&Dataset>) {
         assert!(!train.is_empty(), "cannot fit CNN on an empty dataset");
-        assert!(train.n_features() >= 2, "CNN needs at least 2 features to convolve");
+        assert!(
+            train.n_features() >= 2,
+            "CNN needs at least 2 features to convolve"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.seed);
         let scaler = StandardScaler::fit(train.x());
         let train_scaled =
             Dataset::new(scaler.transform(train.x()), train.y().to_vec()).expect("shape kept");
-        let val_scaled = val.map(|v| {
-            Dataset::new(scaler.transform(v.x()), v.y().to_vec()).expect("shape kept")
-        });
+        let val_scaled =
+            val.map(|v| Dataset::new(scaler.transform(v.x()), v.y().to_vec()).expect("shape kept"));
         self.init(train.n_features(), &mut rng);
         self.scaler = None;
 
         let n_params = self.n_params();
         let mut adam = Adam::new(n_params, self.params.lr, self.params.clip_norm);
         let mut grad = CnnGrad::zeros_like(self);
+        let mut scratch = CnnScratch::default();
         let mut flat_grad = Vec::with_capacity(n_params);
         let mut flat_params = Vec::with_capacity(n_params);
         let mut order: Vec<usize> = (0..train_scaled.len()).collect();
@@ -442,8 +504,8 @@ impl Regressor for Cnn {
                 grad.reset();
                 for &i in chunk {
                     let (row, y) = train_scaled.sample(i);
-                    let (traces, flat, hidden, out) = self.forward(row);
-                    self.backward(row, &traces, &flat, &hidden, out, y, &mut grad);
+                    let out = self.forward_with(row, &mut scratch);
+                    self.backward_with(row, out, y, &mut scratch, &mut grad);
                 }
                 grad.scale(1.0 / chunk.len() as f64);
                 self.flatten_grads(&grad, &mut flat_grad);
@@ -452,7 +514,7 @@ impl Regressor for Cnn {
                 self.unflatten_params(&flat_params);
             }
             let monitored = val_scaled.as_ref().unwrap_or(&train_scaled);
-            let loss = self.eval(monitored);
+            let loss = self.eval(monitored, &mut scratch);
             if loss + 1e-12 < best_loss {
                 best_loss = loss;
                 self.flatten_params(&mut best);
@@ -469,9 +531,12 @@ impl Regressor for Cnn {
     }
 
     fn predict_row(&self, x: &[f64]) -> f64 {
-        let scaler = self.scaler.as_ref().expect("Cnn::predict_row called before fit");
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("Cnn::predict_row called before fit");
         let z = scaler.transform_row(x);
-        self.forward(&z).3
+        self.forward_with(&z, &mut CnnScratch::default())
     }
 }
 
@@ -511,13 +576,21 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = patterned_data(40);
-        let params =
-            CnnParams { conv_blocks: 1, filters: 4, hidden: 8, max_epochs: 10, ..CnnParams::default() };
+        let params = CnnParams {
+            conv_blocks: 1,
+            filters: 4,
+            hidden: 8,
+            max_epochs: 10,
+            ..CnnParams::default()
+        };
         let mut a = Cnn::new(params);
         let mut b = Cnn::new(params);
         a.fit(&data, None);
         b.fit(&data, None);
-        assert_eq!(a.predict_row(data.sample(3).0), b.predict_row(data.sample(3).0));
+        assert_eq!(
+            a.predict_row(data.sample(3).0),
+            b.predict_row(data.sample(3).0)
+        );
     }
 
     #[test]

@@ -52,10 +52,16 @@ impl Dataset {
     /// targets.len()`.
     pub fn from_rows(rows: &[Vec<f64>], targets: &[f64]) -> Result<Self, DatasetError> {
         if rows.len() != targets.len() {
-            return Err(DatasetError::LengthMismatch { rows: rows.len(), targets: targets.len() });
+            return Err(DatasetError::LengthMismatch {
+                rows: rows.len(),
+                targets: targets.len(),
+            });
         }
         let x = Matrix::from_rows(rows).ok_or(DatasetError::RaggedRows)?;
-        Ok(Dataset { x, y: targets.to_vec() })
+        Ok(Dataset {
+            x,
+            y: targets.to_vec(),
+        })
     }
 
     /// Builds a dataset from an existing matrix and targets.
@@ -66,7 +72,10 @@ impl Dataset {
     /// differs from `y.len()`.
     pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self, DatasetError> {
         if x.rows() != y.len() {
-            return Err(DatasetError::LengthMismatch { rows: x.rows(), targets: y.len() });
+            return Err(DatasetError::LengthMismatch {
+                rows: x.rows(),
+                targets: y.len(),
+            });
         }
         Ok(Dataset { x, y })
     }
@@ -197,7 +206,13 @@ mod tests {
     #[test]
     fn mismatched_lengths_rejected() {
         let err = Dataset::from_rows(&[vec![1.0]], &[1.0, 2.0]).unwrap_err();
-        assert_eq!(err, DatasetError::LengthMismatch { rows: 1, targets: 2 });
+        assert_eq!(
+            err,
+            DatasetError::LengthMismatch {
+                rows: 1,
+                targets: 2
+            }
+        );
     }
 
     #[test]

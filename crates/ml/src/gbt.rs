@@ -74,8 +74,17 @@ impl Tree {
         loop {
             match &self.nodes[idx] {
                 Node::Leaf { weight } => return *weight,
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if x[*feature] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -94,7 +103,12 @@ pub struct Gbt {
 impl Gbt {
     /// Creates an untrained ensemble.
     pub fn new(params: GbtParams) -> Self {
-        Gbt { params, base_score: 0.0, trees: Vec::new(), n_features: 0 }
+        Gbt {
+            params,
+            base_score: 0.0,
+            trees: Vec::new(),
+            n_features: 0,
+        }
     }
 
     /// Number of trees actually grown.
@@ -158,7 +172,7 @@ impl Gbt {
                     * (gl * gl / (hl + self.params.lambda) + gr * gr / (hr + self.params.lambda)
                         - parent_score)
                     - self.params.gamma;
-                if gain > 0.0 && best.map_or(true, |(g, _, _)| gain > g) {
+                if gain > 0.0 && best.is_none_or(|(g, _, _)| gain > g) {
                     let threshold = (sorted[i].0 + sorted[i + 1].0) / 2.0;
                     best = Some((gain, feature, threshold));
                 }
@@ -168,14 +182,20 @@ impl Gbt {
         match best {
             None => leaf(tree),
             Some((_, feature, threshold)) => {
-                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-                    rows.into_iter().partition(|&r| data.sample(r).0[feature] < threshold);
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                    .into_iter()
+                    .partition(|&r| data.sample(r).0[feature] < threshold);
                 // Reserve our slot before children are pushed.
                 tree.nodes.push(Node::Leaf { weight: 0.0 });
                 let me = tree.nodes.len() - 1;
                 let left = self.grow(tree, data, left_rows, grad, hess, depth + 1);
                 let right = self.grow(tree, data, right_rows, grad, hess, depth + 1);
-                tree.nodes[me] = Node::Split { feature, threshold, left, right };
+                tree.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -243,7 +263,10 @@ mod tests {
     #[test]
     fn fits_nonlinear_function() {
         let data = wave_data(200);
-        let mut m = Gbt::new(GbtParams { n_trees: 100, ..GbtParams::default() });
+        let mut m = Gbt::new(GbtParams {
+            n_trees: 100,
+            ..GbtParams::default()
+        });
         m.fit(&data, None);
         let preds = m.predict(data.x());
         assert!(mse(&preds, data.y()) < 1e-3);
@@ -252,8 +275,14 @@ mod tests {
     #[test]
     fn more_trees_reduce_training_error() {
         let data = wave_data(200);
-        let mut small = Gbt::new(GbtParams { n_trees: 5, ..GbtParams::default() });
-        let mut large = Gbt::new(GbtParams { n_trees: 100, ..GbtParams::default() });
+        let mut small = Gbt::new(GbtParams {
+            n_trees: 5,
+            ..GbtParams::default()
+        });
+        let mut large = Gbt::new(GbtParams {
+            n_trees: 100,
+            ..GbtParams::default()
+        });
         small.fit(&data, None);
         large.fit(&data, None);
         let e_small = mse(&small.predict(data.x()), data.y());
@@ -274,7 +303,12 @@ mod tests {
     #[test]
     fn subsampling_is_deterministic_per_seed() {
         let data = wave_data(100);
-        let params = GbtParams { n_trees: 20, subsample: 0.7, seed: 9, ..GbtParams::default() };
+        let params = GbtParams {
+            n_trees: 20,
+            subsample: 0.7,
+            seed: 9,
+            ..GbtParams::default()
+        };
         let mut a = Gbt::new(params);
         let mut b = Gbt::new(params);
         a.fit(&data, None);
@@ -285,7 +319,11 @@ mod tests {
     #[test]
     fn depth_zero_trees_are_stumps_of_mean() {
         let data = wave_data(50);
-        let mut m = Gbt::new(GbtParams { n_trees: 3, max_depth: 0, ..GbtParams::default() });
+        let mut m = Gbt::new(GbtParams {
+            n_trees: 3,
+            max_depth: 0,
+            ..GbtParams::default()
+        });
         m.fit(&data, None);
         // Every tree is a single leaf; with grad = pred - y the first leaf
         // weight is -(sum residual)/(n + lambda) which is ~0 since base

@@ -50,7 +50,7 @@ pub use dataset::{Dataset, DatasetError, Sequence};
 pub use gbt::{Gbt, GbtParams};
 pub use linear::{Lasso, LassoParams};
 pub use lstm::{Lstm, LstmParams};
-pub use matrix::Matrix;
+pub use matrix::{axpy, dot, gemv, gemv_acc, matmul, matmul_ta, matmul_transb, Matrix};
 pub use mlp::{Mlp, MlpParams};
 pub use scaler::StandardScaler;
 

@@ -18,7 +18,11 @@ pub struct LassoParams {
 
 impl Default for LassoParams {
     fn default() -> Self {
-        LassoParams { alpha: 0.001, max_iter: 1000, tol: 1e-6 }
+        LassoParams {
+            alpha: 0.001,
+            max_iter: 1000,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -38,7 +42,12 @@ pub struct Lasso {
 impl Lasso {
     /// Creates an untrained Lasso model.
     pub fn new(params: LassoParams) -> Self {
-        Lasso { params, scaler: None, weights: Vec::new(), intercept: 0.0 }
+        Lasso {
+            params,
+            scaler: None,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Fitted coefficients in standardised feature space (empty before
@@ -83,8 +92,9 @@ impl Regressor for Lasso {
         let mut residual: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
 
         // Column squared norms (columns are standardised, but guard anyway).
-        let col_sq: Vec<f64> =
-            (0..d).map(|j| x.column(j).iter().map(|v| v * v).sum::<f64>()).collect();
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| x.column(j).iter().map(|v| v * v).sum::<f64>())
+            .collect();
 
         let mut w = vec![0.0; d];
         for _ in 0..self.params.max_iter {
@@ -95,15 +105,15 @@ impl Regressor for Lasso {
                 }
                 // rho = x_j . (residual + w_j * x_j)
                 let mut rho = 0.0;
-                for r in 0..x.rows() {
+                for (r, res) in residual.iter().enumerate() {
                     let xj = x.get(r, j);
-                    rho += xj * (residual[r] + w[j] * xj);
+                    rho += xj * (res + w[j] * xj);
                 }
                 let new_w = Self::soft_threshold(rho / n, self.params.alpha) / (col_sq[j] / n);
                 let delta = new_w - w[j];
                 if delta != 0.0 {
-                    for r in 0..x.rows() {
-                        residual[r] -= delta * x.get(r, j);
+                    for (r, res) in residual.iter_mut().enumerate() {
+                        *res -= delta * x.get(r, j);
                     }
                     w[j] = new_w;
                     max_delta = max_delta.max(delta.abs());
@@ -119,7 +129,10 @@ impl Regressor for Lasso {
     }
 
     fn predict_row(&self, x: &[f64]) -> f64 {
-        let scaler = self.scaler.as_ref().expect("Lasso::predict_row called before fit");
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("Lasso::predict_row called before fit");
         let z = scaler.transform_row(x);
         assert_eq!(z.len(), self.weights.len(), "feature count mismatch");
         self.intercept + z.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
@@ -160,7 +173,10 @@ mod tests {
     #[test]
     fn strong_penalty_zeroes_weights() {
         let data = linear_data(100);
-        let mut m = Lasso::new(LassoParams { alpha: 1e6, ..LassoParams::default() });
+        let mut m = Lasso::new(LassoParams {
+            alpha: 1e6,
+            ..LassoParams::default()
+        });
         m.fit(&data, None);
         assert_eq!(m.n_active(), 0);
         // Degenerates to predicting the mean.
@@ -171,8 +187,14 @@ mod tests {
     #[test]
     fn sparsity_increases_with_alpha() {
         let data = linear_data(100);
-        let mut weak = Lasso::new(LassoParams { alpha: 1e-4, ..LassoParams::default() });
-        let mut strong = Lasso::new(LassoParams { alpha: 2.0, ..LassoParams::default() });
+        let mut weak = Lasso::new(LassoParams {
+            alpha: 1e-4,
+            ..LassoParams::default()
+        });
+        let mut strong = Lasso::new(LassoParams {
+            alpha: 2.0,
+            ..LassoParams::default()
+        });
         weak.fit(&data, None);
         strong.fit(&data, None);
         assert!(strong.n_active() <= weak.n_active());

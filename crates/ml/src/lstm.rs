@@ -14,6 +14,7 @@ use rand::SeedableRng;
 
 use crate::adam::Adam;
 use crate::dataset::Sequence;
+use crate::matrix::{axpy, dot, gemv_acc};
 use crate::scaler::StandardScaler;
 use crate::{Matrix, SequenceRegressor};
 
@@ -73,22 +74,59 @@ impl LayerLayout {
     }
 }
 
-/// Activations of one layer over one sequence, kept for BPTT.
+/// Activations of one layer over one sequence, kept for BPTT in flat
+/// step-major buffers (stride `in_dim` for `x`, `4H` for `gates`, `H`
+/// otherwise). Cleared and refilled per sequence, so the allocations are
+/// reused across the whole fit.
 #[derive(Debug, Default, Clone)]
 struct LayerTrace {
-    /// Inputs per step.
-    x: Vec<Vec<f64>>,
-    /// Gates per step: i, f, g, o (each length H).
-    i: Vec<Vec<f64>>,
-    f: Vec<Vec<f64>>,
-    g: Vec<Vec<f64>>,
-    o: Vec<Vec<f64>>,
-    /// Cell state per step.
-    c: Vec<Vec<f64>>,
-    /// tanh(c) per step.
-    tc: Vec<Vec<f64>>,
-    /// Hidden state per step.
-    h: Vec<Vec<f64>>,
+    /// Inputs per step (`steps x in_dim`).
+    x: Vec<f64>,
+    /// Activated gates per step (`steps x 4H`, ordered `[i f g o]` to
+    /// match the weight-row layout).
+    gates: Vec<f64>,
+    /// Cell state per step (`steps x H`).
+    c: Vec<f64>,
+    /// `tanh(c)` per step (`steps x H`).
+    tc: Vec<f64>,
+    /// Hidden state per step (`steps x H`).
+    h: Vec<f64>,
+}
+
+impl LayerTrace {
+    fn clear(&mut self) {
+        self.x.clear();
+        self.gates.clear();
+        self.c.clear();
+        self.tc.clear();
+        self.h.clear();
+    }
+}
+
+/// Reusable forward/backward buffers shared across the sequences and
+/// epochs of one fit (or one prediction pass).
+#[derive(Debug, Default)]
+struct LstmScratch {
+    /// Per-layer activation traces of the current sequence.
+    traces: Vec<LayerTrace>,
+    /// Per-step predictions of the current sequence.
+    preds: Vec<f64>,
+    /// Gate pre-activation / activation workspace (`4H`).
+    gates: Vec<f64>,
+    /// Per-layer carry of dL/dh from the future (`layers x H`).
+    dh_next: Vec<f64>,
+    /// Per-layer carry of dL/dc from the future (`layers x H`).
+    dc_next: Vec<f64>,
+    /// Gate-preactivation gradients (`4H`).
+    da: Vec<f64>,
+    /// Gradient flowing into the layer below / the input (`max in_dim`).
+    dx: Vec<f64>,
+    /// Gradient into the previous step's hidden state (`H`).
+    dh_prev: Vec<f64>,
+    /// dL/dh arriving from the layer above at the current step.
+    dh_above: Vec<f64>,
+    /// All-zero row standing in for pre-sequence state (`max dim`).
+    zeros: Vec<f64>,
 }
 
 /// Stacked LSTM regressor with a linear per-step output head.
@@ -163,154 +201,211 @@ impl Lstm {
         self.theta = theta;
     }
 
-    /// Runs the stack over `steps`, returning per-layer traces and per-step
-    /// predictions.
-    fn forward(&self, steps: &[Vec<f64>]) -> (Vec<LayerTrace>, Vec<f64>) {
-        let h_dim = self.params.hidden;
-        let mut traces: Vec<LayerTrace> = vec![LayerTrace::default(); self.layouts.len()];
-        let mut preds = Vec::with_capacity(steps.len());
-        let mut h_prev = vec![vec![0.0; h_dim]; self.layouts.len()];
-        let mut c_prev = vec![vec![0.0; h_dim]; self.layouts.len()];
-        for step in steps {
-            let mut input = step.clone();
-            for (li, layout) in self.layouts.iter().enumerate() {
-                let mut gates = vec![0.0; 4 * h_dim];
-                for (r, gate) in gates.iter_mut().enumerate() {
-                    let mut s = self.theta[layout.b + r];
-                    let wx_row = layout.wx + r * layout.in_dim;
-                    for (k, xv) in input.iter().enumerate() {
-                        s += self.theta[wx_row + k] * xv;
-                    }
-                    let wh_row = layout.wh + r * h_dim;
-                    for (k, hv) in h_prev[li].iter().enumerate() {
-                        s += self.theta[wh_row + k] * hv;
-                    }
-                    *gate = s;
-                }
-                let i: Vec<f64> = gates[..h_dim].iter().map(|&v| sigmoid(v)).collect();
-                let f: Vec<f64> = gates[h_dim..2 * h_dim].iter().map(|&v| sigmoid(v)).collect();
-                let g: Vec<f64> = gates[2 * h_dim..3 * h_dim].iter().map(|&v| v.tanh()).collect();
-                let o: Vec<f64> = gates[3 * h_dim..].iter().map(|&v| sigmoid(v)).collect();
-                let c: Vec<f64> = (0..h_dim)
-                    .map(|j| f[j] * c_prev[li][j] + i[j] * g[j])
-                    .collect();
-                let tc: Vec<f64> = c.iter().map(|v| v.tanh()).collect();
-                let h: Vec<f64> = (0..h_dim).map(|j| o[j] * tc[j]).collect();
-                let t = &mut traces[li];
-                t.x.push(input.clone());
-                t.i.push(i);
-                t.f.push(f);
-                t.g.push(g);
-                t.o.push(o);
-                t.c.push(c.clone());
-                t.tc.push(tc);
-                t.h.push(h.clone());
-                h_prev[li] = h.clone();
-                c_prev[li] = c;
-                input = h;
-            }
-            let out_w = &self.theta[self.out_w_off..self.out_w_off + h_dim];
-            let out_b = self.theta[self.out_w_off + h_dim];
-            let pred = out_b + out_w.iter().zip(&input).map(|(w, v)| w * v).sum::<f64>();
-            preds.push(pred);
-        }
-        (traces, preds)
-    }
-
-    /// BPTT for one sequence; accumulates into `grad` and returns the mean
-    /// squared error over the sequence.
-    fn backward(
-        &self,
-        traces: &[LayerTrace],
-        preds: &[f64],
-        targets: &[f64],
-        grad: &mut [f64],
-    ) -> f64 {
+    /// Runs the stack over `steps`, filling the scratch's traces and
+    /// per-step predictions. The forward path allocates nothing once the
+    /// scratch buffers reach steady state: each gate block is two
+    /// [`gemv_acc`] kernels over contiguous weight rows.
+    fn forward_into(&self, steps: &[Vec<f64>], scratch: &mut LstmScratch) {
         let h_dim = self.params.hidden;
         let n_layers = self.layouts.len();
-        let steps = preds.len();
+        scratch.traces.resize_with(n_layers, LayerTrace::default);
+        for tr in &mut scratch.traces {
+            tr.clear();
+        }
+        scratch.preds.clear();
+        scratch.gates.resize(4 * h_dim, 0.0);
+        let max_dim = self
+            .layouts
+            .iter()
+            .map(|l| l.in_dim)
+            .max()
+            .unwrap_or(0)
+            .max(h_dim);
+        scratch.zeros.clear();
+        scratch.zeros.resize(max_dim, 0.0);
+
+        let out_w = &self.theta[self.out_w_off..self.out_w_off + h_dim];
+        let out_b = self.theta[self.out_w_off + h_dim];
+        for (t, step) in steps.iter().enumerate() {
+            for li in 0..n_layers {
+                let layout = self.layouts[li];
+                // Previous hidden state: this layer's own trace at t-1,
+                // or zeros at the sequence start.
+                let h_prev_start = t.saturating_sub(1) * h_dim;
+                // Gate pre-activations: b + Wx·x + Wh·h_prev.
+                let gates = &mut scratch.gates;
+                gates.copy_from_slice(&self.theta[layout.b..layout.b + 4 * h_dim]);
+                {
+                    // Current input: the raw step for layer 0, the layer
+                    // below's fresh hidden state otherwise. Borrow it out
+                    // of the traces before mutating this layer's trace.
+                    let x: &[f64] = if li == 0 {
+                        step
+                    } else {
+                        let below = &scratch.traces[li - 1].h;
+                        &below[t * h_dim..(t + 1) * h_dim]
+                    };
+                    gemv_acc(
+                        &self.theta[layout.wx..layout.wx + 4 * h_dim * layout.in_dim],
+                        4 * h_dim,
+                        layout.in_dim,
+                        x,
+                        gates,
+                    );
+                    let h_prev: &[f64] = if t == 0 {
+                        &scratch.zeros[..h_dim]
+                    } else {
+                        &scratch.traces[li].h[h_prev_start..h_prev_start + h_dim]
+                    };
+                    gemv_acc(
+                        &self.theta[layout.wh..layout.wh + 4 * h_dim * h_dim],
+                        4 * h_dim,
+                        h_dim,
+                        h_prev,
+                        gates,
+                    );
+                    // Activate in place: i, f, o sigmoid; g tanh.
+                    for (r, v) in gates.iter_mut().enumerate() {
+                        *v = if (2 * h_dim..3 * h_dim).contains(&r) {
+                            v.tanh()
+                        } else {
+                            sigmoid(*v)
+                        };
+                    }
+                    // Record the input now that the gates no longer need it.
+                    let tr_x = &mut scratch.traces[li];
+                    if li == 0 {
+                        tr_x.x.extend_from_slice(step);
+                    }
+                }
+                if li > 0 {
+                    // Copy the layer-below hidden state into this layer's
+                    // input trace (split_at_mut to satisfy the borrows).
+                    let (below, above) = scratch.traces.split_at_mut(li);
+                    let src = &below[li - 1].h[t * h_dim..(t + 1) * h_dim];
+                    above[0].x.extend_from_slice(src);
+                }
+                // State update: c = f*c_prev + i*g; h = o*tanh(c).
+                let tr = &mut scratch.traces[li];
+                tr.gates.extend_from_slice(&scratch.gates);
+                let gates = &scratch.gates;
+                for j in 0..h_dim {
+                    let c_prev = if t == 0 {
+                        0.0
+                    } else {
+                        tr.c[(t - 1) * h_dim + j]
+                    };
+                    let c = gates[h_dim + j] * c_prev + gates[j] * gates[2 * h_dim + j];
+                    let tc = c.tanh();
+                    tr.c.push(c);
+                    tr.tc.push(tc);
+                    tr.h.push(gates[3 * h_dim + j] * tc);
+                }
+            }
+            let h_top = &scratch.traces[n_layers - 1].h[t * h_dim..(t + 1) * h_dim];
+            scratch.preds.push(out_b + dot(out_w, h_top));
+        }
+    }
+
+    /// BPTT for one sequence over the traces left by
+    /// [`Lstm::forward_into`]; accumulates into `grad` and returns the
+    /// mean squared error. All intermediates live in the scratch and every
+    /// inner loop is an [`axpy`] over a contiguous weight or gradient row.
+    fn backward(&self, scratch: &mut LstmScratch, targets: &[f64], grad: &mut [f64]) -> f64 {
+        let h_dim = self.params.hidden;
+        let n_layers = self.layouts.len();
+        let steps = scratch.preds.len();
         let inv_t = 1.0 / steps as f64;
         let out_w = self.out_w_off;
 
-        // dh[layer] carries gradient flowing into h_t of that layer from
-        // the future; dc likewise for cell state.
-        let mut dh_next = vec![vec![0.0; h_dim]; n_layers];
-        let mut dc_next = vec![vec![0.0; h_dim]; n_layers];
+        scratch.dh_next.clear();
+        scratch.dh_next.resize(n_layers * h_dim, 0.0);
+        scratch.dc_next.clear();
+        scratch.dc_next.resize(n_layers * h_dim, 0.0);
+        scratch.da.resize(4 * h_dim, 0.0);
+        let max_in = self.layouts.iter().map(|l| l.in_dim).max().unwrap_or(0);
+        scratch.dx.resize(max_in, 0.0);
+        scratch.dh_prev.resize(h_dim, 0.0);
+        scratch.dh_above.resize(max_in.max(h_dim), 0.0);
+
         let mut sq_err = 0.0;
         for t in (0..steps).rev() {
-            let err = preds[t] - targets[t];
+            let err = scratch.preds[t] - targets[t];
             sq_err += err * err;
             let d_pred = 2.0 * err * inv_t;
             // Output head gradient and seed for the top layer's dh.
             let top = n_layers - 1;
-            let h_top = &traces[top].h[t];
+            let h_top = &scratch.traces[top].h[t * h_dim..(t + 1) * h_dim];
             grad[out_w + h_dim] += d_pred;
-            let mut dh_from_above: Vec<f64> = (0..h_dim)
-                .map(|j| {
-                    grad[out_w + j] += d_pred * h_top[j];
-                    d_pred * self.theta[out_w + j]
-                })
-                .collect();
+            axpy(d_pred, h_top, &mut grad[out_w..out_w + h_dim]);
+            scratch.dh_above[..h_dim].copy_from_slice(&self.theta[out_w..out_w + h_dim]);
+            scratch.dh_above[..h_dim]
+                .iter_mut()
+                .for_each(|v| *v *= d_pred);
             for li in (0..n_layers).rev() {
                 let layout = self.layouts[li];
-                let tr = &traces[li];
-                let dh: Vec<f64> = (0..h_dim)
-                    .map(|j| dh_from_above[j] + dh_next[li][j])
-                    .collect();
-                let (i, f, g, o) = (&tr.i[t], &tr.f[t], &tr.g[t], &tr.o[t]);
-                let tc = &tr.tc[t];
-                let c_prev: Vec<f64> = if t > 0 { tr.c[t - 1].clone() } else { vec![0.0; h_dim] };
-                let mut da = vec![0.0; 4 * h_dim];
-                let mut dc_prev = vec![0.0; h_dim];
+                let tr = &scratch.traces[li];
+                let gates = &tr.gates[t * 4 * h_dim..(t + 1) * 4 * h_dim];
+                let tc = &tr.tc[t * h_dim..(t + 1) * h_dim];
+                // Gate-preactivation gradients.
                 for j in 0..h_dim {
-                    let do_ = dh[j] * tc[j];
-                    let dc = dh[j] * o[j] * (1.0 - tc[j] * tc[j]) + dc_next[li][j];
-                    let di = dc * g[j];
-                    let dg = dc * i[j];
-                    let df = dc * c_prev[j];
-                    dc_prev[j] = dc * f[j];
-                    da[j] = di * i[j] * (1.0 - i[j]);
-                    da[h_dim + j] = df * f[j] * (1.0 - f[j]);
-                    da[2 * h_dim + j] = dg * (1.0 - g[j] * g[j]);
-                    da[3 * h_dim + j] = do_ * o[j] * (1.0 - o[j]);
+                    let dh = scratch.dh_above[j] + scratch.dh_next[li * h_dim + j];
+                    let (i, f, g, o) = (
+                        gates[j],
+                        gates[h_dim + j],
+                        gates[2 * h_dim + j],
+                        gates[3 * h_dim + j],
+                    );
+                    let c_prev = if t > 0 {
+                        tr.c[(t - 1) * h_dim + j]
+                    } else {
+                        0.0
+                    };
+                    let do_ = dh * tc[j];
+                    let dc = dh * o * (1.0 - tc[j] * tc[j]) + scratch.dc_next[li * h_dim + j];
+                    scratch.dc_next[li * h_dim + j] = dc * f;
+                    scratch.da[j] = dc * g * i * (1.0 - i);
+                    scratch.da[h_dim + j] = dc * c_prev * f * (1.0 - f);
+                    scratch.da[2 * h_dim + j] = dc * i * (1.0 - g * g);
+                    scratch.da[3 * h_dim + j] = do_ * o * (1.0 - o);
                 }
-                dc_next[li] = dc_prev;
                 // Parameter gradients and downstream gradients.
-                let x = &tr.x[t];
-                let h_prev: Vec<f64> =
-                    if t > 0 { tr.h[t - 1].clone() } else { vec![0.0; h_dim] };
-                let mut dx = vec![0.0; layout.in_dim];
-                let mut dh_prev = vec![0.0; h_dim];
-                for (r, &d) in da.iter().enumerate() {
+                let x = &tr.x[t * layout.in_dim..(t + 1) * layout.in_dim];
+                let h_prev: &[f64] = if t > 0 {
+                    &tr.h[(t - 1) * h_dim..t * h_dim]
+                } else {
+                    &scratch.zeros[..h_dim]
+                };
+                let dx = &mut scratch.dx[..layout.in_dim];
+                dx.iter_mut().for_each(|v| *v = 0.0);
+                let dh_prev = &mut scratch.dh_prev[..h_dim];
+                dh_prev.iter_mut().for_each(|v| *v = 0.0);
+                for (r, &d) in scratch.da.iter().enumerate() {
                     if d == 0.0 {
                         continue;
                     }
                     grad[layout.b + r] += d;
                     let wx_row = layout.wx + r * layout.in_dim;
-                    for (k, xv) in x.iter().enumerate() {
-                        grad[wx_row + k] += d * xv;
-                        dx[k] += d * self.theta[wx_row + k];
-                    }
+                    axpy(d, x, &mut grad[wx_row..wx_row + layout.in_dim]);
+                    axpy(d, &self.theta[wx_row..wx_row + layout.in_dim], dx);
                     let wh_row = layout.wh + r * h_dim;
-                    for (k, hv) in h_prev.iter().enumerate() {
-                        grad[wh_row + k] += d * hv;
-                        dh_prev[k] += d * self.theta[wh_row + k];
-                    }
+                    axpy(d, h_prev, &mut grad[wh_row..wh_row + h_dim]);
+                    axpy(d, &self.theta[wh_row..wh_row + h_dim], dh_prev);
                 }
-                dh_next[li] = dh_prev;
+                scratch.dh_next[li * h_dim..(li + 1) * h_dim].copy_from_slice(dh_prev);
                 // dx feeds the layer below as part of its dh at this step.
-                dh_from_above = dx;
+                scratch.dh_above[..layout.in_dim].copy_from_slice(&scratch.dx[..layout.in_dim]);
             }
         }
         sq_err * inv_t
     }
 
-    fn eval(&self, seqs: &[Sequence]) -> f64 {
+    fn eval_with(&self, seqs: &[Sequence], scratch: &mut LstmScratch) -> f64 {
         let mut total = 0.0;
         let mut n = 0usize;
         for s in seqs {
-            let (_, preds) = self.forward(&s.steps);
-            for (p, y) in preds.iter().zip(&s.targets) {
+            self.forward_into(&s.steps, scratch);
+            for (p, y) in scratch.preds.iter().zip(&s.targets) {
                 total += (p - y) * (p - y);
             }
             n += s.len();
@@ -322,11 +417,20 @@ impl Lstm {
         }
     }
 
+    #[cfg(test)]
+    fn eval(&self, seqs: &[Sequence]) -> f64 {
+        self.eval_with(seqs, &mut LstmScratch::default())
+    }
+
     fn scale_sequences(&self, seqs: &[Sequence]) -> Vec<Sequence> {
         let scaler = self.scaler.as_ref().expect("scaler fitted");
         seqs.iter()
             .map(|s| Sequence {
-                steps: s.steps.iter().map(|row| scaler.transform_row(row)).collect(),
+                steps: s
+                    .steps
+                    .iter()
+                    .map(|row| scaler.transform_row(row))
+                    .collect(),
                 targets: s.targets.clone(),
             })
             .collect()
@@ -338,12 +442,13 @@ impl SequenceRegressor for Lstm {
         assert!(!train.is_empty(), "cannot fit LSTM on no sequences");
         let n_features = train[0].n_features();
         assert!(
-            train.iter().all(|s| s.n_features() == n_features && !s.is_empty()),
+            train
+                .iter()
+                .all(|s| s.n_features() == n_features && !s.is_empty()),
             "all training sequences must be non-empty with equal feature counts"
         );
         // Fit the scaler over every step of every sequence.
-        let all_rows: Vec<Vec<f64>> =
-            train.iter().flat_map(|s| s.steps.iter().cloned()).collect();
+        let all_rows: Vec<Vec<f64>> = train.iter().flat_map(|s| s.steps.iter().cloned()).collect();
         let flat = Matrix::from_rows(&all_rows).expect("validated shapes");
         self.scaler = Some(StandardScaler::fit(&flat));
 
@@ -356,6 +461,7 @@ impl SequenceRegressor for Lstm {
         let mut adam = Adam::new(self.theta.len(), self.params.lr, self.params.clip_norm);
         let mut order: Vec<usize> = (0..train_scaled.len()).collect();
         let mut grad = vec![0.0; self.theta.len()];
+        let mut scratch = LstmScratch::default();
         let mut best = self.theta.clone();
         let mut best_loss = f64::INFINITY;
         let mut stale = 0;
@@ -363,14 +469,14 @@ impl SequenceRegressor for Lstm {
             order.shuffle(&mut rng);
             for &si in &order {
                 let seq = &train_scaled[si];
-                let (traces, preds) = self.forward(&seq.steps);
+                self.forward_into(&seq.steps, &mut scratch);
                 grad.iter_mut().for_each(|g| *g = 0.0);
-                self.backward(&traces, &preds, &seq.targets, &mut grad);
+                self.backward(&mut scratch, &seq.targets, &mut grad);
                 adam.step(&mut self.theta, &grad);
             }
             let loss = match &val_scaled {
-                Some(v) => self.eval(v),
-                None => self.eval(&train_scaled),
+                Some(v) => self.eval_with(v, &mut scratch),
+                None => self.eval_with(&train_scaled, &mut scratch),
             };
             if loss.is_finite() && loss + 1e-12 < best_loss {
                 best_loss = loss;
@@ -387,9 +493,14 @@ impl SequenceRegressor for Lstm {
     }
 
     fn predict_sequence(&self, steps: &[Vec<f64>]) -> Vec<f64> {
-        let scaler = self.scaler.as_ref().expect("Lstm::predict_sequence called before fit");
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("Lstm::predict_sequence called before fit");
         let scaled: Vec<Vec<f64>> = steps.iter().map(|r| scaler.transform_row(r)).collect();
-        self.forward(&scaled).1
+        let mut scratch = LstmScratch::default();
+        self.forward_into(&scaled, &mut scratch);
+        scratch.preds
     }
 }
 
@@ -458,12 +569,19 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let seqs = stateful_sequences(3, 8);
-        let params = LstmParams { hidden: 4, max_epochs: 5, ..LstmParams::default() };
+        let params = LstmParams {
+            hidden: 4,
+            max_epochs: 5,
+            ..LstmParams::default()
+        };
         let mut a = Lstm::new(params);
         let mut b = Lstm::new(params);
         a.fit_sequences(&seqs, None);
         b.fit_sequences(&seqs, None);
-        assert_eq!(a.predict_sequence(&seqs[0].steps), b.predict_sequence(&seqs[0].steps));
+        assert_eq!(
+            a.predict_sequence(&seqs[0].steps),
+            b.predict_sequence(&seqs[0].steps)
+        );
     }
 
     #[test]

@@ -1,9 +1,168 @@
-//! A minimal row-major dense matrix.
+//! A minimal row-major dense matrix and the linear-algebra kernels the
+//! neural engines batch through.
 //!
-//! The engines in this crate only need a handful of operations; this type
-//! provides exactly those rather than pulling in a linear-algebra crate.
+//! The slice-level kernels ([`dot`], [`axpy`], [`gemv`], [`gemv_acc`],
+//! [`matmul`], [`matmul_transb`], [`matmul_ta`]) operate on flat row-major
+//! buffers so engine parameter blocks (stored inside flat `theta` vectors)
+//! can be used directly without copying. The matmul variants are
+//! cache-blocked over the reduction dimension, and [`matmul_transb`] takes
+//! its second operand pre-transposed so the inner loop streams both
+//! operands contiguously — the layout the MLP/CNN forward passes use for
+//! `X · Wᵀ`.
 
 use std::fmt;
+
+/// Reduction-dimension block size for the blocked matmul kernels; sized so
+/// one block of each operand row stays resident in L1.
+const K_BLOCK: usize = 256;
+
+/// The dot product of two equal-length slices (4-way unrolled).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut chunks_x = x.chunks_exact(4);
+    let mut chunks_y = y.chunks_exact(4);
+    let mut acc = [0.0f64; 4];
+    for (cx, cy) in chunks_x.by_ref().zip(chunks_y.by_ref()) {
+        acc[0] += cx[0] * cy[0];
+        acc[1] += cx[1] * cy[1];
+        acc[2] += cx[2] * cy[2];
+        acc[3] += cx[3] * cy[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (a, b) in chunks_x.remainder().iter().zip(chunks_y.remainder()) {
+        s += a * b;
+    }
+    s
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = A·x` for a row-major `m x n` matrix `a`: each output element is a
+/// contiguous dot product.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the shape.
+pub fn gemv(a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), m * n, "matrix buffer does not match shape");
+    assert_eq!(x.len(), n, "input length mismatch");
+    assert_eq!(y.len(), m, "output length mismatch");
+    if n == 0 {
+        // Zero-width matrix: the product is the zero vector; honour the
+        // overwrite contract even though there are no rows to stream.
+        y.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    for (yi, row) in y.iter_mut().zip(a.chunks_exact(n)) {
+        *yi = dot(row, x);
+    }
+}
+
+/// `y += A·x` (accumulating [`gemv`]).
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the shape.
+pub fn gemv_acc(a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), m * n, "matrix buffer does not match shape");
+    assert_eq!(x.len(), n, "input length mismatch");
+    assert_eq!(y.len(), m, "output length mismatch");
+    if n == 0 {
+        return; // A·x is the zero vector; accumulating adds nothing.
+    }
+    for (yi, row) in y.iter_mut().zip(a.chunks_exact(n)) {
+        *yi += dot(row, x);
+    }
+}
+
+/// `C = A·Bᵀ` with `a` of shape `m x k` and `b` of shape `n x k`, both
+/// row-major — i.e. `b` holds the second operand already transposed, so
+/// every inner product streams two contiguous rows. Blocked over `k` so
+/// the active row segments stay cache-resident; `c` (shape `m x n`) is
+/// overwritten.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the shapes.
+pub fn matmul_transb(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A buffer does not match shape");
+    assert_eq!(b.len(), n * k, "B buffer does not match shape");
+    assert_eq!(c.len(), m * n, "C buffer does not match shape");
+    c.iter_mut().for_each(|v| *v = 0.0);
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = (k - k0).min(K_BLOCK);
+        for i in 0..m {
+            let a_seg = &a[i * k + k0..i * k + k0 + kb];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                c_row[j] += dot(a_seg, &b[j * k + k0..j * k + k0 + kb]);
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// `C = A·B` with `a` of shape `m x k` and `b` of shape `k x n`, row-major.
+/// Uses the gaxpy form (`C[i] += A[i][l] * B[l]`) so the inner loop
+/// streams contiguous rows of `B` and `C`; blocked over `k`. `c` (shape
+/// `m x n`) is overwritten.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the shapes.
+pub fn matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A buffer does not match shape");
+    assert_eq!(b.len(), k * n, "B buffer does not match shape");
+    assert_eq!(c.len(), m * n, "C buffer does not match shape");
+    c.iter_mut().for_each(|v| *v = 0.0);
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = (k - k0).min(K_BLOCK);
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for l in k0..k0 + kb {
+                axpy(a[i * k + l], &b[l * n..(l + 1) * n], c_row);
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// `C += AᵀB` with `a` of shape `m x k` and `b` of shape `m x n`,
+/// row-major; `c` has shape `k x n` and is **accumulated into** — the
+/// layout of a batched weight-gradient update (`dW += deltaᵀ · acts`).
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the shapes.
+pub fn matmul_ta(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A buffer does not match shape");
+    assert_eq!(b.len(), m * n, "B buffer does not match shape");
+    assert_eq!(c.len(), k * n, "C buffer does not match shape");
+    for i in 0..m {
+        let b_row = &b[i * n..(i + 1) * n];
+        for l in 0..k {
+            axpy(a[i * k + l], b_row, &mut c[l * n..(l + 1) * n]);
+        }
+    }
+}
 
 /// Row-major dense matrix of `f64`.
 #[derive(Clone, PartialEq)]
@@ -16,7 +175,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a slice of equally sized rows.
@@ -31,7 +194,11 @@ impl Matrix {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Some(Matrix { rows: rows.len(), cols, data })
+        Some(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -80,7 +247,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -90,7 +260,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -100,8 +273,14 @@ impl Matrix {
     ///
     /// Panics if `c` is out of bounds.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds ({} cols)",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns a new matrix containing only the selected rows, in order.
@@ -114,7 +293,11 @@ impl Matrix {
         for &r in indices {
             data.extend_from_slice(self.row(r));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns a new matrix containing only the selected columns, in order.
@@ -131,12 +314,66 @@ impl Matrix {
                 data.push(row[c]);
             }
         }
-        Matrix { rows: self.rows, cols: indices.len(), data }
+        Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        }
     }
 
     /// Flat row-major view of the underlying buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// `self · other` via the blocked [`matmul`] kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self · otherᵀ` via the blocked transposed-B kernel
+    /// ([`matmul_transb`]); `other` is `n x k` with `k == self.cols()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared dimension disagrees.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "shared dimension must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        matmul_transb(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.rows,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self · x` via the [`gemv`] kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn gemv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        gemv(&self.data, self.rows, self.cols, x, &mut y);
+        y
     }
 }
 
@@ -198,5 +435,117 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn row_out_of_bounds_panics() {
         Matrix::zeros(1, 1).row(1);
+    }
+
+    /// Reference implementation for kernel validation.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn pseudo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| (((i as u64 * 2654435761 + salt * 97) % 1000) as f64 - 500.0) / 250.0)
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-9, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive() {
+        // Shapes straddling the K block size exercise the tail logic.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 4), (17, 300, 9), (8, 256, 8), (2, 257, 3)] {
+            let a = pseudo_matrix(m, k, 1);
+            let b = pseudo_matrix(k, n, 2);
+            assert_close(&a.matmul(&b), &naive_matmul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn transb_matmul_matches_naive() {
+        for (m, k, n) in [(4, 7, 3), (5, 300, 6), (1, 512, 1)] {
+            let a = pseudo_matrix(m, k, 3);
+            let bt = pseudo_matrix(n, k, 4); // B^T stored row-major
+                                             // Materialise B to compare against the naive product.
+            let mut b = Matrix::zeros(k, n);
+            for j in 0..n {
+                for l in 0..k {
+                    b.set(l, j, bt.get(j, l));
+                }
+            }
+            assert_close(&a.matmul_transb(&bt), &naive_matmul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn matmul_ta_accumulates_a_transpose_b() {
+        let (m, k, n) = (6, 4, 5);
+        let a = pseudo_matrix(m, k, 5);
+        let b = pseudo_matrix(m, n, 6);
+        let mut c = vec![1.0; k * n]; // pre-seeded: kernel accumulates
+        matmul_ta(a.as_slice(), b.as_slice(), m, k, n, &mut c);
+        for i in 0..k {
+            for j in 0..n {
+                let mut expect = 1.0;
+                for s in 0..m {
+                    expect += a.get(s, i) * b.get(s, j);
+                }
+                assert!((c[i * n + j] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_matches_matmul_column() {
+        let a = pseudo_matrix(9, 31, 7);
+        let x: Vec<f64> = (0..31).map(|i| (i as f64 * 0.3).cos()).collect();
+        let y = a.gemv(&x);
+        let xm = Matrix::from_vec(31, 1, x.clone());
+        let expect = naive_matmul(&a, &xm);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((yi - expect.get(i, 0)).abs() < 1e-9);
+        }
+        // Accumulating variant adds on top.
+        let mut y2 = y.clone();
+        gemv_acc(a.as_slice(), 9, 31, &x, &mut y2);
+        for (y2i, yi) in y2.iter().zip(&y) {
+            assert!((y2i - 2.0 * yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemv_zero_width_overwrites_output() {
+        let mut y = vec![7.0, 8.0, 9.0];
+        gemv(&[], 3, 0, &[], &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+        let mut y2 = vec![1.5, 2.5];
+        gemv_acc(&[], 2, 0, &[], &mut y2);
+        assert_eq!(y2, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn dot_and_axpy_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 0.5, 1.0, 0.25, 2.0];
+        assert!((dot(&x, &y) - (2.0 + 1.0 + 3.0 + 1.0 + 10.0)).abs() < 1e-12);
+        let mut z = y;
+        axpy(2.0, &x, &mut z);
+        assert_eq!(z, [4.0, 4.5, 7.0, 8.25, 12.0]);
     }
 }

@@ -41,9 +41,17 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
-    assert_eq!(pred.len(), target.len(), "mse requires equally sized samples");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "mse requires equally sized samples"
+    );
     assert!(!pred.is_empty(), "mse of an empty sample is undefined");
-    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Mean absolute error between predictions and targets.
@@ -52,9 +60,17 @@ pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
-    assert_eq!(pred.len(), target.len(), "mae requires equally sized samples");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "mae requires equally sized samples"
+    );
     assert!(!pred.is_empty(), "mae of an empty sample is undefined");
-    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Area under the ROC curve for binary labels given real-valued scores.
@@ -68,7 +84,11 @@ pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
-    assert_eq!(scores.len(), labels.len(), "roc_auc requires one label per score");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "roc_auc requires one label per score"
+    );
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
@@ -76,7 +96,11 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     }
     // Rank scores ascending with mid-ranks for ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -90,8 +114,11 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        ranks.iter().zip(labels).filter_map(|(r, &l)| l.then_some(*r)).sum();
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter_map(|(r, &l)| l.then_some(*r))
+        .sum();
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos * n_neg) as f64
 }
@@ -118,7 +145,11 @@ pub struct RocPoint {
 ///
 /// Panics if the slices have different lengths.
 pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
-    assert_eq!(scores.len(), labels.len(), "roc_curve requires one label per score");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "roc_curve requires one label per score"
+    );
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
@@ -126,9 +157,15 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let mut curve = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut i = 0;

@@ -1,4 +1,11 @@
 //! Multi-layer perceptron regressor (ReLU hidden layers, linear output).
+//!
+//! Training is fully batched: each mini-batch runs one blocked
+//! `X · Wᵀ` matmul per layer forward ([`crate::matmul_transb`]) and two
+//! matmuls per layer backward (`delta · W` for the downstream gradient,
+//! `deltaᵀ · acts` for the weight gradient), all through reusable scratch
+//! buffers — no per-sample allocation or scalar triple loop remains on
+//! the training path.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -6,6 +13,7 @@ use rand::SeedableRng;
 
 use crate::adam::Adam;
 use crate::dataset::Dataset;
+use crate::matrix::{gemv_acc, matmul, matmul_ta, matmul_transb};
 use crate::metrics::mse;
 use crate::scaler::StandardScaler;
 use crate::Regressor;
@@ -63,7 +71,12 @@ pub struct Mlp {
 impl Mlp {
     /// Creates an untrained MLP.
     pub fn new(params: MlpParams) -> Self {
-        Mlp { params, sizes: Vec::new(), theta: Vec::new(), scaler: None }
+        Mlp {
+            params,
+            sizes: Vec::new(),
+            theta: Vec::new(),
+            scaler: None,
+        }
     }
 
     /// Total number of trainable parameters (0 before fit).
@@ -102,77 +115,189 @@ impl Mlp {
         self.theta = theta;
     }
 
-    /// Forward pass storing per-layer activations; returns activations
-    /// (`acts[0]` is the input, `acts.last()` the scalar output).
-    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
+    /// Batched forward pass over `batch` rows already gathered into
+    /// `scratch.acts[0]`: every layer is one blocked `X · Wᵀ` matmul plus
+    /// a bias/ReLU sweep, writing into the scratch's per-layer activation
+    /// buffers.
+    fn forward_batch(&self, batch: usize, scratch: &mut MlpScratch) {
         let offs = Self::layer_offsets(&self.sizes);
         let n_layers = self.sizes.len() - 1;
-        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(n_layers + 1);
-        acts.push(x.to_vec());
         for (l, &(w_off, b_off, _)) in offs.iter().enumerate() {
             let n_in = self.sizes[l];
             let n_out = self.sizes[l + 1];
-            let prev = &acts[l];
-            let mut out = vec![0.0; n_out];
-            for (o, out_v) in out.iter_mut().enumerate() {
-                let row = &self.theta[w_off + o * n_in..w_off + (o + 1) * n_in];
-                let mut s = self.theta[b_off + o];
-                for (w, a) in row.iter().zip(prev) {
-                    s += w * a;
+            let (prev_acts, rest) = scratch.acts.split_at_mut(l + 1);
+            let prev = &prev_acts[l][..batch * n_in];
+            let out = &mut rest[0];
+            out.resize(batch * n_out, 0.0);
+            matmul_transb(
+                prev,
+                &self.theta[w_off..w_off + n_out * n_in],
+                batch,
+                n_in,
+                n_out,
+                &mut out[..batch * n_out],
+            );
+            let bias = &self.theta[b_off..b_off + n_out];
+            let relu = l + 1 < n_layers;
+            for row in out[..batch * n_out].chunks_exact_mut(n_out) {
+                for (v, b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                    if relu && *v < 0.0 {
+                        *v = 0.0;
+                    }
                 }
-                *out_v = if l + 1 < n_layers { s.max(0.0) } else { s };
             }
-            acts.push(out);
         }
-        acts
     }
 
-    /// Accumulates gradients for one sample into `grad`; returns squared
-    /// error.
-    fn backward(&self, acts: &[Vec<f64>], target: f64, grad: &mut [f64]) -> f64 {
+    /// Batched backward pass over the activations left in `scratch` by
+    /// [`Mlp::forward_batch`]; accumulates parameter gradients into `grad`
+    /// and returns the batch's summed squared error.
+    fn backward_batch(
+        &self,
+        batch: usize,
+        targets: &[f64],
+        scratch: &mut MlpScratch,
+        grad: &mut [f64],
+    ) -> f64 {
         let offs = Self::layer_offsets(&self.sizes);
         let n_layers = self.sizes.len() - 1;
-        let out = acts[n_layers][0];
-        let err = out - target;
-        // dL/dout for MSE (factor 2 folded into lr choice; use 2*err for
-        // textbook MSE derivative).
-        let mut delta = vec![2.0 * err];
+        // Output delta: d(err^2)/d out = 2 * (out - y).
+        let out_acts = &scratch.acts[n_layers][..batch];
+        let mut sq_err = 0.0;
+        let out_delta = &mut scratch.deltas[n_layers];
+        out_delta.resize(batch, 0.0);
+        for s in 0..batch {
+            let err = out_acts[s] - targets[s];
+            sq_err += err * err;
+            out_delta[s] = 2.0 * err;
+        }
         for l in (0..n_layers).rev() {
             let (w_off, b_off, _) = offs[l];
             let n_in = self.sizes[l];
             let n_out = self.sizes[l + 1];
-            let prev = &acts[l];
-            let mut next_delta = vec![0.0; n_in];
-            for o in 0..n_out {
-                let d = delta[o];
-                if d == 0.0 {
-                    continue;
-                }
-                grad[b_off + o] += d;
-                let w_row = w_off + o * n_in;
-                for i in 0..n_in {
-                    grad[w_row + i] += d * prev[i];
-                    next_delta[i] += d * self.theta[w_row + i];
+            let (deltas_lo, deltas_hi) = scratch.deltas.split_at_mut(l + 1);
+            let delta = &deltas_hi[0][..batch * n_out];
+            let prev = &scratch.acts[l][..batch * n_in];
+            // Bias gradient: per-output column sums of the delta matrix.
+            for row in delta.chunks_exact(n_out) {
+                for (g, d) in grad[b_off..b_off + n_out].iter_mut().zip(row) {
+                    *g += d;
                 }
             }
+            // Weight gradient: dW += deltaᵀ · prev (blocked kernel).
+            matmul_ta(
+                delta,
+                prev,
+                batch,
+                n_out,
+                n_in,
+                &mut grad[w_off..w_off + n_out * n_in],
+            );
             if l > 0 {
-                // ReLU derivative on the previous layer's activations.
-                for (nd, a) in next_delta.iter_mut().zip(prev) {
+                // Downstream delta: (delta · W) gated by ReLU'(prev).
+                let next_delta = &mut deltas_lo[l];
+                next_delta.resize(batch * n_in, 0.0);
+                matmul(
+                    delta,
+                    &self.theta[w_off..w_off + n_out * n_in],
+                    batch,
+                    n_out,
+                    n_in,
+                    &mut next_delta[..batch * n_in],
+                );
+                for (nd, a) in next_delta[..batch * n_in].iter_mut().zip(prev) {
                     if *a <= 0.0 {
                         *nd = 0.0;
                     }
                 }
             }
-            delta = next_delta;
         }
-        err * err
+        sq_err
     }
 
-    fn eval(&self, data: &Dataset) -> f64 {
-        let preds: Vec<f64> = (0..data.len())
-            .map(|i| self.forward(data.sample(i).0).last().unwrap()[0])
-            .collect();
+    /// Gathers dataset rows `idx` into `scratch.acts[0]` and the matching
+    /// targets into `scratch.targets`.
+    fn gather_batch(&self, data: &Dataset, idx: &[usize], scratch: &mut MlpScratch) {
+        let n_in = self.sizes[0];
+        let input = &mut scratch.acts[0];
+        input.clear();
+        input.reserve(idx.len() * n_in);
+        scratch.targets.clear();
+        for &i in idx {
+            let (row, y) = data.sample(i);
+            input.extend_from_slice(row);
+            scratch.targets.push(y);
+        }
+    }
+
+    fn eval(&self, data: &Dataset, scratch: &mut MlpScratch) -> f64 {
+        let mut preds = Vec::with_capacity(data.len());
+        let all: Vec<usize> = (0..data.len()).collect();
+        for chunk in all.chunks(EVAL_CHUNK) {
+            self.gather_batch(data, chunk, scratch);
+            self.forward_batch(chunk.len(), scratch);
+            preds.extend_from_slice(&self.acts_output(scratch)[..chunk.len()]);
+        }
         mse(&preds, data.y())
+    }
+
+    fn acts_output<'s>(&self, scratch: &'s MlpScratch) -> &'s [f64] {
+        &scratch.acts[self.sizes.len() - 1]
+    }
+
+    /// Single-row forward used by inference: one [`gemv_acc`] per layer
+    /// over a pair of ping-pong buffers.
+    fn forward_row(&self, x: &[f64]) -> f64 {
+        let offs = Self::layer_offsets(&self.sizes);
+        let n_layers = self.sizes.len() - 1;
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (l, &(w_off, b_off, _)) in offs.iter().enumerate() {
+            let n_in = self.sizes[l];
+            let n_out = self.sizes[l + 1];
+            next.clear();
+            next.extend_from_slice(&self.theta[b_off..b_off + n_out]);
+            gemv_acc(
+                &self.theta[w_off..w_off + n_out * n_in],
+                n_out,
+                n_in,
+                &cur,
+                &mut next,
+            );
+            if l + 1 < n_layers {
+                for v in &mut next {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur[0]
+    }
+}
+
+/// Number of rows evaluated per forward chunk when scoring a dataset.
+const EVAL_CHUNK: usize = 256;
+
+/// Reusable training buffers: per-layer activation and delta matrices
+/// (batch-major) plus the gathered target column. Allocated once per fit
+/// and recycled across every mini-batch and epoch.
+#[derive(Debug, Default)]
+struct MlpScratch {
+    acts: Vec<Vec<f64>>,
+    deltas: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl MlpScratch {
+    fn for_sizes(sizes: &[usize]) -> Self {
+        MlpScratch {
+            acts: sizes.iter().map(|_| Vec::new()).collect(),
+            deltas: sizes.iter().map(|_| Vec::new()).collect(),
+            targets: Vec::new(),
+        }
     }
 }
 
@@ -195,21 +320,22 @@ impl Regressor for Mlp {
         let mut best_loss = f64::INFINITY;
         let mut stale = 0usize;
         let mut grad = vec![0.0; self.theta.len()];
+        let mut scratch = MlpScratch::for_sizes(&self.sizes);
         for _epoch in 0..self.params.max_epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.params.batch_size.max(1)) {
                 grad.iter_mut().for_each(|g| *g = 0.0);
-                for &i in chunk {
-                    let (row, y) = train_scaled.sample(i);
-                    let acts = self.forward(row);
-                    self.backward(&acts, y, &mut grad);
-                }
+                self.gather_batch(&train_scaled, chunk, &mut scratch);
+                self.forward_batch(chunk.len(), &mut scratch);
+                let targets = std::mem::take(&mut scratch.targets);
+                self.backward_batch(chunk.len(), &targets, &mut scratch, &mut grad);
+                scratch.targets = targets;
                 let inv = 1.0 / chunk.len() as f64;
                 grad.iter_mut().for_each(|g| *g *= inv);
                 adam.step(&mut self.theta, &grad);
             }
             let monitored = val_scaled.as_ref().unwrap_or(&train_scaled);
-            let loss = self.eval(monitored);
+            let loss = self.eval(monitored, &mut scratch);
             if loss + 1e-12 < best_loss {
                 best_loss = loss;
                 best_theta.copy_from_slice(&self.theta);
@@ -226,9 +352,12 @@ impl Regressor for Mlp {
     }
 
     fn predict_row(&self, x: &[f64]) -> f64 {
-        let scaler = self.scaler.as_ref().expect("Mlp::predict_row called before fit");
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("Mlp::predict_row called before fit");
         let z = scaler.transform_row(x);
-        self.forward(&z).last().expect("network has layers")[0]
+        self.forward_row(&z)
     }
 }
 
@@ -284,12 +413,19 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = nonlinear_data(60);
-        let params = MlpParams { hidden: vec![8], max_epochs: 30, ..MlpParams::default() };
+        let params = MlpParams {
+            hidden: vec![8],
+            max_epochs: 30,
+            ..MlpParams::default()
+        };
         let mut a = Mlp::new(params.clone());
         let mut b = Mlp::new(params);
         a.fit(&data, None);
         b.fit(&data, None);
-        assert_eq!(a.predict_row(data.sample(0).0), b.predict_row(data.sample(0).0));
+        assert_eq!(
+            a.predict_row(data.sample(0).0),
+            b.predict_row(data.sample(0).0)
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl BranchPredictor {
     /// nominal entries.
     pub fn set_index_mask_lost_bits(&mut self, lost_bits: u32) {
         let remaining = (self.table_mask.count_ones()).saturating_sub(lost_bits);
-        self.index_mask = if remaining == 0 { 0 } else { (1u32 << remaining) - 1 };
+        self.index_mask = if remaining == 0 {
+            0
+        } else {
+            (1u32 << remaining) - 1
+        };
     }
 
     fn index(&self, pc: u32) -> usize {
@@ -93,7 +97,11 @@ impl BranchPredictor {
                 if inst.taken {
                     self.btb_insert(inst.pc, inst.target);
                 }
-                Prediction { correct, indirect: false, predicted_taken }
+                Prediction {
+                    correct,
+                    indirect: false,
+                    predicted_taken,
+                }
             }
             Opcode::Jump => {
                 // Direct unconditional: direction always known; target is
@@ -102,13 +110,21 @@ impl BranchPredictor {
                 // the fetch model, not a full mispredict).
                 let correct = true;
                 self.btb_insert(inst.pc, inst.target);
-                Prediction { correct, indirect: false, predicted_taken: true }
+                Prediction {
+                    correct,
+                    indirect: false,
+                    predicted_taken: true,
+                }
             }
             Opcode::IndirectBranch => {
                 let correct = self.btb_lookup(inst.pc) == Some(inst.target);
                 self.btb_insert(inst.pc, inst.target);
                 self.push_history(true);
-                Prediction { correct, indirect: true, predicted_taken: true }
+                Prediction {
+                    correct,
+                    indirect: true,
+                    predicted_taken: true,
+                }
             }
             _ => unreachable!("is_control() checked above"),
         }
@@ -181,7 +197,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 150, "gshare should learn the alternation, got {correct}/200");
+        assert!(
+            correct > 150,
+            "gshare should learn the alternation, got {correct}/200"
+        );
     }
 
     #[test]

@@ -214,16 +214,28 @@ mod tests {
             BugSpec::SerializeOpcode { x: Opcode::Xor },
             BugSpec::IssueOnlyIfOldest { x: Opcode::Popcnt },
             BugSpec::IfOldestIssueOnlyX { x: Opcode::Xor },
-            BugSpec::DelayIfDependsOn { x: Opcode::Add, y: Opcode::Load, t: 4 },
+            BugSpec::DelayIfDependsOn {
+                x: Opcode::Add,
+                y: Opcode::Load,
+                t: 4,
+            },
             BugSpec::IqBelowDelay { n: 4, t: 3 },
             BugSpec::RobBelowDelay { n: 8, t: 3 },
             BugSpec::MispredictExtraDelay { t: 10 },
             BugSpec::StoresToLineDelay { n: 4, t: 8 },
-            BugSpec::WritesToRegDelay { n: 16, t: 4, periodic: false },
+            BugSpec::WritesToRegDelay {
+                n: 16,
+                t: 4,
+                periodic: false,
+            },
             BugSpec::L2ExtraLatency { t: 6 },
             BugSpec::FewerPhysRegs { n: 32 },
             BugSpec::LongBranchDelay { bytes: 6, t: 5 },
-            BugSpec::OpcodeUsesRegDelay { x: Opcode::Add, r: 0, t: 10 },
+            BugSpec::OpcodeUsesRegDelay {
+                x: Opcode::Add,
+                r: 0,
+                t: 10,
+            },
             BugSpec::BtbIndexMask { lost_bits: 8 },
         ];
         let ids: Vec<u32> = bugs.iter().map(BugSpec::type_id).collect();

@@ -184,7 +184,11 @@ mod tests {
 
     fn tiny_cache() -> Cache {
         // 4 sets x 2 ways x 64B = 512B.
-        Cache::new(CacheConfig { size: 512, assoc: 2, latency: 3 })
+        Cache::new(CacheConfig {
+            size: 512,
+            assoc: 2,
+            latency: 3,
+        })
     }
 
     #[test]

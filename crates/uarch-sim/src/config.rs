@@ -16,12 +16,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Convenience constructor: `size` in KiB.
     pub fn kib(size_kib: u64, assoc: u32, latency: u32) -> Self {
-        CacheConfig { size: size_kib * 1024, assoc, latency }
+        CacheConfig {
+            size: size_kib * 1024,
+            assoc,
+            latency,
+        }
     }
 
     /// Convenience constructor: `size` in MiB.
     pub fn mib(size_mib: u64, assoc: u32, latency: u32) -> Self {
-        CacheConfig { size: size_mib * 1024 * 1024, assoc, latency }
+        CacheConfig {
+            size: size_mib * 1024 * 1024,
+            assoc,
+            latency,
+        }
     }
 }
 
@@ -177,9 +185,17 @@ impl MicroarchConfig {
     /// ports, missing load/store port, ROB smaller than width, …).
     pub fn validate(&self) {
         assert!(self.width >= 1, "{}: width must be >= 1", self.name);
-        assert!(self.rob_size >= 2 * self.width, "{}: ROB too small", self.name);
+        assert!(
+            self.rob_size >= 2 * self.width,
+            "{}: ROB too small",
+            self.name
+        );
         assert!(self.iq_size >= self.width, "{}: IQ too small", self.name);
-        assert!(!self.ports.is_empty(), "{}: needs at least one port", self.name);
+        assert!(
+            !self.ports.is_empty(),
+            "{}: needs at least one port",
+            self.name
+        );
         let has = |fu: FuClass| self.ports.iter().any(|p| p.contains(&fu));
         assert!(has(FuClass::Load), "{}: no load port", self.name);
         assert!(has(FuClass::Store), "{}: no store port", self.name);
@@ -202,7 +218,10 @@ mod tests {
     #[test]
     fn feature_vector_matches_names() {
         let cfg = presets::skylake();
-        assert_eq!(cfg.feature_vector().len(), MicroarchConfig::feature_names().len());
+        assert_eq!(
+            cfg.feature_vector().len(),
+            MicroarchConfig::feature_names().len()
+        );
     }
 
     #[test]

@@ -126,7 +126,11 @@ pub const N_COUNTERS: usize = N_RAW + DERIVED_NAMES.len();
 
 /// Names of all per-step counter features, raw first, derived last.
 pub fn counter_names() -> Vec<&'static str> {
-    RAW_NAMES.iter().chain(DERIVED_NAMES.iter()).copied().collect()
+    RAW_NAMES
+        .iter()
+        .chain(DERIVED_NAMES.iter())
+        .copied()
+        .collect()
 }
 
 /// The raw counter file.
@@ -138,6 +142,28 @@ pub struct CounterFile {
 impl Default for CounterFile {
     fn default() -> Self {
         CounterFile { vals: [0; N_RAW] }
+    }
+}
+
+/// Raw counter totals captured at a step boundary. A plain value copy —
+/// taking one allocates nothing, unlike the full [`CounterFile`] clone
+/// the sampler used historically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    vals: [u64; N_RAW],
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot { vals: [0; N_RAW] }
+    }
+}
+
+impl Snapshot {
+    /// Value of a counter at the captured boundary.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
     }
 }
 
@@ -165,32 +191,48 @@ impl CounterFile {
         self.vals[c as usize]
     }
 
-    /// Computes the per-step feature row from the delta between `self`
-    /// (current totals) and `prev` (totals at the previous step boundary):
-    /// raw deltas followed by derived ratios.
-    pub fn sample_row(&self, prev: &CounterFile) -> Vec<f64> {
-        let mut row = Vec::with_capacity(N_COUNTERS);
+    /// Captures the current totals as a step-boundary [`Snapshot`].
+    #[inline]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { vals: self.vals }
+    }
+
+    /// Appends the per-step feature row — raw deltas between `self`
+    /// (current totals) and `prev` (the previous step boundary) followed
+    /// by derived ratios — to `out` without allocating: exactly
+    /// [`N_COUNTERS`] values are pushed into the caller's buffer, which is
+    /// typically the tail of a preallocated
+    /// [`RowMatrix`](perfbug_workloads::RowMatrix).
+    pub fn sample_row_into(&self, prev: &Snapshot, out: &mut Vec<f64>) {
         let mut delta = [0u64; N_RAW];
-        for i in 0..N_RAW {
-            delta[i] = self.vals[i] - prev.vals[i];
-            row.push(delta[i] as f64);
+        out.reserve(N_COUNTERS);
+        for (d, (cur, old)) in delta.iter_mut().zip(self.vals.iter().zip(&prev.vals)) {
+            *d = cur - old;
+            out.push(*d as f64);
         }
         let d = |c: Counter| delta[c as usize] as f64;
         let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
         let committed = d(Counter::CommittedInsts);
         let cycles = d(Counter::Cycles);
-        row.push(ratio(d(Counter::BranchInsts), committed));
-        row.push(ratio(d(Counter::Mispredicts), d(Counter::CondBranches)));
-        row.push(ratio(
+        out.push(ratio(d(Counter::BranchInsts), committed));
+        out.push(ratio(d(Counter::Mispredicts), d(Counter::CondBranches)));
+        out.push(ratio(
             d(Counter::IndirectBranches) - d(Counter::IndirectMispredicts),
             d(Counter::IndirectBranches),
         ));
-        row.push(ratio(d(Counter::L1dMisses), d(Counter::L1dAccesses)));
-        row.push(ratio(d(Counter::L2Misses), d(Counter::L2Accesses)));
-        row.push(ratio(d(Counter::L3Misses), d(Counter::L3Accesses)));
-        row.push(ratio(d(Counter::MaxCommitCycles), cycles));
-        row.push(ratio(d(Counter::RobOccupancySum), cycles));
-        row.push(ratio(d(Counter::IqOccupancySum), cycles));
+        out.push(ratio(d(Counter::L1dMisses), d(Counter::L1dAccesses)));
+        out.push(ratio(d(Counter::L2Misses), d(Counter::L2Accesses)));
+        out.push(ratio(d(Counter::L3Misses), d(Counter::L3Accesses)));
+        out.push(ratio(d(Counter::MaxCommitCycles), cycles));
+        out.push(ratio(d(Counter::RobOccupancySum), cycles));
+        out.push(ratio(d(Counter::IqOccupancySum), cycles));
+    }
+
+    /// Computes the per-step feature row against a previous counter file
+    /// (compatibility wrapper over [`CounterFile::sample_row_into`]).
+    pub fn sample_row(&self, prev: &CounterFile) -> Vec<f64> {
+        let mut row = Vec::with_capacity(N_COUNTERS);
+        self.sample_row_into(&prev.snapshot(), &mut row);
         row
     }
 }

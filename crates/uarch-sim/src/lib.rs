@@ -41,5 +41,5 @@ pub use branch::{BranchPredictor, Prediction};
 pub use bugs::BugSpec;
 pub use cache::{AccessOutcome, Cache, Hierarchy, LINE_BYTES};
 pub use config::{ArchSet, CacheConfig, FuLatency, MicroarchConfig};
-pub use counters::{counter_names, Counter, CounterFile, N_COUNTERS};
-pub use sim::{simulate, ProbeRun};
+pub use counters::{counter_names, Counter, CounterFile, Snapshot, N_COUNTERS};
+pub use sim::{simulate, simulate_into, ProbeRun};

@@ -146,7 +146,11 @@ pub fn broadwell() -> MicroarchConfig {
         CacheConfig::kib(32, 8, 4),
         CacheConfig::kib(256, 8, 12),
         Some(CacheConfig::mib(64, 16, 59)),
-        FuLatency { fp: 5, mul: 3, div: 20 },
+        FuLatency {
+            fp: 5,
+            mul: 3,
+            div: 20,
+        },
         broadwell_ports(),
     )
 }
@@ -163,7 +167,11 @@ pub fn cedarview() -> MicroarchConfig {
         CacheConfig::kib(32, 8, 3),
         CacheConfig::kib(512, 8, 15),
         None,
-        FuLatency { fp: 5, mul: 4, div: 30 },
+        FuLatency {
+            fp: 5,
+            mul: 4,
+            div: 30,
+        },
         cedarview_ports(),
     )
 }
@@ -180,7 +188,11 @@ pub fn jaguar() -> MicroarchConfig {
         CacheConfig::kib(32, 8, 3),
         CacheConfig::mib(2, 16, 26),
         None,
-        FuLatency { fp: 4, mul: 3, div: 20 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 20,
+        },
         jaguar_ports(),
     )
 }
@@ -197,7 +209,11 @@ pub fn artificial2() -> MicroarchConfig {
         CacheConfig::kib(32, 2, 5),
         CacheConfig::kib(256, 8, 16),
         None,
-        FuLatency { fp: 4, mul: 4, div: 20 },
+        FuLatency {
+            fp: 4,
+            mul: 4,
+            div: 20,
+        },
         skylake_ports(),
     )
 }
@@ -214,7 +230,11 @@ pub fn artificial3() -> MicroarchConfig {
         CacheConfig::kib(32, 2, 3),
         CacheConfig::kib(512, 16, 24),
         Some(CacheConfig::mib(8, 32, 52)),
-        FuLatency { fp: 4, mul: 4, div: 20 },
+        FuLatency {
+            fp: 4,
+            mul: 4,
+            div: 20,
+        },
         skylake_ports(),
     )
 }
@@ -231,7 +251,11 @@ pub fn artificial4() -> MicroarchConfig {
         CacheConfig::kib(64, 8, 3),
         CacheConfig::mib(1, 8, 20),
         Some(CacheConfig::mib(32, 16, 28)),
-        FuLatency { fp: 5, mul: 3, div: 20 },
+        FuLatency {
+            fp: 5,
+            mul: 3,
+            div: 20,
+        },
         broadwell_ports(),
     )
 }
@@ -248,7 +272,11 @@ pub fn artificial6() -> MicroarchConfig {
         CacheConfig::kib(64, 8, 4),
         CacheConfig::mib(1, 8, 16),
         Some(CacheConfig::mib(8, 32, 36)),
-        FuLatency { fp: 4, mul: 4, div: 20 },
+        FuLatency {
+            fp: 4,
+            mul: 4,
+            div: 20,
+        },
         skylake_ports(),
     )
 }
@@ -265,7 +293,11 @@ pub fn artificial7() -> MicroarchConfig {
         CacheConfig::kib(16, 8, 3),
         CacheConfig::kib(512, 16, 12),
         Some(CacheConfig::mib(32, 32, 28)),
-        FuLatency { fp: 2, mul: 7, div: 69 },
+        FuLatency {
+            fp: 2,
+            mul: 7,
+            div: 69,
+        },
         silvermont_ports(),
     )
 }
@@ -282,7 +314,11 @@ pub fn artificial10() -> MicroarchConfig {
         CacheConfig::kib(32, 2, 2),
         CacheConfig::kib(256, 16, 24),
         Some(CacheConfig::mib(64, 32, 36)),
-        FuLatency { fp: 5, mul: 4, div: 30 },
+        FuLatency {
+            fp: 5,
+            mul: 4,
+            div: 30,
+        },
         cedarview_ports(),
     )
 }
@@ -299,7 +335,11 @@ pub fn artificial11() -> MicroarchConfig {
         CacheConfig::kib(64, 4, 5),
         CacheConfig::kib(256, 4, 24),
         None,
-        FuLatency { fp: 5, mul: 4, div: 30 },
+        FuLatency {
+            fp: 5,
+            mul: 4,
+            div: 30,
+        },
         cedarview_ports(),
     )
 }
@@ -316,7 +356,11 @@ pub fn ivybridge() -> MicroarchConfig {
         CacheConfig::kib(32, 8, 4),
         CacheConfig::kib(256, 8, 11),
         Some(CacheConfig::mib(16, 16, 28)),
-        FuLatency { fp: 5, mul: 3, div: 20 },
+        FuLatency {
+            fp: 5,
+            mul: 3,
+            div: 20,
+        },
         ivybridge_ports(),
     )
 }
@@ -333,7 +377,11 @@ pub fn artificial0() -> MicroarchConfig {
         CacheConfig::kib(64, 2, 4),
         CacheConfig::kib(512, 4, 12),
         None,
-        FuLatency { fp: 5, mul: 3, div: 20 },
+        FuLatency {
+            fp: 5,
+            mul: 3,
+            div: 20,
+        },
         broadwell_ports(),
     )
 }
@@ -350,7 +398,11 @@ pub fn artificial9() -> MicroarchConfig {
         CacheConfig::kib(16, 4, 5),
         CacheConfig::mib(1, 4, 20),
         Some(CacheConfig::mib(64, 16, 44)),
-        FuLatency { fp: 4, mul: 3, div: 11 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 11,
+        },
         k8_ports(),
     )
 }
@@ -367,7 +419,11 @@ pub fn artificial1() -> MicroarchConfig {
         CacheConfig::kib(64, 8, 5),
         CacheConfig::mib(2, 8, 16),
         None,
-        FuLatency { fp: 4, mul: 3, div: 11 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 11,
+        },
         k8_ports(),
     )
 }
@@ -384,7 +440,11 @@ pub fn artificial5() -> MicroarchConfig {
         CacheConfig::kib(32, 4, 5),
         CacheConfig::kib(256, 4, 16),
         Some(CacheConfig::mib(8, 32, 44)),
-        FuLatency { fp: 4, mul: 3, div: 11 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 11,
+        },
         k8_ports(),
     )
 }
@@ -401,7 +461,11 @@ pub fn artificial8() -> MicroarchConfig {
         CacheConfig::kib(32, 2, 2),
         CacheConfig::mib(1, 16, 16),
         Some(CacheConfig::mib(32, 32, 52)),
-        FuLatency { fp: 4, mul: 3, div: 11 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 11,
+        },
         k8_ports(),
     )
 }
@@ -418,7 +482,11 @@ pub fn k8() -> MicroarchConfig {
         CacheConfig::kib(64, 2, 4),
         CacheConfig::kib(512, 16, 12),
         None,
-        FuLatency { fp: 4, mul: 3, div: 11 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 11,
+        },
         k8_ports(),
     )
 }
@@ -435,7 +503,11 @@ pub fn k10() -> MicroarchConfig {
         CacheConfig::kib(64, 2, 4),
         CacheConfig::kib(512, 16, 12),
         Some(CacheConfig::mib(6, 16, 40)),
-        FuLatency { fp: 4, mul: 3, div: 11 },
+        FuLatency {
+            fp: 4,
+            mul: 3,
+            div: 11,
+        },
         k8_ports(),
     )
 }
@@ -452,7 +524,11 @@ pub fn silvermont() -> MicroarchConfig {
         CacheConfig::kib(32, 8, 3),
         CacheConfig::mib(1, 16, 14),
         None,
-        FuLatency { fp: 2, mul: 7, div: 69 },
+        FuLatency {
+            fp: 2,
+            mul: 7,
+            div: 69,
+        },
         silvermont_ports(),
     )
 }
@@ -469,7 +545,11 @@ pub fn skylake() -> MicroarchConfig {
         CacheConfig::kib(32, 8, 4),
         CacheConfig::kib(256, 4, 12),
         Some(CacheConfig::mib(8, 16, 34)),
-        FuLatency { fp: 4, mul: 4, div: 20 },
+        FuLatency {
+            fp: 4,
+            mul: 4,
+            div: 20,
+        },
         skylake_ports(),
     )
 }

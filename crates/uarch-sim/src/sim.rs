@@ -10,13 +10,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use perfbug_workloads::{FuClass, Inst, Opcode};
+use perfbug_workloads::{FuClass, Inst, Opcode, RowMatrix};
 
 use crate::branch::BranchPredictor;
 use crate::bugs::BugSpec;
 use crate::cache::{AccessOutcome, Hierarchy, LINE_BYTES};
 use crate::config::MicroarchConfig;
-use crate::counters::{Counter, CounterFile};
+use crate::counters::{Counter, CounterFile, N_COUNTERS};
 
 /// Pipeline depth between fetch and rename, in cycles.
 const DECODE_LATENCY: u64 = 3;
@@ -27,8 +27,8 @@ const FRONTEND_BUFFER_FACTOR: usize = 8;
 #[derive(Debug, Clone)]
 pub struct ProbeRun {
     /// One feature row per time step (raw counter deltas + derived ratios,
-    /// see [`crate::counters::counter_names`]).
-    pub counter_rows: Vec<Vec<f64>>,
+    /// see [`crate::counters::counter_names`]), stored contiguously.
+    pub counter_rows: RowMatrix,
     /// Per-step IPC (committed instructions per cycle within the step).
     pub ipc: Vec<f64>,
     /// Total simulated cycles.
@@ -37,7 +37,32 @@ pub struct ProbeRun {
     pub total_insts: u64,
 }
 
+impl Default for ProbeRun {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl ProbeRun {
+    /// An empty run whose buffers are ready to be filled by
+    /// [`simulate_into`].
+    pub fn empty() -> Self {
+        ProbeRun {
+            counter_rows: RowMatrix::new(N_COUNTERS),
+            ipc: Vec::new(),
+            total_cycles: 0,
+            total_insts: 0,
+        }
+    }
+
+    /// Clears the run for reuse, retaining row and IPC buffer capacity.
+    pub fn reset(&mut self) {
+        self.counter_rows.clear();
+        self.ipc.clear();
+        self.total_cycles = 0;
+        self.total_insts = 0;
+    }
+
     /// Whole-run IPC.
     pub fn overall_ipc(&self) -> f64 {
         if self.total_cycles == 0 {
@@ -79,9 +104,35 @@ pub fn simulate(
     trace: &[Inst],
     step_cycles: u64,
 ) -> ProbeRun {
+    let mut run = ProbeRun::empty();
+    simulate_into(cfg, bug, trace, step_cycles, &mut run);
+    run
+}
+
+/// [`simulate`] into a caller-provided [`ProbeRun`], reusing its row and
+/// IPC buffers. Callers that simulate many runs (throughput measurement,
+/// benchmarks) recycle one `ProbeRun` and pay no per-run — let alone
+/// per-step — row allocations once the buffers have grown to steady state.
+///
+/// # Panics
+///
+/// Same contract as [`simulate`].
+pub fn simulate_into(
+    cfg: &MicroarchConfig,
+    bug: Option<BugSpec>,
+    trace: &[Inst],
+    step_cycles: u64,
+    run: &mut ProbeRun,
+) {
     assert!(step_cycles > 0, "step_cycles must be positive");
     cfg.validate();
-    Pipeline::new(cfg, bug).run(trace, step_cycles)
+    run.reset();
+    assert_eq!(
+        run.counter_rows.width(),
+        N_COUNTERS,
+        "ProbeRun row buffer must be sized for the counter file (use ProbeRun::empty)"
+    );
+    Pipeline::new(cfg, bug).run(trace, step_cycles, run);
 }
 
 struct Pipeline<'c> {
@@ -157,32 +208,35 @@ impl<'c> Pipeline<'c> {
         }
     }
 
-    fn run(mut self, trace: &[Inst], step_cycles: u64) -> ProbeRun {
-        let mut rows = Vec::new();
-        let mut ipc = Vec::new();
-        let mut snapshot = self.counters.clone();
+    fn run(mut self, trace: &[Inst], step_cycles: u64, out: &mut ProbeRun) {
+        // Delta snapshots are plain value copies of the raw counter array;
+        // sampled rows are appended straight into the output's
+        // preallocated row matrix — the per-step path allocates nothing
+        // once the output buffers reach steady state.
+        let mut snapshot = self.counters.snapshot();
         let mut last_sample_cycle = 0u64;
         // Generous watchdog: no healthy or buggy configuration comes close.
         let max_cycles = 400 * trace.len() as u64 + 1_000_000;
 
-        while self.fetch_pos < trace.len() || !self.rob.is_empty() || !self.decode_pipe.is_empty()
-        {
+        while self.fetch_pos < trace.len() || !self.rob.is_empty() || !self.decode_pipe.is_empty() {
             self.cycle += 1;
             self.counters.inc(Counter::Cycles);
             self.commit();
             self.issue();
             self.rename();
             self.fetch(trace);
-            self.counters.add(Counter::RobOccupancySum, self.rob.len() as u64);
-            self.counters.add(Counter::IqOccupancySum, self.iq.len() as u64);
+            self.counters
+                .add(Counter::RobOccupancySum, self.rob.len() as u64);
+            self.counters
+                .add(Counter::IqOccupancySum, self.iq.len() as u64);
 
             if self.cycle - last_sample_cycle == step_cycles {
-                let row = self.counters.sample_row(&snapshot);
+                out.counter_rows
+                    .push_row_with(|buf| self.counters.sample_row_into(&snapshot, buf));
                 let committed = self.counters.get(Counter::CommittedInsts)
                     - snapshot.get(Counter::CommittedInsts);
-                ipc.push(committed as f64 / step_cycles as f64);
-                rows.push(row);
-                snapshot = self.counters.clone();
+                out.ipc.push(committed as f64 / step_cycles as f64);
+                snapshot = self.counters.snapshot();
                 last_sample_cycle = self.cycle;
             }
             assert!(
@@ -196,18 +250,14 @@ impl<'c> Pipeline<'c> {
         // Keep a trailing partial step if it covers at least half a step.
         let leftover = self.cycle - last_sample_cycle;
         if leftover * 2 >= step_cycles && leftover > 0 {
-            let row = self.counters.sample_row(&snapshot);
-            let committed = self.counters.get(Counter::CommittedInsts)
-                - snapshot.get(Counter::CommittedInsts);
-            ipc.push(committed as f64 / leftover as f64);
-            rows.push(row);
+            out.counter_rows
+                .push_row_with(|buf| self.counters.sample_row_into(&snapshot, buf));
+            let committed =
+                self.counters.get(Counter::CommittedInsts) - snapshot.get(Counter::CommittedInsts);
+            out.ipc.push(committed as f64 / leftover as f64);
         }
-        ProbeRun {
-            counter_rows: rows,
-            ipc,
-            total_cycles: self.cycle,
-            total_insts: self.counters.get(Counter::CommittedInsts),
-        }
+        out.total_cycles = self.cycle;
+        out.total_insts = self.counters.get(Counter::CommittedInsts);
     }
 
     // ---- commit ----------------------------------------------------------
@@ -372,7 +422,11 @@ impl<'c> Pipeline<'c> {
                 break;
             }
             let ready = slot.min_issue <= self.cycle && self.deps_ready(slot);
-            let port = if ready { self.allocate_port(op, &port_used) } else { None };
+            let port = if ready {
+                self.allocate_port(op, &port_used)
+            } else {
+                None
+            };
             match port {
                 Some(p) => {
                     port_used[p] = true;
@@ -413,7 +467,8 @@ impl<'c> Pipeline<'c> {
                 self.count_data_outcome(outcome);
                 latency += outcome.latency;
                 if !outcome.l1_hit {
-                    self.counters.add(Counter::LoadStoreStallCycles, outcome.latency as u64);
+                    self.counters
+                        .add(Counter::LoadStoreStallCycles, outcome.latency as u64);
                 }
             }
             Opcode::Store => {
@@ -447,9 +502,8 @@ impl<'c> Pipeline<'c> {
             // The front end was waiting on this branch: resume after it
             // resolves plus the refill penalty (bug 7 adds to it).
             self.fetch_blocked_on_branch = false;
-            self.fetch_resume_at = complete_at
-                + self.cfg.mispredict_penalty as u64
-                + self.mispredict_extra as u64;
+            self.fetch_resume_at =
+                complete_at + self.cfg.mispredict_penalty as u64 + self.mispredict_extra as u64;
         }
     }
 
@@ -458,7 +512,9 @@ impl<'c> Pipeline<'c> {
     fn rename(&mut self) {
         let mut renamed = 0;
         while renamed < self.cfg.width {
-            let Some(&(ready_at, inst, mispredicted)) = self.decode_pipe.front() else { break };
+            let Some(&(ready_at, inst, mispredicted)) = self.decode_pipe.front() else {
+                break;
+            };
             if ready_at > self.cycle {
                 break;
             }
@@ -518,7 +574,11 @@ impl<'c> Pipeline<'c> {
                 self.reg_write_counts[r as usize] += 1;
                 if let Some(BugSpec::WritesToRegDelay { n, t, periodic }) = self.bug {
                     let count = self.reg_write_counts[r as usize];
-                    let fires = if periodic { count % n == 0 } else { count > n };
+                    let fires = if periodic {
+                        count.is_multiple_of(n)
+                    } else {
+                        count > n
+                    };
                     if fires {
                         extra_exec += t;
                     }
@@ -643,7 +703,8 @@ impl<'c> Pipeline<'c> {
                     mispredicted = true;
                 }
             }
-            self.decode_pipe.push_back((self.cycle + DECODE_LATENCY, inst, mispredicted));
+            self.decode_pipe
+                .push_back((self.cycle + DECODE_LATENCY, inst, mispredicted));
             if mispredicted {
                 // The wrong path would be fetched from here; in a
                 // trace-driven model the front end simply waits for the
@@ -676,7 +737,10 @@ mod tests {
         assert_eq!(run.total_insts, trace.len() as u64);
         assert!(run.total_cycles > 0);
         let ipc = run.overall_ipc();
-        assert!(ipc > 0.1 && ipc <= presets::skylake().width as f64, "ipc {ipc}");
+        assert!(
+            ipc > 0.1 && ipc <= presets::skylake().width as f64,
+            "ipc {ipc}"
+        );
     }
 
     #[test]
@@ -722,10 +786,18 @@ mod tests {
                 *counts.entry(i.opcode).or_insert(0usize) += 1;
             }
         }
-        let (&victim, _) = counts.iter().max_by_key(|(_, &c)| c).expect("compute ops exist");
+        let (&victim, _) = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .expect("compute ops exist");
         let cfg = presets::skylake();
         let healthy = simulate(&cfg, None, &trace, 500);
-        let buggy = simulate(&cfg, Some(BugSpec::SerializeOpcode { x: victim }), &trace, 500);
+        let buggy = simulate(
+            &cfg,
+            Some(BugSpec::SerializeOpcode { x: victim }),
+            &trace,
+            500,
+        );
         assert!(
             buggy.total_cycles > healthy.total_cycles,
             "serialising {victim:?} must cost cycles ({} !> {})",
@@ -767,7 +839,12 @@ mod tests {
         let trace = probe_trace();
         let cfg = presets::skylake();
         let healthy = simulate(&cfg, None, &trace, 500);
-        let buggy = simulate(&cfg, Some(BugSpec::MispredictExtraDelay { t: 30 }), &trace, 500);
+        let buggy = simulate(
+            &cfg,
+            Some(BugSpec::MispredictExtraDelay { t: 30 }),
+            &trace,
+            500,
+        );
         assert!(buggy.total_cycles > healthy.total_cycles);
     }
 

@@ -107,7 +107,10 @@ fn assert_bug_costs(bug: BugSpec, hot: Opcode, strictly: bool) {
     let cfg = presets::skylake();
     let healthy = run(&cfg, None, &trace);
     let buggy = run(&cfg, Some(bug), &trace);
-    assert_eq!(healthy.total_insts, buggy.total_insts, "{bug:?} altered the stream");
+    assert_eq!(
+        healthy.total_insts, buggy.total_insts,
+        "{bug:?} altered the stream"
+    );
     if strictly {
         assert!(
             buggy.total_cycles > healthy.total_cycles,
@@ -125,17 +128,29 @@ fn assert_bug_costs(bug: BugSpec, hot: Opcode, strictly: bool) {
 
 #[test]
 fn bug01_serialize() {
-    assert_bug_costs(BugSpec::SerializeOpcode { x: Opcode::Xor }, Opcode::Xor, true);
+    assert_bug_costs(
+        BugSpec::SerializeOpcode { x: Opcode::Xor },
+        Opcode::Xor,
+        true,
+    );
 }
 
 #[test]
 fn bug02_issue_only_if_oldest() {
-    assert_bug_costs(BugSpec::IssueOnlyIfOldest { x: Opcode::Xor }, Opcode::Xor, true);
+    assert_bug_costs(
+        BugSpec::IssueOnlyIfOldest { x: Opcode::Xor },
+        Opcode::Xor,
+        true,
+    );
 }
 
 #[test]
 fn bug03_if_oldest_issue_only_x() {
-    assert_bug_costs(BugSpec::IfOldestIssueOnlyX { x: Opcode::Xor }, Opcode::Xor, true);
+    assert_bug_costs(
+        BugSpec::IfOldestIssueOnlyX { x: Opcode::Xor },
+        Opcode::Xor,
+        true,
+    );
 }
 
 #[test]
@@ -143,7 +158,11 @@ fn bug04_delay_if_depends_on() {
     // The hot instruction consumes load results (src1 = 9 = load dst);
     // making it an Add targets the (Add depends-on Load) rule.
     assert_bug_costs(
-        BugSpec::DelayIfDependsOn { x: Opcode::Add, y: Opcode::Load, t: 20 },
+        BugSpec::DelayIfDependsOn {
+            x: Opcode::Add,
+            y: Opcode::Load,
+            t: 20,
+        },
         Opcode::Add,
         true,
     );
@@ -171,7 +190,11 @@ fn bug08_stores_to_line_delay() {
     let trace = mixed_trace(Opcode::Xor, 12_000);
     let cfg = presets::k8();
     let healthy = run(&cfg, None, &trace);
-    let buggy = run(&cfg, Some(BugSpec::StoresToLineDelay { n: 2, t: 60 }), &trace);
+    let buggy = run(
+        &cfg,
+        Some(BugSpec::StoresToLineDelay { n: 2, t: 60 }),
+        &trace,
+    );
     assert!(
         buggy.total_cycles > healthy.total_cycles,
         "store-gathering bug must cost cycles ({} !> {})",
@@ -183,13 +206,21 @@ fn bug08_stores_to_line_delay() {
 #[test]
 fn bug09_writes_to_reg_delay() {
     assert_bug_costs(
-        BugSpec::WritesToRegDelay { n: 4, t: 12, periodic: false },
+        BugSpec::WritesToRegDelay {
+            n: 4,
+            t: 12,
+            periodic: false,
+        },
         Opcode::Xor,
         true,
     );
     // The periodic variant fires less often but still never helps.
     assert_bug_costs(
-        BugSpec::WritesToRegDelay { n: 8, t: 12, periodic: true },
+        BugSpec::WritesToRegDelay {
+            n: 8,
+            t: 12,
+            periodic: true,
+        },
         Opcode::Xor,
         false,
     );
@@ -210,14 +241,22 @@ fn bug11_fewer_phys_regs() {
 #[test]
 fn bug12_long_branch_delay() {
     // Trace branches use 7-byte encodings.
-    assert_bug_costs(BugSpec::LongBranchDelay { bytes: 5, t: 15 }, Opcode::Xor, true);
+    assert_bug_costs(
+        BugSpec::LongBranchDelay { bytes: 5, t: 15 },
+        Opcode::Xor,
+        true,
+    );
 }
 
 #[test]
 fn bug13_opcode_uses_reg_delay() {
     // Hot Xor reads architectural registers 9 and 2.
     assert_bug_costs(
-        BugSpec::OpcodeUsesRegDelay { x: Opcode::Xor, r: 2, t: 25 },
+        BugSpec::OpcodeUsesRegDelay {
+            x: Opcode::Xor,
+            r: 2,
+            t: 25,
+        },
         Opcode::Xor,
         true,
     );
@@ -237,13 +276,20 @@ fn bugs_affect_counters_not_composition() {
     let names = perfbug_uarch::counter_names();
     let col = |n: &str| names.iter().position(|x| *x == n).expect("counter");
     let healthy = run(&cfg, None, &trace);
-    let buggy = run(&cfg, Some(BugSpec::SerializeOpcode { x: Opcode::Xor }), &trace);
+    let buggy = run(
+        &cfg,
+        Some(BugSpec::SerializeOpcode { x: Opcode::Xor }),
+        &trace,
+    );
     let total = |r: &ProbeRun, c: usize| r.counter_rows.iter().map(|row| row[c]).sum::<f64>();
     // Totals over full runs (sampling may drop a partial step; compare
     // with tolerance of one step's worth).
     let h_loads = total(&healthy, col("loads"));
     let b_loads = total(&buggy, col("loads"));
-    assert!((h_loads - b_loads).abs() <= 400.0, "load counts diverged: {h_loads} vs {b_loads}");
+    assert!(
+        (h_loads - b_loads).abs() <= 400.0,
+        "load counts diverged: {h_loads} vs {b_loads}"
+    );
 }
 
 #[test]

@@ -76,12 +76,27 @@ mod tests {
     use crate::Opcode;
 
     fn two_phase_program() -> Program {
-        let a = PhaseSpec { mix: vec![(Opcode::Add, 1.0)], ..PhaseSpec::default() };
-        let b = PhaseSpec { mix: vec![(Opcode::FpMul, 1.0)], ..PhaseSpec::default() };
+        let a = PhaseSpec {
+            mix: vec![(Opcode::Add, 1.0)],
+            ..PhaseSpec::default()
+        };
+        let b = PhaseSpec {
+            mix: vec![(Opcode::FpMul, 1.0)],
+            ..PhaseSpec::default()
+        };
         Program::build(
             "two",
             &[a, b],
-            vec![Segment { phase: 0, insts: 4000 }, Segment { phase: 1, insts: 4000 }],
+            vec![
+                Segment {
+                    phase: 0,
+                    insts: 4000,
+                },
+                Segment {
+                    phase: 1,
+                    insts: 4000,
+                },
+            ],
             11,
         )
     }
@@ -106,8 +121,14 @@ mod tests {
         // disjoint blocks (a partial block may straddle the phase switch).
         let cross: f64 = bbvs[0].iter().zip(&bbvs[4]).map(|(a, b)| a * b).sum();
         let within: f64 = bbvs[0].iter().zip(&bbvs[1]).map(|(a, b)| a * b).sum();
-        assert!(cross < 0.05, "phases should barely share blocks, dot={cross}");
-        assert!(within > 10.0 * cross, "same-phase intervals must be far more similar");
+        assert!(
+            cross < 0.05,
+            "phases should barely share blocks, dot={cross}"
+        );
+        assert!(
+            within > 10.0 * cross,
+            "same-phase intervals must be far more similar"
+        );
     }
 
     #[test]

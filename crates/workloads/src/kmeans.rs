@@ -38,7 +38,10 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmea
     assert!(!points.is_empty(), "cannot cluster zero points");
     assert!(k > 0, "k must be positive");
     let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent point dimensions"
+    );
     let k = k.min(points.len());
     let mut rng = SmallRng::seed_from_u64(seed ^ SEED_SALT);
 
@@ -124,9 +127,16 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmea
         centroids = new_centroids;
     }
 
-    let inertia =
-        points.iter().zip(&assignments).map(|(p, &a)| sq_dist(p, &centroids[a])).sum();
-    Kmeans { assignments, centroids, inertia }
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Kmeans {
+        assignments,
+        centroids,
+        inertia,
+    }
 }
 
 #[cfg(test)]

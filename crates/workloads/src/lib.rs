@@ -33,10 +33,12 @@ pub mod bbv;
 pub mod isa;
 pub mod kmeans;
 pub mod program;
+pub mod rowmat;
 pub mod simpoint;
 pub mod spec;
 
 pub use isa::{FuClass, Inst, Opcode, Reg, ALL_OPCODES, FP_REG_BASE, NO_REG, NUM_ARCH_REGS};
 pub use program::{MemStreamSpec, PhaseSpec, Program, Segment, Walker};
+pub use rowmat::RowMatrix;
 pub use simpoint::{extract_probes, extract_simpoints, Probe, SimPoint, SimPointConfig};
 pub use spec::{benchmark, spec2006, BenchmarkSpec, WorkloadScale};

@@ -67,7 +67,10 @@ impl Default for PhaseSpec {
             indirect_frac: 0.0,
             n_blocks: 8,
             block_len: 12,
-            streams: vec![MemStreamSpec { stride: 8, working_set: 1 << 14 }],
+            streams: vec![MemStreamSpec {
+                stride: 8,
+                working_set: 1 << 14,
+            }],
             dep_distance: 4,
         }
     }
@@ -177,14 +180,28 @@ impl Program {
             next_block_id += phase.blocks.len();
             phases.push(phase);
         }
-        Program { name: name.to_string(), phases, schedule, seed, n_blocks: next_block_id }
+        Program {
+            name: name.to_string(),
+            phases,
+            schedule,
+            seed,
+            n_blocks: next_block_id,
+        }
     }
 
-    fn lower_phase(pi: usize, spec: &PhaseSpec, first_block_id: usize, rng: &mut SmallRng) -> Phase {
+    fn lower_phase(
+        pi: usize,
+        spec: &PhaseSpec,
+        first_block_id: usize,
+        rng: &mut SmallRng,
+    ) -> Phase {
         assert!(spec.n_blocks >= 2, "phase needs at least 2 blocks");
         assert!(!spec.streams.is_empty() || (spec.load_frac == 0.0 && spec.store_frac == 0.0));
         let mix_total: f64 = spec.mix.iter().map(|(_, w)| w).sum();
-        assert!(mix_total > 0.0, "phase opcode mix must have positive weight");
+        assert!(
+            mix_total > 0.0,
+            "phase opcode mix must have positive weight"
+        );
 
         let mut blocks = Vec::with_capacity(spec.n_blocks);
         // Ring of recent destination registers for dependence wiring.
@@ -219,11 +236,17 @@ impl Program {
                 let reg_base: Reg = if is_fp { FP_REG_BASE } else { 0 };
                 // Wire sources to recent producers within dep_distance.
                 let pick_src = |rng: &mut SmallRng, recent: &Vec<Reg>| -> Reg {
-                    let d = rng.gen_range(0..spec.dep_distance.max(1)).min(recent.len() - 1);
+                    let d = rng
+                        .gen_range(0..spec.dep_distance.max(1))
+                        .min(recent.len() - 1);
                     recent[recent.len() - 1 - d]
                 };
                 let src1 = pick_src(rng, &recent);
-                let src2 = if rng.gen::<f64>() < 0.6 { pick_src(rng, &recent) } else { NO_REG };
+                let src2 = if rng.gen::<f64>() < 0.6 {
+                    pick_src(rng, &recent)
+                } else {
+                    NO_REG
+                };
                 let dst = if opcode == Opcode::Store {
                     NO_REG
                 } else {
@@ -241,7 +264,14 @@ impl Program {
                     _ => rng.gen_range(2..=5),
                 } as u8;
                 let _ = k;
-                body.push(TemplInst { opcode, size, src1, src2, dst, stream });
+                body.push(TemplInst {
+                    opcode,
+                    size,
+                    src1,
+                    src2,
+                    dst,
+                    stream,
+                });
             }
 
             // Block-ending control flow.
@@ -258,7 +288,9 @@ impl Program {
                 // Last block always loops back so the phase is closed.
                 BranchBehavior::Always
             } else {
-                BranchBehavior::Loop { trip: rng.gen_range(4..64) }
+                BranchBehavior::Loop {
+                    trip: rng.gen_range(4..64),
+                }
             };
             let succ_taken = if bi + 1 == spec.n_blocks {
                 0
@@ -285,7 +317,11 @@ impl Program {
             pc += block.byte_len() + rng.gen_range(0..32);
             blocks.push(block);
         }
-        Phase { blocks, streams: spec.streams.clone(), first_block_id }
+        Phase {
+            blocks,
+            streams: spec.streams.clone(),
+            first_block_id,
+        }
     }
 
     /// Program name (benchmark identity).
@@ -350,8 +386,11 @@ pub struct Walker<'a> {
 
 impl<'a> Walker<'a> {
     fn new(program: &'a Program) -> Self {
-        let loop_counts =
-            program.phases.iter().map(|p| vec![0u32; p.blocks.len()]).collect();
+        let loop_counts = program
+            .phases
+            .iter()
+            .map(|p| vec![0u32; p.blocks.len()])
+            .collect();
         let streams = program
             .phases
             .iter()
@@ -526,7 +565,16 @@ mod tests {
         Program::build(
             "tiny",
             &[phase_a, phase_b],
-            vec![Segment { phase: 0, insts: 500 }, Segment { phase: 1, insts: 500 }],
+            vec![
+                Segment {
+                    phase: 0,
+                    insts: 500,
+                },
+                Segment {
+                    phase: 1,
+                    insts: 500,
+                },
+            ],
             seed,
         )
     }
@@ -552,11 +600,15 @@ mod tests {
         let mut w = p.walker();
         // First segment: integer phase — no FP ops.
         let first: Vec<Inst> = w.take_trace(400);
-        assert!(first.iter().all(|i| !matches!(i.opcode, Opcode::FpMul | Opcode::FpAdd)));
+        assert!(first
+            .iter()
+            .all(|i| !matches!(i.opcode, Opcode::FpMul | Opcode::FpAdd)));
         // Jump into the second segment and check FP ops appear.
         w.skip(200);
         let second: Vec<Inst> = w.take_trace(400);
-        assert!(second.iter().any(|i| matches!(i.opcode, Opcode::FpMul | Opcode::FpAdd)));
+        assert!(second
+            .iter()
+            .any(|i| matches!(i.opcode, Opcode::FpMul | Opcode::FpAdd)));
     }
 
     #[test]
@@ -601,7 +653,15 @@ mod tests {
     fn build_validates_schedule() {
         let spec = PhaseSpec::default();
         let result = std::panic::catch_unwind(|| {
-            Program::build("bad", &[spec], vec![Segment { phase: 3, insts: 10 }], 0)
+            Program::build(
+                "bad",
+                &[spec],
+                vec![Segment {
+                    phase: 3,
+                    insts: 10,
+                }],
+                0,
+            )
         });
         assert!(result.is_err());
     }
@@ -616,13 +676,24 @@ mod tests {
             store_frac: 0.0,
             ..PhaseSpec::default()
         };
-        let p = Program::build("popcnt", &[spec], vec![Segment { phase: 0, insts: 100 }], 9);
+        let p = Program::build(
+            "popcnt",
+            &[spec],
+            vec![Segment {
+                phase: 0,
+                insts: 100,
+            }],
+            9,
+        );
         let trace = p.walker().take_trace(1000);
         for i in trace {
             assert!(
                 matches!(
                     i.opcode,
-                    Opcode::Popcnt | Opcode::Load | Opcode::Branch | Opcode::Jump
+                    Opcode::Popcnt
+                        | Opcode::Load
+                        | Opcode::Branch
+                        | Opcode::Jump
                         | Opcode::IndirectBranch
                 ),
                 "unexpected opcode {:?}",

@@ -1,0 +1,217 @@
+//! A dense row-major matrix of `f64` feature rows backed by one flat
+//! buffer.
+//!
+//! Counter time series used to be `Vec<Vec<f64>>` — one heap allocation
+//! per sampled step. [`RowMatrix`] stores all rows contiguously with a
+//! fixed stride, so an entire run's sampling costs a single (amortised)
+//! allocation, rows are cache-adjacent for the feature-assembly and
+//! counter-selection loops downstream, and a cleared matrix retains its
+//! capacity for reuse across simulations.
+
+/// Dense row-major `f64` matrix with a fixed row width.
+#[derive(Clone, PartialEq, Default)]
+pub struct RowMatrix {
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl RowMatrix {
+    /// An empty matrix whose rows will have `width` columns.
+    pub fn new(width: usize) -> Self {
+        RowMatrix {
+            width,
+            data: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with capacity reserved for `rows` rows.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        RowMatrix {
+            width,
+            data: Vec::with_capacity(width * rows),
+        }
+    }
+
+    /// Builds a matrix from materialised rows (test/interop convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let width = rows.first().map_or(0, Vec::len);
+        let mut m = RowMatrix::with_capacity(width, rows.len());
+        for row in rows {
+            assert_eq!(row.len(), width, "ragged rows");
+            m.data.extend_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// `true` when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row width (number of columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// First row, if any.
+    pub fn first(&self) -> Option<&[f64]> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.row(0))
+        }
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter(&self) -> std::slice::ChunksExact<'_, f64> {
+        // `chunks_exact(0)` panics; map the empty-width case to a chunk
+        // size of 1 over an empty buffer, which yields nothing.
+        self.data.chunks_exact(self.width.max(1))
+    }
+
+    /// Appends one row by letting `fill` write into the buffer tail. The
+    /// callback must append exactly [`width`](Self::width) values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` appends a different number of values.
+    pub fn push_row_with(&mut self, fill: impl FnOnce(&mut Vec<f64>)) {
+        let before = self.data.len();
+        fill(&mut self.data);
+        assert_eq!(
+            self.data.len() - before,
+            self.width,
+            "push_row_with must append exactly one row"
+        );
+    }
+
+    /// Appends one row by copying `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.width()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends every row of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ (unless `self` is empty, in which case it
+    /// adopts `other`'s width).
+    pub fn extend_from(&mut self, other: &RowMatrix) {
+        if self.data.is_empty() && self.width != other.width {
+            self.width = other.width;
+        }
+        assert_eq!(self.width, other.width, "row width mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Removes all rows, retaining the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for RowMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RowMatrix({}x{})", self.len(), self.width)
+    }
+}
+
+impl<'a> IntoIterator for &'a RowMatrix {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut m = RowMatrix::new(3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row_with(|buf| buf.extend_from_slice(&[4.0, 5.0, 6.0]));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.first(), Some(&[1.0, 2.0, 3.0][..]));
+        let rows: Vec<&[f64]> = m.iter().collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn from_rows_roundtrips() {
+        let m = RowMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut m = RowMatrix::with_capacity(4, 8);
+        for _ in 0..8 {
+            m.push_row(&[0.0; 4]);
+        }
+        let cap = m.data.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.data.capacity(), cap);
+    }
+
+    #[test]
+    fn extend_from_adopts_width() {
+        let mut pool = RowMatrix::new(0);
+        let a = RowMatrix::from_rows(&[vec![1.0, 2.0]]);
+        pool.extend_from(&a);
+        pool.extend_from(&a);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one row")]
+    fn push_row_with_enforces_width() {
+        let mut m = RowMatrix::new(2);
+        m.push_row_with(|buf| buf.push(1.0));
+    }
+
+    #[test]
+    fn empty_matrix_iterates_nothing() {
+        let m = RowMatrix::new(0);
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.len(), 0);
+        assert!(m.first().is_none());
+    }
+}

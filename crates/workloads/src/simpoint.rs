@@ -63,7 +63,7 @@ pub fn extract_simpoints(program: &Program, config: &SimPointConfig) -> Vec<SimP
             .zip(&result.centroids[cluster])
             .map(|(a, b)| (a - b) * (a - b))
             .sum();
-        if best[cluster].map_or(true, |(_, bd)| d < bd) {
+        if best[cluster].is_none_or(|(_, bd)| d < bd) {
             best[cluster] = Some((i, d));
         }
     }
@@ -151,8 +151,14 @@ mod tests {
     use crate::Opcode;
 
     fn three_phase_program() -> Program {
-        let a = PhaseSpec { mix: vec![(Opcode::Add, 1.0)], ..PhaseSpec::default() };
-        let b = PhaseSpec { mix: vec![(Opcode::FpMul, 1.0)], ..PhaseSpec::default() };
+        let a = PhaseSpec {
+            mix: vec![(Opcode::Add, 1.0)],
+            ..PhaseSpec::default()
+        };
+        let b = PhaseSpec {
+            mix: vec![(Opcode::FpMul, 1.0)],
+            ..PhaseSpec::default()
+        };
         let c = PhaseSpec {
             mix: vec![(Opcode::Xor, 1.0)],
             load_frac: 0.4,
@@ -162,17 +168,34 @@ mod tests {
             "three",
             &[a, b, c],
             vec![
-                Segment { phase: 0, insts: 3000 },
-                Segment { phase: 1, insts: 3000 },
-                Segment { phase: 2, insts: 3000 },
-                Segment { phase: 0, insts: 3000 },
+                Segment {
+                    phase: 0,
+                    insts: 3000,
+                },
+                Segment {
+                    phase: 1,
+                    insts: 3000,
+                },
+                Segment {
+                    phase: 2,
+                    insts: 3000,
+                },
+                Segment {
+                    phase: 0,
+                    insts: 3000,
+                },
             ],
             21,
         )
     }
 
     fn config() -> SimPointConfig {
-        SimPointConfig { interval_len: 1000, n_intervals: 12, k: 3, seed: 5 }
+        SimPointConfig {
+            interval_len: 1000,
+            n_intervals: 12,
+            k: 3,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -218,7 +241,10 @@ mod tests {
         let other = Program::build(
             "other",
             &[PhaseSpec::default()],
-            vec![Segment { phase: 0, insts: 100 }],
+            vec![Segment {
+                phase: 0,
+                insts: 100,
+            }],
             0,
         );
         probes[0].trace(&other);

@@ -27,29 +27,45 @@ pub struct WorkloadScale {
 
 impl Default for WorkloadScale {
     fn default() -> Self {
-        WorkloadScale { interval_len: 20_000 }
+        WorkloadScale {
+            interval_len: 20_000,
+        }
     }
 }
 
 impl WorkloadScale {
     /// A reduced scale for unit/integration tests.
     pub fn tiny() -> Self {
-        WorkloadScale { interval_len: 3_000 }
+        WorkloadScale {
+            interval_len: 3_000,
+        }
     }
 }
 
 // Stream shorthand helpers.
 fn small(stride: u32) -> MemStreamSpec {
-    MemStreamSpec { stride, working_set: 1 << 14 } // 16 KiB: L1-resident
+    MemStreamSpec {
+        stride,
+        working_set: 1 << 14,
+    } // 16 KiB: L1-resident
 }
 fn medium(stride: u32) -> MemStreamSpec {
-    MemStreamSpec { stride, working_set: 1 << 18 } // 256 KiB: L2-resident
+    MemStreamSpec {
+        stride,
+        working_set: 1 << 18,
+    } // 256 KiB: L2-resident
 }
 fn large(stride: u32) -> MemStreamSpec {
-    MemStreamSpec { stride, working_set: 1 << 23 } // 8 MiB: L3/memory
+    MemStreamSpec {
+        stride,
+        working_set: 1 << 23,
+    } // 8 MiB: L3/memory
 }
 fn chasing(working_set: u32) -> MemStreamSpec {
-    MemStreamSpec { stride: 0, working_set } // random: pointer chasing
+    MemStreamSpec {
+        stride: 0,
+        working_set,
+    } // random: pointer chasing
 }
 
 /// One benchmark of the synthetic suite.
@@ -76,8 +92,7 @@ impl BenchmarkSpec {
     pub fn program(&self, scale: &WorkloadScale) -> Program {
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x5c4e_d01e);
         let total_weight: f64 = self.phase_weights.iter().sum();
-        let budget =
-            (self.n_intervals() as u64 + 8) * scale.interval_len as u64 * 5 / 4;
+        let budget = (self.n_intervals() as u64 + 8) * scale.interval_len as u64 * 5 / 4;
         let mut schedule = Vec::new();
         let mut emitted = 0u64;
         // Guarantee every phase appears at least once early so clustering
@@ -145,7 +160,12 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
 fn perlbench() -> BenchmarkSpec {
     // Interpreter: indirect dispatch, chaotic branches, small blocks.
     let dispatch = PhaseSpec {
-        mix: vec![(Opcode::Add, 2.0), (Opcode::Logic, 2.0), (Opcode::Sub, 1.5), (Opcode::Shift, 1.0)],
+        mix: vec![
+            (Opcode::Add, 2.0),
+            (Opcode::Logic, 2.0),
+            (Opcode::Sub, 1.5),
+            (Opcode::Shift, 1.0),
+        ],
         load_frac: 0.24,
         store_frac: 0.10,
         chaotic_branch_frac: 0.5,
@@ -156,7 +176,12 @@ fn perlbench() -> BenchmarkSpec {
         dep_distance: 3,
     };
     let regex = PhaseSpec {
-        mix: vec![(Opcode::Logic, 2.5), (Opcode::Shift, 2.0), (Opcode::Add, 1.0), (Opcode::Xor, 0.5)],
+        mix: vec![
+            (Opcode::Logic, 2.5),
+            (Opcode::Shift, 2.0),
+            (Opcode::Add, 1.0),
+            (Opcode::Xor, 0.5),
+        ],
         load_frac: 0.28,
         store_frac: 0.06,
         chaotic_branch_frac: 0.6,
@@ -178,7 +203,11 @@ fn perlbench() -> BenchmarkSpec {
         dep_distance: 4,
     };
     let string_ops = PhaseSpec {
-        mix: vec![(Opcode::VecInt, 1.5), (Opcode::Add, 1.5), (Opcode::Logic, 1.0)],
+        mix: vec![
+            (Opcode::VecInt, 1.5),
+            (Opcode::Add, 1.5),
+            (Opcode::Logic, 1.0),
+        ],
         load_frac: 0.3,
         store_frac: 0.2,
         chaotic_branch_frac: 0.15,
@@ -211,7 +240,11 @@ fn perlbench() -> BenchmarkSpec {
 fn bzip2() -> BenchmarkSpec {
     // Compression: shift/logic loops, sorting with data-dependent branches.
     let huffman = PhaseSpec {
-        mix: vec![(Opcode::Shift, 3.0), (Opcode::Logic, 2.0), (Opcode::Add, 1.5)],
+        mix: vec![
+            (Opcode::Shift, 3.0),
+            (Opcode::Logic, 2.0),
+            (Opcode::Add, 1.5),
+        ],
         load_frac: 0.2,
         store_frac: 0.12,
         chaotic_branch_frac: 0.35,
@@ -255,7 +288,11 @@ fn bzip2() -> BenchmarkSpec {
         dep_distance: 5,
     };
     let crc = PhaseSpec {
-        mix: vec![(Opcode::Xor, 2.5), (Opcode::Shift, 2.0), (Opcode::Logic, 1.0)],
+        mix: vec![
+            (Opcode::Xor, 2.5),
+            (Opcode::Shift, 2.0),
+            (Opcode::Logic, 1.0),
+        ],
         load_frac: 0.22,
         store_frac: 0.05,
         chaotic_branch_frac: 0.05,
@@ -266,7 +303,11 @@ fn bzip2() -> BenchmarkSpec {
         dep_distance: 1,
     };
     let bitstream = PhaseSpec {
-        mix: vec![(Opcode::Shift, 2.5), (Opcode::Logic, 2.0), (Opcode::Add, 1.0)],
+        mix: vec![
+            (Opcode::Shift, 2.5),
+            (Opcode::Logic, 2.0),
+            (Opcode::Add, 1.0),
+        ],
         load_frac: 0.15,
         store_frac: 0.25,
         chaotic_branch_frac: 0.2,
@@ -300,7 +341,11 @@ fn gcc() -> BenchmarkSpec {
         dep_distance: 3,
     };
     let dataflow = PhaseSpec {
-        mix: vec![(Opcode::Logic, 2.5), (Opcode::Add, 1.5), (Opcode::Shift, 1.0)],
+        mix: vec![
+            (Opcode::Logic, 2.5),
+            (Opcode::Add, 1.5),
+            (Opcode::Shift, 1.0),
+        ],
         load_frac: 0.3,
         store_frac: 0.12,
         chaotic_branch_frac: 0.35,
@@ -323,7 +368,11 @@ fn gcc() -> BenchmarkSpec {
     };
     // The rare phase: bitmap-heavy liveness analysis — >2x the XOR density.
     let bitmaps = PhaseSpec {
-        mix: vec![(Opcode::Xor, 3.0), (Opcode::Logic, 2.0), (Opcode::Shift, 1.0)],
+        mix: vec![
+            (Opcode::Xor, 3.0),
+            (Opcode::Logic, 2.0),
+            (Opcode::Shift, 1.0),
+        ],
         load_frac: 0.25,
         store_frac: 0.12,
         chaotic_branch_frac: 0.1,
@@ -334,7 +383,11 @@ fn gcc() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let emit = PhaseSpec {
-        mix: vec![(Opcode::Add, 2.0), (Opcode::Shift, 1.0), (Opcode::Logic, 1.0)],
+        mix: vec![
+            (Opcode::Add, 2.0),
+            (Opcode::Shift, 1.0),
+            (Opcode::Logic, 1.0),
+        ],
         load_frac: 0.2,
         store_frac: 0.25,
         chaotic_branch_frac: 0.25,
@@ -422,7 +475,11 @@ fn mcf() -> BenchmarkSpec {
 fn milc() -> BenchmarkSpec {
     // Lattice QCD: FP mul/add over streaming large arrays.
     let su3_mult = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 3.0), (Opcode::FpAdd, 2.5), (Opcode::VecFp, 1.0)],
+        mix: vec![
+            (Opcode::FpMul, 3.0),
+            (Opcode::FpAdd, 2.5),
+            (Opcode::VecFp, 1.0),
+        ],
         load_frac: 0.3,
         store_frac: 0.12,
         chaotic_branch_frac: 0.02,
@@ -433,7 +490,11 @@ fn milc() -> BenchmarkSpec {
         dep_distance: 6,
     };
     let gauge = PhaseSpec {
-        mix: vec![(Opcode::FpAdd, 2.5), (Opcode::FpMul, 2.0), (Opcode::Add, 0.5)],
+        mix: vec![
+            (Opcode::FpAdd, 2.5),
+            (Opcode::FpMul, 2.0),
+            (Opcode::Add, 0.5),
+        ],
         load_frac: 0.33,
         store_frac: 0.15,
         chaotic_branch_frac: 0.05,
@@ -444,7 +505,11 @@ fn milc() -> BenchmarkSpec {
         dep_distance: 4,
     };
     let cg_solver = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0), (Opcode::FpDiv, 0.15)],
+        mix: vec![
+            (Opcode::FpMul, 2.0),
+            (Opcode::FpAdd, 2.0),
+            (Opcode::FpDiv, 0.15),
+        ],
         load_frac: 0.35,
         store_frac: 0.1,
         chaotic_branch_frac: 0.08,
@@ -455,7 +520,11 @@ fn milc() -> BenchmarkSpec {
         dep_distance: 3,
     };
     let scatter = PhaseSpec {
-        mix: vec![(Opcode::FpAdd, 1.5), (Opcode::Add, 1.5), (Opcode::FpMul, 1.0)],
+        mix: vec![
+            (Opcode::FpAdd, 1.5),
+            (Opcode::Add, 1.5),
+            (Opcode::FpMul, 1.0),
+        ],
         load_frac: 0.3,
         store_frac: 0.25,
         chaotic_branch_frac: 0.1,
@@ -488,7 +557,11 @@ fn milc() -> BenchmarkSpec {
 fn cactus_adm() -> BenchmarkSpec {
     // Numerical relativity: long FP dependency chains, stencil walks.
     let stencil = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 2.5), (Opcode::FpAdd, 2.5), (Opcode::FpDiv, 0.1)],
+        mix: vec![
+            (Opcode::FpMul, 2.5),
+            (Opcode::FpAdd, 2.5),
+            (Opcode::FpDiv, 0.1),
+        ],
         load_frac: 0.34,
         store_frac: 0.1,
         chaotic_branch_frac: 0.02,
@@ -499,7 +572,11 @@ fn cactus_adm() -> BenchmarkSpec {
         dep_distance: 1,
     };
     let rhs = PhaseSpec {
-        mix: vec![(Opcode::FpAdd, 2.0), (Opcode::FpMul, 2.0), (Opcode::VecFp, 0.8)],
+        mix: vec![
+            (Opcode::FpAdd, 2.0),
+            (Opcode::FpMul, 2.0),
+            (Opcode::VecFp, 0.8),
+        ],
         load_frac: 0.3,
         store_frac: 0.14,
         chaotic_branch_frac: 0.03,
@@ -543,7 +620,11 @@ fn cactus_adm() -> BenchmarkSpec {
 fn namd() -> BenchmarkSpec {
     // Molecular dynamics: high-ILP FP with good locality.
     let pairlist = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0), (Opcode::Sub, 1.0)],
+        mix: vec![
+            (Opcode::FpMul, 2.0),
+            (Opcode::FpAdd, 2.0),
+            (Opcode::Sub, 1.0),
+        ],
         load_frac: 0.3,
         store_frac: 0.08,
         chaotic_branch_frac: 0.35,
@@ -554,7 +635,11 @@ fn namd() -> BenchmarkSpec {
         dep_distance: 6,
     };
     let force_short = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 3.0), (Opcode::FpAdd, 2.5), (Opcode::FpDiv, 0.2)],
+        mix: vec![
+            (Opcode::FpMul, 3.0),
+            (Opcode::FpAdd, 2.5),
+            (Opcode::FpDiv, 0.2),
+        ],
         load_frac: 0.28,
         store_frac: 0.1,
         chaotic_branch_frac: 0.1,
@@ -565,7 +650,11 @@ fn namd() -> BenchmarkSpec {
         dep_distance: 8,
     };
     let force_long = PhaseSpec {
-        mix: vec![(Opcode::VecFp, 2.0), (Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0)],
+        mix: vec![
+            (Opcode::VecFp, 2.0),
+            (Opcode::FpMul, 2.0),
+            (Opcode::FpAdd, 2.0),
+        ],
         load_frac: 0.26,
         store_frac: 0.1,
         chaotic_branch_frac: 0.05,
@@ -587,7 +676,11 @@ fn namd() -> BenchmarkSpec {
         dep_distance: 5,
     };
     let exclusion = PhaseSpec {
-        mix: vec![(Opcode::Logic, 2.0), (Opcode::Add, 1.5), (Opcode::FpAdd, 1.0)],
+        mix: vec![
+            (Opcode::Logic, 2.0),
+            (Opcode::Add, 1.5),
+            (Opcode::FpAdd, 1.0),
+        ],
         load_frac: 0.32,
         store_frac: 0.06,
         chaotic_branch_frac: 0.4,
@@ -612,7 +705,14 @@ fn namd() -> BenchmarkSpec {
         name: "444.namd",
         k: 26,
         seed: 444,
-        phases: vec![pairlist, force_short, force_long, integrate, exclusion, cell_update],
+        phases: vec![
+            pairlist,
+            force_short,
+            force_long,
+            integrate,
+            exclusion,
+            cell_update,
+        ],
         phase_weights: vec![1.5, 3.0, 2.5, 1.0, 1.0, 1.0],
     }
 }
@@ -620,7 +720,11 @@ fn namd() -> BenchmarkSpec {
 fn soplex() -> BenchmarkSpec {
     // Simplex LP solver: FP with divides, sparse-matrix gathers.
     let factor = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 2.5), (Opcode::FpAdd, 2.0), (Opcode::FpDiv, 0.5)],
+        mix: vec![
+            (Opcode::FpMul, 2.5),
+            (Opcode::FpAdd, 2.0),
+            (Opcode::FpDiv, 0.5),
+        ],
         load_frac: 0.32,
         store_frac: 0.12,
         chaotic_branch_frac: 0.15,
@@ -631,7 +735,11 @@ fn soplex() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let pricing = PhaseSpec {
-        mix: vec![(Opcode::FpAdd, 2.0), (Opcode::Sub, 1.5), (Opcode::FpMul, 1.5)],
+        mix: vec![
+            (Opcode::FpAdd, 2.0),
+            (Opcode::Sub, 1.5),
+            (Opcode::FpMul, 1.5),
+        ],
         load_frac: 0.38,
         store_frac: 0.05,
         chaotic_branch_frac: 0.45,
@@ -642,7 +750,11 @@ fn soplex() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let ratio_test = PhaseSpec {
-        mix: vec![(Opcode::FpDiv, 1.0), (Opcode::FpAdd, 2.0), (Opcode::Sub, 1.5)],
+        mix: vec![
+            (Opcode::FpDiv, 1.0),
+            (Opcode::FpAdd, 2.0),
+            (Opcode::Sub, 1.5),
+        ],
         load_frac: 0.3,
         store_frac: 0.06,
         chaotic_branch_frac: 0.5,
@@ -653,7 +765,11 @@ fn soplex() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let update = PhaseSpec {
-        mix: vec![(Opcode::FpMul, 2.0), (Opcode::FpAdd, 2.0), (Opcode::Add, 1.0)],
+        mix: vec![
+            (Opcode::FpMul, 2.0),
+            (Opcode::FpAdd, 2.0),
+            (Opcode::Add, 1.0),
+        ],
         load_frac: 0.3,
         store_frac: 0.2,
         chaotic_branch_frac: 0.1,
@@ -697,7 +813,11 @@ fn sjeng() -> BenchmarkSpec {
         dep_distance: 3,
     };
     let eval = PhaseSpec {
-        mix: vec![(Opcode::Popcnt, 1.5), (Opcode::Logic, 2.5), (Opcode::Shift, 2.0)],
+        mix: vec![
+            (Opcode::Popcnt, 1.5),
+            (Opcode::Logic, 2.5),
+            (Opcode::Shift, 2.0),
+        ],
         load_frac: 0.22,
         store_frac: 0.04,
         chaotic_branch_frac: 0.35,
@@ -708,7 +828,11 @@ fn sjeng() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let movegen = PhaseSpec {
-        mix: vec![(Opcode::Shift, 2.5), (Opcode::Logic, 2.0), (Opcode::Xor, 1.0)],
+        mix: vec![
+            (Opcode::Shift, 2.5),
+            (Opcode::Logic, 2.0),
+            (Opcode::Xor, 1.0),
+        ],
         load_frac: 0.2,
         store_frac: 0.15,
         chaotic_branch_frac: 0.4,
@@ -763,7 +887,11 @@ fn libquantum() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let cnot = PhaseSpec {
-        mix: vec![(Opcode::Xor, 2.5), (Opcode::Logic, 1.5), (Opcode::Shift, 1.0)],
+        mix: vec![
+            (Opcode::Xor, 2.5),
+            (Opcode::Logic, 1.5),
+            (Opcode::Shift, 1.0),
+        ],
         load_frac: 0.38,
         store_frac: 0.18,
         chaotic_branch_frac: 0.03,
@@ -785,7 +913,11 @@ fn libquantum() -> BenchmarkSpec {
         dep_distance: 2,
     };
     let measure = PhaseSpec {
-        mix: vec![(Opcode::FpAdd, 1.5), (Opcode::FpMul, 1.5), (Opcode::Add, 1.0)],
+        mix: vec![
+            (Opcode::FpAdd, 1.5),
+            (Opcode::FpMul, 1.5),
+            (Opcode::Add, 1.0),
+        ],
         load_frac: 0.4,
         store_frac: 0.04,
         chaotic_branch_frac: 0.2,

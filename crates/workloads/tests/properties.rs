@@ -6,16 +6,16 @@ use proptest::prelude::*;
 
 fn arb_phase() -> impl Strategy<Value = PhaseSpec> {
     (
-        2usize..12,              // n_blocks
-        3usize..16,              // block_len
-        0.0..0.4f64,             // load_frac
-        0.0..0.25f64,            // store_frac
-        0.0..0.7f64,             // chaotic
-        0.0..0.3f64,             // indirect
-        1usize..8,               // dep distance
+        2usize..12,   // n_blocks
+        3usize..16,   // block_len
+        0.0..0.4f64,  // load_frac
+        0.0..0.25f64, // store_frac
+        0.0..0.7f64,  // chaotic
+        0.0..0.3f64,  // indirect
+        1usize..8,    // dep distance
     )
-        .prop_map(|(n_blocks, block_len, load_frac, store_frac, chaotic, indirect, dep)| {
-            PhaseSpec {
+        .prop_map(
+            |(n_blocks, block_len, load_frac, store_frac, chaotic, indirect, dep)| PhaseSpec {
                 mix: vec![(Opcode::Add, 1.0), (Opcode::Xor, 0.5), (Opcode::FpMul, 0.5)],
                 load_frac,
                 store_frac,
@@ -25,8 +25,8 @@ fn arb_phase() -> impl Strategy<Value = PhaseSpec> {
                 block_len,
                 dep_distance: dep,
                 ..PhaseSpec::default()
-            }
-        })
+            },
+        )
 }
 
 proptest! {

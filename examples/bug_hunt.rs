@@ -71,7 +71,11 @@ fn main() {
         "\nSkylake + '{}': score {:.2} -> {}",
         suspect.describe(),
         clf.score(&sample),
-        if verdict { "BUG DETECTED" } else { "no bug detected" }
+        if verdict {
+            "BUG DETECTED"
+        } else {
+            "no bug detected"
+        }
     );
 
     // Diagnostics: which probes triggered, and what do they share? This is
@@ -83,9 +87,12 @@ fn main() {
         .iter()
         .flat_map(|b| {
             let program = b.program(&config.scale.workload);
-            b.probes(&config.scale.workload)
-                .into_iter()
-                .map(move |p| (p.id(), perfbug_core::localize::traits_of(&p.trace(&program))))
+            b.probes(&config.scale.workload).into_iter().map(move |p| {
+                (
+                    p.id(),
+                    perfbug_core::localize::traits_of(&p.trace(&program)),
+                )
+            })
         })
         .filter(|(id, _)| col.probes.iter().any(|m| &m.id == id))
         .collect();
@@ -122,6 +129,10 @@ fn main() {
     println!(
         "bug-free Skylake: score {:.2} -> {}",
         clf.score(&clean),
-        if clf.classify(&clean) { "FALSE ALARM" } else { "passes" }
+        if clf.classify(&clean) {
+            "FALSE ALARM"
+        } else {
+            "passes"
+        }
     );
 }

@@ -25,7 +25,11 @@ fn main() {
     println!("simulating the memory probe suite on 12 hierarchies...");
     let names = mem_variant_names(&config.catalog);
     let col = collect_memory(&config);
-    println!("collected {} probes x {} runs", col.probes.len(), col.keys.len());
+    println!(
+        "collected {} probes x {} runs",
+        col.probes.len(),
+        col.keys.len()
+    );
 
     let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
     println!(
@@ -35,9 +39,16 @@ fn main() {
 
     println!("\nper held-out memory bug type:");
     for fold in &eval.folds {
-        let hits = fold.decisions.iter().filter(|d| d.has_bug && d.flagged).count();
+        let hits = fold
+            .decisions
+            .iter()
+            .filter(|d| d.has_bug && d.flagged)
+            .count();
         let total = fold.decisions.iter().filter(|d| d.has_bug).count();
-        println!("  type {:2} {:20} {hits}/{total}", fold.type_id, fold.type_name);
+        println!(
+            "  type {:2} {:20} {hits}/{total}",
+            fold.type_id, fold.type_name
+        );
     }
 
     println!("\ninjected variants and their measured AMAT-side impact:");

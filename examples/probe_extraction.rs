@@ -23,17 +23,22 @@ fn main() {
         spec.name, config.n_intervals, config.interval_len, config.k
     );
     let simpoints = extract_simpoints(&program, &config);
-    println!("extracted {} SimPoints (weights sum to 1):\n", simpoints.len());
+    println!(
+        "extracted {} SimPoints (weights sum to 1):\n",
+        simpoints.len()
+    );
 
-    println!("{:>10} {:>10} {:>8} {:>10} {:>10}", "simpoint", "interval", "weight", "xor-frac", "mem-frac");
+    println!(
+        "{:>10} {:>10} {:>8} {:>10} {:>10}",
+        "simpoint", "interval", "weight", "xor-frac", "mem-frac"
+    );
     let probes = spec.probes(&scale);
     let mut xor_fracs = Vec::new();
     for (i, probe) in probes.iter().enumerate() {
         let trace = probe.trace(&program);
-        let xor = trace.iter().filter(|x| x.opcode == Opcode::Xor).count() as f64
-            / trace.len() as f64;
-        let mem = trace.iter().filter(|x| x.opcode.is_memory()).count() as f64
-            / trace.len() as f64;
+        let xor =
+            trace.iter().filter(|x| x.opcode == Opcode::Xor).count() as f64 / trace.len() as f64;
+        let mem = trace.iter().filter(|x| x.opcode.is_memory()).count() as f64 / trace.len() as f64;
         xor_fracs.push(xor);
         println!(
             "{:>10} {:>10} {:>8.3} {:>9.2}% {:>9.2}%",

@@ -26,7 +26,10 @@ fn main() {
     ];
     config.max_probes = Some(8);
 
-    println!("collecting probe data (simulating {} bug variants)...", config.catalog.len());
+    println!(
+        "collecting probe data (simulating {} bug variants)...",
+        config.catalog.len()
+    );
     let collection = collect(&config);
     println!(
         "collected {} probes x {} runs; stage-1 engine {} trained in {:?}",
@@ -43,7 +46,11 @@ fn main() {
         eval.metrics.tpr, eval.metrics.fpr, eval.metrics.precision, eval.metrics.roc_auc
     );
     for fold in &eval.folds {
-        let hits = fold.decisions.iter().filter(|d| d.has_bug && d.flagged).count();
+        let hits = fold
+            .decisions
+            .iter()
+            .filter(|d| d.has_bug && d.flagged)
+            .count();
         let total = fold.decisions.iter().filter(|d| d.has_bug).count();
         println!("  held-out {:22} detected {hits}/{total}", fold.type_name);
     }

@@ -1,0 +1,21 @@
+//! Workspace facade: re-exports the sub-crates of the HPCA 2021
+//! *Automatic Microprocessor Performance Bug Detection* reproduction so
+//! workspace-level integration tests and examples have a single anchor
+//! package.
+//!
+//! Use the individual crates directly for real work:
+//!
+//! * [`perfbug_workloads`] — synthetic SPEC-like workloads and SimPoints,
+//! * [`perfbug_uarch`] — the cycle-level out-of-order core simulator,
+//! * [`perfbug_memsim`] — the cache-hierarchy simulator,
+//! * [`perfbug_ml`] — from-scratch stage-1 regression engines,
+//! * [`perfbug_core`] — the two-stage detection methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use perfbug_core;
+pub use perfbug_memsim;
+pub use perfbug_ml;
+pub use perfbug_uarch;
+pub use perfbug_workloads;

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full detection pipeline at tiny
 //! scale, determinism across the stack, and the memory-system variant.
 
+use perfbug_core::baseline::BaselineParams;
 use perfbug_core::bugs::BugCatalog;
 use perfbug_core::experiment::{
     collect, evaluate_baseline, evaluate_two_stage, CollectionConfig, ProbeScale,
@@ -8,7 +9,6 @@ use perfbug_core::experiment::{
 use perfbug_core::memory::{collect_memory, MemCollectionConfig, TargetMetric};
 use perfbug_core::stage1::EngineSpec;
 use perfbug_core::stage2::Stage2Params;
-use perfbug_core::baseline::BaselineParams;
 use perfbug_ml::GbtParams;
 use perfbug_uarch::BugSpec;
 use perfbug_workloads::{benchmark, Opcode, WorkloadScale};
@@ -21,7 +21,10 @@ fn tiny_config() -> CollectionConfig {
         BugSpec::FewerPhysRegs { n: 150 },
     ]);
     let mut config = CollectionConfig::new(
-        vec![EngineSpec::Gbt(GbtParams { n_trees: 50, ..GbtParams::default() })],
+        vec![EngineSpec::Gbt(GbtParams {
+            n_trees: 50,
+            ..GbtParams::default()
+        })],
         catalog,
     );
     config.scale = ProbeScale::tiny();
@@ -45,7 +48,11 @@ fn two_stage_pipeline_detects_better_than_chance() {
     );
     // Every fold produced decisions for all four test designs.
     for fold in &eval.folds {
-        assert_eq!(fold.decisions.len(), 8, "4 designs x (1 bug-free + 1 variant)");
+        assert_eq!(
+            fold.decisions.len(),
+            8,
+            "4 designs x (1 bug-free + 1 variant)"
+        );
     }
 }
 
@@ -56,7 +63,10 @@ fn collection_is_deterministic() {
     let b = collect(&config);
     assert_eq!(a.keys.len(), b.keys.len());
     for (ea, eb) in a.engines.iter().zip(&b.engines) {
-        assert_eq!(ea.deltas, eb.deltas, "deltas must be bit-identical across runs");
+        assert_eq!(
+            ea.deltas, eb.deltas,
+            "deltas must be bit-identical across runs"
+        );
     }
     assert_eq!(a.overall_ipc, b.overall_ipc);
 }
@@ -66,7 +76,11 @@ fn baseline_runs_under_same_protocol() {
     let config = tiny_config();
     let collection = collect(&config);
     let params = BaselineParams {
-        gbt: GbtParams { n_trees: 25, max_depth: 3, ..GbtParams::default() },
+        gbt: GbtParams {
+            n_trees: 25,
+            max_depth: 3,
+            ..GbtParams::default()
+        },
         ..BaselineParams::default()
     };
     let eval = evaluate_baseline(&collection, &params);
@@ -77,7 +91,10 @@ fn baseline_runs_under_same_protocol() {
 #[test]
 fn memory_pipeline_detects_memory_bugs() {
     let mut config = MemCollectionConfig::new(
-        vec![EngineSpec::Gbt(GbtParams { n_trees: 40, ..GbtParams::default() })],
+        vec![EngineSpec::Gbt(GbtParams {
+            n_trees: 40,
+            ..GbtParams::default()
+        })],
         TargetMetric::Amat,
     );
     config.workload = WorkloadScale::tiny();
@@ -86,7 +103,11 @@ fn memory_pipeline_detects_memory_bugs() {
     let collection = collect_memory(&config);
     let eval = evaluate_two_stage(&collection, 0, Stage2Params::default());
     assert_eq!(eval.folds.len(), 6, "six memory bug types");
-    assert!(eval.metrics.roc_auc > 0.5, "memory AUC {}", eval.metrics.roc_auc);
+    assert!(
+        eval.metrics.roc_auc > 0.5,
+        "memory AUC {}",
+        eval.metrics.roc_auc
+    );
 }
 
 #[test]

@@ -6,7 +6,10 @@ use perfbug_workloads::{benchmark, spec2006, WorkloadScale};
 #[test]
 fn suite_has_exactly_190_simpoints() {
     let total: usize = spec2006().iter().map(|b| b.k).sum();
-    assert_eq!(total, 190, "Table I: 190 SimPoints across the ten benchmarks");
+    assert_eq!(
+        total, 190,
+        "Table I: 190 SimPoints across the ten benchmarks"
+    );
 }
 
 #[test]
@@ -40,17 +43,23 @@ fn counters_track_trace_composition() {
     let run = simulate(&presets::skylake(), None, &trace, 400);
 
     let names = perfbug_uarch::counter_names();
-    let col = |name: &str| names.iter().position(|n| *n == name).expect("known counter");
-    let total =
-        |name: &str| run.counter_rows.iter().map(|r| r[col(name)]).sum::<f64>();
+    let col = |name: &str| {
+        names
+            .iter()
+            .position(|n| *n == name)
+            .expect("known counter")
+    };
+    let total = |name: &str| run.counter_rows.iter().map(|r| r[col(name)]).sum::<f64>();
 
     // Committed = trace length (allowing the dropped partial step).
     assert!(total("committed_insts") <= trace.len() as f64);
     assert!(total("committed_insts") > trace.len() as f64 * 0.5);
 
     // Load counter ~ trace load count (same partial-step caveat).
-    let loads_in_trace =
-        trace.iter().filter(|i| i.opcode == perfbug_workloads::Opcode::Load).count() as f64;
+    let loads_in_trace = trace
+        .iter()
+        .filter(|i| i.opcode == perfbug_workloads::Opcode::Load)
+        .count() as f64;
     assert!(total("loads") <= loads_in_trace);
     assert!(total("loads") >= loads_in_trace * 0.5);
 
@@ -80,7 +89,10 @@ fn memory_and_core_simulators_share_traces() {
         .filter(|i| i.opcode == perfbug_workloads::Opcode::Load)
         .count() as f64;
     let mem_names = perfbug_memsim::mem_counter_names();
-    let load_col = mem_names.iter().position(|n| *n == "loads").expect("counter");
+    let load_col = mem_names
+        .iter()
+        .position(|n| *n == "loads")
+        .expect("counter");
     let mem_loads: f64 = mem_run.counter_rows.iter().map(|r| r[load_col]).sum();
     assert!(mem_loads <= loads && mem_loads >= loads * 0.5);
 }
@@ -88,10 +100,17 @@ fn memory_and_core_simulators_share_traces() {
 #[test]
 fn weights_are_probability_distributions() {
     let scale = WorkloadScale::tiny();
-    for spec in [benchmark("426.mcf").unwrap(), benchmark("436.cactusADM").unwrap()] {
+    for spec in [
+        benchmark("426.mcf").unwrap(),
+        benchmark("436.cactusADM").unwrap(),
+    ] {
         let probes = spec.probes(&scale);
         let total: f64 = probes.iter().map(|p| p.weight).sum();
-        assert!((total - 1.0).abs() < 1e-9, "{}: weights sum {total}", spec.name);
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "{}: weights sum {total}",
+            spec.name
+        );
         assert!(probes.iter().all(|p| p.weight > 0.0));
     }
 }
