@@ -6,7 +6,7 @@
 
 use perfbug_bench::{banner, gbt250};
 use perfbug_core::bugs::BugCatalog;
-use perfbug_core::experiment::{collect, evaluate_two_stage};
+use perfbug_core::experiment::evaluate_two_stage;
 use perfbug_core::stage2::Stage2Params;
 use perfbug_core::DetectionMetrics;
 use perfbug_uarch::BugSpec;
@@ -55,7 +55,7 @@ fn main() {
     let mut config = perfbug_bench::base_config(vec![gbt250()], 20);
     config.catalog = catalog;
     println!("collecting ({} variants)...", config.catalog.len());
-    let col = collect(&config);
+    let col = perfbug_bench::collect_cached("fig08", &config);
     let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
 
     let featured = [

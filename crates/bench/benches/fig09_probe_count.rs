@@ -5,7 +5,7 @@
 //! or random — the methodology is robust down to a few dozen probes.
 
 use perfbug_bench::{banner, bench_scale, gbt250, BenchScale};
-use perfbug_core::experiment::{bugfree_test_errors, collect, evaluate_two_stage_subset};
+use perfbug_core::experiment::{bugfree_test_errors, evaluate_two_stage_subset};
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 use rand::seq::SliceRandom;
@@ -22,7 +22,7 @@ fn main() {
         "collecting {} probes...",
         config.max_probes.map_or("190".into(), |n| n.to_string())
     );
-    let col = collect(&config);
+    let col = perfbug_bench::collect_cached("fig09", &config);
     let n = col.probes.len();
     let step = if quick { 5 } else { 15 };
 

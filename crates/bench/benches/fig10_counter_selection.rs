@@ -8,7 +8,7 @@
 
 use perfbug_bench::{banner, gbt250, lstm};
 use perfbug_core::counter_select::{manual_counter_indices, CounterMode};
-use perfbug_core::experiment::{collect, evaluate_two_stage};
+use perfbug_core::experiment::evaluate_two_stage;
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
@@ -26,7 +26,7 @@ fn main() {
         let mut config = perfbug_bench::base_config(engines(), 12);
         config.counter_mode = mode;
         println!("collecting with {label} counter selection...");
-        let col = collect(&config);
+        let col = perfbug_bench::collect_cached("fig10", &config);
         for (e, engine) in col.engines.iter().enumerate() {
             let eval = evaluate_two_stage(&col, e, Stage2Params::default());
             table.row(vec![

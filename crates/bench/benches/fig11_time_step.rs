@@ -7,7 +7,7 @@
 //! sweep uses the same x1/x2/x3/x4 ratios.
 
 use perfbug_bench::{banner, gbt250};
-use perfbug_core::experiment::{collect, evaluate_two_stage, CaptureSpec};
+use perfbug_core::experiment::{evaluate_two_stage, CaptureSpec};
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 use perfbug_ml::metrics::mse;
@@ -51,7 +51,7 @@ fn main() {
             "collecting at step = {} cycles...",
             config.scale.step_cycles
         );
-        let col = collect(&config);
+        let col = perfbug_bench::collect_cached("fig11", &config);
         let mut mses = Vec::new();
         for c in &col.captures {
             if !c.simulated.is_empty() {

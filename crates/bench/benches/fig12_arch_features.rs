@@ -5,7 +5,7 @@
 //! most of the information.
 
 use perfbug_bench::{banner, gbt250, lstm};
-use perfbug_core::experiment::{collect, evaluate_two_stage};
+use perfbug_core::experiment::evaluate_two_stage;
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
@@ -20,7 +20,7 @@ fn main() {
         let mut config = perfbug_bench::base_config(engines(), 12);
         config.arch_features = on;
         println!("collecting with design features {label}...");
-        let col = collect(&config);
+        let col = perfbug_bench::collect_cached("fig12", &config);
         for (e, engine) in col.engines.iter().enumerate() {
             let eval = evaluate_two_stage(&col, e, Stage2Params::default());
             table.row(vec![

@@ -5,7 +5,7 @@
 //! augmentation for separating microarchitectural variation from bugs.
 
 use perfbug_bench::{banner, gbt250};
-use perfbug_core::experiment::{collect, evaluate_two_stage, ArchPartition};
+use perfbug_core::experiment::{evaluate_two_stage, ArchPartition};
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
@@ -28,7 +28,7 @@ fn main() {
         let mut config = perfbug_bench::base_config(vec![gbt250()], 12);
         config.partition = partition;
         println!("collecting with {label} ({sizes})...");
-        let col = collect(&config);
+        let col = perfbug_bench::collect_cached("fig13", &config);
         let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
         table.row(vec![
             label.to_string(),

@@ -6,7 +6,7 @@
 
 use perfbug_bench::{banner, bench_scale, cnn, gbt150, gbt250, lasso, lstm, mlp, BenchScale};
 use perfbug_core::bugs::BugCatalog;
-use perfbug_core::experiment::{bugfree_test_errors, collect};
+use perfbug_core::experiment::bugfree_test_errors;
 use perfbug_core::report::{stats, Table};
 use perfbug_uarch::BugSpec;
 
@@ -47,7 +47,7 @@ fn main() {
             .max_probes
             .map_or("all".to_string(), |n| n.to_string())
     );
-    let col = collect(&config);
+    let col = perfbug_bench::collect_cached("table04", &config);
 
     let mut table = Table::new(vec![
         "ML Model",

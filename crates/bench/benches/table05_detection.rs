@@ -9,7 +9,7 @@
 
 use perfbug_bench::{banner, cnn, gbt150, gbt250, lasso, lstm, mlp, severity_cells};
 use perfbug_core::baseline::BaselineParams;
-use perfbug_core::experiment::{collect, evaluate_baseline, evaluate_two_stage};
+use perfbug_core::experiment::{evaluate_baseline, evaluate_two_stage};
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 use perfbug_core::DetectionMetrics;
@@ -53,7 +53,7 @@ fn main() {
             .map_or("all".to_string(), |n| n.to_string()),
         config.catalog.len()
     );
-    let col = collect(&config);
+    let col = perfbug_bench::collect_cached("table05", &config);
 
     let mut table = Table::new(vec![
         "Training",
@@ -100,7 +100,7 @@ fn main() {
         let mut config = perfbug_bench::base_config(vec![gbt250()], 10);
         config.presumed_bugfree_bug = Some(bug);
         println!("re-collecting with {label} hidden in the training designs...");
-        let col = collect(&config);
+        let col = perfbug_bench::collect_cached("table05", &config);
         let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
         row(&mut table, label, "GBT-250", &eval.metrics);
     }

@@ -4,7 +4,7 @@
 //! degrades sensitivity to bugs.
 
 use perfbug_bench::{banner, gbt250};
-use perfbug_core::experiment::{collect, evaluate_two_stage};
+use perfbug_core::experiment::evaluate_two_stage;
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
@@ -15,7 +15,7 @@ fn main() {
         let mut config = perfbug_bench::base_config(vec![gbt250()], 12);
         config.window = window;
         println!("collecting with window = {window}...");
-        let col = collect(&config);
+        let col = perfbug_bench::collect_cached("table06", &config);
         let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
         table.row(vec![
             window.to_string(),

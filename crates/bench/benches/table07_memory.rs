@@ -6,7 +6,7 @@
 
 use perfbug_bench::{banner, bench_scale, gbt250, lstm, severity_cells, BenchScale};
 use perfbug_core::experiment::evaluate_two_stage;
-use perfbug_core::memory::{collect_memory, MemCollectionConfig, TargetMetric};
+use perfbug_core::memory::{MemCollectionConfig, TargetMetric};
 use perfbug_core::report::Table;
 use perfbug_core::stage2::Stage2Params;
 
@@ -32,7 +32,7 @@ fn main() {
             config.max_probes = Some(12);
         }
         println!("collecting memory probes with {} target...", metric.label());
-        let col = collect_memory(&config);
+        let col = perfbug_bench::collect_memory_cached("table07", &config);
         for (e, engine) in col.engines.iter().enumerate() {
             let eval = evaluate_two_stage(&col, e, Stage2Params::default());
             let sev = severity_cells(&eval.metrics);

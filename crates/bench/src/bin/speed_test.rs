@@ -53,8 +53,8 @@ fn per_benchmark_simulation() {
     }
 }
 
-/// Times one `collect()` pass and returns (runs simulated, seconds).
-fn timed_collect(threads: usize) -> (usize, f64) {
+/// The tiny collection configuration shared by the throughput sections.
+fn tiny_collect_config(threads: usize) -> CollectionConfig {
     let catalog = BugCatalog::new(vec![
         BugSpec::SerializeOpcode { x: Opcode::Logic },
         BugSpec::L2ExtraLatency { t: 30 },
@@ -74,12 +74,50 @@ fn timed_collect(threads: usize) -> (usize, f64) {
     ];
     config.max_probes = Some(8);
     config.threads = threads;
+    config
+}
+
+/// Times one `collect()` pass and returns (runs simulated, seconds).
+fn timed_collect(threads: usize) -> (usize, f64) {
+    let config = tiny_collect_config(threads);
     let n_units =
         perfbug_core::experiment::simulation_units_per_probe(&config.partition, &config.catalog);
     let t0 = Instant::now();
     let col = collect(&config);
     let secs = t0.elapsed().as_secs_f64();
     (col.probes.len() * n_units, secs)
+}
+
+/// Measures cold collect+save against an evaluation-only replay of the
+/// persisted collection, and proves the replay ran zero simulations.
+fn replay_throughput() {
+    use perfbug_core::persist::{cache_file_name, collect_or_load, config_fingerprint};
+
+    let config = tiny_collect_config(exec::default_threads());
+    let dir = std::env::temp_dir().join(format!("perfbug-speedtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp cache dir");
+    let path = dir.join(cache_file_name("speed-test", config_fingerprint(&config)));
+    let _ = std::fs::remove_file(&path);
+
+    println!();
+    println!("collection persistence (same tiny scale):");
+    let t0 = Instant::now();
+    let (cold, _) = collect_or_load(&path, &config).expect("cold collect+save");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let sims_before = exec::simulations_run();
+    let t1 = Instant::now();
+    let (warm, _) = collect_or_load(&path, &config).expect("replay load");
+    let warm_secs = t1.elapsed().as_secs_f64();
+    let resimulated = exec::simulations_run() - sims_before;
+    assert_eq!(warm, cold, "replayed collection must be identical");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("  cold collect+save:   {cold_secs:8.2}s  ({bytes} bytes on disk)");
+    println!(
+        "  replay load:         {warm_secs:8.4}s  ({:.0}x faster; re-simulated runs: {resimulated})",
+        cold_secs / warm_secs.max(1e-9)
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
 }
 
 fn collection_throughput() {
@@ -100,4 +138,5 @@ fn collection_throughput() {
 fn main() {
     per_benchmark_simulation();
     collection_throughput();
+    replay_throughput();
 }

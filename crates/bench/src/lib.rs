@@ -11,9 +11,23 @@
 //! Outputs are plain text: the same rows/series the paper reports, plus a
 //! header stating the scale. Absolute values are expected to differ from
 //! the paper (different substrate); the *shape* is the reproduction target.
+//!
+//! # Collection cache
+//!
+//! Collection (simulate + train stage 1) dominates every target's runtime;
+//! evaluation is cheap. When `PERFBUG_CACHE_DIR` is set, [`collect_cached`]
+//! / [`collect_memory_cached`] persist each collection to
+//! `<dir>/<target>-<config fingerprint>.pbcol` and later invocations replay
+//! it from disk without invoking the simulator. The fingerprint is part of
+//! the file name, so changing the scale or configuration collects into a
+//! fresh file instead of tripping the stale-cache rejection.
+
+use std::path::PathBuf;
 
 use perfbug_core::bugs::BugCatalog;
-use perfbug_core::experiment::{CollectionConfig, ProbeScale};
+use perfbug_core::experiment::{collect, Collection, CollectionConfig, ProbeScale};
+use perfbug_core::memory::{collect_memory, MemCollectionConfig};
+use perfbug_core::persist::{self, CacheStatus};
 use perfbug_core::stage1::EngineSpec;
 use perfbug_ml::{CnnParams, GbtParams, LassoParams, LstmParams, MlpParams};
 
@@ -75,6 +89,51 @@ pub fn base_config(engines: Vec<EngineSpec>, quick_probes: usize) -> CollectionC
     config.scale = ProbeScale::default();
     config.max_probes = probe_cap(quick_probes);
     config
+}
+
+/// The collection cache directory, read from `PERFBUG_CACHE_DIR`. `None`
+/// disables caching (every run collects from scratch).
+pub fn cache_dir() -> Option<PathBuf> {
+    std::env::var_os("PERFBUG_CACHE_DIR").map(PathBuf::from)
+}
+
+fn cache_path(dir: &PathBuf, name: &str, fingerprint: u64) -> PathBuf {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
+    dir.join(persist::cache_file_name(name, fingerprint))
+}
+
+fn report(status: CacheStatus, path: &std::path::Path) {
+    match status {
+        CacheStatus::Replayed => println!("  [cache] replayed {}", path.display()),
+        CacheStatus::Collected => println!("  [cache] collected and saved {}", path.display()),
+    }
+}
+
+/// Runs (or replays) a core collection. With `PERFBUG_CACHE_DIR` unset
+/// this is plain [`collect`]; with it set, the collection persists under
+/// `name` and subsequent runs replay it without simulating.
+pub fn collect_cached(name: &str, config: &CollectionConfig) -> Collection {
+    let Some(dir) = cache_dir() else {
+        return collect(config);
+    };
+    let path = cache_path(&dir, name, persist::config_fingerprint(config));
+    let (col, status) = persist::collect_or_load(&path, config)
+        .unwrap_or_else(|e| panic!("collection cache {}: {e}", path.display()));
+    report(status, &path);
+    col
+}
+
+/// [`collect_cached`] for the memory experiment.
+pub fn collect_memory_cached(name: &str, config: &MemCollectionConfig) -> Collection {
+    let Some(dir) = cache_dir() else {
+        return collect_memory(config);
+    };
+    let path = cache_path(&dir, name, persist::mem_config_fingerprint(config));
+    let (col, status) = persist::collect_memory_or_load(&path, config)
+        .unwrap_or_else(|e| panic!("collection cache {}: {e}", path.display()));
+    report(status, &path);
+    col
 }
 
 /// GBT-250 (the paper's best engine — full size at every scale).

@@ -59,7 +59,7 @@ impl Severity {
 }
 
 /// The core bug catalogue: a list of concrete bug variants.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BugCatalog {
     variants: Vec<BugSpec>,
 }

@@ -18,10 +18,19 @@
 //!   global results mutex of the previous probe-granular loop;
 //! * [`parallel_map`] / [`parallel_map_with`] — scoped-thread drivers that
 //!   tie the two together and preserve index order, so results are
-//!   byte-identical regardless of worker count.
+//!   byte-identical regardless of worker count;
+//! * [`collect_unit_grid`] — the shared three-phase collection driver over
+//!   a (probe × unit) simulation grid. The core and memory experiments
+//!   used to each carry their own copy of this pipeline (~120 structurally
+//!   identical lines); both now parameterise this single driver with their
+//!   trace builder, simulator and counter-selection policy.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::experiment::{CapturedSeries, EngineResult, DELTA_CEILING};
+use crate::stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
 
 /// The number of worker threads to use when the caller does not override
 /// it: the machine's available parallelism (1 when that cannot be
@@ -196,6 +205,212 @@ where
     F: Fn(usize) -> T + Sync,
 {
     parallel_map_with(n_tasks, threads, || (), |(), i| task(i))
+}
+
+// --------------------------------------------------------------------------
+// Shared unit-grid collection driver
+// --------------------------------------------------------------------------
+
+/// Process-wide count of simulation units run by [`collect_unit_grid`].
+///
+/// Incremented once per (probe, unit) simulation task. The replay tooling
+/// (`examples/replay.rs`, the CI replay guard, `speed_test`) samples it
+/// around a cache load to prove that an evaluation-only replay performed
+/// zero simulations.
+static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of simulation units run by this process so far.
+pub fn simulations_run() -> u64 {
+    SIMULATIONS.load(Ordering::Relaxed)
+}
+
+/// The index structure of one collection pass's simulation-unit grid.
+///
+/// A *unit* is one distinct (design, bug) combination; every probe
+/// simulates each unit exactly once and the result is shared by all its
+/// consumers. The vectors index into `0..n_units`.
+#[derive(Debug, Clone)]
+pub struct UnitGrid {
+    /// Number of distinct units per probe.
+    pub n_units: usize,
+    /// Units providing stage-1 training runs (Set-I bug-free designs).
+    pub train_units: Vec<usize>,
+    /// Units providing stage-1 validation runs (Set-II bug-free designs).
+    pub val_units: Vec<usize>,
+    /// Unit of each evaluation run key, in key order.
+    pub key_units: Vec<usize>,
+}
+
+/// Everything [`collect_unit_grid`] produces, in probe order.
+#[derive(Debug)]
+pub struct GridOutput {
+    /// Per-engine inference errors and stage-1 timings.
+    pub engines: Vec<EngineResult>,
+    /// Overall target metric per `[probe][key]`.
+    pub overall: Vec<Vec<f64>>,
+    /// Aggregated per-run baseline features per `[probe][key]`.
+    pub agg_features: Vec<Vec<Vec<f64>>>,
+    /// Captured (simulated, inferred) series, in (probe, engine) order.
+    pub captures: Vec<CapturedSeries>,
+}
+
+/// Output of one (probe, engine) training task.
+struct TrainOutput {
+    deltas: Vec<f64>,
+    train_time: Duration,
+    infer_time: Duration,
+    captures: Vec<CapturedSeries>,
+}
+
+/// Runs the shared three-phase collection pipeline over a (probe × unit)
+/// grid on the work-stealing pool:
+///
+/// * **Phase A** — the (probe × unit) simulation grid (`simulate`), fed by
+///   one trace per probe (`make_trace`);
+/// * **Phase B** — per-probe counter selection (`prepare`) plus the
+///   baseline's aggregated mean-row features and overall-metric vector;
+/// * **Phase C** — the (probe × engine) stage-1 training grid, producing
+///   Eq.-(1) inference errors (ceiling-clamped at
+///   `experiment::DELTA_CEILING`) and optional captured series
+///   (`capture`).
+///
+/// Probes are processed in blocks of `max(threads, 2)` to bound peak
+/// memory; results are published into per-task slots and assembled in
+/// deterministic index order, so the output is identical for any worker
+/// count and any block size.
+// One parameter per pipeline customisation point; bundling them into a
+// struct of closures would only move the argument list.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_unit_grid<T, MkTrace, Sim, Prep, Cap>(
+    n_probes: usize,
+    threads: usize,
+    grid: &UnitGrid,
+    engines: &[EngineSpec],
+    make_trace: MkTrace,
+    simulate: Sim,
+    prepare: Prep,
+    capture: Cap,
+) -> GridOutput
+where
+    T: Send + Sync,
+    MkTrace: Fn(usize) -> T + Sync,
+    Sim: Fn(&T, usize) -> (RunSeries, f64) + Sync,
+    Prep: Fn(usize, &[(RunSeries, f64)]) -> FeatureSpec + Sync,
+    Cap: Fn(usize, usize, &EngineSpec, &RunSeries, &[f64]) -> Option<CapturedSeries> + Sync,
+{
+    let threads = threads.max(1);
+    let n_units = grid.n_units;
+    let n_engines = engines.len();
+    let block = threads.max(2);
+
+    let mut out = GridOutput {
+        engines: engines
+            .iter()
+            .map(|e| EngineResult {
+                name: e.name(),
+                deltas: Vec::with_capacity(n_probes),
+                train_time: Duration::ZERO,
+                infer_time: Duration::ZERO,
+            })
+            .collect(),
+        overall: Vec::with_capacity(n_probes),
+        agg_features: Vec::with_capacity(n_probes),
+        captures: Vec::new(),
+    };
+
+    for block_start in (0..n_probes).step_by(block) {
+        let block_len = (n_probes - block_start).min(block);
+
+        // Trace generation, one task per probe.
+        let traces: Vec<T> = parallel_map(block_len, threads, |i| make_trace(block_start + i));
+
+        // Phase A: the (probe x unit) simulation grid.
+        let sims: Vec<(RunSeries, f64)> = parallel_map(block_len * n_units, threads, |t| {
+            let (pi, u) = (t / n_units, t % n_units);
+            SIMULATIONS.fetch_add(1, Ordering::Relaxed);
+            simulate(&traces[pi], u)
+        });
+        let sims_of = |pi: usize| &sims[pi * n_units..(pi + 1) * n_units];
+
+        // Phase B: per-probe counter selection and baseline aggregates
+        // (mean counter row + design features + the overall metric).
+        type Prepped = (FeatureSpec, Vec<Vec<f64>>, Vec<f64>);
+        let preps: Vec<Prepped> = parallel_map(block_len, threads, |pi| {
+            let units = sims_of(pi);
+            let features = prepare(block_start + pi, units);
+            let agg: Vec<Vec<f64>> = grid
+                .key_units
+                .iter()
+                .map(|&u| {
+                    let (series, overall) = &units[u];
+                    let n = series.rows.len().max(1) as f64;
+                    let mut mean = vec![0.0; series.rows.width()];
+                    for row in &series.rows {
+                        for (m, v) in mean.iter_mut().zip(row) {
+                            *m += v;
+                        }
+                    }
+                    mean.iter_mut().for_each(|m| *m /= n);
+                    mean.extend_from_slice(&series.arch_features);
+                    mean.push(*overall);
+                    mean
+                })
+                .collect();
+            let overall = grid.key_units.iter().map(|&u| units[u].1).collect();
+            (features, agg, overall)
+        });
+
+        // Phase C: the (probe x engine) stage-1 training grid.
+        let outputs: Vec<TrainOutput> = parallel_map(block_len * n_engines, threads, |t| {
+            let (pi, e) = (t / n_engines, t % n_engines);
+            let units = sims_of(pi);
+            let engine = &engines[e];
+            let train_refs: Vec<&RunSeries> =
+                grid.train_units.iter().map(|&u| &units[u].0).collect();
+            let val_refs: Vec<&RunSeries> = grid.val_units.iter().map(|&u| &units[u].0).collect();
+            let t0 = Instant::now();
+            let model = ProbeModel::train(engine, preps[pi].0.clone(), &train_refs, &val_refs);
+            let train_time = t0.elapsed();
+            let t1 = Instant::now();
+            let mut deltas = Vec::with_capacity(grid.key_units.len());
+            let mut captures = Vec::new();
+            for (pos, &u) in grid.key_units.iter().enumerate() {
+                let series = &units[u].0;
+                let inferred = model.infer(series);
+                let mut delta = inference_error(&series.target, &inferred);
+                if !delta.is_finite() || delta > DELTA_CEILING {
+                    delta = DELTA_CEILING;
+                }
+                deltas.push(delta);
+                if let Some(c) = capture(block_start + pi, pos, engine, series, &inferred) {
+                    captures.push(c);
+                }
+            }
+            TrainOutput {
+                deltas,
+                train_time,
+                infer_time: t1.elapsed(),
+                captures,
+            }
+        });
+
+        // Deterministic assembly in (probe, engine) order, consuming the
+        // task outputs so deltas and captures move instead of cloning.
+        let mut outputs = outputs.into_iter();
+        for (_, agg, overall) in preps {
+            out.overall.push(overall);
+            out.agg_features.push(agg);
+            for engine in out.engines.iter_mut() {
+                let o = outputs.next().expect("one output per (probe, engine)");
+                engine.deltas.push(o.deltas);
+                engine.train_time += o.train_time;
+                engine.infer_time += o.infer_time;
+                out.captures.extend(o.captures);
+            }
+        }
+    }
+
+    out
 }
 
 #[cfg(test)]

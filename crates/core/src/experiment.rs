@@ -9,7 +9,7 @@
 //! classifiers (or the baseline) are re-fit per held-out bug type from the
 //! collected error matrix.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use perfbug_uarch::{presets, simulate, ArchSet, BugSpec, MicroarchConfig};
 use perfbug_workloads::{spec2006, BenchmarkSpec, Probe, Program, RowMatrix, WorkloadScale};
@@ -20,7 +20,7 @@ use crate::baseline::{BaselineClassifier, BaselineParams, BaselineSample};
 use crate::bugs::{BugCatalog, Severity};
 use crate::counter_select::{leakage_banned_counters, select_counters, CounterMode};
 use crate::detmetrics::{Decision, DetectionMetrics};
-use crate::stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
+use crate::stage1::{EngineSpec, FeatureSpec, RunSeries};
 use crate::stage2::{Stage2Classifier, Stage2Params};
 
 /// Ceiling applied to stage-1 inference errors so that non-convergent
@@ -130,7 +130,7 @@ pub struct ProbeMeta {
 }
 
 /// A captured (simulated, inferred) series for figure regeneration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CapturedSeries {
     /// Probe identifier.
     pub probe_id: String,
@@ -158,7 +158,7 @@ pub struct CaptureSpec {
 }
 
 /// Per-engine collection output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineResult {
     /// Engine display name.
     pub name: String,
@@ -171,7 +171,11 @@ pub struct EngineResult {
 }
 
 /// Everything the evaluation phase needs, collected in one pass.
-#[derive(Debug, Clone)]
+///
+/// Collections are the unit of persistence: [`crate::persist`] serialises
+/// them with a versioned binary codec so evaluation-only experiments can
+/// replay a saved corpus instead of re-simulating.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Collection {
     /// Run keys, shared by all per-probe vectors.
     pub keys: Vec<RunKey>,
@@ -250,7 +254,8 @@ impl CollectionConfig {
 /// consumer — stage-1 training (Set I), stage-1 validation (Set II), and
 /// every evaluation key. In particular the bug-free reference run of each
 /// design exists once per (probe, design) and is never re-simulated for
-/// the evaluation pass.
+/// the evaluation pass. The index structure is handed to the shared
+/// [`exec::collect_unit_grid`] driver as an [`exec::UnitGrid`].
 struct SimGrid<'p> {
     /// All distinct designs: Set I first, then the evaluation designs.
     archs: Vec<&'p MicroarchConfig>,
@@ -325,22 +330,6 @@ impl<'p> SimGrid<'p> {
 /// into runs/sec without re-deriving the grid shape.
 pub fn simulation_units_per_probe(partition: &ArchPartition, catalog: &BugCatalog) -> usize {
     SimGrid::build(partition, catalog).units.len()
-}
-
-/// Per-probe data derived from the simulated grid before engine training:
-/// the probe's counter selection and the baseline's aggregate features.
-struct ProbePrep {
-    features: FeatureSpec,
-    agg: Vec<Vec<f64>>,
-    overall_ipc: Vec<f64>,
-}
-
-/// Output of one (probe, engine) training task.
-struct TrainOutput {
-    deltas: Vec<f64>,
-    train_time: Duration,
-    infer_time: Duration,
-    captures: Vec<CapturedSeries>,
 }
 
 /// Selects up to `max` probes round-robin across benchmarks.
@@ -424,67 +413,43 @@ pub fn collect(config: &CollectionConfig) -> Collection {
         })
         .collect();
 
-    // Run-level parallel collection. Probes are processed in blocks (to
-    // bound peak memory); within a block the full (probe x unit) grid of
-    // simulations is scheduled onto the work-stealing pool, followed by
-    // the (probe x engine) training grid. Results are published into
-    // per-task slots and assembled in deterministic index order, so the
-    // output is identical for any worker count.
-    let threads = config.threads.max(1);
-    let n_units = grid.units.len();
-    let n_engines = config.engines.len();
-    let block = threads.max(2);
-
-    let mut engines: Vec<EngineResult> = config
-        .engines
-        .iter()
-        .map(|e| EngineResult {
-            name: e.name(),
-            deltas: Vec::with_capacity(probes.len()),
-            train_time: Duration::ZERO,
-            infer_time: Duration::ZERO,
-        })
-        .collect();
-    let mut overall_ipc = Vec::with_capacity(probes.len());
-    let mut agg_features = Vec::with_capacity(probes.len());
-    let mut captures = Vec::new();
-
-    for block_start in (0..probes.len()).step_by(block) {
-        let block_probes = &probes[block_start..(block_start + block).min(probes.len())];
-
-        // Trace generation, one task per probe.
-        let traces: Vec<Vec<perfbug_workloads::Inst>> =
-            exec::parallel_map(block_probes.len(), threads, |i| {
-                block_probes[i].trace(program_of(&block_probes[i]))
-            });
-
-        // Phase A: the (probe x unit) simulation grid.
-        let sims: Vec<(RunSeries, f64)> =
-            exec::parallel_map(block_probes.len() * n_units, threads, |t| {
-                let (pi, u) = (t / n_units, t % n_units);
-                let (arch_idx, bug_idx) = grid.units[u];
-                let arch = grid.archs[arch_idx];
-                // The presumed-bug-free defect contaminates every run: it
-                // is part of the "design" for this experiment.
-                let bug = bug_idx
-                    .map(|i| config.catalog.variants()[i])
-                    .or(config.presumed_bugfree_bug);
-                let pr = simulate(arch, bug, &traces[pi], config.scale.step_cycles);
-                let overall = pr.overall_ipc();
-                (
-                    RunSeries {
-                        rows: pr.counter_rows,
-                        target: pr.ipc,
-                        arch_features: arch.feature_vector(),
-                    },
-                    overall,
-                )
-            });
-        let sims_of = |pi: usize| &sims[pi * n_units..(pi + 1) * n_units];
-
-        // Phase B: per-probe counter selection and baseline aggregates.
-        let preps: Vec<ProbePrep> = exec::parallel_map(block_probes.len(), threads, |pi| {
-            let units = sims_of(pi);
+    // Run-level parallel collection through the shared unit-grid driver
+    // (`exec::collect_unit_grid`): trace generation, the (probe x unit)
+    // simulation grid, per-probe counter selection and the (probe x
+    // engine) training grid all run on the work-stealing pool, with
+    // deterministic assembly for any worker count.
+    let unit_grid = exec::UnitGrid {
+        n_units: grid.units.len(),
+        train_units: grid.train_units.clone(),
+        val_units: grid.val_units.clone(),
+        key_units: grid.key_units.clone(),
+    };
+    let out = exec::collect_unit_grid(
+        probes.len(),
+        config.threads,
+        &unit_grid,
+        &config.engines,
+        |pi| probes[pi].trace(program_of(&probes[pi])),
+        |trace: &Vec<perfbug_workloads::Inst>, u| {
+            let (arch_idx, bug_idx) = grid.units[u];
+            let arch = grid.archs[arch_idx];
+            // The presumed-bug-free defect contaminates every run: it is
+            // part of the "design" for this experiment.
+            let bug = bug_idx
+                .map(|i| config.catalog.variants()[i])
+                .or(config.presumed_bugfree_bug);
+            let pr = simulate(arch, bug, trace, config.scale.step_cycles);
+            let overall = pr.overall_ipc();
+            (
+                RunSeries {
+                    rows: pr.counter_rows,
+                    target: pr.ipc,
+                    arch_features: arch.feature_vector(),
+                },
+                overall,
+            )
+        },
+        |_pi, units| {
             let selected = match &config.counter_mode {
                 CounterMode::Automatic(thresholds) => {
                     let mut rows = RowMatrix::new(0);
@@ -497,110 +462,37 @@ pub fn collect(config: &CollectionConfig) -> Collection {
                 }
                 CounterMode::Manual(cols) => cols.clone(),
             };
-            let features = FeatureSpec {
+            FeatureSpec {
                 selected,
                 arch_features: config.arch_features,
                 window: config.window.max(1),
-            };
-            // Aggregated features for the baseline: mean counter row +
-            // design features + the simulated overall IPC.
-            let agg: Vec<Vec<f64>> = grid
-                .key_units
+            }
+        },
+        |pi, pos, engine, series, inferred| {
+            let key = &keys[pos];
+            let probe = &probes[pi];
+            let wanted = config
+                .captures
                 .iter()
-                .map(|&u| {
-                    let (series, ipc) = &units[u];
-                    let n = series.rows.len().max(1) as f64;
-                    let mut mean = vec![0.0; series.rows.width()];
-                    for row in &series.rows {
-                        for (m, v) in mean.iter_mut().zip(row) {
-                            *m += v;
-                        }
-                    }
-                    mean.iter_mut().for_each(|m| *m /= n);
-                    mean.extend_from_slice(&series.arch_features);
-                    mean.push(*ipc);
-                    mean
-                })
-                .collect();
-            let overall_ipc = grid.key_units.iter().map(|&u| units[u].1).collect();
-            ProbePrep {
-                features,
-                agg,
-                overall_ipc,
-            }
-        });
-
-        // Phase C: the (probe x engine) stage-1 training grid.
-        let outputs: Vec<TrainOutput> =
-            exec::parallel_map(block_probes.len() * n_engines, threads, |t| {
-                let (pi, e) = (t / n_engines, t % n_engines);
-                let probe = &block_probes[pi];
-                let units = sims_of(pi);
-                let engine = &config.engines[e];
-                let train_refs: Vec<&RunSeries> =
-                    grid.train_units.iter().map(|&u| &units[u].0).collect();
-                let val_refs: Vec<&RunSeries> =
-                    grid.val_units.iter().map(|&u| &units[u].0).collect();
-                let t0 = Instant::now();
-                let model =
-                    ProbeModel::train(engine, preps[pi].features.clone(), &train_refs, &val_refs);
-                let train_time = t0.elapsed();
-                let t1 = Instant::now();
-                let mut deltas = Vec::with_capacity(keys.len());
-                let mut captures = Vec::new();
-                for (key, &u) in keys.iter().zip(&grid.key_units) {
-                    let series = &units[u].0;
-                    let inferred = model.infer(series);
-                    let mut delta = inference_error(&series.target, &inferred);
-                    if !delta.is_finite() || delta > DELTA_CEILING {
-                        delta = DELTA_CEILING;
-                    }
-                    deltas.push(delta);
-                    let wanted = config.captures.iter().any(|c| {
-                        c.probe_id == probe.id() && c.arch == key.arch && c.bug == key.bug
-                    });
-                    if wanted {
-                        captures.push(CapturedSeries {
-                            probe_id: probe.id(),
-                            arch: key.arch.clone(),
-                            bug: key.bug,
-                            engine: engine.name(),
-                            simulated: series.target.clone(),
-                            inferred,
-                        });
-                    }
-                }
-                TrainOutput {
-                    deltas,
-                    train_time,
-                    infer_time: t1.elapsed(),
-                    captures,
-                }
-            });
-
-        // Deterministic assembly in (probe, engine) order, consuming the
-        // task outputs so deltas and captures move instead of cloning.
-        let mut outputs = outputs.into_iter();
-        for prep in preps {
-            overall_ipc.push(prep.overall_ipc);
-            agg_features.push(prep.agg);
-            for engine in engines.iter_mut() {
-                let out = outputs.next().expect("one output per (probe, engine)");
-                engine.deltas.push(out.deltas);
-                engine.train_time += out.train_time;
-                engine.infer_time += out.infer_time;
-                captures.extend(out.captures);
-            }
-        }
-    }
+                .any(|c| c.probe_id == probe.id() && c.arch == key.arch && c.bug == key.bug);
+            wanted.then(|| CapturedSeries {
+                probe_id: probe.id(),
+                arch: key.arch.clone(),
+                bug: key.bug,
+                engine: engine.name(),
+                simulated: series.target.clone(),
+                inferred: inferred.to_vec(),
+            })
+        },
+    );
 
     Collection {
         keys,
         probes: metas,
-        engines,
-        overall_ipc,
-        agg_features,
-        captures,
+        engines: out.engines,
+        overall_ipc: out.overall,
+        agg_features: out.agg_features,
+        captures: out.captures,
         catalog: config.catalog.clone(),
     }
 }

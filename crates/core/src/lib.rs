@@ -42,6 +42,7 @@ pub mod exec;
 pub mod experiment;
 pub mod localize;
 pub mod memory;
+pub mod persist;
 pub mod report;
 pub mod stage1;
 pub mod stage2;
@@ -53,5 +54,9 @@ pub use experiment::{
     Collection, CollectionConfig, ProbeScale, RunKey,
 };
 pub use memory::{collect_memory, MemCollectionConfig, TargetMetric};
+pub use persist::{
+    collect_memory_or_load, collect_or_load, config_fingerprint, load_collection,
+    mem_config_fingerprint, save_collection, CacheStatus, PersistError,
+};
 pub use stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
 pub use stage2::{Stage2Classifier, Stage2Params};

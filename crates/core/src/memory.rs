@@ -5,8 +5,6 @@
 //! Results feed the same [`Collection`] / evaluation machinery as the core
 //! experiment.
 
-use std::time::{Duration, Instant};
-
 use perfbug_memsim::{self as memsim, simulate_memory, MemArchConfig, MemBugSpec};
 use perfbug_uarch::ArchSet;
 use perfbug_workloads::{Probe, Program, RowMatrix, WorkloadScale};
@@ -14,8 +12,8 @@ use perfbug_workloads::{Probe, Program, RowMatrix, WorkloadScale};
 use crate::bugs::{BugCatalog, MemBugCatalog};
 use crate::counter_select::{select_counters, CounterMode, SelectionThresholds};
 use crate::exec;
-use crate::experiment::{Collection, EngineResult, ProbeMeta, RunKey};
-use crate::stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
+use crate::experiment::{Collection, ProbeMeta, RunKey};
+use crate::stage1::{EngineSpec, FeatureSpec, RunSeries};
 use perfbug_memsim::mem_counter_names;
 
 /// Which per-step series the stage-1 models learn to infer.
@@ -85,13 +83,6 @@ fn mem_set(set: memsim::ArchSet) -> ArchSet {
         memsim::ArchSet::III => ArchSet::III,
         memsim::ArchSet::IV => ArchSet::IV,
     }
-}
-
-/// Output of one (probe, engine) training task.
-struct MemTrainOutput {
-    deltas: Vec<f64>,
-    train_time: Duration,
-    infer_time: Duration,
 }
 
 /// Runs the memory-system collection pass. The returned [`Collection`]
@@ -177,130 +168,43 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
         })
         .collect();
 
-    let threads = config.threads.max(1);
-    let n_units = units.len();
-    let n_engines = config.engines.len();
-    let block = threads.max(2);
-
-    let mut engines: Vec<EngineResult> = config
-        .engines
-        .iter()
-        .map(|e| EngineResult {
-            name: e.name(),
-            deltas: Vec::with_capacity(probes.len()),
-            train_time: Duration::ZERO,
-            infer_time: Duration::ZERO,
-        })
-        .collect();
-    let mut overall = Vec::with_capacity(probes.len());
-    let mut agg = Vec::with_capacity(probes.len());
-
-    for block_start in (0..probes.len()).step_by(block) {
-        let block_probes = &probes[block_start..(block_start + block).min(probes.len())];
-
-        let traces: Vec<Vec<perfbug_workloads::Inst>> =
-            exec::parallel_map(block_probes.len(), threads, |i| {
-                let (bi, probe) = &block_probes[i];
-                probe.trace(&programs[*bi])
-            });
-
-        // Phase A: the (probe x unit) simulation grid.
-        let sims: Vec<(RunSeries, f64)> =
-            exec::parallel_map(block_probes.len() * n_units, threads, |t| {
-                let (pi, u) = (t / n_units, t % n_units);
-                let (arch, bug_idx) = units[u];
-                let bug = bug_idx.map(|i| config.catalog.variants()[i]);
-                mem_run(config, arch, bug, &traces[pi])
-            });
-        let sims_of = |pi: usize| &sims[pi * n_units..(pi + 1) * n_units];
-
-        // Phase B: per-probe counter selection and baseline aggregates.
-        let preps: Vec<(FeatureSpec, Vec<Vec<f64>>, Vec<f64>)> =
-            exec::parallel_map(block_probes.len(), threads, |pi| {
-                let sims = sims_of(pi);
-                let features = FeatureSpec {
-                    selected: select_mem_counters(config, sims, &train_units),
-                    arch_features: true,
-                    window: 1,
-                };
-                let agg: Vec<Vec<f64>> = key_units
-                    .iter()
-                    .map(|&u| {
-                        let (series, overall) = &sims[u];
-                        let n = series.rows.len().max(1) as f64;
-                        let mut mean = vec![0.0; series.rows.width()];
-                        for row in &series.rows {
-                            for (m, v) in mean.iter_mut().zip(row) {
-                                *m += v;
-                            }
-                        }
-                        mean.iter_mut().for_each(|m| *m /= n);
-                        mean.extend_from_slice(&series.arch_features);
-                        mean.push(*overall);
-                        mean
-                    })
-                    .collect();
-                let overall = key_units.iter().map(|&u| sims[u].1).collect();
-                (features, agg, overall)
-            });
-
-        // Phase C: the (probe x engine) stage-1 training grid.
-        let outputs: Vec<MemTrainOutput> =
-            exec::parallel_map(block_probes.len() * n_engines, threads, |t| {
-                let (pi, e) = (t / n_engines, t % n_engines);
-                let sims = sims_of(pi);
-                let train_refs: Vec<&RunSeries> = train_units.iter().map(|&u| &sims[u].0).collect();
-                let val_refs: Vec<&RunSeries> = val_units.iter().map(|&u| &sims[u].0).collect();
-                let t0 = Instant::now();
-                let model = ProbeModel::train(
-                    &config.engines[e],
-                    preps[pi].0.clone(),
-                    &train_refs,
-                    &val_refs,
-                );
-                let train_time = t0.elapsed();
-                let t1 = Instant::now();
-                let deltas: Vec<f64> = key_units
-                    .iter()
-                    .map(|&u| {
-                        let series = &sims[u].0;
-                        let inferred = model.infer(series);
-                        let delta = inference_error(&series.target, &inferred);
-                        if delta.is_finite() {
-                            delta.min(crate::experiment::DELTA_CEILING)
-                        } else {
-                            crate::experiment::DELTA_CEILING
-                        }
-                    })
-                    .collect();
-                MemTrainOutput {
-                    deltas,
-                    train_time,
-                    infer_time: t1.elapsed(),
-                }
-            });
-
-        // Consume the task outputs so delta vectors move instead of
-        // cloning.
-        let mut outputs = outputs.into_iter();
-        for (_, probe_agg, probe_overall) in preps {
-            overall.push(probe_overall);
-            agg.push(probe_agg);
-            for engine in engines.iter_mut() {
-                let out = outputs.next().expect("one output per (probe, engine)");
-                engine.deltas.push(out.deltas);
-                engine.train_time += out.train_time;
-                engine.infer_time += out.infer_time;
-            }
-        }
-    }
+    // The shared unit-grid driver runs the same three-phase pipeline as
+    // the core experiment; only the simulator and the counter-selection
+    // policy differ, and the memory experiment captures no series.
+    let unit_grid = exec::UnitGrid {
+        n_units: units.len(),
+        train_units: train_units.clone(),
+        val_units,
+        key_units,
+    };
+    let out = exec::collect_unit_grid(
+        probes.len(),
+        config.threads,
+        &unit_grid,
+        &config.engines,
+        |pi| {
+            let (bi, probe) = &probes[pi];
+            probe.trace(&programs[*bi])
+        },
+        |trace: &Vec<perfbug_workloads::Inst>, u| {
+            let (arch, bug_idx) = units[u];
+            let bug = bug_idx.map(|i| config.catalog.variants()[i]);
+            mem_run(config, arch, bug, trace)
+        },
+        |_pi, sims| FeatureSpec {
+            selected: select_mem_counters(config, sims, &train_units),
+            arch_features: true,
+            window: 1,
+        },
+        |_, _, _, _, _| None,
+    );
 
     Collection {
         keys,
         probes: metas,
-        engines,
-        overall_ipc: overall,
-        agg_features: agg,
+        engines: out.engines,
+        overall_ipc: out.overall,
+        agg_features: out.agg_features,
         captures: Vec::new(),
         catalog: mem_catalog_as_core(&config.catalog),
     }

@@ -1,0 +1,933 @@
+//! Collection persistence: a versioned, deterministic binary codec for
+//! [`Collection`] plus evaluation-only replay.
+//!
+//! The expensive phase of every experiment is *collection* (simulate each
+//! probe on each design with each bug, train stage-1 models); the cheap
+//! phase is *evaluation*. The paper reuses one collected corpus across
+//! many models and thresholds (Figs. 8–13, Tables IV–VII), so this module
+//! lets a collection be saved once and replayed by any number of
+//! evaluation-only runs without touching the simulator.
+//!
+//! The codec is hand-rolled (the build environment is offline — no serde):
+//! little-endian fixed-width integers, `f64::to_bits` for floats, and
+//! length-prefixed sequences, which makes encoding byte-deterministic for
+//! a given collection. Every file carries
+//!
+//! * a magic tag and a [`FORMAT_VERSION`] — files from an older codec are
+//!   rejected with [`PersistError::Version`], never reinterpreted;
+//! * the **config fingerprint** of the producing collection pass — loading
+//!   under a different [`CollectionConfig`] fails with
+//!   [`PersistError::Fingerprint`], so a stale cache is rejected rather
+//!   than silently reused;
+//! * a trailing FNV-1a checksum over the whole header + payload —
+//!   truncated or corrupted files fail with [`PersistError::Corrupt`].
+//!
+//! [`collect_or_load`] / [`collect_memory_or_load`] are the front doors:
+//! they replay a saved collection when the cache file exists and collect
+//! (then save) otherwise. Pair them with [`cache_file_name`], which embeds
+//! the fingerprint in the file name so distinct configurations can never
+//! collide on one path.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use perfbug_uarch::{ArchSet, BugSpec};
+use perfbug_workloads::Opcode;
+
+use crate::bugs::BugCatalog;
+use crate::experiment::{
+    collect, CapturedSeries, Collection, CollectionConfig, EngineResult, ProbeMeta, RunKey,
+};
+use crate::memory::{collect_memory, MemCollectionConfig};
+
+/// Version of the on-disk format. Bump on any layout change; readers
+/// reject every other version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Version of the *corpus semantics*: what the collection pipeline would
+/// produce for a given configuration. Folded into every config
+/// fingerprint, so bumping it invalidates caches without changing the
+/// codec. Bump whenever a change makes collection output numerically
+/// different under an unchanged config (simulator timing fixes, counter
+/// or feature semantics, engine training/inference numerics, Eq.-(1)
+/// changes) — otherwise an old cache would silently replay data the
+/// current code no longer produces.
+pub const CORPUS_REVISION: u32 = 1;
+
+/// Magic tag opening every serialised collection.
+const MAGIC: [u8; 4] = *b"PBCL";
+
+/// Canonical file extension of serialised collections.
+pub const FILE_EXTENSION: &str = "pbcol";
+
+// --------------------------------------------------------------------------
+// Errors
+// --------------------------------------------------------------------------
+
+/// Why a collection could not be saved or loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The bytes are not a well-formed collection file (bad magic, failed
+    /// checksum, truncation, or an invalid enum tag).
+    Corrupt(String),
+    /// The file was written by a different codec version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The file was collected under a different configuration.
+    Fingerprint {
+        /// Fingerprint stored in the file.
+        found: u64,
+        /// Fingerprint of the requesting configuration.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(why) => write!(f, "corrupt collection file: {why}"),
+            PersistError::Version { found, expected } => {
+                write!(f, "format version {found} (this build reads {expected})")
+            }
+            PersistError::Fingerprint { found, expected } => write!(
+                f,
+                "stale cache: collected under config {found:016x}, requested {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Fingerprints
+// --------------------------------------------------------------------------
+
+/// 64-bit FNV-1a over a byte slice (also the file checksum primitive).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of everything in a [`CollectionConfig`] that shapes the
+/// collected data. `threads` is deliberately excluded: the engine is
+/// deterministic for any worker count, so parallelism is an execution
+/// detail, not part of the corpus identity.
+pub fn config_fingerprint(config: &CollectionConfig) -> u64 {
+    let canon = format!(
+        "core/v{FORMAT_VERSION}/c{CORPUS_REVISION}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.scale,
+        config.engines,
+        config.counter_mode,
+        config.window,
+        config.arch_features,
+        config.catalog.variants(),
+        // The whole benchmark specs, not just their names: k, seed and
+        // phase structure all shape the probe set and traces.
+        config.benchmarks,
+        config.max_probes,
+        config.partition,
+        config.presumed_bugfree_bug,
+        config.captures,
+    );
+    fnv1a(canon.as_bytes())
+}
+
+/// Fingerprint of a [`MemCollectionConfig`], excluding `threads` for the
+/// same reason as [`config_fingerprint`].
+pub fn mem_config_fingerprint(config: &MemCollectionConfig) -> u64 {
+    let canon = format!(
+        "mem/v{FORMAT_VERSION}/c{CORPUS_REVISION}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.workload,
+        config.step_cycles,
+        config.engines,
+        config.metric,
+        config.counter_mode,
+        config.catalog.variants(),
+        config.max_probes,
+    );
+    fnv1a(canon.as_bytes())
+}
+
+/// The canonical cache file name for a fingerprinted collection:
+/// `<prefix>-<fingerprint hex>.pbcol`. Because the fingerprint is part of
+/// the name, a configuration change maps to a fresh file instead of a
+/// stale-cache error.
+pub fn cache_file_name(prefix: &str, fingerprint: u64) -> String {
+    format!("{prefix}-{fingerprint:016x}.{FILE_EXTENSION}")
+}
+
+// --------------------------------------------------------------------------
+// Primitive codec
+// --------------------------------------------------------------------------
+
+/// Append-only encoder over a growable byte buffer.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn f64s(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    fn opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            None => self.u8(0),
+            Some(i) => {
+                self.u8(1);
+                self.usize(i);
+            }
+        }
+    }
+
+    fn duration(&mut self, d: Duration) {
+        self.u64(d.as_secs());
+        self.u32(d.subsec_nanos());
+    }
+}
+
+/// Cursor-based decoder; every read is bounds-checked so truncated input
+/// surfaces as [`PersistError::Corrupt`] instead of a panic.
+struct Dec<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Dec<'b> {
+    fn new(bytes: &'b [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| PersistError::Corrupt(format!("truncated at byte {}", self.pos)))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("length {v} overflows")))
+    }
+
+    /// A length prefix that is about to drive an allocation; bounded by
+    /// the remaining payload so corrupt lengths cannot exhaust memory.
+    fn len(&mut self) -> Result<usize, PersistError> {
+        let v = self.usize()?;
+        if v > self.bytes.len().saturating_sub(self.pos) {
+            return Err(PersistError::Corrupt(format!(
+                "length {v} exceeds remaining {} bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(PersistError::Corrupt(format!("invalid bool tag {t}"))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, PersistError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt("invalid utf-8 string".into()))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn opt_usize(&mut self) -> Result<Option<usize>, PersistError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.usize()?)),
+            t => Err(PersistError::Corrupt(format!("invalid option tag {t}"))),
+        }
+    }
+
+    fn duration(&mut self) -> Result<Duration, PersistError> {
+        let secs = self.u64()?;
+        let nanos = self.u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(PersistError::Corrupt(format!(
+                "invalid subsecond nanos {nanos}"
+            )));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+// --------------------------------------------------------------------------
+// Domain codec
+// --------------------------------------------------------------------------
+
+/// Stable wire codes for [`Opcode`]; append-only — never renumber.
+const OPCODES: [Opcode; 19] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Xor,
+    Opcode::Logic,
+    Opcode::Shift,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Popcnt,
+    Opcode::FpAdd,
+    Opcode::FpMul,
+    Opcode::FpDiv,
+    Opcode::VecInt,
+    Opcode::VecFp,
+    Opcode::Load,
+    Opcode::Store,
+    Opcode::Branch,
+    Opcode::Jump,
+    Opcode::IndirectBranch,
+    Opcode::Nop,
+];
+
+fn enc_opcode(enc: &mut Enc, op: Opcode) {
+    let code = OPCODES
+        .iter()
+        .position(|&o| o == op)
+        .expect("every opcode has a wire code");
+    enc.u8(code as u8);
+}
+
+fn dec_opcode(dec: &mut Dec) -> Result<Opcode, PersistError> {
+    let code = dec.u8()?;
+    OPCODES
+        .get(usize::from(code))
+        .copied()
+        .ok_or_else(|| PersistError::Corrupt(format!("invalid opcode code {code}")))
+}
+
+fn enc_arch_set(enc: &mut Enc, set: ArchSet) {
+    enc.u8(match set {
+        ArchSet::I => 0,
+        ArchSet::II => 1,
+        ArchSet::III => 2,
+        ArchSet::IV => 3,
+    });
+}
+
+fn dec_arch_set(dec: &mut Dec) -> Result<ArchSet, PersistError> {
+    match dec.u8()? {
+        0 => Ok(ArchSet::I),
+        1 => Ok(ArchSet::II),
+        2 => Ok(ArchSet::III),
+        3 => Ok(ArchSet::IV),
+        t => Err(PersistError::Corrupt(format!("invalid arch set tag {t}"))),
+    }
+}
+
+/// Bug specs are tagged with their paper type id (1–14), then their
+/// parameters in declaration order.
+fn enc_bug(enc: &mut Enc, bug: &BugSpec) {
+    enc.u8(bug.type_id() as u8);
+    match *bug {
+        BugSpec::SerializeOpcode { x }
+        | BugSpec::IssueOnlyIfOldest { x }
+        | BugSpec::IfOldestIssueOnlyX { x } => enc_opcode(enc, x),
+        BugSpec::DelayIfDependsOn { x, y, t } => {
+            enc_opcode(enc, x);
+            enc_opcode(enc, y);
+            enc.u32(t);
+        }
+        BugSpec::IqBelowDelay { n, t }
+        | BugSpec::RobBelowDelay { n, t }
+        | BugSpec::StoresToLineDelay { n, t } => {
+            enc.u32(n);
+            enc.u32(t);
+        }
+        BugSpec::MispredictExtraDelay { t } | BugSpec::L2ExtraLatency { t } => enc.u32(t),
+        BugSpec::WritesToRegDelay { n, t, periodic } => {
+            enc.u32(n);
+            enc.u32(t);
+            enc.bool(periodic);
+        }
+        BugSpec::FewerPhysRegs { n } => enc.u32(n),
+        BugSpec::LongBranchDelay { bytes, t } => {
+            enc.u8(bytes);
+            enc.u32(t);
+        }
+        BugSpec::OpcodeUsesRegDelay { x, r, t } => {
+            enc_opcode(enc, x);
+            enc.u8(r);
+            enc.u32(t);
+        }
+        BugSpec::BtbIndexMask { lost_bits } => enc.u32(lost_bits),
+    }
+}
+
+fn dec_bug(dec: &mut Dec) -> Result<BugSpec, PersistError> {
+    Ok(match dec.u8()? {
+        1 => BugSpec::SerializeOpcode {
+            x: dec_opcode(dec)?,
+        },
+        2 => BugSpec::IssueOnlyIfOldest {
+            x: dec_opcode(dec)?,
+        },
+        3 => BugSpec::IfOldestIssueOnlyX {
+            x: dec_opcode(dec)?,
+        },
+        4 => BugSpec::DelayIfDependsOn {
+            x: dec_opcode(dec)?,
+            y: dec_opcode(dec)?,
+            t: dec.u32()?,
+        },
+        5 => BugSpec::IqBelowDelay {
+            n: dec.u32()?,
+            t: dec.u32()?,
+        },
+        6 => BugSpec::RobBelowDelay {
+            n: dec.u32()?,
+            t: dec.u32()?,
+        },
+        7 => BugSpec::MispredictExtraDelay { t: dec.u32()? },
+        8 => BugSpec::StoresToLineDelay {
+            n: dec.u32()?,
+            t: dec.u32()?,
+        },
+        9 => BugSpec::WritesToRegDelay {
+            n: dec.u32()?,
+            t: dec.u32()?,
+            periodic: dec.bool()?,
+        },
+        10 => BugSpec::L2ExtraLatency { t: dec.u32()? },
+        11 => BugSpec::FewerPhysRegs { n: dec.u32()? },
+        12 => BugSpec::LongBranchDelay {
+            bytes: dec.u8()?,
+            t: dec.u32()?,
+        },
+        13 => BugSpec::OpcodeUsesRegDelay {
+            x: dec_opcode(dec)?,
+            r: dec.u8()?,
+            t: dec.u32()?,
+        },
+        14 => BugSpec::BtbIndexMask {
+            lost_bits: dec.u32()?,
+        },
+        t => return Err(PersistError::Corrupt(format!("invalid bug type tag {t}"))),
+    })
+}
+
+fn enc_collection(enc: &mut Enc, col: &Collection) {
+    enc.usize(col.keys.len());
+    for key in &col.keys {
+        enc.str(&key.arch);
+        enc_arch_set(enc, key.set);
+        enc.opt_usize(key.bug);
+    }
+    enc.usize(col.probes.len());
+    for p in &col.probes {
+        enc.str(&p.id);
+        enc.str(&p.benchmark);
+        enc.f64(p.weight);
+    }
+    enc.usize(col.engines.len());
+    for e in &col.engines {
+        enc.str(&e.name);
+        enc.duration(e.train_time);
+        enc.duration(e.infer_time);
+        enc.usize(e.deltas.len());
+        for row in &e.deltas {
+            enc.f64s(row);
+        }
+    }
+    enc.usize(col.overall_ipc.len());
+    for row in &col.overall_ipc {
+        enc.f64s(row);
+    }
+    enc.usize(col.agg_features.len());
+    for probe_rows in &col.agg_features {
+        enc.usize(probe_rows.len());
+        for row in probe_rows {
+            enc.f64s(row);
+        }
+    }
+    enc.usize(col.captures.len());
+    for c in &col.captures {
+        enc.str(&c.probe_id);
+        enc.str(&c.arch);
+        enc.opt_usize(c.bug);
+        enc.str(&c.engine);
+        enc.f64s(&c.simulated);
+        enc.f64s(&c.inferred);
+    }
+    enc.usize(col.catalog.len());
+    for bug in col.catalog.variants() {
+        enc_bug(enc, bug);
+    }
+}
+
+fn dec_collection(dec: &mut Dec) -> Result<Collection, PersistError> {
+    let n_keys = dec.len()?;
+    let mut keys = Vec::with_capacity(n_keys);
+    for _ in 0..n_keys {
+        keys.push(RunKey {
+            arch: dec.str()?,
+            set: dec_arch_set(dec)?,
+            bug: dec.opt_usize()?,
+        });
+    }
+    let n_probes = dec.len()?;
+    let mut probes = Vec::with_capacity(n_probes);
+    for _ in 0..n_probes {
+        probes.push(ProbeMeta {
+            id: dec.str()?,
+            benchmark: dec.str()?,
+            weight: dec.f64()?,
+        });
+    }
+    let n_engines = dec.len()?;
+    let mut engines = Vec::with_capacity(n_engines);
+    for _ in 0..n_engines {
+        let name = dec.str()?;
+        let train_time = dec.duration()?;
+        let infer_time = dec.duration()?;
+        let n_rows = dec.len()?;
+        let mut deltas = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            deltas.push(dec.f64s()?);
+        }
+        engines.push(EngineResult {
+            name,
+            deltas,
+            train_time,
+            infer_time,
+        });
+    }
+    let n_overall = dec.len()?;
+    let mut overall_ipc = Vec::with_capacity(n_overall);
+    for _ in 0..n_overall {
+        overall_ipc.push(dec.f64s()?);
+    }
+    let n_agg = dec.len()?;
+    let mut agg_features = Vec::with_capacity(n_agg);
+    for _ in 0..n_agg {
+        let n_rows = dec.len()?;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            rows.push(dec.f64s()?);
+        }
+        agg_features.push(rows);
+    }
+    let n_caps = dec.len()?;
+    let mut captures = Vec::with_capacity(n_caps);
+    for _ in 0..n_caps {
+        captures.push(CapturedSeries {
+            probe_id: dec.str()?,
+            arch: dec.str()?,
+            bug: dec.opt_usize()?,
+            engine: dec.str()?,
+            simulated: dec.f64s()?,
+            inferred: dec.f64s()?,
+        });
+    }
+    let n_bugs = dec.len()?;
+    if n_bugs == 0 {
+        return Err(PersistError::Corrupt("empty bug catalogue".into()));
+    }
+    let mut variants = Vec::with_capacity(n_bugs);
+    for _ in 0..n_bugs {
+        variants.push(dec_bug(dec)?);
+    }
+    Ok(Collection {
+        keys,
+        probes,
+        engines,
+        overall_ipc,
+        agg_features,
+        captures,
+        catalog: BugCatalog::new(variants),
+    })
+}
+
+// --------------------------------------------------------------------------
+// File format
+// --------------------------------------------------------------------------
+
+/// Serialises a collection under a config fingerprint.
+///
+/// Layout: `MAGIC | version u32 | fingerprint u64 | payload | fnv64` where
+/// the trailing checksum covers everything before it.
+pub fn encode_collection(col: &Collection, fingerprint: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.buf.extend_from_slice(&MAGIC);
+    enc.u32(FORMAT_VERSION);
+    enc.u64(fingerprint);
+    enc_collection(&mut enc, col);
+    let checksum = fnv1a(&enc.buf);
+    enc.u64(checksum);
+    enc.buf
+}
+
+/// Decodes a serialised collection, validating magic, version, checksum
+/// and the config fingerprint (in that order).
+pub fn decode_collection(bytes: &[u8], expected: u64) -> Result<Collection, PersistError> {
+    // Header (magic + version + fingerprint) and trailing checksum.
+    const HEADER: usize = 4 + 4 + 8;
+    if bytes.len() < HEADER + 8 {
+        return Err(PersistError::Corrupt(format!(
+            "{} bytes is too short for a collection file",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut dec = Dec::new(body);
+    if dec.take(4)? != MAGIC {
+        return Err(PersistError::Corrupt("bad magic".into()));
+    }
+    let version = dec.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let stored_checksum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored_checksum {
+        return Err(PersistError::Corrupt("checksum mismatch".into()));
+    }
+    let fingerprint = dec.u64()?;
+    if fingerprint != expected {
+        return Err(PersistError::Fingerprint {
+            found: fingerprint,
+            expected,
+        });
+    }
+    let col = dec_collection(&mut dec)?;
+    if dec.pos != body.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            body.len() - dec.pos
+        )));
+    }
+    Ok(col)
+}
+
+/// Saves a collection to `path` (atomically: write to a sibling temp file,
+/// then rename), tagged with `fingerprint`.
+pub fn save_collection(
+    path: &Path,
+    col: &Collection,
+    fingerprint: u64,
+) -> Result<(), PersistError> {
+    // Unique per process and call: concurrent savers of the same path must
+    // not clobber each other's in-flight temp file — last rename wins with
+    // a complete file.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let bytes = encode_collection(col, fingerprint);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("{FILE_EXTENSION}.{}-{seq}.tmp", std::process::id()));
+    fs::write(&tmp, &bytes)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Loads a collection from `path`, rejecting version, checksum and
+/// fingerprint mismatches.
+pub fn load_collection(path: &Path, fingerprint: u64) -> Result<Collection, PersistError> {
+    let bytes = fs::read(path)?;
+    decode_collection(&bytes, fingerprint)
+}
+
+/// How [`collect_or_load`] obtained its collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// The cache file existed and was replayed without simulating.
+    Replayed,
+    /// The collection was freshly simulated and saved to the cache file.
+    Collected,
+}
+
+/// Front door for cached core collections: replays `path` when it exists
+/// (validating its fingerprint against `config` — a stale file is an
+/// error, never silently re-collected) and otherwise runs
+/// [`collect`] and saves the result.
+pub fn collect_or_load(
+    path: &Path,
+    config: &CollectionConfig,
+) -> Result<(Collection, CacheStatus), PersistError> {
+    let fingerprint = config_fingerprint(config);
+    // Attempt the load directly rather than probing `exists()` first: a
+    // file pruned between probe and read must fall back to collecting,
+    // not surface as an i/o error.
+    match load_collection(path, fingerprint) {
+        Ok(col) => return Ok((col, CacheStatus::Replayed)),
+        Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let col = collect(config);
+    save_collection(path, &col, fingerprint)?;
+    Ok((col, CacheStatus::Collected))
+}
+
+/// [`collect_or_load`] for the memory experiment.
+pub fn collect_memory_or_load(
+    path: &Path,
+    config: &MemCollectionConfig,
+) -> Result<(Collection, CacheStatus), PersistError> {
+    let fingerprint = mem_config_fingerprint(config);
+    match load_collection(path, fingerprint) {
+        Ok(col) => return Ok((col, CacheStatus::Replayed)),
+        Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let col = collect_memory(config);
+    save_collection(path, &col, fingerprint)?;
+    Ok((col, CacheStatus::Collected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_collection() -> Collection {
+        Collection {
+            keys: vec![
+                RunKey {
+                    arch: "Skylake".into(),
+                    set: ArchSet::IV,
+                    bug: None,
+                },
+                RunKey {
+                    arch: "Skylake".into(),
+                    set: ArchSet::IV,
+                    bug: Some(1),
+                },
+            ],
+            probes: vec![ProbeMeta {
+                id: "458.sjeng#0".into(),
+                benchmark: "458.sjeng".into(),
+                weight: 0.625,
+            }],
+            engines: vec![EngineResult {
+                name: "GBT-250".into(),
+                deltas: vec![vec![0.25, 17.5]],
+                train_time: Duration::new(3, 250_000_000),
+                infer_time: Duration::from_millis(42),
+            }],
+            overall_ipc: vec![vec![1.75, 1.5]],
+            agg_features: vec![vec![vec![0.5, -1.0], vec![0.25, f64::MIN_POSITIVE]]],
+            captures: vec![CapturedSeries {
+                probe_id: "458.sjeng#0".into(),
+                arch: "Skylake".into(),
+                bug: Some(1),
+                engine: "GBT-250".into(),
+                simulated: vec![1.0, 2.0],
+                inferred: vec![1.0, 1.75],
+            }],
+            catalog: BugCatalog::core_small(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let col = sample_collection();
+        let bytes = encode_collection(&col, 7);
+        let back = decode_collection(&bytes, 7).expect("round trip");
+        assert_eq!(back, col);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let col = sample_collection();
+        assert_eq!(encode_collection(&col, 9), encode_collection(&col, 9));
+    }
+
+    #[test]
+    fn full_catalogue_round_trips() {
+        let mut col = sample_collection();
+        col.catalog = BugCatalog::core_full();
+        let bytes = encode_collection(&col, 0);
+        assert_eq!(decode_collection(&bytes, 0).unwrap().catalog, col.catalog);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let bytes = encode_collection(&sample_collection(), 7);
+        match decode_collection(&bytes, 8) {
+            Err(PersistError::Fingerprint {
+                found: 7,
+                expected: 8,
+            }) => {}
+            other => panic!("expected fingerprint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = encode_collection(&sample_collection(), 7);
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        // Re-seal the checksum so only the version differs.
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        match decode_collection(&bytes, 7) {
+            Err(PersistError::Version { found, expected }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let col = sample_collection();
+        let bytes = encode_collection(&col, 7);
+        // Flipping any single byte must fail decoding (magic, version,
+        // checksum or fingerprint mismatch — never a silent wrong read).
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_collection(&bad, 7).is_err(), "byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_collection(&sample_collection(), 7);
+        for n in (0..bytes.len()).step_by(9) {
+            assert!(decode_collection(&bytes[..n], 7).is_err(), "len {n}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = encode_collection(&sample_collection(), 7);
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(decode_collection(&bytes, 7).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_shape() {
+        let base = CollectionConfig::new(
+            vec![crate::stage1::EngineSpec::gbt250()],
+            BugCatalog::core_small(),
+        );
+        let mut other_threads = base.clone();
+        other_threads.threads = base.threads + 3;
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&other_threads)
+        );
+
+        let mut other_window = base.clone();
+        other_window.window = base.window + 1;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&other_window));
+
+        let mut other_probes = base.clone();
+        other_probes.max_probes = Some(3);
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&other_probes));
+    }
+
+    #[test]
+    fn cache_file_name_embeds_fingerprint() {
+        assert_eq!(
+            cache_file_name("fig08", 0xdead_beef),
+            "fig08-00000000deadbeef.pbcol"
+        );
+    }
+}

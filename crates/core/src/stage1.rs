@@ -201,11 +201,14 @@ impl ProbeModel {
         ProbeModel { features, model }
     }
 
-    /// Infers the per-step target for one run.
+    /// Infers the per-step target for one run. Row engines take the whole
+    /// step sequence through [`Regressor::predict_batch`], so engines with
+    /// a linear-algebra forward pass run one blocked kernel call per layer
+    /// instead of a `gemv` per step.
     pub fn infer(&self, run: &RunSeries) -> Vec<f64> {
         let rows = self.features.build(run);
         match &self.model {
-            Trained::Row(m) => rows.iter().map(|r| m.predict_row(r)).collect(),
+            Trained::Row(m) => m.predict_batch(&rows),
             Trained::Seq(m) => m.predict_sequence(&rows),
         }
     }
@@ -220,22 +223,24 @@ impl ProbeModel {
 /// target series — approximately the total absolute error, chosen so that a
 /// large error in a few steps is not averaged away (unlike MSE).
 ///
+/// The trapezoid rule integrates `|actual - inferred|` over the `n - 1`
+/// unit intervals between samples, which half-weights the two endpoints.
+/// A series of fewer than two samples spans zero intervals, so its area is
+/// 0 — the degenerate cases are the limit of the general formula rather
+/// than a special full-weight rule (a 1-sample series used to return the
+/// full `|a - b|`, double the weight the same sample carries as an
+/// endpoint of any longer series).
+///
 /// # Panics
 ///
 /// Panics if the series lengths differ.
 pub fn inference_error(actual: &[f64], inferred: &[f64]) -> f64 {
     assert_eq!(actual.len(), inferred.len(), "series must align");
-    match actual.len() {
-        0 => 0.0,
-        1 => (actual[0] - inferred[0]).abs(),
-        _ => {
-            let mut sum = 0.0;
-            for j in 1..actual.len() {
-                sum += (actual[j] - inferred[j]).abs() + (actual[j - 1] - inferred[j - 1]).abs();
-            }
-            sum / 2.0
-        }
+    let mut sum = 0.0;
+    for j in 1..actual.len() {
+        sum += (actual[j] - inferred[j]).abs() + (actual[j - 1] - inferred[j - 1]).abs();
     }
+    sum / 2.0
 }
 
 #[cfg(test)]
@@ -269,7 +274,20 @@ mod tests {
     #[test]
     fn eq1_degenerate_lengths() {
         assert_eq!(inference_error(&[], &[]), 0.0);
-        assert_eq!(inference_error(&[2.0], &[3.0]), 1.0);
+        // One sample spans zero trapezoid intervals: zero area, matching
+        // the n >= 2 formula's endpoint weighting as the series shrinks.
+        assert_eq!(inference_error(&[2.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    fn eq1_single_sample_is_trapezoid_limit() {
+        // A 2-sample series with equal per-step error |e| integrates to
+        // exactly |e| (each endpoint contributes |e|/2); removing one
+        // interval removes the whole area. The n = 1 case must therefore
+        // sit on the same formula (0 intervals -> 0), not re-weight the
+        // lone sample at full |e|.
+        assert_eq!(inference_error(&[1.0, 1.0], &[3.0, 3.0]), 2.0);
+        assert_eq!(inference_error(&[1.0], &[3.0]), 0.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! L1-regularised linear regression (Lasso) via cyclic coordinate descent.
 
 use crate::dataset::Dataset;
-use crate::matrix::Matrix;
+use crate::matrix::{dot, gemv, Matrix};
 use crate::scaler::StandardScaler;
 use crate::Regressor;
 
@@ -135,11 +135,35 @@ impl Regressor for Lasso {
             .expect("Lasso::predict_row called before fit");
         let z = scaler.transform_row(x);
         assert_eq!(z.len(), self.weights.len(), "feature count mismatch");
-        self.intercept + z.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
+        // Same `dot` kernel as the batched path, so both orders of
+        // summation are identical.
+        self.intercept + dot(&z, &self.weights)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Batched inference: one blocked [`gemv`] over the scaled row block
+    /// instead of a dot product per row.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("Lasso::predict_batch called before fit");
+        let d = self.weights.len();
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            let start = flat.len();
+            flat.extend_from_slice(r);
+            scaler.transform_row_in_place(&mut flat[start..]);
+        }
+        let mut y = vec![0.0; rows.len()];
+        gemv(&flat, rows.len(), d, &self.weights, &mut y);
+        for v in &mut y {
+            *v += self.intercept;
+        }
+        y
     }
 }
 
@@ -198,6 +222,19 @@ mod tests {
         weak.fit(&data, None);
         strong.fit(&data, None);
         assert!(strong.n_active() <= weak.n_active());
+    }
+
+    #[test]
+    fn batched_inference_matches_scalar_path() {
+        let data = linear_data(100);
+        let mut m = Lasso::new(LassoParams::default());
+        m.fit(&data, None);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i as f64 * 0.31).sin() * 4.0, (i as f64 * 0.17).cos(), 1.0])
+            .collect();
+        let batched = m.predict_batch(&rows);
+        let scalar: Vec<f64> = rows.iter().map(|r| m.predict_row(r)).collect();
+        assert_eq!(batched, scalar);
     }
 
     #[test]

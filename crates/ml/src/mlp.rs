@@ -359,6 +359,32 @@ impl Regressor for Mlp {
         let z = scaler.transform_row(x);
         self.forward_row(&z)
     }
+
+    /// Batched inference: scale the rows into one flat buffer and run the
+    /// same chunked `X · Wᵀ` matmul forward pass training uses, instead of
+    /// one `gemv` per row.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("Mlp::predict_batch called before fit");
+        let n_in = self.sizes[0];
+        let mut scratch = MlpScratch::for_sizes(&self.sizes);
+        let mut preds = Vec::with_capacity(rows.len());
+        for chunk in rows.chunks(EVAL_CHUNK) {
+            let input = &mut scratch.acts[0];
+            input.clear();
+            input.reserve(chunk.len() * n_in);
+            for r in chunk {
+                let start = input.len();
+                input.extend_from_slice(r);
+                scaler.transform_row_in_place(&mut input[start..]);
+            }
+            self.forward_batch(chunk.len(), &mut scratch);
+            preds.extend_from_slice(&self.acts_output(&scratch)[..chunk.len()]);
+        }
+        preds
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +434,27 @@ mod tests {
         // Validation error should be finite and reasonable after restore.
         let preds = m.predict(val.x());
         assert!(mse(&preds, val.y()).is_finite());
+    }
+
+    #[test]
+    fn batched_inference_matches_scalar_path() {
+        let data = nonlinear_data(80);
+        let mut m = Mlp::new(MlpParams {
+            hidden: vec![24, 8],
+            max_epochs: 60,
+            ..MlpParams::default()
+        });
+        m.fit(&data, None);
+        // More rows than one EVAL_CHUNK so the chunking seam is exercised.
+        let rows: Vec<Vec<f64>> = (0..(EVAL_CHUNK + 37))
+            .map(|i| {
+                let t = i as f64 * 0.013 - 1.7;
+                vec![t, t * t]
+            })
+            .collect();
+        let batched = m.predict_batch(&rows);
+        let scalar: Vec<f64> = rows.iter().map(|r| m.predict_row(r)).collect();
+        assert_eq!(batched, scalar);
     }
 
     #[test]

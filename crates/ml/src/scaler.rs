@@ -4,13 +4,18 @@ use crate::matrix::Matrix;
 
 /// Per-feature z-score scaler (`(x - mean) / std`).
 ///
-/// Features with zero variance are passed through centred only, so constant
-/// columns (e.g. microarchitecture design parameters that do not vary within
-/// a training set) do not produce NaNs.
+/// Features with zero variance (e.g. microarchitecture design parameters
+/// that do not vary within a training set) carry no signal, so they are
+/// mapped to exactly `0.0` — for training *and* unseen data. The previous
+/// behaviour of dividing by a clamped std passed `x - mean` through for
+/// unseen values, which is numerically harmless on the training set (where
+/// it is ~0 up to rounding) but leaks an unstandardised raw offset at
+/// inference time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StandardScaler {
     means: Vec<f64>,
     stds: Vec<f64>,
+    constant: Vec<bool>,
 }
 
 impl StandardScaler {
@@ -38,18 +43,18 @@ impl StandardScaler {
                 *var += d * d;
             }
         }
-        let stds = vars
-            .into_iter()
-            .map(|v| {
-                let s = (v / n).sqrt();
-                if s > 1e-12 {
-                    s
-                } else {
-                    1.0
-                }
-            })
+        let raw: Vec<f64> = vars.into_iter().map(|v| (v / n).sqrt()).collect();
+        let constant: Vec<bool> = raw.iter().map(|&s| s <= 1e-12).collect();
+        let stds = raw
+            .iter()
+            .zip(&constant)
+            .map(|(&s, &c)| if c { 1.0 } else { s })
             .collect();
-        StandardScaler { means, stds }
+        StandardScaler {
+            means,
+            stds,
+            constant,
+        }
     }
 
     /// Transforms a matrix into standardised space.
@@ -73,8 +78,12 @@ impl StandardScaler {
     /// Panics if `row.len()` differs from the fitted feature count.
     pub fn transform_row_in_place(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.means.len(), "feature count mismatch");
-        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
-            *v = (*v - m) / s;
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = if self.constant[j] {
+                0.0
+            } else {
+                (*v - self.means[j]) / self.stds[j]
+            };
         }
     }
 
@@ -98,6 +107,12 @@ impl StandardScaler {
     pub fn stds(&self) -> &[f64] {
         &self.stds
     }
+
+    /// Per-feature constant-column mask (true where the training data had
+    /// zero variance; those features transform to exactly 0.0).
+    pub fn constant(&self) -> &[bool] {
+        &self.constant
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +128,21 @@ mod tests {
         assert!(mean0.abs() < 1e-12);
         // Constant column survives without NaN.
         assert!(t.column(1).iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn constant_columns_map_to_exactly_zero() {
+        // Column 1 is constant in training; column 0 varies.
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]]).unwrap();
+        let scaler = StandardScaler::fit(&x);
+        assert_eq!(scaler.constant(), &[false, true]);
+        // Unseen data with a *different* value in the constant column must
+        // still map to exactly 0.0, not to the raw offset (99 - 10).
+        let t = scaler.transform_row(&[3.0, 99.0]);
+        assert_eq!(t[1], 0.0);
+        // Round trip of the varying column: v * std + mean recovers the
+        // input exactly for values representable without rounding.
+        assert_eq!(t[0] * scaler.stds()[0] + scaler.means()[0], 3.0);
     }
 
     #[test]

@@ -32,8 +32,11 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `points` is empty, `k` is zero, or points have inconsistent
-/// dimensions.
+/// Panics if `points` is empty, `k` is zero, points have inconsistent
+/// dimensions, or any coordinate is non-finite. NaN coordinates would make
+/// distance comparisons order-dependent (a NaN distance compares `Equal`
+/// to everything under a total-order fallback), silently breaking the
+/// cross-worker determinism guarantee — they are rejected up front.
 pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmeans {
     assert!(!points.is_empty(), "cannot cluster zero points");
     assert!(k > 0, "k must be positive");
@@ -41,6 +44,10 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmea
     assert!(
         points.iter().all(|p| p.len() == dim),
         "inconsistent point dimensions"
+    );
+    assert!(
+        points.iter().all(|p| p.iter().all(|v| v.is_finite())),
+        "kmeans requires finite point coordinates"
     );
     let k = k.min(points.len());
     let mut rng = SmallRng::seed_from_u64(seed ^ SEED_SALT);
@@ -108,11 +115,14 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmea
             }
         }
         let farthest = || -> usize {
+            // Distances are never NaN (coordinates are asserted finite, and
+            // squared distances only grow to +inf), so total_cmp is a true
+            // order here rather than an arbitrary tie-break.
             points
                 .iter()
                 .enumerate()
                 .map(|(i, p)| (i, sq_dist(p, &centroids[assignments[i]])))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(i, _)| i)
                 .expect("points nonempty")
         };
@@ -192,6 +202,22 @@ mod tests {
                 assert!(my_d <= sq_dist(p, c) + 1e-12);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite point coordinates")]
+    fn nan_coordinates_are_rejected() {
+        let pts = vec![vec![0.0, 1.0], vec![f64::NAN, 2.0], vec![3.0, 4.0]];
+        kmeans(&pts, 2, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite point coordinates")]
+    fn infinite_coordinates_are_rejected() {
+        // inf - inf inside sq_dist would manufacture a NaN distance even
+        // though no input coordinate is NaN.
+        let pts = vec![vec![f64::INFINITY], vec![1.0]];
+        kmeans(&pts, 2, 0, 10);
     }
 
     #[test]

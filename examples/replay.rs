@@ -1,0 +1,123 @@
+//! Collection persistence and evaluation-only replay.
+//!
+//! Collects a small corpus once, saves it with `collect_or_load`, then
+//! replays it from disk and re-runs the (cheap) evaluation phase — the
+//! workflow behind the paper's Figs. 8–13 / Tables IV–VII, where one
+//! simulated corpus feeds many models and thresholds.
+//!
+//! This example is also the CI replay guard: it exits non-zero if the
+//! replay path performed any simulation, if the replayed collection is not
+//! identical to the freshly collected one, or if a stale-config cache is
+//! not rejected.
+//!
+//! ```sh
+//! cargo run --release --example replay [cache-dir]
+//! ```
+
+use std::time::Instant;
+
+use perfbug_core::bugs::BugCatalog;
+use perfbug_core::exec;
+use perfbug_core::experiment::{evaluate_two_stage, CollectionConfig, ProbeScale};
+use perfbug_core::persist::{
+    cache_file_name, collect_or_load, config_fingerprint, load_collection, CacheStatus,
+    PersistError,
+};
+use perfbug_core::stage1::EngineSpec;
+use perfbug_core::stage2::Stage2Params;
+use perfbug_ml::GbtParams;
+use perfbug_uarch::BugSpec;
+use perfbug_workloads::{benchmark, Opcode};
+
+fn demo_config() -> CollectionConfig {
+    let catalog = BugCatalog::new(vec![
+        BugSpec::SerializeOpcode { x: Opcode::Logic },
+        BugSpec::L2ExtraLatency { t: 30 },
+        BugSpec::MispredictExtraDelay { t: 25 },
+    ]);
+    let mut config = CollectionConfig::new(
+        vec![EngineSpec::Gbt(GbtParams {
+            n_trees: 40,
+            ..GbtParams::default()
+        })],
+        catalog,
+    );
+    config.scale = ProbeScale::tiny();
+    config.benchmarks = vec![
+        benchmark("458.sjeng").expect("suite benchmark"),
+        benchmark("462.libquantum").expect("suite benchmark"),
+    ];
+    config.max_probes = Some(6);
+    config
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("perfbug-replay-{}", std::process::id()))
+        });
+    std::fs::create_dir_all(&dir).expect("cache dir");
+
+    let config = demo_config();
+    let fingerprint = config_fingerprint(&config);
+    let path = dir.join(cache_file_name("replay-demo", fingerprint));
+    let _ = std::fs::remove_file(&path);
+
+    // Cold pass: simulate, train, save.
+    println!("cold pass: collecting into {} ...", path.display());
+    let t0 = Instant::now();
+    let (cold, status) = collect_or_load(&path, &config).expect("cold collect");
+    let cold_time = t0.elapsed();
+    assert_eq!(status, CacheStatus::Collected);
+    println!(
+        "  collected {} probes x {} runs in {cold_time:.2?}",
+        cold.probes.len(),
+        cold.keys.len()
+    );
+
+    // Warm pass: replay from disk. The simulation counter must not move —
+    // an evaluation-only rerun never touches the simulator.
+    let sims_before = exec::simulations_run();
+    let t1 = Instant::now();
+    let (warm, status) = collect_or_load(&path, &config).expect("replay");
+    let warm_time = t1.elapsed();
+    assert_eq!(status, CacheStatus::Replayed);
+    let resimulated = exec::simulations_run() - sims_before;
+    println!("  replayed in {warm_time:.2?} (cold pass took {cold_time:.2?})");
+    if resimulated != 0 {
+        eprintln!("REPLAY GUARD FAILED: replay re-simulated {resimulated} runs");
+        std::process::exit(1);
+    }
+    if warm != cold {
+        eprintln!("REPLAY GUARD FAILED: replayed collection differs from the collected one");
+        std::process::exit(1);
+    }
+    println!("  replay ran 0 simulations and round-tripped identically");
+
+    // Evaluation-only phase on the replayed corpus.
+    let eval = evaluate_two_stage(&warm, 0, Stage2Params::default());
+    println!(
+        "  evaluation from replay: TPR {:.2}  FPR {:.2}  ROC AUC {:.2}",
+        eval.metrics.tpr, eval.metrics.fpr, eval.metrics.roc_auc
+    );
+
+    // A cache collected under a different configuration must be rejected,
+    // not silently reused.
+    let mut stale = config.clone();
+    stale.window = 2;
+    match load_collection(&path, config_fingerprint(&stale)) {
+        Err(PersistError::Fingerprint { .. }) => {
+            println!("  stale-config load correctly rejected (fingerprint mismatch)");
+        }
+        other => {
+            eprintln!("REPLAY GUARD FAILED: stale cache not rejected: {other:?}");
+            std::process::exit(1);
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+    println!("replay guard passed");
+}
