@@ -1,0 +1,379 @@
+//! `pbcol` — offline maintenance CLI for `.pbcol` collection cache files.
+//!
+//! The collection cache (`PERFBUG_CACHE_DIR`, written by the bench
+//! targets through `perfbug_core::persist`) accumulates full and shard
+//! files across configurations and code revisions; this tool inspects,
+//! verifies, merges and prunes them without ever touching the simulator.
+//!
+//! ```text
+//! pbcol inspect <file>...            dump header + payload shapes
+//! pbcol verify  <file-or-dir>...     checksum + shard-coverage validation
+//! pbcol merge   -o <out> <file>...   merge a shard set into one full file
+//! pbcol prune   <dir> [--dry-run]    evict stale cache files
+//! ```
+//!
+//! The on-disk format is specified byte-by-byte in `docs/FORMAT.md`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use perfbug_core::experiment::Collection;
+use perfbug_core::persist::{
+    decode_collection_with, merge_collections, parse_cache_file_name, read_header,
+    save_collection_with, FileHeader, PersistError, CORPUS_REVISION, FILE_EXTENSION,
+    FORMAT_VERSION,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "inspect" => inspect(rest),
+        "verify" => verify(rest),
+        "merge" => merge(rest),
+        "prune" => prune(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pbcol: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pbcol — perfbug collection cache maintenance
+
+USAGE:
+    pbcol inspect <file>...            dump header + payload shapes
+    pbcol verify  <file-or-dir>...     checksum + shard-coverage validation
+    pbcol merge   -o <out> <file>...   merge a shard set into one full file
+    pbcol prune   <dir> [--dry-run]    evict stale cache files
+
+The on-disk format is documented in docs/FORMAT.md.";
+
+/// All `.pbcol` files under `path` (or `path` itself when it is a file),
+/// sorted for deterministic output.
+fn pbcol_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read directory {}: {e}", path.display()))?;
+        let mut files = Vec::new();
+        for entry in entries {
+            let p = entry.map_err(|e| e.to_string())?.path();
+            if p.extension().and_then(|e| e.to_str()) == Some(FILE_EXTENSION) {
+                files.push(p);
+            }
+        }
+        files.sort();
+        Ok(files)
+    } else {
+        Ok(vec![path.to_path_buf()])
+    }
+}
+
+fn read_bytes(path: &Path) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+fn print_header(header: &FileHeader) {
+    println!("  format version:  {FORMAT_VERSION}");
+    println!(
+        "  corpus revision: {}{}",
+        header.corpus_revision,
+        if header.corpus_revision == CORPUS_REVISION {
+            ""
+        } else {
+            "  (stale: this build collects under a different revision)"
+        }
+    );
+    println!("  experiment kind: {}", header.kind);
+    println!("  fingerprint:     {:016x}", header.fingerprint);
+    println!("  coverage:        {}", header.manifest);
+}
+
+fn print_shapes(col: &Collection) {
+    println!(
+        "  payload:         {} probes x {} run keys, {} engines, {} captures, {} bug variants",
+        col.probes.len(),
+        col.keys.len(),
+        col.engines.len(),
+        col.captures.len(),
+        col.catalog.len()
+    );
+    for engine in &col.engines {
+        println!(
+            "    engine {:<12} deltas {}x{}  train {:.2?}  infer {:.2?}",
+            engine.name,
+            engine.deltas.len(),
+            engine.deltas.first().map_or(0, Vec::len),
+            engine.train_time,
+            engine.infer_time
+        );
+    }
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("inspect needs at least one file".into());
+    }
+    let mut failed = false;
+    for arg in args {
+        let path = Path::new(arg);
+        println!("{}:", path.display());
+        let bytes = read_bytes(path)?;
+        let header = match read_header(&bytes) {
+            Ok(h) => h,
+            Err(e) => {
+                println!("  unreadable header: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        print_header(&header);
+        match decode_collection_with(&bytes, None) {
+            Ok((col, _)) => print_shapes(&col),
+            Err(e) => {
+                println!("  payload:         INVALID ({e})");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        Err("one or more files were unreadable".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// Key grouping the shard files of one collection pass.
+type PassKey = (String, u64);
+
+fn verify(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("verify needs at least one file or directory".into());
+    }
+    let mut files = Vec::new();
+    for arg in args {
+        files.extend(pbcol_files(Path::new(arg))?);
+    }
+    if files.is_empty() {
+        return Err("no .pbcol files found".into());
+    }
+    let mut errors = 0usize;
+    let mut shard_groups: BTreeMap<PassKey, Vec<(PathBuf, Collection, FileHeader)>> =
+        BTreeMap::new();
+    for path in &files {
+        let bytes = read_bytes(path)?;
+        let (col, header) = match decode_collection_with(&bytes, None) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                println!("FAIL {}: {e}", path.display());
+                errors += 1;
+                continue;
+            }
+        };
+        // The name must agree with the header — a renamed or hand-copied
+        // file would otherwise serve the wrong configuration or shard.
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            if let Some(parsed) = parse_cache_file_name(name) {
+                let name_shard = parsed.shard;
+                let header_shard = (!header.manifest.is_full())
+                    .then_some((header.manifest.index, header.manifest.count));
+                if parsed.fingerprint != header.fingerprint
+                    || parsed.kind != header.kind
+                    || name_shard != header_shard
+                {
+                    println!(
+                        "FAIL {}: file name says {} {:016x} shard {:?}, header says {} {:016x} {}",
+                        path.display(),
+                        parsed.kind,
+                        parsed.fingerprint,
+                        name_shard,
+                        header.kind,
+                        header.fingerprint,
+                        header.manifest
+                    );
+                    errors += 1;
+                    continue;
+                }
+            }
+        }
+        if header.manifest.is_full() {
+            println!("ok   {}: full, {}", path.display(), header.manifest);
+        } else {
+            println!("ok   {}: {}", path.display(), header.manifest);
+            shard_groups
+                .entry((header.kind.to_string(), header.fingerprint))
+                .or_default()
+                .push((path.clone(), col, header));
+        }
+    }
+    // Shard sets must at least be mergeable-or-still-incomplete; overlaps
+    // and partition mismatches are hard failures, missing shards a note.
+    for ((kind, fingerprint), group) in shard_groups {
+        let expected = group[0].2.manifest.count as usize;
+        let parts: Vec<_> = group.iter().map(|(_, c, h)| (c.clone(), *h)).collect();
+        if group.len() < expected {
+            let mut have: Vec<u32> = group.iter().map(|(_, _, h)| h.manifest.index).collect();
+            have.sort_unstable();
+            println!(
+                "note {kind} {fingerprint:016x}: {}/{expected} shards present (have {have:?}) — \
+                 corpus not yet assemblable",
+                group.len()
+            );
+            continue;
+        }
+        match merge_collections(parts) {
+            Ok((col, _)) => println!(
+                "ok   {kind} {fingerprint:016x}: {expected} shards merge into {} probes",
+                col.probes.len()
+            ),
+            Err(e) => {
+                println!("FAIL {kind} {fingerprint:016x}: shard set does not merge: {e}");
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        Err(format!("{errors} file(s)/shard set(s) failed verification"))
+    } else {
+        Ok(())
+    }
+}
+
+fn merge(args: &[String]) -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => {
+                let value = it.next().ok_or("-o needs a path")?;
+                out = Some(PathBuf::from(value));
+            }
+            _ => inputs.push(PathBuf::from(arg)),
+        }
+    }
+    let out = out.ok_or("merge needs -o <out-file>")?;
+    if inputs.len() < 2 {
+        return Err("merge needs at least two shard files".into());
+    }
+    let mut parts = Vec::new();
+    for path in &inputs {
+        let bytes = read_bytes(path)?;
+        let (col, header) =
+            decode_collection_with(&bytes, None).map_err(|e| format!("{}: {e}", path.display()))?;
+        parts.push((col, header));
+    }
+    let (merged, header) = merge_collections(parts).map_err(|e| e.to_string())?;
+    save_collection_with(&out, &merged, &header)
+        .map_err(|e| format!("saving {}: {e}", out.display()))?;
+    println!(
+        "merged {} shards into {} ({} probes x {} run keys, fingerprint {:016x})",
+        inputs.len(),
+        out.display(),
+        merged.probes.len(),
+        merged.keys.len(),
+        header.fingerprint
+    );
+    Ok(())
+}
+
+/// Why `prune` evicts a file; `None` means the file is kept.
+fn stale_reason(path: &Path, bytes: &[u8]) -> Option<String> {
+    let header = match read_header(bytes) {
+        Ok(h) => h,
+        Err(PersistError::Version { found, expected }) => {
+            return Some(format!(
+                "format version {found} (this build reads {expected})"
+            ));
+        }
+        Err(e) => return Some(format!("unreadable header: {e}")),
+    };
+    if header.corpus_revision != CORPUS_REVISION {
+        return Some(format!(
+            "corpus revision {} (this build collects under {CORPUS_REVISION})",
+            header.corpus_revision
+        ));
+    }
+    if let Err(e) = decode_collection_with(bytes, None) {
+        return Some(format!("corrupt payload: {e}"));
+    }
+    if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+        if let Some(parsed) = parse_cache_file_name(name) {
+            if parsed.fingerprint != header.fingerprint || parsed.kind != header.kind {
+                return Some(format!(
+                    "stale fingerprint: name says {} {:016x}, header says {} {:016x}",
+                    parsed.kind, parsed.fingerprint, header.kind, header.fingerprint
+                ));
+            }
+            let header_shard = (!header.manifest.is_full())
+                .then_some((header.manifest.index, header.manifest.count));
+            if parsed.shard != header_shard {
+                return Some(format!(
+                    "stale shard name: name says shard {:?}, header says {}",
+                    parsed.shard, header.manifest
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn prune(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut dry_run = false;
+    for arg in args {
+        match arg.as_str() {
+            "--dry-run" | "-n" => dry_run = true,
+            _ if dir.is_none() => dir = Some(PathBuf::from(arg)),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let dir = dir.ok_or("prune needs a cache directory")?;
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let mut kept = 0usize;
+    let mut evicted = 0usize;
+    for path in pbcol_files(&dir)? {
+        let bytes = read_bytes(&path)?;
+        match stale_reason(&path, &bytes) {
+            None => kept += 1,
+            Some(reason) => {
+                evicted += 1;
+                if dry_run {
+                    println!("would evict {}: {reason}", path.display());
+                } else {
+                    std::fs::remove_file(&path)
+                        .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+                    println!("evicted {}: {reason}", path.display());
+                }
+            }
+        }
+    }
+    println!(
+        "{} file(s) kept, {} {}",
+        kept,
+        evicted,
+        if dry_run {
+            "would be evicted"
+        } else {
+            "evicted"
+        }
+    );
+    Ok(())
+}

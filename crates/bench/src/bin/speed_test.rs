@@ -91,12 +91,18 @@ fn timed_collect(threads: usize) -> (usize, f64) {
 /// Measures cold collect+save against an evaluation-only replay of the
 /// persisted collection, and proves the replay ran zero simulations.
 fn replay_throughput() {
-    use perfbug_core::persist::{cache_file_name, collect_or_load, config_fingerprint};
+    use perfbug_core::persist::{
+        cache_file_name, collect_or_load, config_fingerprint, ExperimentKind,
+    };
 
     let config = tiny_collect_config(exec::default_threads());
     let dir = std::env::temp_dir().join(format!("perfbug-speedtest-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp cache dir");
-    let path = dir.join(cache_file_name("speed-test", config_fingerprint(&config)));
+    let path = dir.join(cache_file_name(
+        "speed-test",
+        ExperimentKind::Core,
+        config_fingerprint(&config),
+    ));
     let _ = std::fs::remove_file(&path);
 
     println!();

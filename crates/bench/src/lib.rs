@@ -17,17 +17,31 @@
 //! Collection (simulate + train stage 1) dominates every target's runtime;
 //! evaluation is cheap. When `PERFBUG_CACHE_DIR` is set, [`collect_cached`]
 //! / [`collect_memory_cached`] persist each collection to
-//! `<dir>/<target>-<config fingerprint>.pbcol` and later invocations replay
-//! it from disk without invoking the simulator. The fingerprint is part of
-//! the file name, so changing the scale or configuration collects into a
-//! fresh file instead of tripping the stale-cache rejection.
+//! `<dir>/<target>-<kind>-<config fingerprint>.pbcol` and later
+//! invocations replay it from disk without invoking the simulator. The
+//! experiment kind and the fingerprint are part of the file name, so
+//! changing the scale or configuration collects into a fresh file instead
+//! of tripping the stale-cache rejection, and core and memory experiments
+//! never collide in a shared cache directory.
+//!
+//! # Sharded collection
+//!
+//! Setting `PERFBUG_SHARD=<index>/<count>` turns a bench target into one
+//! shard worker of a `count`-process collection pass: it collects only its
+//! probe range, saves the shard file beside the full cache file, and then
+//! either assembles the full corpus (when every shard is on disk) and
+//! continues, or exits cleanly so the remaining shards can be run —
+//! possibly on other hosts sharing the cache directory. `pbcol merge` /
+//! `pbcol verify` (in `src/bin/pbcol.rs`) are the matching offline cache
+//! tools. See the README walkthrough and `docs/FORMAT.md`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use perfbug_core::bugs::BugCatalog;
+use perfbug_core::exec::ShardSpec;
 use perfbug_core::experiment::{collect, Collection, CollectionConfig, ProbeScale};
 use perfbug_core::memory::{collect_memory, MemCollectionConfig};
-use perfbug_core::persist::{self, CacheStatus};
+use perfbug_core::persist::{self, CacheStatus, ExperimentKind, PersistError};
 use perfbug_core::stage1::EngineSpec;
 use perfbug_ml::{CnnParams, GbtParams, LassoParams, LstmParams, MlpParams};
 
@@ -97,27 +111,105 @@ pub fn cache_dir() -> Option<PathBuf> {
     std::env::var_os("PERFBUG_CACHE_DIR").map(PathBuf::from)
 }
 
-fn cache_path(dir: &PathBuf, name: &str, fingerprint: u64) -> PathBuf {
-    std::fs::create_dir_all(dir)
-        .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
-    dir.join(persist::cache_file_name(name, fingerprint))
+/// Parses `PERFBUG_SHARD` (`<index>/<count>`, e.g. `0/4`). `None` when
+/// unset; a malformed value panics rather than silently collecting the
+/// full grid.
+pub fn shard_from_env() -> Option<ShardSpec> {
+    let raw = std::env::var("PERFBUG_SHARD").ok()?;
+    let parsed = raw
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.trim().parse().ok()?, n.trim().parse().ok()?)));
+    let (index, count) = parsed
+        .unwrap_or_else(|| panic!("PERFBUG_SHARD must be <index>/<count> (e.g. 0/4), got {raw:?}"));
+    Some(ShardSpec::new(index, count))
 }
 
-fn report(status: CacheStatus, path: &std::path::Path) {
+fn cache_path(dir: &PathBuf, name: &str, kind: ExperimentKind, fingerprint: u64) -> PathBuf {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
+    dir.join(persist::cache_file_name(name, kind, fingerprint))
+}
+
+fn report(status: CacheStatus, path: &Path) {
     match status {
         CacheStatus::Replayed => println!("  [cache] replayed {}", path.display()),
+        CacheStatus::Assembled => {
+            println!(
+                "  [cache] assembled from shard files into {}",
+                path.display()
+            )
+        }
         CacheStatus::Collected => println!("  [cache] collected and saved {}", path.display()),
+    }
+}
+
+/// One shard worker's turn: collect (or replay) this process's shard file,
+/// then either assemble the full corpus from the shards on disk or exit
+/// cleanly, telling the operator which shards are still missing. Exiting
+/// (rather than returning a partial corpus) keeps every bench target's
+/// evaluation phase oblivious to sharding.
+fn run_shard_worker(
+    dir: &Path,
+    name: &str,
+    kind: ExperimentKind,
+    fingerprint: u64,
+    shard: ShardSpec,
+    collect_shard: impl FnOnce(&Path) -> Result<(Collection, CacheStatus), PersistError>,
+) -> Collection {
+    let shard_path = dir.join(persist::shard_file_name(
+        name,
+        kind,
+        fingerprint,
+        shard.index,
+        shard.count,
+    ));
+    let (_, status) = collect_shard(&shard_path)
+        .unwrap_or_else(|e| panic!("shard cache {}: {e}", shard_path.display()));
+    match status {
+        CacheStatus::Replayed => println!("  [shard] replayed {}", shard_path.display()),
+        _ => println!("  [shard] collected and saved {}", shard_path.display()),
+    }
+    let full = dir.join(persist::cache_file_name(name, kind, fingerprint));
+    match persist::load_or_assemble(&full, kind, fingerprint) {
+        Ok(Some((col, status))) => {
+            report(status, &full);
+            col
+        }
+        Ok(None) => {
+            println!(
+                "  [shard] {}/{} done; corpus incomplete — run the remaining shards \
+                 (PERFBUG_SHARD=<i>/{}), then re-run any target to assemble \
+                 (or run `pbcol merge`)",
+                shard.index, shard.count, shard.count
+            );
+            std::process::exit(0);
+        }
+        Err(e) => panic!("assembling corpus {}: {e}", full.display()),
     }
 }
 
 /// Runs (or replays) a core collection. With `PERFBUG_CACHE_DIR` unset
 /// this is plain [`collect`]; with it set, the collection persists under
-/// `name` and subsequent runs replay it without simulating.
+/// `name` and subsequent runs replay it without simulating. With
+/// `PERFBUG_SHARD=<i>/<n>` also set, this process becomes shard worker
+/// `i` of `n` (see the module docs).
 pub fn collect_cached(name: &str, config: &CollectionConfig) -> Collection {
     let Some(dir) = cache_dir() else {
+        assert!(
+            shard_from_env().is_none(),
+            "PERFBUG_SHARD requires PERFBUG_CACHE_DIR (shards live in the cache directory)"
+        );
         return collect(config);
     };
-    let path = cache_path(&dir, name, persist::config_fingerprint(config));
+    let fingerprint = persist::config_fingerprint(config);
+    if let Some(shard) = shard_from_env() {
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
+        return run_shard_worker(&dir, name, ExperimentKind::Core, fingerprint, shard, |p| {
+            persist::collect_shard_or_load(p, config, shard)
+        });
+    }
+    let path = cache_path(&dir, name, ExperimentKind::Core, fingerprint);
     let (col, status) = persist::collect_or_load(&path, config)
         .unwrap_or_else(|e| panic!("collection cache {}: {e}", path.display()));
     report(status, &path);
@@ -127,9 +219,26 @@ pub fn collect_cached(name: &str, config: &CollectionConfig) -> Collection {
 /// [`collect_cached`] for the memory experiment.
 pub fn collect_memory_cached(name: &str, config: &MemCollectionConfig) -> Collection {
     let Some(dir) = cache_dir() else {
+        assert!(
+            shard_from_env().is_none(),
+            "PERFBUG_SHARD requires PERFBUG_CACHE_DIR (shards live in the cache directory)"
+        );
         return collect_memory(config);
     };
-    let path = cache_path(&dir, name, persist::mem_config_fingerprint(config));
+    let fingerprint = persist::mem_config_fingerprint(config);
+    if let Some(shard) = shard_from_env() {
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
+        return run_shard_worker(
+            &dir,
+            name,
+            ExperimentKind::Memory,
+            fingerprint,
+            shard,
+            |p| persist::collect_memory_shard_or_load(p, config, shard),
+        );
+    }
+    let path = cache_path(&dir, name, ExperimentKind::Memory, fingerprint);
     let (col, status) = persist::collect_memory_or_load(&path, config)
         .unwrap_or_else(|e| panic!("collection cache {}: {e}", path.display()));
     report(status, &path);

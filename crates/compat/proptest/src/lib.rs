@@ -189,7 +189,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification accepted by [`vec`].
+    /// Length specification accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

@@ -23,7 +23,13 @@
 //!   a (probe × unit) simulation grid. The core and memory experiments
 //!   used to each carry their own copy of this pipeline (~120 structurally
 //!   identical lines); both now parameterise this single driver with their
-//!   trace builder, simulator and counter-selection policy.
+//!   trace builder, simulator and counter-selection policy;
+//! * [`ShardSpec`] — multi-process scale-out. A shard restricts the driver
+//!   to a deterministic contiguous probe range of the grid; because every
+//!   probe's pipeline is independent and deterministic, the union of any
+//!   shard partition's outputs is identical to a single-process run. The
+//!   persistence layer (`crate::persist`) gives shards an on-disk merge
+//!   format (see `docs/FORMAT.md` and `docs/ARCHITECTURE.md`).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -224,6 +230,56 @@ pub fn simulations_run() -> u64 {
     SIMULATIONS.load(Ordering::Relaxed)
 }
 
+/// One process's slice of a sharded collection pass.
+///
+/// A shard owns a deterministic contiguous range of the probe axis of the
+/// (probe × unit) grid — the same near-equal partition for every process,
+/// so `count` cooperating processes cover every probe exactly once. Shard
+/// 0 of 1 ([`ShardSpec::full`]) is the unsharded single-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This process's shard index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the probe axis is split into.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Builds a shard spec, validating `index < count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index >= count`.
+    pub fn new(index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        ShardSpec { index, count }
+    }
+
+    /// The unsharded spec: one shard covering everything.
+    pub fn full() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Whether this spec covers the whole probe range by itself.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The contiguous probe range this shard owns out of `n_probes`.
+    ///
+    /// Near-equal partition, identical to the scheduler's: the first
+    /// `n_probes % count` shards take one extra probe. Shards beyond the
+    /// probe count legitimately own an empty range.
+    pub fn probe_range(&self, n_probes: usize) -> std::ops::Range<usize> {
+        let base = n_probes / self.count;
+        let extra = n_probes % self.count;
+        let start = self.index * base + self.index.min(extra);
+        let len = base + usize::from(self.index < extra);
+        start..start + len
+    }
+}
+
 /// The index structure of one collection pass's simulation-unit grid.
 ///
 /// A *unit* is one distinct (design, bug) combination; every probe
@@ -274,6 +330,11 @@ struct TrainOutput {
 ///   `experiment::DELTA_CEILING`) and optional captured series
 ///   (`capture`).
 ///
+/// `shard` restricts the driver to that shard's probe range
+/// ([`ShardSpec::probe_range`]); probe indices handed to the callbacks are
+/// always absolute grid indices, so a probe's pipeline is bit-identical
+/// whether it runs in a full pass or inside any shard.
+///
 /// Probes are processed in blocks of `max(threads, 2)` to bound peak
 /// memory; results are published into per-task slots and assembled in
 /// deterministic index order, so the output is identical for any worker
@@ -284,6 +345,7 @@ struct TrainOutput {
 pub fn collect_unit_grid<T, MkTrace, Sim, Prep, Cap>(
     n_probes: usize,
     threads: usize,
+    shard: ShardSpec,
     grid: &UnitGrid,
     engines: &[EngineSpec],
     make_trace: MkTrace,
@@ -302,24 +364,26 @@ where
     let n_units = grid.n_units;
     let n_engines = engines.len();
     let block = threads.max(2);
+    let range = shard.probe_range(n_probes);
+    let shard_len = range.len();
 
     let mut out = GridOutput {
         engines: engines
             .iter()
             .map(|e| EngineResult {
                 name: e.name(),
-                deltas: Vec::with_capacity(n_probes),
+                deltas: Vec::with_capacity(shard_len),
                 train_time: Duration::ZERO,
                 infer_time: Duration::ZERO,
             })
             .collect(),
-        overall: Vec::with_capacity(n_probes),
-        agg_features: Vec::with_capacity(n_probes),
+        overall: Vec::with_capacity(shard_len),
+        agg_features: Vec::with_capacity(shard_len),
         captures: Vec::new(),
     };
 
-    for block_start in (0..n_probes).step_by(block) {
-        let block_len = (n_probes - block_start).min(block);
+    for block_start in range.clone().step_by(block) {
+        let block_len = (range.end - block_start).min(block);
 
         // Trace generation, one task per probe.
         let traces: Vec<T> = parallel_map(block_len, threads, |i| make_trace(block_start + i));
@@ -482,6 +546,41 @@ mod tests {
     fn empty_task_set() {
         let out: Vec<usize> = parallel_map(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_probe_count() {
+        for n_probes in [0usize, 1, 5, 7, 16, 100] {
+            for count in [1usize, 2, 3, 5, 8, 13] {
+                let mut covered = vec![0u32; n_probes];
+                let mut prev_end = 0;
+                for index in 0..count {
+                    let range = ShardSpec::new(index, count).probe_range(n_probes);
+                    assert_eq!(range.start, prev_end, "shards must be contiguous");
+                    prev_end = range.end;
+                    for p in range {
+                        covered[p] += 1;
+                    }
+                }
+                assert_eq!(prev_end, n_probes);
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "n={n_probes} count={count}: {covered:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_full_covers_everything() {
+        assert!(ShardSpec::full().is_full());
+        assert_eq!(ShardSpec::full().probe_range(9), 0..9);
+    }
+
+    #[test]
+    fn shard_index_out_of_range_panics() {
+        let result = std::panic::catch_unwind(|| ShardSpec::new(3, 3));
+        assert!(result.is_err());
     }
 
     #[test]

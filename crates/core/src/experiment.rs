@@ -365,6 +365,27 @@ fn subsample_probes(per_benchmark: Vec<Vec<Probe>>, max: Option<usize>) -> Vec<P
 /// Panics if the configuration has no engines, no benchmarks, or no
 /// designs in a required set.
 pub fn collect(config: &CollectionConfig) -> Collection {
+    collect_sharded(config, exec::ShardSpec::full()).0
+}
+
+/// Runs one shard of the collection pass: only the probes in
+/// `shard.probe_range(total)` are simulated and trained, producing a
+/// partial [`Collection`] whose per-probe vectors cover exactly that
+/// range (the run-key axis is always complete). Returns the shard's
+/// collection and the total probe count of the full pass, so callers can
+/// build the persistence manifest (`crate::persist::ShardManifest`).
+///
+/// Every probe's pipeline depends only on its own trace, so a probe's
+/// results are bit-identical whether collected in a full pass or in any
+/// shard; merging a disjoint covering set of shards
+/// (`crate::persist::merge_collections`) reassembles the single-process
+/// collection exactly (wall-clock timings aside, which sum over shards).
+///
+/// # Panics
+///
+/// As [`collect`]. A shard may legitimately own zero probes (more shards
+/// than probes); the *global* probe set must still be non-empty.
+pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Collection, usize) {
     assert!(
         !config.engines.is_empty(),
         "collection needs at least one engine"
@@ -404,7 +425,10 @@ pub fn collect(config: &CollectionConfig) -> Collection {
         &programs[idx]
     };
 
-    let metas: Vec<ProbeMeta> = probes
+    // Probe metadata covers only this shard's range; the probe vector
+    // itself stays complete because the driver addresses probes by
+    // absolute grid index.
+    let metas: Vec<ProbeMeta> = probes[shard.probe_range(probes.len())]
         .iter()
         .map(|p| ProbeMeta {
             id: p.id(),
@@ -427,6 +451,7 @@ pub fn collect(config: &CollectionConfig) -> Collection {
     let out = exec::collect_unit_grid(
         probes.len(),
         config.threads,
+        shard,
         &unit_grid,
         &config.engines,
         |pi| probes[pi].trace(program_of(&probes[pi])),
@@ -486,15 +511,19 @@ pub fn collect(config: &CollectionConfig) -> Collection {
         },
     );
 
-    Collection {
-        keys,
-        probes: metas,
-        engines: out.engines,
-        overall_ipc: out.overall,
-        agg_features: out.agg_features,
-        captures: out.captures,
-        catalog: config.catalog.clone(),
-    }
+    let total = probes.len();
+    (
+        Collection {
+            keys,
+            probes: metas,
+            engines: out.engines,
+            overall_ipc: out.overall,
+            agg_features: out.agg_features,
+            captures: out.captures,
+            catalog: config.catalog.clone(),
+        },
+        total,
+    )
 }
 
 // --------------------------------------------------------------------------

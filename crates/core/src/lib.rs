@@ -49,14 +49,16 @@ pub mod stage2;
 
 pub use bugs::{BugCatalog, MemBugCatalog, Severity};
 pub use detmetrics::{Decision, DetectionMetrics};
+pub use exec::ShardSpec;
 pub use experiment::{
-    collect, evaluate_baseline, evaluate_two_stage, evaluate_two_stage_subset, ArchPartition,
-    Collection, CollectionConfig, ProbeScale, RunKey,
+    collect, collect_sharded, evaluate_baseline, evaluate_two_stage, evaluate_two_stage_subset,
+    ArchPartition, Collection, CollectionConfig, ProbeScale, RunKey,
 };
-pub use memory::{collect_memory, MemCollectionConfig, TargetMetric};
+pub use memory::{collect_memory, collect_memory_sharded, MemCollectionConfig, TargetMetric};
 pub use persist::{
-    collect_memory_or_load, collect_or_load, config_fingerprint, load_collection,
-    mem_config_fingerprint, save_collection, CacheStatus, PersistError,
+    collect_memory_or_load, collect_memory_shard_or_load, collect_or_load, collect_shard_or_load,
+    config_fingerprint, load_collection, mem_config_fingerprint, merge_collections,
+    save_collection, CacheStatus, ExperimentKind, FileHeader, PersistError, ShardManifest,
 };
 pub use stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
 pub use stage2::{Stage2Classifier, Stage2Params};

@@ -95,6 +95,22 @@ fn mem_set(set: memsim::ArchSet) -> ArchSet {
 ///
 /// Panics if no engines are configured.
 pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
+    collect_memory_sharded(config, exec::ShardSpec::full()).0
+}
+
+/// Runs one shard of the memory collection pass (the memory-experiment
+/// sibling of [`crate::experiment::collect_sharded`]): only the probes in
+/// `shard.probe_range(total)` run, the returned partial [`Collection`]
+/// covers exactly that range, and the second value is the full pass's
+/// total probe count for the persistence manifest.
+///
+/// # Panics
+///
+/// As [`collect_memory`]; a shard may own zero probes.
+pub fn collect_memory_sharded(
+    config: &MemCollectionConfig,
+    shard: exec::ShardSpec,
+) -> (Collection, usize) {
     assert!(
         !config.engines.is_empty(),
         "collection needs at least one engine"
@@ -159,7 +175,7 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
     }
     assert!(!probes.is_empty(), "no memory probes extracted");
 
-    let metas: Vec<ProbeMeta> = probes
+    let metas: Vec<ProbeMeta> = probes[shard.probe_range(probes.len())]
         .iter()
         .map(|(_, p)| ProbeMeta {
             id: p.id(),
@@ -180,6 +196,7 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
     let out = exec::collect_unit_grid(
         probes.len(),
         config.threads,
+        shard,
         &unit_grid,
         &config.engines,
         |pi| {
@@ -199,15 +216,19 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
         |_, _, _, _, _| None,
     );
 
-    Collection {
-        keys,
-        probes: metas,
-        engines: out.engines,
-        overall_ipc: out.overall,
-        agg_features: out.agg_features,
-        captures: Vec::new(),
-        catalog: mem_catalog_as_core(&config.catalog),
-    }
+    let total = probes.len();
+    (
+        Collection {
+            keys,
+            probes: metas,
+            engines: out.engines,
+            overall_ipc: out.overall,
+            agg_features: out.agg_features,
+            captures: Vec::new(),
+            catalog: mem_catalog_as_core(&config.catalog),
+        },
+        total,
+    )
 }
 
 /// Simulates one memory run and shapes it for stage 1.
@@ -352,6 +373,41 @@ mod tests {
         let eval = evaluate_two_stage(&col, 0, Stage2Params::default());
         assert!(eval.metrics.roc_auc >= 0.0);
         assert_eq!(eval.folds.len(), 6); // six memory bug types
+    }
+
+    #[test]
+    fn sharded_memory_collection_merges_to_the_full_one() {
+        use crate::persist::{
+            mem_config_fingerprint, merge_collections, ExperimentKind, FileHeader, ShardManifest,
+            CORPUS_REVISION,
+        };
+        let config = tiny_mem_config();
+        let mut full = collect_memory(&config);
+        let fingerprint = mem_config_fingerprint(&config);
+        let parts: Vec<_> = (0..2)
+            .map(|index| {
+                let shard = exec::ShardSpec::new(index, 2);
+                let (col, total) = collect_memory_sharded(&config, shard);
+                let header = FileHeader {
+                    kind: ExperimentKind::Memory,
+                    corpus_revision: CORPUS_REVISION,
+                    fingerprint,
+                    manifest: ShardManifest::of(shard, total),
+                };
+                (col, header)
+            })
+            .collect();
+        let (mut merged, header) = merge_collections(parts).expect("merge");
+        assert!(header.manifest.is_full());
+        assert_eq!(header.kind, ExperimentKind::Memory);
+        // Wall-clock timings are the only nondeterministic fields.
+        for col in [&mut merged, &mut full] {
+            for engine in &mut col.engines {
+                engine.train_time = std::time::Duration::ZERO;
+                engine.infer_time = std::time::Duration::ZERO;
+            }
+        }
+        assert_eq!(merged, full);
     }
 
     #[test]

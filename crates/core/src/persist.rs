@@ -11,22 +11,36 @@
 //! The codec is hand-rolled (the build environment is offline — no serde):
 //! little-endian fixed-width integers, `f64::to_bits` for floats, and
 //! length-prefixed sequences, which makes encoding byte-deterministic for
-//! a given collection. Every file carries
+//! a given collection. The byte-level layout is specified in
+//! `docs/FORMAT.md`; every file carries
 //!
 //! * a magic tag and a [`FORMAT_VERSION`] — files from an older codec are
 //!   rejected with [`PersistError::Version`], never reinterpreted;
+//! * the [`CORPUS_REVISION`] and [`ExperimentKind`] of the producing pass,
+//!   so cache tooling (`pbcol`) can triage files without recomputing
+//!   fingerprints;
 //! * the **config fingerprint** of the producing collection pass — loading
 //!   under a different [`CollectionConfig`] fails with
 //!   [`PersistError::Fingerprint`], so a stale cache is rejected rather
 //!   than silently reused;
+//! * a [`ShardManifest`] — which contiguous probe range of the full pass
+//!   this file covers. Full single-process files cover `0..total` in one
+//!   shard; a sharded pass (`experiment::collect_sharded` on `count`
+//!   processes) writes `count` shard files that [`merge_collections`]
+//!   reassembles into the single-process collection after validating
+//!   disjoint, complete coverage and matching identity fields;
 //! * a trailing FNV-1a checksum over the whole header + payload —
 //!   truncated or corrupted files fail with [`PersistError::Corrupt`].
 //!
 //! [`collect_or_load`] / [`collect_memory_or_load`] are the front doors:
-//! they replay a saved collection when the cache file exists and collect
-//! (then save) otherwise. Pair them with [`cache_file_name`], which embeds
-//! the fingerprint in the file name so distinct configurations can never
-//! collide on one path.
+//! they replay a saved collection when the cache file exists, assemble it
+//! from a complete set of shard files in the same directory when one is
+//! not, and collect (then save) otherwise. Shard workers use
+//! [`collect_shard_or_load`] / [`collect_memory_shard_or_load`]. Pair
+//! them with [`cache_file_name`] / [`shard_file_name`], which embed the
+//! experiment kind and the fingerprint in the file name so distinct
+//! configurations — and the core and memory experiments sharing one cache
+//! directory — can never collide on one path.
 
 use std::fmt;
 use std::fs;
@@ -45,7 +59,11 @@ use crate::memory::{collect_memory, MemCollectionConfig};
 
 /// Version of the on-disk format. Bump on any layout change; readers
 /// reject every other version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — magic, version, fingerprint, payload, checksum.
+/// * v2 — adds the corpus revision, the experiment kind and the shard
+///   manifest to the header (see `docs/FORMAT.md`).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Version of the *corpus semantics*: what the collection pipeline would
 /// produce for a given configuration. Folded into every config
@@ -62,6 +80,159 @@ const MAGIC: [u8; 4] = *b"PBCL";
 
 /// Canonical file extension of serialised collections.
 pub const FILE_EXTENSION: &str = "pbcol";
+
+/// Which experiment pipeline produced a collection. Part of the file
+/// header and of every cache file name, so the core and memory
+/// experiments can share one `PERFBUG_CACHE_DIR` without colliding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentKind {
+    /// The out-of-order core experiment (`experiment::collect`).
+    Core,
+    /// The cache-hierarchy experiment (`memory::collect_memory`).
+    Memory,
+}
+
+impl ExperimentKind {
+    /// The name segment embedded in cache file names.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExperimentKind::Core => "core",
+            ExperimentKind::Memory => "mem",
+        }
+    }
+
+    /// Parses a file-name segment produced by [`ExperimentKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "core" => Some(ExperimentKind::Core),
+            "mem" => Some(ExperimentKind::Memory),
+            _ => None,
+        }
+    }
+
+    fn wire(&self) -> u8 {
+        match self {
+            ExperimentKind::Core => 0,
+            ExperimentKind::Memory => 1,
+        }
+    }
+
+    fn from_wire(tag: u8) -> Result<Self, PersistError> {
+        match tag {
+            0 => Ok(ExperimentKind::Core),
+            1 => Ok(ExperimentKind::Memory),
+            t => Err(PersistError::Corrupt(format!(
+                "invalid experiment kind tag {t}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ExperimentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which slice of the full collection pass a file covers.
+///
+/// A full single-process file is shard `0 of 1` covering
+/// `0..total_probes`; a sharded pass writes one file per shard, each
+/// covering its [`crate::exec::ShardSpec::probe_range`]. The run-key axis
+/// is always complete — only the probe axis is sliced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Shard index, `0 <= index < count`.
+    pub index: u32,
+    /// Total shard count of the producing pass.
+    pub count: u32,
+    /// First probe (absolute index of the full pass) this file covers.
+    pub probe_start: u64,
+    /// One past the last probe this file covers.
+    pub probe_end: u64,
+    /// Total probe count of the full pass.
+    pub total_probes: u64,
+}
+
+impl ShardManifest {
+    /// The manifest of an unsharded file covering all `total` probes.
+    pub fn full(total: usize) -> Self {
+        ShardManifest {
+            index: 0,
+            count: 1,
+            probe_start: 0,
+            probe_end: total as u64,
+            total_probes: total as u64,
+        }
+    }
+
+    /// Builds the manifest of one shard of a `total`-probe pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's index is out of range (via
+    /// [`crate::exec::ShardSpec::new`] semantics).
+    pub fn of(shard: crate::exec::ShardSpec, total: usize) -> Self {
+        let range = shard.probe_range(total);
+        ShardManifest {
+            index: shard.index as u32,
+            count: shard.count as u32,
+            probe_start: range.start as u64,
+            probe_end: range.end as u64,
+            total_probes: total as u64,
+        }
+    }
+
+    /// Whether this file alone covers the whole pass.
+    pub fn is_full(&self) -> bool {
+        self.count == 1 && self.probe_start == 0 && self.probe_end == self.total_probes
+    }
+
+    /// Number of probes the file covers.
+    pub fn probes(&self) -> u64 {
+        self.probe_end - self.probe_start
+    }
+
+    /// Internal consistency: index in range, ordered bounds within the
+    /// total, and a full manifest whenever the count is 1.
+    fn validate(&self) -> Result<(), PersistError> {
+        if self.count == 0
+            || self.index >= self.count
+            || self.probe_start > self.probe_end
+            || self.probe_end > self.total_probes
+            || (self.count == 1 && !self.is_full())
+        {
+            return Err(PersistError::Corrupt(format!(
+                "invalid shard manifest: shard {} of {}, probes {}..{} of {}",
+                self.index, self.count, self.probe_start, self.probe_end, self.total_probes
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ShardManifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}/{} (probes {}..{} of {})",
+            self.index, self.count, self.probe_start, self.probe_end, self.total_probes
+        )
+    }
+}
+
+/// Everything the fixed-size file header records (see `docs/FORMAT.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Experiment kind of the producing pass.
+    pub kind: ExperimentKind,
+    /// [`CORPUS_REVISION`] the file was written under.
+    pub corpus_revision: u32,
+    /// Config fingerprint of the producing pass.
+    pub fingerprint: u64,
+    /// Probe coverage of this file.
+    pub manifest: ShardManifest,
+}
 
 // --------------------------------------------------------------------------
 // Errors
@@ -89,6 +260,10 @@ pub enum PersistError {
         /// Fingerprint of the requesting configuration.
         expected: u64,
     },
+    /// A shard-coverage violation: a full load hit a shard file, or a
+    /// merge found overlapping, missing or mismatched shards. The message
+    /// names the offending shards and probe ranges.
+    Shard(String),
 }
 
 impl fmt::Display for PersistError {
@@ -103,6 +278,7 @@ impl fmt::Display for PersistError {
                 f,
                 "stale cache: collected under config {found:016x}, requested {expected:016x}"
             ),
+            PersistError::Shard(why) => write!(f, "shard coverage error: {why}"),
         }
     }
 }
@@ -176,12 +352,79 @@ pub fn mem_config_fingerprint(config: &MemCollectionConfig) -> u64 {
     fnv1a(canon.as_bytes())
 }
 
-/// The canonical cache file name for a fingerprinted collection:
-/// `<prefix>-<fingerprint hex>.pbcol`. Because the fingerprint is part of
-/// the name, a configuration change maps to a fresh file instead of a
-/// stale-cache error.
-pub fn cache_file_name(prefix: &str, fingerprint: u64) -> String {
-    format!("{prefix}-{fingerprint:016x}.{FILE_EXTENSION}")
+/// The canonical cache file name for a full fingerprinted collection:
+/// `<prefix>-<kind>-<fingerprint hex>.pbcol`. Because the experiment kind
+/// and the fingerprint are part of the name, a configuration change maps
+/// to a fresh file instead of a stale-cache error, and core and memory
+/// experiments sharing a prefix and a cache directory never collide.
+pub fn cache_file_name(prefix: &str, kind: ExperimentKind, fingerprint: u64) -> String {
+    format!("{prefix}-{kind}-{fingerprint:016x}.{FILE_EXTENSION}")
+}
+
+/// The canonical file name of one shard of a sharded collection pass:
+/// `<prefix>-<kind>-<fingerprint hex>-s<index>of<count>.pbcol`.
+pub fn shard_file_name(
+    prefix: &str,
+    kind: ExperimentKind,
+    fingerprint: u64,
+    index: usize,
+    count: usize,
+) -> String {
+    format!("{prefix}-{kind}-{fingerprint:016x}-s{index:04}of{count:04}.{FILE_EXTENSION}")
+}
+
+/// A cache file name decomposed by [`parse_cache_file_name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedCacheName {
+    /// The experiment prefix (e.g. `fig08`); may itself contain dashes.
+    pub prefix: String,
+    /// Experiment kind segment.
+    pub kind: ExperimentKind,
+    /// Fingerprint embedded in the name.
+    pub fingerprint: u64,
+    /// `Some((index, count))` for shard files, `None` for full files.
+    pub shard: Option<(u32, u32)>,
+}
+
+/// Parses a file name produced by [`cache_file_name`] or
+/// [`shard_file_name`]; returns `None` for anything else (including
+/// pre-kind v1-era names), so cache tooling can tell this crate's files
+/// from stray `.pbcol` files.
+pub fn parse_cache_file_name(name: &str) -> Option<ParsedCacheName> {
+    let stem = name.strip_suffix(&format!(".{FILE_EXTENSION}"))?;
+    // Grammar (right to left): [-sNNNNofNNNN] then -<16 hex> then -<kind>,
+    // leaving the prefix, which may itself contain dashes.
+    let (stem, shard) = match stem.rfind("-s") {
+        Some(pos) => {
+            let tail = &stem[pos + 2..];
+            match tail.split_once("of") {
+                Some((i, c)) if !i.is_empty() && !c.is_empty() => {
+                    match (i.parse::<u32>(), c.parse::<u32>()) {
+                        (Ok(i), Ok(c)) => (&stem[..pos], Some((i, c))),
+                        _ => (stem, None),
+                    }
+                }
+                _ => (stem, None),
+            }
+        }
+        None => (stem, None),
+    };
+    let (stem, fp_hex) = stem.rsplit_once('-')?;
+    if fp_hex.len() != 16 {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(fp_hex, 16).ok()?;
+    let (prefix, kind_str) = stem.rsplit_once('-')?;
+    let kind = ExperimentKind::parse(kind_str)?;
+    if prefix.is_empty() {
+        return None;
+    }
+    Some(ParsedCacheName {
+        prefix: prefix.to_string(),
+        kind,
+        fingerprint,
+        shard,
+    })
 }
 
 // --------------------------------------------------------------------------
@@ -644,34 +887,24 @@ fn dec_collection(dec: &mut Dec) -> Result<Collection, PersistError> {
 // File format
 // --------------------------------------------------------------------------
 
-/// Serialises a collection under a config fingerprint.
-///
-/// Layout: `MAGIC | version u32 | fingerprint u64 | payload | fnv64` where
-/// the trailing checksum covers everything before it.
-pub fn encode_collection(col: &Collection, fingerprint: u64) -> Vec<u8> {
-    let mut enc = Enc::new();
+/// Size of the fixed v2 header: magic, version, corpus revision, kind,
+/// fingerprint and the five shard-manifest fields (see `docs/FORMAT.md`).
+const HEADER_LEN: usize = 4 + 4 + 4 + 1 + 8 + (4 + 4 + 8 + 8 + 8);
+
+fn enc_header(enc: &mut Enc, header: &FileHeader) {
     enc.buf.extend_from_slice(&MAGIC);
     enc.u32(FORMAT_VERSION);
-    enc.u64(fingerprint);
-    enc_collection(&mut enc, col);
-    let checksum = fnv1a(&enc.buf);
-    enc.u64(checksum);
-    enc.buf
+    enc.u32(header.corpus_revision);
+    enc.u8(header.kind.wire());
+    enc.u64(header.fingerprint);
+    enc.u32(header.manifest.index);
+    enc.u32(header.manifest.count);
+    enc.u64(header.manifest.probe_start);
+    enc.u64(header.manifest.probe_end);
+    enc.u64(header.manifest.total_probes);
 }
 
-/// Decodes a serialised collection, validating magic, version, checksum
-/// and the config fingerprint (in that order).
-pub fn decode_collection(bytes: &[u8], expected: u64) -> Result<Collection, PersistError> {
-    // Header (magic + version + fingerprint) and trailing checksum.
-    const HEADER: usize = 4 + 4 + 8;
-    if bytes.len() < HEADER + 8 {
-        return Err(PersistError::Corrupt(format!(
-            "{} bytes is too short for a collection file",
-            bytes.len()
-        )));
-    }
-    let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let mut dec = Dec::new(body);
+fn dec_header(dec: &mut Dec) -> Result<FileHeader, PersistError> {
     if dec.take(4)? != MAGIC {
         return Err(PersistError::Corrupt("bad magic".into()));
     }
@@ -682,16 +915,101 @@ pub fn decode_collection(bytes: &[u8], expected: u64) -> Result<Collection, Pers
             expected: FORMAT_VERSION,
         });
     }
+    let corpus_revision = dec.u32()?;
+    let kind = ExperimentKind::from_wire(dec.u8()?)?;
+    let fingerprint = dec.u64()?;
+    let manifest = ShardManifest {
+        index: dec.u32()?,
+        count: dec.u32()?,
+        probe_start: dec.u64()?,
+        probe_end: dec.u64()?,
+        total_probes: dec.u64()?,
+    };
+    manifest.validate()?;
+    Ok(FileHeader {
+        kind,
+        corpus_revision,
+        fingerprint,
+        manifest,
+    })
+}
+
+/// Serialises a collection (full or one shard) under its header.
+///
+/// Layout: `MAGIC | version | corpus revision | kind | fingerprint |
+/// shard manifest | payload | fnv64` where the trailing checksum covers
+/// everything before it (see `docs/FORMAT.md`).
+///
+/// # Panics
+///
+/// Panics if the manifest's probe range does not match the collection's
+/// probe count — the manifest describes the payload; an inconsistent pair
+/// must never reach disk.
+pub fn encode_collection_with(col: &Collection, header: &FileHeader) -> Vec<u8> {
+    assert_eq!(
+        header.manifest.probes(),
+        col.probes.len() as u64,
+        "shard manifest must cover exactly the collection's probes"
+    );
+    let mut enc = Enc::new();
+    enc_header(&mut enc, header);
+    enc_collection(&mut enc, col);
+    let checksum = fnv1a(&enc.buf);
+    enc.u64(checksum);
+    enc.buf
+}
+
+/// Serialises a full (unsharded) core-experiment collection under a
+/// config fingerprint; the general form is [`encode_collection_with`].
+pub fn encode_collection(col: &Collection, fingerprint: u64) -> Vec<u8> {
+    encode_collection_with(
+        col,
+        &FileHeader {
+            kind: ExperimentKind::Core,
+            corpus_revision: CORPUS_REVISION,
+            fingerprint,
+            manifest: ShardManifest::full(col.probes.len()),
+        },
+    )
+}
+
+/// Reads and validates only the fixed-size header of a serialised
+/// collection: magic, version and manifest sanity — **not** the trailing
+/// checksum, so corruption inside the payload goes undetected here. Cache
+/// tooling uses this to triage files cheaply; anything that consumes the
+/// payload must go through [`decode_collection_with`].
+pub fn read_header(bytes: &[u8]) -> Result<FileHeader, PersistError> {
+    dec_header(&mut Dec::new(bytes))
+}
+
+/// Decodes a serialised collection, validating magic, version, checksum,
+/// then (when `expected` is given) the config fingerprint, then the
+/// payload and its consistency with the shard manifest. Accepts both full
+/// and shard files; the returned header says which this was.
+pub fn decode_collection_with(
+    bytes: &[u8],
+    expected: Option<u64>,
+) -> Result<(Collection, FileHeader), PersistError> {
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(PersistError::Corrupt(format!(
+            "{} bytes is too short for a collection file",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut dec = Dec::new(body);
+    let header = dec_header(&mut dec)?;
     let stored_checksum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     if fnv1a(body) != stored_checksum {
         return Err(PersistError::Corrupt("checksum mismatch".into()));
     }
-    let fingerprint = dec.u64()?;
-    if fingerprint != expected {
-        return Err(PersistError::Fingerprint {
-            found: fingerprint,
-            expected,
-        });
+    if let Some(expected) = expected {
+        if header.fingerprint != expected {
+            return Err(PersistError::Fingerprint {
+                found: header.fingerprint,
+                expected,
+            });
+        }
     }
     let col = dec_collection(&mut dec)?;
     if dec.pos != body.len() {
@@ -700,24 +1018,179 @@ pub fn decode_collection(bytes: &[u8], expected: u64) -> Result<Collection, Pers
             body.len() - dec.pos
         )));
     }
+    if header.manifest.probes() != col.probes.len() as u64 {
+        return Err(PersistError::Corrupt(format!(
+            "manifest covers {} probes but payload holds {}",
+            header.manifest.probes(),
+            col.probes.len()
+        )));
+    }
+    Ok((col, header))
+}
+
+/// Decodes a *full* serialised collection, validating magic, version,
+/// checksum and the config fingerprint (in that order). A shard file is
+/// rejected with [`PersistError::Shard`] — partial corpora must go
+/// through [`merge_collections`].
+pub fn decode_collection(bytes: &[u8], expected: u64) -> Result<Collection, PersistError> {
+    let (col, header) = decode_collection_with(bytes, Some(expected))?;
+    if !header.manifest.is_full() {
+        return Err(PersistError::Shard(format!(
+            "expected a full collection, found {}",
+            header.manifest
+        )));
+    }
     Ok(col)
 }
 
-/// Saves a collection to `path` (atomically: write to a sibling temp file,
-/// then rename), tagged with `fingerprint`.
-pub fn save_collection(
-    path: &Path,
-    col: &Collection,
-    fingerprint: u64,
-) -> Result<(), PersistError> {
+// --------------------------------------------------------------------------
+// Shard merging
+// --------------------------------------------------------------------------
+
+/// Reassembles a full [`Collection`] from decoded shard parts.
+///
+/// Validates that the parts share every identity field (fingerprint,
+/// kind, corpus revision, shard count, total probe count, run keys,
+/// engine roster and bug catalogue) and that their probe ranges are
+/// disjoint and cover `0..total_probes` completely; any violation is a
+/// [`PersistError::Shard`] naming the offending shards and ranges. Input
+/// order is irrelevant — parts are sorted by probe range.
+///
+/// Because every probe's collection pipeline is deterministic and
+/// independent, the merged collection is identical to the one a
+/// single-process pass produces, except for the per-engine wall-clock
+/// `train_time` / `infer_time`, which sum over shards instead of being
+/// measured in one process. Returns the merged collection and the full
+/// header it should be saved under.
+pub fn merge_collections(
+    mut parts: Vec<(Collection, FileHeader)>,
+) -> Result<(Collection, FileHeader), PersistError> {
+    if parts.is_empty() {
+        return Err(PersistError::Shard("no shards to merge".into()));
+    }
+    parts.sort_by_key(|(_, h)| {
+        (
+            h.manifest.probe_start,
+            h.manifest.probe_end,
+            h.manifest.index,
+        )
+    });
+    let first = parts[0].1;
+    for (_, h) in &parts {
+        if h.fingerprint != first.fingerprint {
+            return Err(PersistError::Shard(format!(
+                "fingerprint mismatch: shard {} was collected under {:016x}, shard {} under {:016x}",
+                first.manifest.index, first.fingerprint, h.manifest.index, h.fingerprint
+            )));
+        }
+        if h.kind != first.kind {
+            return Err(PersistError::Shard(format!(
+                "experiment kind mismatch: {} vs {}",
+                first.kind, h.kind
+            )));
+        }
+        if h.corpus_revision != first.corpus_revision {
+            return Err(PersistError::Shard(format!(
+                "corpus revision mismatch: {} vs {}",
+                first.corpus_revision, h.corpus_revision
+            )));
+        }
+        if h.manifest.count != first.manifest.count
+            || h.manifest.total_probes != first.manifest.total_probes
+        {
+            return Err(PersistError::Shard(format!(
+                "partition mismatch: {} vs {}",
+                first.manifest, h.manifest
+            )));
+        }
+    }
+    let expected_shards = first.manifest.count as usize;
+    if parts.len() != expected_shards {
+        let have: Vec<u32> = parts.iter().map(|(_, h)| h.manifest.index).collect();
+        return Err(PersistError::Shard(format!(
+            "expected {expected_shards} shards, got {} (indices {have:?})",
+            parts.len()
+        )));
+    }
+    let mut cursor = 0u64;
+    for (_, h) in &parts {
+        let m = &h.manifest;
+        match m.probe_start.cmp(&cursor) {
+            std::cmp::Ordering::Less => {
+                return Err(PersistError::Shard(format!(
+                    "shard {} overlaps probes {}..{cursor}",
+                    m.index, m.probe_start
+                )));
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(PersistError::Shard(format!(
+                    "probes {cursor}..{} missing (next is shard {})",
+                    m.probe_start, m.index
+                )));
+            }
+            std::cmp::Ordering::Equal => cursor = m.probe_end,
+        }
+    }
+    if cursor != first.manifest.total_probes {
+        return Err(PersistError::Shard(format!(
+            "probes {cursor}..{} missing at the end of the partition",
+            first.manifest.total_probes
+        )));
+    }
+
+    let mut parts = parts.into_iter();
+    let (mut merged, _) = parts.next().expect("at least one shard");
+    for (col, h) in parts {
+        if col.keys != merged.keys {
+            return Err(PersistError::Shard(format!(
+                "shard {} disagrees on the run-key axis",
+                h.manifest.index
+            )));
+        }
+        if col.catalog != merged.catalog {
+            return Err(PersistError::Shard(format!(
+                "shard {} disagrees on the bug catalogue",
+                h.manifest.index
+            )));
+        }
+        let names = |c: &Collection| c.engines.iter().map(|e| e.name.clone()).collect::<Vec<_>>();
+        if names(&col) != names(&merged) {
+            return Err(PersistError::Shard(format!(
+                "shard {} disagrees on the engine roster",
+                h.manifest.index
+            )));
+        }
+        merged.probes.extend(col.probes);
+        merged.overall_ipc.extend(col.overall_ipc);
+        merged.agg_features.extend(col.agg_features);
+        merged.captures.extend(col.captures);
+        for (into, from) in merged.engines.iter_mut().zip(col.engines) {
+            into.deltas.extend(from.deltas);
+            into.train_time += from.train_time;
+            into.infer_time += from.infer_time;
+        }
+    }
+    let header = FileHeader {
+        manifest: ShardManifest::full(merged.probes.len()),
+        ..first
+    };
+    Ok((merged, header))
+}
+
+// --------------------------------------------------------------------------
+// Files and front doors
+// --------------------------------------------------------------------------
+
+/// Saves an encoded collection to `path` (atomically: write to a sibling
+/// temp file, then rename).
+fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     // Unique per process and call: concurrent savers of the same path must
     // not clobber each other's in-flight temp file — last rename wins with
     // a complete file.
     static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let bytes = encode_collection(col, fingerprint);
     let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let tmp = path.with_extension(format!("{FILE_EXTENSION}.{}-{seq}.tmp", std::process::id()));
-    fs::write(&tmp, &bytes)?;
+    fs::write(&tmp, bytes)?;
     if let Err(e) = fs::rename(&tmp, path) {
         let _ = fs::remove_file(&tmp);
         return Err(e.into());
@@ -725,8 +1198,28 @@ pub fn save_collection(
     Ok(())
 }
 
-/// Loads a collection from `path`, rejecting version, checksum and
-/// fingerprint mismatches.
+/// Saves a full core-experiment collection to `path` (atomically), tagged
+/// with `fingerprint`; the general form is [`save_collection_with`].
+pub fn save_collection(
+    path: &Path,
+    col: &Collection,
+    fingerprint: u64,
+) -> Result<(), PersistError> {
+    save_bytes(path, &encode_collection(col, fingerprint))
+}
+
+/// Saves a collection (full or one shard) to `path` (atomically) under an
+/// explicit header.
+pub fn save_collection_with(
+    path: &Path,
+    col: &Collection,
+    header: &FileHeader,
+) -> Result<(), PersistError> {
+    save_bytes(path, &encode_collection_with(col, header))
+}
+
+/// Loads a full collection from `path`, rejecting version, checksum and
+/// fingerprint mismatches, and shard files.
 pub fn load_collection(path: &Path, fingerprint: u64) -> Result<Collection, PersistError> {
     let bytes = fs::read(path)?;
     decode_collection(&bytes, fingerprint)
@@ -737,26 +1230,148 @@ pub fn load_collection(path: &Path, fingerprint: u64) -> Result<Collection, Pers
 pub enum CacheStatus {
     /// The cache file existed and was replayed without simulating.
     Replayed,
+    /// The collection was assembled from a complete set of shard files
+    /// (and the merged result saved) without simulating.
+    Assembled,
     /// The collection was freshly simulated and saved to the cache file.
     Collected,
 }
 
+/// Scans `dir` for shard files of the pass identified by `(prefix, kind,
+/// fingerprint)` and merges them when they form a complete partition.
+///
+/// Candidates are selected **by file name** ([`shard_file_name`]
+/// grammar): only names whose prefix (when `prefix` is given), kind and
+/// fingerprint segments match are even opened, so foreign `.pbcol` files
+/// — including other targets' shards under a shared directory and large
+/// full corpora — cost nothing. A candidate that then fails to decode,
+/// or whose header disagrees with its name, is an error — like a stale
+/// cache, never silently ignored.
+///
+/// Shards are grouped by their partition's shard count (a crashed
+/// `n`-way pass may leave stale shards beside a complete `m`-way one);
+/// the first complete group merges. Returns `Ok(None)` when no group is
+/// complete — other worker processes may still be collecting.
+pub fn assemble_from_shards(
+    dir: &Path,
+    prefix: Option<&str>,
+    kind: ExperimentKind,
+    fingerprint: u64,
+) -> Result<Option<Collection>, PersistError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    // Group candidate shard parts by their partition's shard count.
+    let mut groups: std::collections::BTreeMap<u32, Vec<(Collection, FileHeader)>> =
+        std::collections::BTreeMap::new();
+    for entry in entries {
+        let path = entry?.path();
+        let parsed = match path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_cache_file_name)
+        {
+            Some(parsed) => parsed,
+            None => continue,
+        };
+        if parsed.kind != kind
+            || parsed.fingerprint != fingerprint
+            || parsed.shard.is_none()
+            || prefix.is_some_and(|p| parsed.prefix != p)
+        {
+            continue;
+        }
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            // Pruned or still being renamed into place: not ours to judge.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        };
+        let (col, header) = decode_collection_with(&bytes, Some(fingerprint))
+            .map_err(|e| PersistError::Corrupt(format!("shard file {}: {e}", path.display())))?;
+        if header.kind != kind
+            || parsed.shard != Some((header.manifest.index, header.manifest.count))
+        {
+            return Err(PersistError::Shard(format!(
+                "{} is named for a different shard than its header ({})",
+                path.display(),
+                header.manifest
+            )));
+        }
+        groups
+            .entry(header.manifest.count)
+            .or_default()
+            .push((col, header));
+    }
+    for (count, parts) in groups {
+        let mut indices: Vec<u32> = parts.iter().map(|(_, h)| h.manifest.index).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        if indices.len() == count as usize {
+            return merge_collections(parts).map(|(col, _)| Some(col));
+        }
+        // Incomplete group: workers of this partition may still be
+        // running; try the next partition width.
+    }
+    Ok(None)
+}
+
+/// Replays `path` when it exists, otherwise tries to assemble the corpus
+/// from shard files beside it (saving the merged result to `path`).
+/// When `path`'s file name follows the [`cache_file_name`] grammar, only
+/// shards sharing its prefix are considered, so targets with identical
+/// configurations never cross-assemble in a shared directory. Returns
+/// `Ok(None)` on a genuine cache miss — a stale or corrupt cache is
+/// still an error.
+pub fn load_or_assemble(
+    path: &Path,
+    kind: ExperimentKind,
+    fingerprint: u64,
+) -> Result<Option<(Collection, CacheStatus)>, PersistError> {
+    // Attempt the load directly rather than probing `exists()` first: a
+    // file pruned between probe and read must fall back to assembling,
+    // not surface as an i/o error.
+    match load_collection(path, fingerprint) {
+        Ok(col) => return Ok(Some((col, CacheStatus::Replayed))),
+        Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let parsed = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(parse_cache_file_name);
+    let prefix = parsed.as_ref().map(|p| p.prefix.as_str());
+    if let Some(col) = assemble_from_shards(dir, prefix, kind, fingerprint)? {
+        save_collection_with(
+            path,
+            &col,
+            &FileHeader {
+                kind,
+                corpus_revision: CORPUS_REVISION,
+                fingerprint,
+                manifest: ShardManifest::full(col.probes.len()),
+            },
+        )?;
+        return Ok(Some((col, CacheStatus::Assembled)));
+    }
+    Ok(None)
+}
+
 /// Front door for cached core collections: replays `path` when it exists
 /// (validating its fingerprint against `config` — a stale file is an
-/// error, never silently re-collected) and otherwise runs
+/// error, never silently re-collected), assembles it from a complete set
+/// of sibling shard files when it does not, and otherwise runs
 /// [`collect`] and saves the result.
 pub fn collect_or_load(
     path: &Path,
     config: &CollectionConfig,
 ) -> Result<(Collection, CacheStatus), PersistError> {
     let fingerprint = config_fingerprint(config);
-    // Attempt the load directly rather than probing `exists()` first: a
-    // file pruned between probe and read must fall back to collecting,
-    // not surface as an i/o error.
-    match load_collection(path, fingerprint) {
-        Ok(col) => return Ok((col, CacheStatus::Replayed)),
-        Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e),
+    if let Some(hit) = load_or_assemble(path, ExperimentKind::Core, fingerprint)? {
+        return Ok(hit);
     }
     let col = collect(config);
     save_collection(path, &col, fingerprint)?;
@@ -769,13 +1384,89 @@ pub fn collect_memory_or_load(
     config: &MemCollectionConfig,
 ) -> Result<(Collection, CacheStatus), PersistError> {
     let fingerprint = mem_config_fingerprint(config);
-    match load_collection(path, fingerprint) {
-        Ok(col) => return Ok((col, CacheStatus::Replayed)),
-        Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e),
+    if let Some(hit) = load_or_assemble(path, ExperimentKind::Memory, fingerprint)? {
+        return Ok(hit);
     }
     let col = collect_memory(config);
-    save_collection(path, &col, fingerprint)?;
+    save_collection_with(
+        path,
+        &col,
+        &FileHeader {
+            kind: ExperimentKind::Memory,
+            corpus_revision: CORPUS_REVISION,
+            fingerprint,
+            manifest: ShardManifest::full(col.probes.len()),
+        },
+    )?;
+    Ok((col, CacheStatus::Collected))
+}
+
+/// Shard-worker front door for the core experiment: loads the shard file
+/// for `shard` when it exists (validating fingerprint and manifest) and
+/// otherwise collects just that shard and saves it. `path` is the shard
+/// file itself (see [`shard_file_name`]).
+pub fn collect_shard_or_load(
+    path: &Path,
+    config: &CollectionConfig,
+    shard: crate::exec::ShardSpec,
+) -> Result<(Collection, CacheStatus), PersistError> {
+    let fingerprint = config_fingerprint(config);
+    collect_shard_impl(path, ExperimentKind::Core, fingerprint, shard, || {
+        let (col, total) = crate::experiment::collect_sharded(config, shard);
+        (col, ShardManifest::of(shard, total))
+    })
+}
+
+/// [`collect_shard_or_load`] for the memory experiment.
+pub fn collect_memory_shard_or_load(
+    path: &Path,
+    config: &MemCollectionConfig,
+    shard: crate::exec::ShardSpec,
+) -> Result<(Collection, CacheStatus), PersistError> {
+    let fingerprint = mem_config_fingerprint(config);
+    collect_shard_impl(path, ExperimentKind::Memory, fingerprint, shard, || {
+        let (col, total) = crate::memory::collect_memory_sharded(config, shard);
+        (col, ShardManifest::of(shard, total))
+    })
+}
+
+fn collect_shard_impl(
+    path: &Path,
+    kind: ExperimentKind,
+    fingerprint: u64,
+    shard: crate::exec::ShardSpec,
+    collect_shard: impl FnOnce() -> (Collection, ShardManifest),
+) -> Result<(Collection, CacheStatus), PersistError> {
+    match fs::read(path) {
+        Ok(bytes) => {
+            let (col, header) = decode_collection_with(&bytes, Some(fingerprint))?;
+            if header.manifest.index as usize != shard.index
+                || header.manifest.count as usize != shard.count
+            {
+                return Err(PersistError::Shard(format!(
+                    "{} holds {}, expected shard {}/{}",
+                    path.display(),
+                    header.manifest,
+                    shard.index,
+                    shard.count
+                )));
+            }
+            return Ok((col, CacheStatus::Replayed));
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    let (col, manifest) = collect_shard();
+    save_collection_with(
+        path,
+        &col,
+        &FileHeader {
+            kind,
+            corpus_revision: CORPUS_REVISION,
+            fingerprint,
+            manifest,
+        },
+    )?;
     Ok((col, CacheStatus::Collected))
 }
 
@@ -924,10 +1615,211 @@ mod tests {
     }
 
     #[test]
-    fn cache_file_name_embeds_fingerprint() {
+    fn cache_file_name_embeds_kind_and_fingerprint() {
         assert_eq!(
-            cache_file_name("fig08", 0xdead_beef),
-            "fig08-00000000deadbeef.pbcol"
+            cache_file_name("fig08", ExperimentKind::Core, 0xdead_beef),
+            "fig08-core-00000000deadbeef.pbcol"
         );
+        assert_eq!(
+            cache_file_name("fig08", ExperimentKind::Memory, 0xdead_beef),
+            "fig08-mem-00000000deadbeef.pbcol"
+        );
+    }
+
+    #[test]
+    fn shard_file_name_round_trips_through_parse() {
+        let name = shard_file_name("table07-x", ExperimentKind::Memory, 0xfeed, 3, 16);
+        assert_eq!(name, "table07-x-mem-000000000000feed-s0003of0016.pbcol");
+        let parsed = parse_cache_file_name(&name).expect("parse");
+        assert_eq!(parsed.prefix, "table07-x");
+        assert_eq!(parsed.kind, ExperimentKind::Memory);
+        assert_eq!(parsed.fingerprint, 0xfeed);
+        assert_eq!(parsed.shard, Some((3, 16)));
+
+        let full = cache_file_name("speed-test", ExperimentKind::Core, 1);
+        let parsed = parse_cache_file_name(&full).expect("parse");
+        assert_eq!(parsed.prefix, "speed-test");
+        assert_eq!(parsed.kind, ExperimentKind::Core);
+        assert_eq!(parsed.shard, None);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_names() {
+        for name in [
+            "fig08-00000000deadbeef.pbcol",     // v1-era: no kind segment
+            "fig08-core-deadbeef.pbcol",        // short fingerprint
+            "fig08-cpu-00000000deadbeef.pbcol", // unknown kind
+            "notes.txt",
+            "-core-00000000deadbeef.pbcol", // empty prefix
+        ] {
+            assert!(parse_cache_file_name(name).is_none(), "{name}");
+        }
+    }
+
+    fn shard_header(index: u32, count: u32, start: u64, end: u64, total: u64) -> FileHeader {
+        FileHeader {
+            kind: ExperimentKind::Core,
+            corpus_revision: CORPUS_REVISION,
+            fingerprint: 7,
+            manifest: ShardManifest {
+                index,
+                count,
+                probe_start: start,
+                probe_end: end,
+                total_probes: total,
+            },
+        }
+    }
+
+    /// A one-probe collection whose probe id embeds `tag`, suitable as one
+    /// shard of a two-probe pass.
+    fn shard_part(tag: usize) -> Collection {
+        let mut col = sample_collection();
+        col.probes[0].id = format!("458.sjeng#{tag}");
+        col.captures.clear();
+        col
+    }
+
+    #[test]
+    fn shard_encode_decode_round_trips() {
+        let col = shard_part(1);
+        let header = shard_header(1, 2, 1, 2, 2);
+        let bytes = encode_collection_with(&col, &header);
+        assert_eq!(read_header(&bytes).expect("header"), header);
+        let (back, back_header) = decode_collection_with(&bytes, Some(7)).expect("decode");
+        assert_eq!(back, col);
+        assert_eq!(back_header, header);
+        // The full-load path must refuse the shard.
+        assert!(matches!(
+            decode_collection(&bytes, 7),
+            Err(PersistError::Shard(_))
+        ));
+    }
+
+    #[test]
+    fn merge_reassembles_partition_in_any_order() {
+        let parts = vec![
+            (shard_part(1), shard_header(1, 2, 1, 2, 2)),
+            (shard_part(0), shard_header(0, 2, 0, 1, 2)),
+        ];
+        let (merged, header) = merge_collections(parts).expect("merge");
+        assert!(header.manifest.is_full());
+        assert_eq!(merged.probes.len(), 2);
+        assert_eq!(merged.probes[0].id, "458.sjeng#0");
+        assert_eq!(merged.probes[1].id, "458.sjeng#1");
+        assert_eq!(merged.engines[0].deltas.len(), 2);
+        assert_eq!(merged.overall_ipc.len(), 2);
+        assert_eq!(
+            merged.engines[0].train_time,
+            sample_collection().engines[0].train_time * 2
+        );
+    }
+
+    #[test]
+    fn merge_rejects_missing_and_overlapping_shards() {
+        let missing = merge_collections(vec![(shard_part(0), shard_header(0, 2, 0, 1, 2))]);
+        match missing {
+            Err(PersistError::Shard(msg)) => assert!(msg.contains("expected 2 shards"), "{msg}"),
+            other => panic!("expected shard error, got {other:?}"),
+        }
+
+        let overlap = merge_collections(vec![
+            (shard_part(0), shard_header(0, 2, 0, 2, 2)),
+            (shard_part(1), shard_header(1, 2, 1, 2, 2)),
+        ]);
+        match overlap {
+            Err(PersistError::Shard(msg)) => assert!(msg.contains("overlaps"), "{msg}"),
+            other => panic!("expected overlap error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_identity_mismatches() {
+        let mut other_fp = shard_header(1, 2, 1, 2, 2);
+        other_fp.fingerprint = 8;
+        assert!(matches!(
+            merge_collections(vec![
+                (shard_part(0), shard_header(0, 2, 0, 1, 2)),
+                (shard_part(1), other_fp),
+            ]),
+            Err(PersistError::Shard(_))
+        ));
+
+        let mut other_keys = shard_part(1);
+        other_keys.keys[0].arch = "Zen".into();
+        assert!(matches!(
+            merge_collections(vec![
+                (shard_part(0), shard_header(0, 2, 0, 1, 2)),
+                (other_keys, shard_header(1, 2, 1, 2, 2)),
+            ]),
+            Err(PersistError::Shard(_))
+        ));
+    }
+
+    #[test]
+    fn assembly_honours_prefix_and_partition_groups() {
+        let dir =
+            std::env::temp_dir().join(format!("perfbug-assemble-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let kind = ExperimentKind::Core;
+        let save = |name: String, col: &Collection, header: &FileHeader| {
+            save_collection_with(&dir.join(name), col, header).expect("save shard");
+        };
+        // A complete 2-way partition under prefix "a" ...
+        save(
+            shard_file_name("a", kind, 7, 0, 2),
+            &shard_part(0),
+            &shard_header(0, 2, 0, 1, 2),
+        );
+        save(
+            shard_file_name("a", kind, 7, 1, 2),
+            &shard_part(1),
+            &shard_header(1, 2, 1, 2, 2),
+        );
+        // ... plus a stale leftover of an abandoned 4-way pass of the same
+        // prefix and fingerprint: it must not block assembly.
+        save(
+            shard_file_name("a", kind, 7, 0, 4),
+            &shard_part(0),
+            &shard_header(0, 4, 0, 1, 2),
+        );
+
+        // Another prefix sees none of these shards.
+        assert!(assemble_from_shards(&dir, Some("b"), kind, 7)
+            .expect("scan")
+            .is_none());
+        // Prefix "a" assembles the complete 2-way group.
+        let col = assemble_from_shards(&dir, Some("a"), kind, 7)
+            .expect("assemble")
+            .expect("complete group");
+        assert_eq!(col.probes.len(), 2);
+        // A wrong fingerprint matches nothing.
+        assert!(assemble_from_shards(&dir, Some("a"), kind, 8)
+            .expect("scan")
+            .is_none());
+
+        // A shard file whose name disagrees with its header is an error,
+        // never silently used.
+        save(
+            shard_file_name("c", kind, 7, 0, 2),
+            &shard_part(1),
+            &shard_header(1, 2, 1, 2, 2),
+        );
+        assert!(matches!(
+            assemble_from_shards(&dir, Some("c"), kind, 7),
+            Err(PersistError::Shard(_))
+        ));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_read_does_not_validate_checksum() {
+        let col = sample_collection();
+        let mut bytes = encode_collection(&col, 7);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // corrupt the checksum itself
+        assert!(read_header(&bytes).is_ok());
+        assert!(decode_collection(&bytes, 7).is_err());
     }
 }

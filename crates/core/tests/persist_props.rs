@@ -12,7 +12,8 @@ use perfbug_core::experiment::{
 };
 use perfbug_core::persist::{
     cache_file_name, collect_or_load, config_fingerprint, decode_collection, encode_collection,
-    load_collection, save_collection, CacheStatus, PersistError, FORMAT_VERSION,
+    load_collection, parse_cache_file_name, save_collection, shard_file_name, CacheStatus,
+    ExperimentKind, PersistError, FORMAT_VERSION,
 };
 use perfbug_core::stage1::EngineSpec;
 use perfbug_ml::GbtParams;
@@ -186,6 +187,32 @@ proptest! {
             r => prop_assert!(false, "expected version rejection, got {:?}", r.is_ok()),
         }
     }
+
+    #[test]
+    fn file_names_round_trip_through_parse(
+        fingerprint in any::<u64>(),
+        index in 0u32..512,
+        extra in 1u32..512,
+        mem in any::<bool>(),
+    ) {
+        let count = index + extra;
+        let kind = if mem { ExperimentKind::Memory } else { ExperimentKind::Core };
+        // Prefixes with dashes (even a trailing `-s`) must survive.
+        for prefix in ["fig08", "speed-test", "tbl-s"] {
+            let full = cache_file_name(prefix, kind, fingerprint);
+            let parsed = parse_cache_file_name(&full).expect("full name parses");
+            prop_assert_eq!(&parsed.prefix, prefix);
+            prop_assert_eq!(parsed.kind, kind);
+            prop_assert_eq!(parsed.fingerprint, fingerprint);
+            prop_assert_eq!(parsed.shard, None);
+
+            let shard = shard_file_name(prefix, kind, fingerprint, index as usize, count as usize);
+            let parsed = parse_cache_file_name(&shard).expect("shard name parses");
+            prop_assert_eq!(&parsed.prefix, prefix);
+            prop_assert_eq!(parsed.fingerprint, fingerprint);
+            prop_assert_eq!(parsed.shard, Some((index, count)));
+        }
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -224,7 +251,7 @@ fn real_collection_round_trips_and_replays_without_simulating() {
 
     // save -> load is the identity on a real collected corpus.
     let col = collect(&config);
-    let path = dir.join(cache_file_name("round-trip", fp));
+    let path = dir.join(cache_file_name("round-trip", ExperimentKind::Core, fp));
     save_collection(&path, &col, fp).expect("save");
     let loaded = load_collection(&path, fp).expect("load");
     assert_eq!(loaded, col, "collection must replay byte-identically");
@@ -241,7 +268,7 @@ fn real_collection_round_trips_and_replays_without_simulating() {
 
     // The collect_or_load front door: cold pass collects and saves, warm
     // pass replays without touching the simulator.
-    let front = dir.join(cache_file_name("front-door", fp));
+    let front = dir.join(cache_file_name("front-door", ExperimentKind::Core, fp));
     let _ = std::fs::remove_file(&front);
     let (cold, status) = collect_or_load(&front, &config).expect("cold pass");
     assert_eq!(status, CacheStatus::Collected);

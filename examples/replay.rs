@@ -3,25 +3,29 @@
 //! Collects a small corpus once, saves it with `collect_or_load`, then
 //! replays it from disk and re-runs the (cheap) evaluation phase — the
 //! workflow behind the paper's Figs. 8–13 / Tables IV–VII, where one
-//! simulated corpus feeds many models and thresholds.
+//! simulated corpus feeds many models and thresholds. A second leg
+//! collects the same corpus as two shards and assembles it from the
+//! shard files, the multi-process scale-out workflow.
 //!
 //! This example is also the CI replay guard: it exits non-zero if the
 //! replay path performed any simulation, if the replayed collection is not
-//! identical to the freshly collected one, or if a stale-config cache is
-//! not rejected.
+//! identical to the freshly collected one, if a stale-config cache is not
+//! rejected, or if the shard assembly diverges from the single-process
+//! collection. With an explicit cache-dir argument the produced files are
+//! kept, so CI can run `pbcol verify` over them afterwards.
 //!
 //! ```sh
 //! cargo run --release --example replay [cache-dir]
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use perfbug_core::bugs::BugCatalog;
-use perfbug_core::exec;
-use perfbug_core::experiment::{evaluate_two_stage, CollectionConfig, ProbeScale};
+use perfbug_core::exec::{self, ShardSpec};
+use perfbug_core::experiment::{evaluate_two_stage, Collection, CollectionConfig, ProbeScale};
 use perfbug_core::persist::{
-    cache_file_name, collect_or_load, config_fingerprint, load_collection, CacheStatus,
-    PersistError,
+    cache_file_name, collect_or_load, collect_shard_or_load, config_fingerprint, load_collection,
+    load_or_assemble, shard_file_name, CacheStatus, ExperimentKind, PersistError,
 };
 use perfbug_core::stage1::EngineSpec;
 use perfbug_core::stage2::Stage2Params;
@@ -51,18 +55,31 @@ fn demo_config() -> CollectionConfig {
     config
 }
 
+/// Zeroes the wall-clock timing fields, the only legitimately
+/// nondeterministic part of a collection (shard times sum, single-process
+/// times are measured in one go).
+fn strip_times(col: &mut Collection) {
+    for engine in &mut col.engines {
+        engine.train_time = Duration::ZERO;
+        engine.infer_time = Duration::ZERO;
+    }
+}
+
 fn main() {
-    let dir = std::env::args()
-        .nth(1)
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| {
-            std::env::temp_dir().join(format!("perfbug-replay-{}", std::process::id()))
-        });
+    let explicit_dir = std::env::args().nth(1).map(std::path::PathBuf::from);
+    let keep_files = explicit_dir.is_some();
+    let dir = explicit_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("perfbug-replay-{}", std::process::id()))
+    });
     std::fs::create_dir_all(&dir).expect("cache dir");
 
     let config = demo_config();
     let fingerprint = config_fingerprint(&config);
-    let path = dir.join(cache_file_name("replay-demo", fingerprint));
+    let path = dir.join(cache_file_name(
+        "replay-demo",
+        ExperimentKind::Core,
+        fingerprint,
+    ));
     let _ = std::fs::remove_file(&path);
 
     // Cold pass: simulate, train, save.
@@ -117,7 +134,61 @@ fn main() {
         }
     }
 
-    let _ = std::fs::remove_file(&path);
-    let _ = std::fs::remove_dir(&dir);
+    // Sharded leg: collect the same corpus as two shard processes would,
+    // then assemble the full collection from the shard files alone. The
+    // assembly must be identical to the single-process run, wall-clock
+    // timings aside.
+    println!("sharded pass: collecting 2 shards and assembling ...");
+    let shards = 2;
+    for index in 0..shards {
+        let shard = ShardSpec::new(index, shards);
+        let shard_path = dir.join(shard_file_name(
+            "replay-demo",
+            ExperimentKind::Core,
+            fingerprint,
+            index,
+            shards,
+        ));
+        let _ = std::fs::remove_file(&shard_path);
+        let (part, status) = collect_shard_or_load(&shard_path, &config, shard).expect("shard");
+        assert_eq!(status, CacheStatus::Collected);
+        println!(
+            "  shard {index}/{shards}: {} probes -> {}",
+            part.probes.len(),
+            shard_path.display()
+        );
+    }
+    let _ = std::fs::remove_file(&path); // force assembly, not replay
+    let assembled = match load_or_assemble(&path, ExperimentKind::Core, fingerprint) {
+        Ok(Some((col, CacheStatus::Assembled))) => col,
+        other => {
+            eprintln!("REPLAY GUARD FAILED: shard assembly did not happen: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let (mut assembled_cmp, mut cold_cmp) = (assembled, cold.clone());
+    strip_times(&mut assembled_cmp);
+    strip_times(&mut cold_cmp);
+    if assembled_cmp != cold_cmp {
+        eprintln!("REPLAY GUARD FAILED: assembled corpus differs from the single-process one");
+        std::process::exit(1);
+    }
+    println!("  2-shard assembly matches the single-process collection");
+
+    if keep_files {
+        println!("keeping cache files in {} for inspection", dir.display());
+    } else {
+        for index in 0..shards {
+            let _ = std::fs::remove_file(dir.join(shard_file_name(
+                "replay-demo",
+                ExperimentKind::Core,
+                fingerprint,
+                index,
+                shards,
+            )));
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
     println!("replay guard passed");
 }
