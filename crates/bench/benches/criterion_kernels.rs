@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use perfbug_core::counter_select::{select_counters, SelectionThresholds};
 use perfbug_ml::{
-    axpy, gemv, matmul_transb, Dataset, Gbt, GbtParams, Matrix, Mlp, MlpParams, Regressor,
+    axpy, dot, gemv, matmul_transb, Dataset, Gbt, GbtParams, Matrix, Mlp, MlpParams, Regressor,
 };
 use perfbug_uarch::{presets, simulate, simulate_into, BugSpec, ProbeRun};
 use perfbug_workloads::{benchmark, kmeans::kmeans, Inst, Opcode, WorkloadScale};
@@ -57,6 +57,9 @@ fn bench_linalg(c: &mut Criterion) {
             dst[0]
         })
     });
+    // Audit partner of axpy_4096: both innermost kernels 4-lane unrolled
+    // (numbers recorded in docs/ENGINES.md).
+    c.bench_function("dot_4096", |b| b.iter(|| dot(&src, &dst)));
 }
 
 fn bench_simulators(c: &mut Criterion) {

@@ -13,7 +13,7 @@ use perfbug_core::bugs::BugCatalog;
 use perfbug_core::exec;
 use perfbug_core::experiment::{collect, CollectionConfig, ProbeScale};
 use perfbug_core::stage1::EngineSpec;
-use perfbug_ml::GbtParams;
+use perfbug_ml::{Dataset, Gbt, GbtParams, Regressor, SplitStrategy};
 use perfbug_uarch::{simulate_into, BugSpec, ProbeRun};
 use perfbug_workloads::Opcode;
 
@@ -141,8 +141,49 @@ fn collection_throughput() {
     println!("  parallel speedup: {:.2}x", par_rps / serial_rps);
 }
 
+/// Times one GBT fit and the resulting training MSE.
+fn timed_gbt_fit(data: &Dataset, strategy: SplitStrategy) -> (f64, f64) {
+    let mut model = Gbt::new(GbtParams {
+        n_trees: 100,
+        split_strategy: strategy,
+        ..GbtParams::default()
+    });
+    let t0 = Instant::now();
+    model.fit(data, None);
+    let secs = t0.elapsed().as_secs_f64();
+    let mse = perfbug_ml::metrics::mse(&model.predict(data.x()), data.y());
+    (secs, mse)
+}
+
+/// Exact vs histogram GBT split finding on a stage-1-shaped training set.
+fn gbt_split_throughput() {
+    let (n, f) = (4000, 24);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..f)
+                .map(|j| ((i * (j + 3)) as f64 * 0.0137).sin())
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| (r[0] + 0.5 * r[f / 2] - r[f - 1]).tanh())
+        .collect();
+    let data = Dataset::from_rows(&rows, &y).expect("aligned");
+    println!();
+    println!("GBT split finding ({n}x{f}, 100 trees, depth 4):");
+    let (exact_secs, exact_mse) = timed_gbt_fit(&data, SplitStrategy::Exact);
+    println!("  exact:               {exact_secs:8.2}s  (train mse {exact_mse:.2e})");
+    let (hist_secs, hist_mse) = timed_gbt_fit(&data, SplitStrategy::Histogram { max_bins: 255 });
+    println!(
+        "  histogram (255 bins):{hist_secs:9.2}s  (train mse {hist_mse:.2e}; {:.1}x faster)",
+        exact_secs / hist_secs.max(1e-9)
+    );
+}
+
 fn main() {
     per_benchmark_simulation();
+    gbt_split_throughput();
     collection_throughput();
     replay_throughput();
 }

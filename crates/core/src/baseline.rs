@@ -14,7 +14,10 @@ use perfbug_ml::{Dataset, Gbt, GbtParams, Regressor};
 pub struct BaselineParams {
     /// Boosted-tree configuration of the per-probe classifiers (the paper
     /// uses its best engine, GBT-250; smaller forests trade accuracy for
-    /// speed at reproduction scale).
+    /// speed at reproduction scale). The split-finding strategy flows
+    /// through unchanged: the default is histogram split finding, and
+    /// `GbtParams { split_strategy: SplitStrategy::Exact, .. }` restores
+    /// the exact greedy splitter (see `perfbug_ml::SplitStrategy`).
     pub gbt: GbtParams,
     /// Grid of voting thresholds θ evaluated during training.
     pub theta_grid: (f64, f64, usize),

@@ -786,10 +786,14 @@ pub fn bugfree_test_errors(col: &Collection, engine_idx: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perfbug_ml::GbtParams;
+    use perfbug_ml::{GbtParams, SplitStrategy};
     use perfbug_workloads::benchmark;
 
     /// A deliberately tiny configuration exercising the full pipeline.
+    /// Engine 0 is the default histogram-split GBT; engine 1 is the same
+    /// forest under the exact splitter, so every test doubles as a check
+    /// that both split strategies coexist in one collection with distinct
+    /// persisted catalog names.
     fn tiny_config() -> CollectionConfig {
         let catalog = BugCatalog::new(vec![
             BugSpec::SerializeOpcode {
@@ -799,10 +803,17 @@ mod tests {
             BugSpec::MispredictExtraDelay { t: 25 },
         ]);
         let mut config = CollectionConfig::new(
-            vec![EngineSpec::Gbt(GbtParams {
-                n_trees: 40,
-                ..GbtParams::default()
-            })],
+            vec![
+                EngineSpec::Gbt(GbtParams {
+                    n_trees: 40,
+                    ..GbtParams::default()
+                }),
+                EngineSpec::Gbt(GbtParams {
+                    n_trees: 40,
+                    split_strategy: SplitStrategy::Exact,
+                    ..GbtParams::default()
+                }),
+            ],
             catalog,
         );
         config.scale = ProbeScale::tiny();
@@ -822,6 +833,9 @@ mod tests {
         assert_eq!(col.probes.len(), 6);
         // 10 eval designs x (1 + 3 bugs) keys.
         assert_eq!(col.keys.len(), 10 * 4);
+        // The persisted catalog tells the split strategies apart.
+        let names: Vec<&str> = col.engines.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["GBT-40", "GBT-40-exact"]);
         for engine in &col.engines {
             assert_eq!(engine.deltas.len(), col.probes.len());
             for d in &engine.deltas {
@@ -844,6 +858,9 @@ mod tests {
         assert_eq!(eval.folds.len(), 3);
         // Pooled decisions: 3 folds x (4 test designs x (1 neg + 1 pos)).
         assert_eq!(eval.metrics.positives + eval.metrics.negatives, 24);
+        // The exact-splitter engine detects on the same corpus too.
+        let exact = evaluate_two_stage(&col, 1, Stage2Params::default());
+        assert!(exact.metrics.roc_auc > 0.5, "AUC {}", exact.metrics.roc_auc);
     }
 
     #[test]

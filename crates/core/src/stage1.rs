@@ -7,7 +7,7 @@
 
 use perfbug_ml::{
     Cnn, CnnParams, Dataset, Gbt, GbtParams, Lasso, LassoParams, Lstm, LstmParams, Mlp, MlpParams,
-    Regressor, Sequence, SequenceRegressor,
+    Regressor, Sequence, SequenceRegressor, SplitStrategy,
 };
 use perfbug_workloads::RowMatrix;
 
@@ -64,7 +64,11 @@ impl FeatureSpec {
 /// Stage-1 engine family and hyper-parameters.
 ///
 /// Names follow the paper: `<layers>-<family>-<width>` for neural engines
-/// and `GBT-<trees>` for boosted trees.
+/// and `GBT-<trees>` for boosted trees. A boosted-tree engine using the
+/// exact splitter (instead of the default histogram split finding) is
+/// named `GBT-<trees>-exact`, so the persisted engine catalog of a
+/// [`crate::experiment::Collection`] records which trainer produced each
+/// delta matrix and the two variants can coexist in one collection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineSpec {
     /// L1-regularised linear regression.
@@ -91,7 +95,10 @@ impl EngineSpec {
             ),
             EngineSpec::Cnn(p) => format!("{}-CNN-{}", p.conv_blocks, p.hidden),
             EngineSpec::Lstm(p) => format!("{}-LSTM-{}", p.layers, p.hidden),
-            EngineSpec::Gbt(p) => format!("GBT-{}", p.n_trees),
+            EngineSpec::Gbt(p) => match p.split_strategy {
+                SplitStrategy::Histogram { .. } => format!("GBT-{}", p.n_trees),
+                SplitStrategy::Exact => format!("GBT-{}-exact", p.n_trees),
+            },
         }
     }
 
@@ -191,7 +198,13 @@ impl ProbeModel {
                     EngineSpec::Lasso(p) => Box::new(Lasso::new(*p)),
                     EngineSpec::Mlp(p) => Box::new(Mlp::new(p.clone())),
                     EngineSpec::Cnn(p) => Box::new(Cnn::new(*p)),
-                    EngineSpec::Gbt(p) => Box::new(Gbt::new(*p)),
+                    // Stage-1 fits run on the collection engine's
+                    // (probe x engine) training grid, which already
+                    // saturates the machine — keep the GBT's per-node
+                    // histogram builds serial rather than spawning nested
+                    // threads inside every pool worker (output is
+                    // bit-identical either way).
+                    EngineSpec::Gbt(p) => Box::new(Gbt::new(*p).with_hist_threads(1)),
                     EngineSpec::Lstm(_) => unreachable!("handled above"),
                 };
                 boxed.fit(&train_data, val_ref);
@@ -357,6 +370,15 @@ mod tests {
     #[test]
     fn engine_names_match_paper_convention() {
         assert_eq!(EngineSpec::gbt250().name(), "GBT-250");
+        assert_eq!(
+            EngineSpec::Gbt(GbtParams {
+                n_trees: 250,
+                split_strategy: SplitStrategy::Exact,
+                ..GbtParams::default()
+            })
+            .name(),
+            "GBT-250-exact"
+        );
         assert_eq!(
             EngineSpec::Lstm(LstmParams {
                 layers: 1,

@@ -1,4 +1,28 @@
 //! Supervised regression datasets (feature rows and time-series sequences).
+//!
+//! [`Dataset`] pairs a row-major feature [`Matrix`] with one
+//! target per row and is what every row-oriented engine
+//! ([`crate::Regressor`]) trains on; [`Sequence`] is the per-step analogue
+//! consumed by [`crate::Lstm`]. Construction validates shape (ragged rows
+//! and row/target mismatches are errors, not panics), and
+//! [`Dataset::split`] provides the deterministic shuffled train/validation
+//! partition used for early stopping.
+//!
+//! ```
+//! use perfbug_ml::Dataset;
+//!
+//! let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+//! let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+//! let data = Dataset::from_rows(&rows, &y).unwrap();
+//! assert_eq!((data.len(), data.n_features()), (10, 2));
+//!
+//! let (train, val) = data.split(0.3, 42); // deterministic per seed
+//! assert_eq!(train.len() + val.len(), data.len());
+//! assert_eq!(val.len(), 3);
+//!
+//! // Malformed input is rejected, never silently truncated.
+//! assert!(Dataset::from_rows(&[vec![1.0]], &[1.0, 2.0]).is_err());
+//! ```
 
 use std::error::Error;
 use std::fmt;

@@ -10,7 +10,9 @@
 //! * [`Mlp`] — multi-layer perceptron (Keras analogue),
 //! * [`Cnn`] — 1-D convolutional network (Keras analogue),
 //! * [`Lstm`] — long short-term memory network (Keras analogue),
-//! * [`Gbt`] — gradient-boosted regression trees (XGBoost analogue).
+//! * [`Gbt`] — gradient-boosted regression trees (XGBoost analogue) with
+//!   LightGBM-style histogram split finding by default (see
+//!   [`SplitStrategy`] and the [`gbt`] module docs).
 //!
 //! All engines train with deterministic seeded initialisation so that
 //! experiments are reproducible. Neural engines use the [`Adam`] optimiser
@@ -35,11 +37,11 @@
 
 mod adam;
 mod cnn;
-mod dataset;
-mod gbt;
+pub mod dataset;
+pub mod gbt;
 mod linear;
 mod lstm;
-mod matrix;
+pub mod matrix;
 pub mod metrics;
 mod mlp;
 mod scaler;
@@ -47,7 +49,7 @@ mod scaler;
 pub use adam::Adam;
 pub use cnn::{Cnn, CnnParams};
 pub use dataset::{Dataset, DatasetError, Sequence};
-pub use gbt::{Gbt, GbtParams};
+pub use gbt::{BinnedDataset, Gbt, GbtParams, SplitStrategy};
 pub use linear::{Lasso, LassoParams};
 pub use lstm::{Lstm, LstmParams};
 pub use matrix::{axpy, dot, gemv, gemv_acc, matmul, matmul_ta, matmul_transb, Matrix};

@@ -9,6 +9,24 @@
 //! its second operand pre-transposed so the inner loop streams both
 //! operands contiguously — the layout the MLP/CNN forward passes use for
 //! `X · Wᵀ`.
+//!
+//! [`dot`] and [`axpy`] — the innermost loops of every kernel here — use
+//! explicit 4-lane unrolled accumulators so the optimiser can keep four
+//! independent f64 lanes in flight (see the SIMD-width audit in
+//! `docs/ENGINES.md` for measured numbers).
+//!
+//! ```
+//! use perfbug_ml::matrix::{axpy, dot, Matrix};
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+//! assert_eq!(a.gemv(&[1.0, 1.0]), vec![3.0, 7.0]);
+//! assert_eq!(a.matmul(&a).row(0), &[7.0, 10.0]);
+//!
+//! assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+//! let mut y = [1.0, 1.0];
+//! axpy(2.0, &[10.0, 20.0], &mut y); // y += 2 * x
+//! assert_eq!(y, [21.0, 41.0]);
+//! ```
 
 use std::fmt;
 
@@ -40,7 +58,8 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     s
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (4-way unrolled; bit-identical to the scalar loop
+/// since every output element is an independent fused update).
 ///
 /// # Panics
 ///
@@ -48,7 +67,19 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut chunks_y = y.chunks_exact_mut(4);
+    let mut chunks_x = x.chunks_exact(4);
+    for (cy, cx) in chunks_y.by_ref().zip(chunks_x.by_ref()) {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (yi, xi) in chunks_y
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_x.remainder())
+    {
         *yi += alpha * xi;
     }
 }

@@ -1,0 +1,186 @@
+//! Exact-vs-histogram GBT parity suite.
+//!
+//! The histogram trainer quantises features before split finding, so it is
+//! an *approximation* of the exact greedy splitter — except where binning
+//! is lossless (at most `max_bins` distinct values per feature), where the
+//! candidate split sets coincide and the two strategies must agree. These
+//! properties pin that contract:
+//!
+//! * all-distinct feature values (one bin per row at `max_bins = 255`):
+//!   predictions bit-identical across all boosting rounds;
+//! * ≤ 255 distinct values with exactly representable gradient arithmetic:
+//!   bit-identical split thresholds at the bin boundaries;
+//! * random repeated-value datasets: predictions within tolerance;
+//! * per-round training loss non-increasing (squared loss is minimised
+//!   exactly by each leaf, shrinkage only scales the step);
+//! * constant columns are never selected for a split by either strategy
+//!   (the binning analogue of `StandardScaler`'s constant-column mask).
+
+use perfbug_ml::metrics::mse;
+use perfbug_ml::{Dataset, Gbt, GbtParams, Regressor, SplitStrategy};
+use proptest::prelude::*;
+
+fn fit(data: &Dataset, n_trees: usize, strategy: SplitStrategy) -> Gbt {
+    let mut m = Gbt::new(GbtParams {
+        n_trees,
+        split_strategy: strategy,
+        ..GbtParams::default()
+    });
+    m.fit(data, None);
+    m
+}
+
+/// A learnable nonlinear target over arbitrary feature rows.
+fn target(row: &[f64]) -> f64 {
+    let s: f64 = row.iter().sum();
+    (s * 0.37).sin() + 0.25 * s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bit_identical_on_all_distinct_values(
+        seed in 0u64..1000,
+        n in 30usize..150,
+        n_features in 1usize..5,
+        n_trees in 1usize..15,
+    ) {
+        // Every feature value is unique (the irrational stride never
+        // repeats over an integer index), so every row gets its own bin at
+        // max_bins = 255 (n < 255): binning is lossless, candidate
+        // partitions and summation orders coincide, and both strategies
+        // grow the same row partitions with the same leaf weights round
+        // after round — training-set predictions must match bit for bit.
+        // (Threshold *values* may differ inside value gaps of child
+        // nodes: exact uses subset-adjacent midpoints, histogram the
+        // first bin boundary realising the same partition.)
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n_features)
+                    .map(|f| ((i * (f + 2) + seed as usize) as f64 * 0.618_033_988_749).fract() + i as f64 * 1e-3)
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| target(r)).collect();
+        let data = Dataset::from_rows(&rows, &y).unwrap();
+        let exact = fit(&data, n_trees, SplitStrategy::Exact);
+        let hist = fit(&data, n_trees, SplitStrategy::Histogram { max_bins: 255 });
+        prop_assert_eq!(
+            exact.split_thresholds().len(),
+            hist.split_thresholds().len()
+        );
+        prop_assert_eq!(exact.predict(data.x()), hist.predict(data.x()));
+    }
+
+    #[test]
+    fn close_to_exact_on_repeated_values(
+        seed in 0u64..1000,
+        n in 40usize..160,
+        levels in 3usize..20,
+    ) {
+        // Feature values drawn from a small grid (heavy repetition), so
+        // bins hold many rows. Binning is still lossless (levels < 255),
+        // but per-bin summation order differs from the exact splitter's
+        // row-by-row order; models must agree to floating-point noise.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = ((i * 7 + seed as usize) % levels) as f64;
+                let b = ((i * 13 + seed as usize / 3) % levels) as f64 * 0.5;
+                vec![a, b]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().enumerate().map(|(i, r)| target(r) + (i as f64 * 0.11).sin() * 0.1).collect();
+        let data = Dataset::from_rows(&rows, &y).unwrap();
+        let exact = fit(&data, 10, SplitStrategy::Exact);
+        let hist = fit(&data, 10, SplitStrategy::Histogram { max_bins: 255 });
+        let pe = exact.predict(data.x());
+        let ph = hist.predict(data.x());
+        for (a, b) in pe.iter().zip(&ph) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn per_round_training_loss_non_increasing(
+        seed in 0u64..1000,
+        n in 30usize..100,
+        max_bins in 4u16..64,
+    ) {
+        // Boosting the squared loss with leaf weights -G/(H+λ) and
+        // shrinkage in (0, 2) can never increase training loss, for any
+        // bin resolution. Models with k trees share their first k trees
+        // with larger models (greedy growth), so refitting per k walks
+        // the per-round losses.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i as u64 * 37 + seed) % 101) as f64 / 10.0, (i % 9) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| target(r)).collect();
+        let data = Dataset::from_rows(&rows, &y).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..=8 {
+            let m = fit(&data, k, SplitStrategy::Histogram { max_bins });
+            let loss = mse(&m.predict(data.x()), &y);
+            prop_assert!(
+                loss <= prev + 1e-12,
+                "round {k}: loss {loss} > previous {prev}"
+            );
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn constant_columns_never_split(
+        seed in 0u64..1000,
+        n in 20usize..80,
+        constant in -1e3..1e3f64,
+    ) {
+        // Regression guard for the binning analogue of StandardScaler's
+        // constant-column mask: one distinct value -> zero cut points ->
+        // no split may ever select the feature, under either strategy.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![constant, ((i as u64 * 29 + seed) % 37) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| target(r)).collect();
+        let data = Dataset::from_rows(&rows, &y).unwrap();
+        for strategy in [SplitStrategy::Exact, SplitStrategy::Histogram { max_bins: 255 }] {
+            let m = fit(&data, 8, strategy);
+            prop_assert!(
+                m.split_thresholds().iter().all(|&(f, _)| f != 0),
+                "{strategy:?} split on the constant column"
+            );
+        }
+    }
+}
+
+/// `max_bins = 255` against exact on ≤ 255 distinct values: bit-identical
+/// thresholds at the bin boundaries. 256 rows over 32 distinct dyadic
+/// values with dyadic targets keep every gradient sum exactly
+/// representable, so the two strategies see *equal* gains — not merely
+/// close ones — and must pick the same cut, whose threshold is the same
+/// midpoint under both candidate formulas.
+#[test]
+fn max_bins_255_thresholds_bit_identical_on_few_distinct() {
+    let n = 256;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![(i % 32) as f64, ((i / 32) % 8) as f64 * 0.25])
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| ((i % 32) / 8) as f64 - ((i / 32) % 4) as f64 * 0.5)
+        .collect();
+    let data = Dataset::from_rows(&rows, &y).unwrap();
+    let params = |s| GbtParams {
+        n_trees: 1,
+        max_depth: 6,
+        split_strategy: s,
+        ..GbtParams::default()
+    };
+    let mut exact = Gbt::new(params(SplitStrategy::Exact));
+    let mut hist = Gbt::new(params(SplitStrategy::Histogram { max_bins: 255 }));
+    exact.fit(&data, None);
+    hist.fit(&data, None);
+    let te = exact.split_thresholds();
+    assert!(!te.is_empty(), "test data must produce splits");
+    assert_eq!(te, hist.split_thresholds());
+    assert_eq!(exact.predict(data.x()), hist.predict(data.x()));
+}
