@@ -9,19 +9,28 @@
 //! pbcol inspect <file>...            dump header + payload shapes
 //! pbcol verify  <file-or-dir>...     checksum + shard-coverage validation
 //! pbcol merge   -o <out> <file>...   merge a shard set into one full file
-//! pbcol prune   <dir> [--dry-run]    evict stale cache files
+//! pbcol prune   <dir> [--dry-run]    evict stale cache files + orphan temps
 //! ```
+//!
+//! `inspect` also prints the orchestrator's shard-attempt provenance
+//! (the `.orchrun.json` run report `pborch` writes beside the cache
+//! file) when one is present, and `prune` evicts the `*.pbcol.*.tmp`
+//! in-flight temp files a killed shard worker leaves behind (writes are
+//! atomic — temp + rename — so such a file is always garbage once its
+//! writer is gone; see `docs/FORMAT.md`).
 //!
 //! The on-disk format is specified byte-by-byte in `docs/FORMAT.md`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use perfbug_core::experiment::Collection;
+use perfbug_core::orchestrate::{report_path_for, REPORT_EXTENSION};
 use perfbug_core::persist::{
-    decode_collection_with, merge_collections, parse_cache_file_name, read_header,
-    save_collection_with, FileHeader, PersistError, CORPUS_REVISION, FILE_EXTENSION,
+    decode_collection_with, is_temp_file_name, merge_collections, parse_cache_file_name,
+    read_header, save_collection_with, FileHeader, PersistError, CORPUS_REVISION, FILE_EXTENSION,
     FORMAT_VERSION,
 };
 
@@ -57,10 +66,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "pbcol — perfbug collection cache maintenance
 
 USAGE:
-    pbcol inspect <file>...            dump header + payload shapes
+    pbcol inspect <file>...            dump header + payload shapes (and the
+                                       orchestrator run report, when present)
     pbcol verify  <file-or-dir>...     checksum + shard-coverage validation
     pbcol merge   -o <out> <file>...   merge a shard set into one full file
-    pbcol prune   <dir> [--dry-run]    evict stale cache files
+    pbcol prune   <dir> [--dry-run]    evict stale cache files and orphaned
+                                       in-flight temp files
 
 The on-disk format is documented in docs/FORMAT.md.";
 
@@ -150,11 +161,29 @@ fn inspect(args: &[String]) -> Result<(), String> {
                 failed = true;
             }
         }
+        print_provenance(path);
     }
     if failed {
         Err("one or more files were unreadable".into())
     } else {
         Ok(())
+    }
+}
+
+/// Prints the shard-attempt provenance of an orchestrated pass — the
+/// `.orchrun.json` run report `pborch` (or an orchestrated bench target)
+/// wrote beside the full cache file — when one is present.
+fn print_provenance(path: &Path) {
+    let report = report_path_for(path);
+    let Ok(json) = std::fs::read_to_string(&report) else {
+        return;
+    };
+    println!(
+        "  provenance:      orchestrated pass ({})",
+        report.display()
+    );
+    for line in json.lines() {
+        println!("    {line}");
     }
 }
 
@@ -333,6 +362,61 @@ fn stale_reason(path: &Path, bytes: &[u8]) -> Option<String> {
     None
 }
 
+/// A `*.pbcol.*.tmp` in-flight temp file this old is orphaned: writers
+/// produce one with a single `fs::write` immediately followed by a
+/// rename, so no healthy writer holds one open for minutes — only a
+/// worker that was killed (or crashed) mid-write leaves one behind.
+const ORPHAN_TEMP_AGE: Duration = Duration::from_secs(15 * 60);
+
+/// The atomic-write temp files under `dir` (see
+/// `persist::is_temp_file_name`), sorted for deterministic output.
+fn temp_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let p = entry.map_err(|e| e.to_string())?.path();
+        if p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(is_temp_file_name)
+        {
+            files.push(p);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The orchestrator run reports (`*.orchrun.json`) under `dir`, sorted
+/// for deterministic output.
+fn report_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let p = entry.map_err(|e| e.to_string())?.path();
+        if p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(&format!(".{REPORT_EXTENSION}")))
+        {
+            files.push(p);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Whether a temp file is old enough to be orphaned. A file whose mtime
+/// is unreadable or in the future is treated as fresh (kept) — a live
+/// writer must never lose its in-flight file.
+fn orphaned_temp(path: &Path, min_age: Duration) -> bool {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+        .is_some_and(|age| age >= min_age)
+}
+
 fn prune(args: &[String]) -> Result<(), String> {
     let mut dir: Option<PathBuf> = None;
     let mut dry_run = false;
@@ -347,22 +431,52 @@ fn prune(args: &[String]) -> Result<(), String> {
     if !dir.is_dir() {
         return Err(format!("{} is not a directory", dir.display()));
     }
+    prune_dir(&dir, dry_run, ORPHAN_TEMP_AGE)
+}
+
+fn prune_dir(dir: &Path, dry_run: bool, temp_age: Duration) -> Result<(), String> {
     let mut kept = 0usize;
     let mut evicted = 0usize;
-    for path in pbcol_files(&dir)? {
+    let mut evict = |path: &Path, reason: &str| -> Result<(), String> {
+        evicted += 1;
+        if dry_run {
+            println!("would evict {}: {reason}", path.display());
+        } else {
+            std::fs::remove_file(path)
+                .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+            println!("evicted {}: {reason}", path.display());
+        }
+        Ok(())
+    };
+    for path in pbcol_files(dir)? {
         let bytes = read_bytes(&path)?;
         match stale_reason(&path, &bytes) {
             None => kept += 1,
-            Some(reason) => {
-                evicted += 1;
-                if dry_run {
-                    println!("would evict {}: {reason}", path.display());
-                } else {
-                    std::fs::remove_file(&path)
-                        .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
-                    println!("evicted {}: {reason}", path.display());
-                }
-            }
+            Some(reason) => evict(&path, &reason)?,
+        }
+    }
+    for path in temp_files(dir)? {
+        if orphaned_temp(&path, temp_age) {
+            evict(&path, "orphaned in-flight temp file (writer died mid-save)")?;
+        } else {
+            kept += 1;
+        }
+    }
+    // Run reports whose corpus is gone (evicted above, or pruned in an
+    // earlier pass) are stale provenance: without this, `pbcol inspect`
+    // could attribute a later re-collected corpus to the old pass.
+    for path in report_files(dir)? {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let stem = name
+            .strip_suffix(&format!(".{REPORT_EXTENSION}"))
+            .unwrap_or(name);
+        if path
+            .with_file_name(format!("{stem}.{FILE_EXTENSION}"))
+            .exists()
+        {
+            kept += 1;
+        } else {
+            evict(&path, "orphaned run report (its corpus is gone)")?;
         }
     }
     println!(
@@ -376,4 +490,94 @@ fn prune(args: &[String]) -> Result<(), String> {
         }
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory unique to this test process.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pbcol-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn prune_evicts_only_orphaned_temps() {
+        let dir = scratch("prune-temps");
+        let old = dir.join("demo-core-00ff.pbcol.123-0.tmp");
+        let fresh = dir.join("demo-core-00ff.pbcol.123-1.tmp");
+        let unrelated = dir.join("notes.tmp"); // not our grammar: kept
+        for p in [&old, &fresh, &unrelated] {
+            std::fs::write(p, b"junk").expect("write");
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&old)
+            .expect("open");
+        file.set_modified(std::time::SystemTime::UNIX_EPOCH)
+            .expect("set mtime");
+        drop(file);
+
+        prune_dir(&dir, false, ORPHAN_TEMP_AGE).expect("prune");
+        assert!(!old.exists(), "orphaned temp must be evicted");
+        assert!(
+            fresh.exists(),
+            "fresh temp must survive (writer may be live)"
+        );
+        assert!(
+            unrelated.exists(),
+            "foreign .tmp files are not ours to touch"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_evicts_reports_whose_corpus_is_gone() {
+        let dir = scratch("prune-reports");
+        // Orphaned outright: no sibling corpus.
+        let orphan = dir.join("old-core-00ff.orchrun.json");
+        // Orphaned by cascade: its sibling corpus is corrupt (empty), so
+        // the corpus is evicted first and the report follows in the same
+        // pass.
+        let cascade = dir.join("demo-core-00aa.orchrun.json");
+        let corrupt_corpus = dir.join("demo-core-00aa.pbcol");
+        for p in [&orphan, &cascade] {
+            std::fs::write(p, b"{}").expect("write report");
+        }
+        std::fs::write(&corrupt_corpus, b"").expect("write corrupt corpus");
+
+        prune_dir(&dir, true, ORPHAN_TEMP_AGE).expect("prune dry run");
+        assert!(
+            orphan.exists() && cascade.exists(),
+            "dry run deletes nothing"
+        );
+
+        prune_dir(&dir, false, ORPHAN_TEMP_AGE).expect("prune");
+        assert!(!orphan.exists(), "orphaned report must be evicted");
+        assert!(!corrupt_corpus.exists(), "corrupt corpus must be evicted");
+        assert!(
+            !cascade.exists(),
+            "a report orphaned by its corpus's eviction goes with it"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_dry_run_keeps_orphans() {
+        let dir = scratch("prune-dry");
+        let old = dir.join("demo-mem-00ff.pbcol.9-9.tmp");
+        std::fs::write(&old, b"junk").expect("write");
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&old)
+            .expect("open")
+            .set_modified(std::time::SystemTime::UNIX_EPOCH)
+            .expect("set mtime");
+        prune_dir(&dir, true, ORPHAN_TEMP_AGE).expect("prune");
+        assert!(old.exists(), "--dry-run must not delete");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

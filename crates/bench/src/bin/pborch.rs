@@ -1,0 +1,350 @@
+//! `pborch` — shard orchestrator CLI: a process-pool driver for sharded
+//! collection passes.
+//!
+//! PR 3's sharded collection required one hand-run `PERFBUG_SHARD=<i>/<n>`
+//! invocation per worker. `pborch run` drives the whole pass from one
+//! command: it partitions the probe axis into more shards than workers,
+//! spawns shard workers as child processes (re-invocations of this binary
+//! in `worker` mode), supervises them (exit status, shard-file
+//! verification, optional per-shard timeout), requeues shards from
+//! dead/hung/failed workers with a bounded retry budget, assembles the
+//! merged corpus through `persist::merge_collections`, and writes a JSON
+//! run report beside the cache file (printed by `pbcol inspect` as
+//! shard-attempt provenance).
+//!
+//! ```text
+//! pborch run    --spec <name> --cache-dir <dir> --workers <n> [options]
+//! pborch worker --spec <name> --cache-dir <dir> --shard <i>/<n>
+//! pborch specs
+//! ```
+//!
+//! `PERFBUG_ORCH_FAULT=kill:<shard>[@<attempt>]` injects a worker kill
+//! (supervisor-side test hook); CI's `orchestrate-guard` leg uses it with
+//! `--check-full` to prove on every push that a pass surviving worker
+//! loss still assembles the bit-identical corpus.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use perfbug_bench::{base_config, gbt250, replay_demo_config};
+use perfbug_core::exec::ShardSpec;
+use perfbug_core::experiment::{collect, Collection, CollectionConfig};
+use perfbug_core::memory::{collect_memory, MemCollectionConfig, TargetMetric};
+use perfbug_core::orchestrate::{self, CollectPlan, Fault, OrchestratorConfig};
+use perfbug_core::persist::{
+    self, encode_collection_with, ExperimentKind, FileHeader, ShardManifest, CORPUS_REVISION,
+};
+use perfbug_ml::GbtParams;
+use perfbug_workloads::WorkloadScale;
+
+const USAGE: &str = "pborch — shard orchestrator (process-pool driver with retry/requeue)
+
+USAGE:
+    pborch run    --spec <name> --cache-dir <dir> --workers <n>
+                  [--shards <m>]        shard count (default 2 x workers)
+                  [--max-attempts <k>]  per-shard retry budget (default 3)
+                  [--timeout-secs <s>]  per-shard timeout (default none)
+                  [--check-full]        also collect single-process and fail
+                                        unless the merged corpus is
+                                        bit-identical (timings zeroed)
+    pborch worker --spec <name> --cache-dir <dir> --shard <i>/<n>
+                  (internal: one shard worker's turn; run exits after the
+                   shard is saved)
+    pborch specs  list the named collection specs
+
+Faults: PERFBUG_ORCH_FAULT=kill:<shard>[@<attempt>][,...] makes the
+supervisor kill that shard's worker on that attempt (default: first).
+The run report lands at <cache-dir>/<spec>-<kind>-<fp>.orchrun.json.";
+
+/// A named collection configuration `pborch` can orchestrate.
+enum SpecConfig {
+    Core(CollectionConfig),
+    Memory(MemCollectionConfig),
+}
+
+impl SpecConfig {
+    fn kind(&self) -> ExperimentKind {
+        match self {
+            SpecConfig::Core(_) => ExperimentKind::Core,
+            SpecConfig::Memory(_) => ExperimentKind::Memory,
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            SpecConfig::Core(c) => persist::config_fingerprint(c),
+            SpecConfig::Memory(c) => persist::mem_config_fingerprint(c),
+        }
+    }
+
+    fn collect_shard_or_load(
+        &self,
+        path: &Path,
+        shard: ShardSpec,
+    ) -> Result<Collection, persist::PersistError> {
+        match self {
+            SpecConfig::Core(c) => {
+                persist::collect_shard_or_load(path, c, shard).map(|(col, _)| col)
+            }
+            SpecConfig::Memory(c) => {
+                persist::collect_memory_shard_or_load(path, c, shard).map(|(col, _)| col)
+            }
+        }
+    }
+
+    fn collect_full(&self) -> Collection {
+        match self {
+            SpecConfig::Core(c) => collect(c),
+            SpecConfig::Memory(c) => collect_memory(c),
+        }
+    }
+}
+
+/// `(name, description)` of every named spec, for `pborch specs`.
+const SPECS: [(&str, &str); 3] = [
+    (
+        "replay-demo",
+        "the CI replay-guard corpus: 2 benchmarks, 3 core bugs, 6 probes, GBT-40",
+    ),
+    (
+        "gbt-quick",
+        "GBT-250 over the PERFBUG_SCALE catalogue with a 6-probe quick cap",
+    ),
+    (
+        "mem-quick",
+        "memory experiment (AMAT, GBT-30) at tiny workload scale, 4 probes",
+    ),
+];
+
+fn resolve_spec(name: &str) -> Result<SpecConfig, String> {
+    match name {
+        "replay-demo" => Ok(SpecConfig::Core(replay_demo_config())),
+        "gbt-quick" => Ok(SpecConfig::Core(base_config(vec![gbt250()], 6))),
+        "mem-quick" => {
+            let mut config = MemCollectionConfig::new(
+                vec![perfbug_core::stage1::EngineSpec::Gbt(GbtParams {
+                    n_trees: 30,
+                    ..GbtParams::default()
+                })],
+                TargetMetric::Amat,
+            );
+            config.workload = WorkloadScale::tiny();
+            config.step_cycles = 300;
+            config.max_probes = Some(4);
+            Ok(SpecConfig::Memory(config))
+        }
+        other => Err(format!(
+            "unknown spec {other:?} (run `pborch specs` for the list)"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "run" => run(rest),
+        "worker" => worker(rest),
+        "specs" => {
+            for (name, desc) in SPECS {
+                println!("{name:<12} {desc}");
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pborch: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Flags shared by `run` and `worker`.
+struct CommonArgs {
+    spec_name: String,
+    spec: SpecConfig,
+    cache_dir: PathBuf,
+}
+
+/// Pulls the value of a `--flag value` pair out of `args`.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == flag {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} needs a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+    let spec_name =
+        flag_value(args, "--spec")?.ok_or("--spec <name> is required (see `pborch specs`)")?;
+    let cache_dir = flag_value(args, "--cache-dir")?.ok_or("--cache-dir <dir> is required")?;
+    let spec = resolve_spec(&spec_name)?;
+    Ok(CommonArgs {
+        spec_name,
+        spec,
+        cache_dir: PathBuf::from(cache_dir),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{what} must be a number, got {raw:?}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let common = parse_common(args)?;
+    let workers: usize = match flag_value(args, "--workers")? {
+        Some(raw) => parse_num(&raw, "--workers")?,
+        None => return Err("--workers <n> is required".into()),
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let shards: usize = match flag_value(args, "--shards")? {
+        Some(raw) => parse_num(&raw, "--shards")?,
+        None => workers * 2,
+    };
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mut config = OrchestratorConfig::new(workers, shards);
+    if let Some(raw) = flag_value(args, "--max-attempts")? {
+        config.max_attempts = parse_num(&raw, "--max-attempts")?;
+        if config.max_attempts == 0 {
+            return Err("--max-attempts must be at least 1".into());
+        }
+    }
+    if let Some(raw) = flag_value(args, "--timeout-secs")? {
+        config.shard_timeout = Some(Duration::from_secs(parse_num(&raw, "--timeout-secs")?));
+    }
+    config.faults = Fault::from_env();
+    let check_full = args.iter().any(|a| a == "--check-full");
+
+    let kind = common.spec.kind();
+    let fingerprint = common.spec.fingerprint();
+    let plan = CollectPlan {
+        dir: common.cache_dir.clone(),
+        prefix: common.spec_name.clone(),
+        kind,
+        fingerprint,
+    };
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    println!(
+        "orchestrating {}: {} workers x {} shards (<= {} attempts each{}), fingerprint {:016x}",
+        common.spec_name,
+        config.workers,
+        config.shards,
+        config.max_attempts,
+        if config.faults.is_empty() {
+            String::new()
+        } else {
+            format!(", {} injected fault(s)", config.faults.len())
+        },
+        fingerprint
+    );
+    let spec_name = common.spec_name.clone();
+    let cache_dir = common.cache_dir.clone();
+    let build = move |shard: ShardSpec, attempt: u32| {
+        println!(
+            "  launch shard {}/{} (attempt {attempt})",
+            shard.index, shard.count
+        );
+        let mut cmd = Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--spec")
+            .arg(&spec_name)
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            .arg("--shard")
+            .arg(format!("{}/{}", shard.index, shard.count))
+            // The fault hook belongs to this supervisor, not the workers.
+            .env_remove(orchestrate::FAULT_ENV)
+            .stdout(Stdio::null());
+        cmd
+    };
+    let run = orchestrate::orchestrate_collection(&plan, &config, build)
+        .map_err(|e| format!("{}: {e}", common.spec_name))?;
+    println!("{}", run.report.summary());
+    println!("obtained corpus: {:?}", run.status);
+    // The replay fast path launches nothing and writes no report.
+    if run.report_path.exists() {
+        println!("run report: {}", run.report_path.display());
+    }
+
+    if check_full {
+        println!("check-full: collecting single-process reference ...");
+        let header = |col: &Collection| FileHeader {
+            kind,
+            corpus_revision: CORPUS_REVISION,
+            fingerprint,
+            manifest: ShardManifest::full(col.probes.len()),
+        };
+        let mut orchestrated = run.collection;
+        let mut reference = common.spec.collect_full();
+        orchestrated.zero_timings();
+        reference.zero_timings();
+        let orch_bytes = encode_collection_with(&orchestrated, &header(&orchestrated));
+        let ref_bytes = encode_collection_with(&reference, &header(&reference));
+        if orch_bytes != ref_bytes {
+            return Err(format!(
+                "orchestrated corpus is NOT bit-identical to the single-process collection \
+                 ({} vs {} encoded bytes)",
+                orch_bytes.len(),
+                ref_bytes.len()
+            ));
+        }
+        println!(
+            "check-full: merged corpus is bit-identical to the single-process collection \
+             ({} encoded bytes, timings zeroed)",
+            orch_bytes.len()
+        );
+    }
+    Ok(())
+}
+
+fn worker(args: &[String]) -> Result<(), String> {
+    let common = parse_common(args)?;
+    let raw = flag_value(args, "--shard")?.ok_or("--shard <i>/<n> is required")?;
+    let shard = ShardSpec::parse(&raw)?;
+    std::fs::create_dir_all(&common.cache_dir)
+        .map_err(|e| format!("cannot create {}: {e}", common.cache_dir.display()))?;
+    let path = common.cache_dir.join(persist::shard_file_name(
+        &common.spec_name,
+        common.spec.kind(),
+        common.spec.fingerprint(),
+        shard.index,
+        shard.count,
+    ));
+    let col = common
+        .spec
+        .collect_shard_or_load(&path, shard)
+        .map_err(|e| format!("shard {}: {e}", path.display()))?;
+    println!(
+        "worker: shard {}/{} ({} probes) -> {}",
+        shard.index,
+        shard.count,
+        col.probes.len(),
+        path.display()
+    );
+    Ok(())
+}

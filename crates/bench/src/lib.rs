@@ -8,6 +8,19 @@
 //!   whole harness completes in tens of minutes on a laptop;
 //! * `paper` — the full 190-probe, 42-variant configuration.
 //!
+//! # Orchestrated collection
+//!
+//! Setting `PERFBUG_ORCH_WORKERS=<n>` (with `PERFBUG_CACHE_DIR`) makes
+//! [`collect_cached`] / [`collect_memory_cached`] drive the whole
+//! collection through `perfbug_core::orchestrate`: the probe axis is
+//! split into more shards than workers (default `2n`,
+//! `PERFBUG_ORCH_SHARDS` overrides), `n` child processes — re-invocations
+//! of the current binary with `PERFBUG_SHARD=<i>/<m>` and
+//! `PERFBUG_SHARD_ONLY=1` — collect shards off a work queue with bounded
+//! retry on worker loss, and the parent assembles the merged corpus and
+//! continues into evaluation. `pborch` (in `src/bin/pborch.rs`) is the
+//! standalone CLI for the same driver. See `docs/ARCHITECTURE.md`.
+//!
 //! Outputs are plain text: the same rows/series the paper reports, plus a
 //! header stating the scale. Absolute values are expected to differ from
 //! the paper (different substrate); the *shape* is the reproduction target.
@@ -36,14 +49,18 @@
 //! tools. See the README walkthrough and `docs/FORMAT.md`.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use perfbug_core::bugs::BugCatalog;
 use perfbug_core::exec::ShardSpec;
 use perfbug_core::experiment::{collect, Collection, CollectionConfig, ProbeScale};
 use perfbug_core::memory::{collect_memory, MemCollectionConfig};
+use perfbug_core::orchestrate::{self, CollectPlan, Fault, OrchestratorConfig};
 use perfbug_core::persist::{self, CacheStatus, ExperimentKind, PersistError};
 use perfbug_core::stage1::EngineSpec;
 use perfbug_ml::{CnnParams, GbtParams, LassoParams, LstmParams, MlpParams};
+use perfbug_uarch::BugSpec;
+use perfbug_workloads::{benchmark, Opcode};
 
 /// Harness scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,17 +128,51 @@ pub fn cache_dir() -> Option<PathBuf> {
     std::env::var_os("PERFBUG_CACHE_DIR").map(PathBuf::from)
 }
 
-/// Parses `PERFBUG_SHARD` (`<index>/<count>`, e.g. `0/4`). `None` when
-/// unset; a malformed value panics rather than silently collecting the
-/// full grid.
+/// Parses `PERFBUG_SHARD` (`<index>/<count>`, e.g. `0/4`) via
+/// [`ShardSpec::parse`] — the same grammar `pborch`'s `--shard` CLI
+/// argument uses. `None` when unset; a malformed value panics rather
+/// than silently collecting the full grid.
 pub fn shard_from_env() -> Option<ShardSpec> {
     let raw = std::env::var("PERFBUG_SHARD").ok()?;
-    let parsed = raw
-        .split_once('/')
-        .and_then(|(i, n)| Some((i.trim().parse().ok()?, n.trim().parse().ok()?)));
-    let (index, count) = parsed
-        .unwrap_or_else(|| panic!("PERFBUG_SHARD must be <index>/<count> (e.g. 0/4), got {raw:?}"));
-    Some(ShardSpec::new(index, count))
+    Some(ShardSpec::parse(&raw).unwrap_or_else(|e| panic!("PERFBUG_SHARD: {e}")))
+}
+
+/// Orchestration parameters read from the environment
+/// (`PERFBUG_ORCH_*`). `None` when `PERFBUG_ORCH_WORKERS` is unset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrchEnv {
+    /// Worker pool size (`PERFBUG_ORCH_WORKERS`).
+    pub workers: usize,
+    /// Shard count (`PERFBUG_ORCH_SHARDS`, default `2 * workers` so the
+    /// work queue can rebalance around a lost worker).
+    pub shards: usize,
+    /// Per-shard attempt budget (`PERFBUG_ORCH_MAX_ATTEMPTS`, default 3).
+    pub max_attempts: u32,
+    /// Per-shard timeout (`PERFBUG_ORCH_TIMEOUT_SECS`, default none).
+    pub timeout: Option<Duration>,
+}
+
+/// Reads the `PERFBUG_ORCH_*` knobs; `None` when orchestration is not
+/// requested. Malformed values panic — a typo must not silently fall
+/// back to a single-process pass.
+pub fn orch_from_env() -> Option<OrchEnv> {
+    fn num(var: &str) -> Option<u64> {
+        let raw = std::env::var(var).ok()?;
+        match raw.trim().parse() {
+            Ok(n) if n > 0 => Some(n),
+            _ => panic!("{var} must be a positive integer, got {raw:?}"),
+        }
+    }
+    let workers = num("PERFBUG_ORCH_WORKERS")? as usize;
+    let shards = num("PERFBUG_ORCH_SHARDS").map_or(workers * 2, |n| n as usize);
+    let max_attempts = num("PERFBUG_ORCH_MAX_ATTEMPTS").map_or(3, |n| n as u32);
+    let timeout = num("PERFBUG_ORCH_TIMEOUT_SECS").map(Duration::from_secs);
+    Some(OrchEnv {
+        workers,
+        shards,
+        max_attempts,
+        timeout,
+    })
 }
 
 fn cache_path(dir: &PathBuf, name: &str, kind: ExperimentKind, fingerprint: u64) -> PathBuf {
@@ -148,6 +199,12 @@ fn report(status: CacheStatus, path: &Path) {
 /// cleanly, telling the operator which shards are still missing. Exiting
 /// (rather than returning a partial corpus) keeps every bench target's
 /// evaluation phase oblivious to sharding.
+///
+/// Under `PERFBUG_SHARD_ONLY=1` (set by the orchestrator for its child
+/// workers) the worker never assembles: the supervisor owns assembly, so
+/// after saving its shard the worker replays a pre-existing full corpus
+/// (letting multi-collection targets progress past already-orchestrated
+/// passes) or exits cleanly.
 fn run_shard_worker(
     dir: &Path,
     name: &str,
@@ -170,6 +227,22 @@ fn run_shard_worker(
         _ => println!("  [shard] collected and saved {}", shard_path.display()),
     }
     let full = dir.join(persist::cache_file_name(name, kind, fingerprint));
+    if std::env::var_os("PERFBUG_SHARD_ONLY").is_some() {
+        return match persist::load_collection(&full, fingerprint) {
+            Ok(col) => {
+                println!("  [shard] full corpus already assembled; replaying it");
+                col
+            }
+            Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                println!(
+                    "  [shard] {}/{} done (orchestrated worker; the supervisor assembles)",
+                    shard.index, shard.count
+                );
+                std::process::exit(0);
+            }
+            Err(e) => panic!("replaying {}: {e}", full.display()),
+        };
+    }
     match persist::load_or_assemble(&full, kind, fingerprint) {
         Ok(Some((col, status))) => {
             report(status, &full);
@@ -188,16 +261,78 @@ fn run_shard_worker(
     }
 }
 
+/// Drives an orchestrated collection pass for this bench target: child
+/// re-invocations of the current binary collect shards off a work queue
+/// (`PERFBUG_SHARD=<i>/<n>` + `PERFBUG_SHARD_ONLY=1`, stdout silenced),
+/// the supervisor retries lost/hung/failed workers within the budget, and
+/// the merged corpus is returned to the caller's evaluation phase.
+fn run_orchestrated(
+    dir: &Path,
+    name: &str,
+    kind: ExperimentKind,
+    fingerprint: u64,
+    orch: &OrchEnv,
+) -> Collection {
+    let plan = CollectPlan {
+        dir: dir.to_path_buf(),
+        prefix: name.to_string(),
+        kind,
+        fingerprint,
+    };
+    let mut config = OrchestratorConfig::new(orch.workers, orch.shards);
+    config.max_attempts = orch.max_attempts;
+    config.shard_timeout = orch.timeout;
+    config.faults = Fault::from_env();
+    let exe = std::env::current_exe().expect("current executable for worker re-invocation");
+    println!(
+        "  [orch] {} workers x {} shards (<= {} attempts each) for {name} ...",
+        config.workers, config.shards, config.max_attempts
+    );
+    let build = |shard: ShardSpec, _attempt: u32| {
+        let mut cmd = std::process::Command::new(&exe);
+        // Workers must re-run exactly this process's work: forward the
+        // argv (e.g. a criterion bench-name filter), or a filtered
+        // parent would orchestrate one collection while its children
+        // collect another target's shards.
+        cmd.args(std::env::args_os().skip(1))
+            .env("PERFBUG_CACHE_DIR", dir)
+            .env("PERFBUG_SHARD", format!("{}/{}", shard.index, shard.count))
+            .env("PERFBUG_SHARD_ONLY", "1")
+            // Children must not recurse into orchestration, and injected
+            // faults belong to this supervisor alone.
+            .env_remove("PERFBUG_ORCH_WORKERS")
+            .env_remove(orchestrate::FAULT_ENV)
+            .stdout(std::process::Stdio::null());
+        cmd
+    };
+    match orchestrate::orchestrate_collection(&plan, &config, build) {
+        Ok(run) => {
+            println!("  [orch] {}", run.report.summary());
+            // The replay fast path launches nothing and writes no report.
+            if run.report_path.exists() {
+                println!("  [orch] run report: {}", run.report_path.display());
+            }
+            run.collection
+        }
+        Err(e) => panic!("orchestrated collection {name}: {e}"),
+    }
+}
+
 /// Runs (or replays) a core collection. With `PERFBUG_CACHE_DIR` unset
 /// this is plain [`collect`]; with it set, the collection persists under
 /// `name` and subsequent runs replay it without simulating. With
 /// `PERFBUG_SHARD=<i>/<n>` also set, this process becomes shard worker
-/// `i` of `n` (see the module docs).
+/// `i` of `n`; with `PERFBUG_ORCH_WORKERS=<n>` set instead, it becomes
+/// the supervisor of an orchestrated pass (see the module docs).
 pub fn collect_cached(name: &str, config: &CollectionConfig) -> Collection {
     let Some(dir) = cache_dir() else {
         assert!(
             shard_from_env().is_none(),
             "PERFBUG_SHARD requires PERFBUG_CACHE_DIR (shards live in the cache directory)"
+        );
+        assert!(
+            orch_from_env().is_none(),
+            "PERFBUG_ORCH_WORKERS requires PERFBUG_CACHE_DIR (shards live in the cache directory)"
         );
         return collect(config);
     };
@@ -208,6 +343,9 @@ pub fn collect_cached(name: &str, config: &CollectionConfig) -> Collection {
         return run_shard_worker(&dir, name, ExperimentKind::Core, fingerprint, shard, |p| {
             persist::collect_shard_or_load(p, config, shard)
         });
+    }
+    if let Some(orch) = orch_from_env() {
+        return run_orchestrated(&dir, name, ExperimentKind::Core, fingerprint, &orch);
     }
     let path = cache_path(&dir, name, ExperimentKind::Core, fingerprint);
     let (col, status) = persist::collect_or_load(&path, config)
@@ -222,6 +360,10 @@ pub fn collect_memory_cached(name: &str, config: &MemCollectionConfig) -> Collec
         assert!(
             shard_from_env().is_none(),
             "PERFBUG_SHARD requires PERFBUG_CACHE_DIR (shards live in the cache directory)"
+        );
+        assert!(
+            orch_from_env().is_none(),
+            "PERFBUG_ORCH_WORKERS requires PERFBUG_CACHE_DIR (shards live in the cache directory)"
         );
         return collect_memory(config);
     };
@@ -238,11 +380,40 @@ pub fn collect_memory_cached(name: &str, config: &MemCollectionConfig) -> Collec
             |p| persist::collect_memory_shard_or_load(p, config, shard),
         );
     }
+    if let Some(orch) = orch_from_env() {
+        return run_orchestrated(&dir, name, ExperimentKind::Memory, fingerprint, &orch);
+    }
     let path = cache_path(&dir, name, ExperimentKind::Memory, fingerprint);
     let (col, status) = persist::collect_memory_or_load(&path, config)
         .unwrap_or_else(|e| panic!("collection cache {}: {e}", path.display()));
     report(status, &path);
     col
+}
+
+/// The tiny 2-benchmark, 3-bug, 6-probe demo corpus shared by
+/// `examples/replay.rs` (the CI replay guard), the CI `orchestrate-guard`
+/// leg and `pborch`'s `replay-demo` spec: small enough to collect in
+/// seconds, rich enough to exercise engines, sharding and merging.
+pub fn replay_demo_config() -> CollectionConfig {
+    let catalog = BugCatalog::new(vec![
+        BugSpec::SerializeOpcode { x: Opcode::Logic },
+        BugSpec::L2ExtraLatency { t: 30 },
+        BugSpec::MispredictExtraDelay { t: 25 },
+    ]);
+    let mut config = CollectionConfig::new(
+        vec![EngineSpec::Gbt(GbtParams {
+            n_trees: 40,
+            ..GbtParams::default()
+        })],
+        catalog,
+    );
+    config.scale = ProbeScale::tiny();
+    config.benchmarks = vec![
+        benchmark("458.sjeng").expect("suite benchmark"),
+        benchmark("462.libquantum").expect("suite benchmark"),
+    ];
+    config.max_probes = Some(6);
+    config
 }
 
 /// GBT-250 (the paper's best engine — full size at every scale).

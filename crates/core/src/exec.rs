@@ -261,6 +261,29 @@ impl ShardSpec {
         ShardSpec { index: 0, count: 1 }
     }
 
+    /// Parses the canonical `<index>/<count>` notation (e.g. `0/4`) used
+    /// by `PERFBUG_SHARD` and the orchestrator CLIs.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let (index, count) = raw
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec must be <index>/<count> (e.g. 0/4), got {raw:?}"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in {raw:?}"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in {raw:?}"))?;
+        if count == 0 {
+            return Err(format!("shard count must be at least 1 in {raw:?}"));
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
     /// Whether this spec covers the whole probe range by itself.
     pub fn is_full(&self) -> bool {
         self.count == 1

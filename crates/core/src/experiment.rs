@@ -193,6 +193,20 @@ pub struct Collection {
     pub catalog: BugCatalog,
 }
 
+impl Collection {
+    /// Zeroes the per-engine wall-clock timing fields — the only
+    /// legitimately nondeterministic part of a collection (shard times
+    /// sum, single-process times are measured in one go). Bit-identity
+    /// checks (the replay/orchestrate guards, the shard property suites)
+    /// call this on both sides before comparing encodings.
+    pub fn zero_timings(&mut self) {
+        for engine in &mut self.engines {
+            engine.train_time = std::time::Duration::ZERO;
+            engine.infer_time = std::time::Duration::ZERO;
+        }
+    }
+}
+
 /// Configuration of one collection pass.
 #[derive(Debug, Clone)]
 pub struct CollectionConfig {

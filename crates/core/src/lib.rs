@@ -42,6 +42,7 @@ pub mod exec;
 pub mod experiment;
 pub mod localize;
 pub mod memory;
+pub mod orchestrate;
 pub mod persist;
 pub mod report;
 pub mod stage1;
@@ -55,6 +56,10 @@ pub use experiment::{
     ArchPartition, Collection, CollectionConfig, ProbeScale, RunKey,
 };
 pub use memory::{collect_memory, collect_memory_sharded, MemCollectionConfig, TargetMetric};
+pub use orchestrate::{
+    orchestrate_collection, run_orchestrator, CollectPlan, Fault, OrchestrateError,
+    OrchestratedRun, OrchestratorConfig, RunReport,
+};
 pub use persist::{
     collect_memory_or_load, collect_memory_shard_or_load, collect_or_load, collect_shard_or_load,
     config_fingerprint, load_collection, mem_config_fingerprint, merge_collections,

@@ -373,6 +373,16 @@ pub fn shard_file_name(
     format!("{prefix}-{kind}-{fingerprint:016x}-s{index:04}of{count:04}.{FILE_EXTENSION}")
 }
 
+/// Whether `name` follows the in-flight temp-file grammar of
+/// [`save_collection`]'s atomic write path
+/// (`<target>.pbcol.<pid>-<seq>.tmp`). Such a file is invisible to every
+/// reader (loads, shard assembly, `pbcol verify` all select on the
+/// `.pbcol` extension); one left behind by a killed worker is garbage
+/// that `pbcol prune` evicts.
+pub fn is_temp_file_name(name: &str) -> bool {
+    name.ends_with(".tmp") && name.contains(&format!(".{FILE_EXTENSION}."))
+}
+
 /// A cache file name decomposed by [`parse_cache_file_name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedCacheName {
@@ -980,6 +990,27 @@ pub fn encode_collection(col: &Collection, fingerprint: u64) -> Vec<u8> {
 /// payload must go through [`decode_collection_with`].
 pub fn read_header(bytes: &[u8]) -> Result<FileHeader, PersistError> {
     dec_header(&mut Dec::new(bytes))
+}
+
+/// [`read_header`] plus the trailing-checksum validation: catches
+/// truncation and corruption anywhere in the file without paying for a
+/// payload decode. This is the orchestrator's per-shard success check —
+/// full decode correctness is still enforced by the assembly step, which
+/// goes through [`decode_collection_with`].
+pub fn read_header_checked(bytes: &[u8]) -> Result<FileHeader, PersistError> {
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(PersistError::Corrupt(format!(
+            "{} bytes is too short for a collection file",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let header = dec_header(&mut Dec::new(body))?;
+    let stored_checksum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored_checksum {
+        return Err(PersistError::Corrupt("checksum mismatch".into()));
+    }
+    Ok(header)
 }
 
 /// Decodes a serialised collection, validating magic, version, checksum,

@@ -5,7 +5,6 @@
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
-use std::time::Duration;
 
 use perfbug_core::bugs::BugCatalog;
 use perfbug_core::exec::ShardSpec;
@@ -53,14 +52,6 @@ fn tiny_config() -> CollectionConfig {
         bug: Some(1),
     }];
     config
-}
-
-/// Zeroes the only nondeterministic fields: wall-clock stage-1 timings.
-fn strip_times(col: &mut Collection) {
-    for engine in &mut col.engines {
-        engine.train_time = Duration::ZERO;
-        engine.infer_time = Duration::ZERO;
-    }
 }
 
 /// The single-process reference collection, collected once.
@@ -128,8 +119,8 @@ proptest! {
         prop_assert!(header.manifest.is_full());
 
         let mut full = full_collection().clone();
-        strip_times(&mut merged);
-        strip_times(&mut full);
+        merged.zero_timings();
+        full.zero_timings();
         // Bit-identical: the canonical encodings must match byte for byte.
         let fingerprint = config_fingerprint(&tiny_config());
         prop_assert!(

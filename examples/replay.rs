@@ -18,51 +18,21 @@
 //! cargo run --release --example replay [cache-dir]
 //! ```
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use perfbug_core::bugs::BugCatalog;
+use perfbug_bench::replay_demo_config;
 use perfbug_core::exec::{self, ShardSpec};
-use perfbug_core::experiment::{evaluate_two_stage, Collection, CollectionConfig, ProbeScale};
+use perfbug_core::experiment::{evaluate_two_stage, CollectionConfig};
 use perfbug_core::persist::{
     cache_file_name, collect_or_load, collect_shard_or_load, config_fingerprint, load_collection,
     load_or_assemble, shard_file_name, CacheStatus, ExperimentKind, PersistError,
 };
-use perfbug_core::stage1::EngineSpec;
 use perfbug_core::stage2::Stage2Params;
-use perfbug_ml::GbtParams;
-use perfbug_uarch::BugSpec;
-use perfbug_workloads::{benchmark, Opcode};
 
+/// The shared demo corpus (also `pborch`'s `replay-demo` spec, so the CI
+/// orchestrate-guard exercises the exact corpus this guard checks).
 fn demo_config() -> CollectionConfig {
-    let catalog = BugCatalog::new(vec![
-        BugSpec::SerializeOpcode { x: Opcode::Logic },
-        BugSpec::L2ExtraLatency { t: 30 },
-        BugSpec::MispredictExtraDelay { t: 25 },
-    ]);
-    let mut config = CollectionConfig::new(
-        vec![EngineSpec::Gbt(GbtParams {
-            n_trees: 40,
-            ..GbtParams::default()
-        })],
-        catalog,
-    );
-    config.scale = ProbeScale::tiny();
-    config.benchmarks = vec![
-        benchmark("458.sjeng").expect("suite benchmark"),
-        benchmark("462.libquantum").expect("suite benchmark"),
-    ];
-    config.max_probes = Some(6);
-    config
-}
-
-/// Zeroes the wall-clock timing fields, the only legitimately
-/// nondeterministic part of a collection (shard times sum, single-process
-/// times are measured in one go).
-fn strip_times(col: &mut Collection) {
-    for engine in &mut col.engines {
-        engine.train_time = Duration::ZERO;
-        engine.infer_time = Duration::ZERO;
-    }
+    replay_demo_config()
 }
 
 fn main() {
@@ -167,8 +137,8 @@ fn main() {
         }
     };
     let (mut assembled_cmp, mut cold_cmp) = (assembled, cold.clone());
-    strip_times(&mut assembled_cmp);
-    strip_times(&mut cold_cmp);
+    assembled_cmp.zero_timings();
+    cold_cmp.zero_timings();
     if assembled_cmp != cold_cmp {
         eprintln!("REPLAY GUARD FAILED: assembled corpus differs from the single-process one");
         std::process::exit(1);
