@@ -6,18 +6,24 @@
 //! verifies, merges and prunes them without ever touching the simulator.
 //!
 //! ```text
-//! pbcol inspect <file>...            dump header + payload shapes
-//! pbcol verify  <file-or-dir>...     checksum + shard-coverage validation
+//! pbcol inspect <file>...            dump header + payload shapes + chunk
+//!                                    index (for a part file: the durably
+//!                                    recoverable prefix)
+//! pbcol verify  [--stream] <file-or-dir>...
+//!                                    checksum + shard-coverage validation;
+//!                                    --stream validates chunk-by-chunk in
+//!                                    O(chunk) memory with per-chunk status
 //! pbcol merge   -o <out> <file>...   merge a shard set into one full file
-//! pbcol prune   <dir> [--dry-run]    evict stale cache files + orphan temps
+//! pbcol prune   <dir> [--dry-run]    evict stale cache files + dead temps
 //! ```
 //!
 //! `inspect` also prints the orchestrator's shard-attempt provenance
 //! (the `.orchrun.json` run report `pborch` writes beside the cache
-//! file) when one is present, and `prune` evicts the `*.pbcol.*.tmp`
-//! in-flight temp files a killed shard worker leaves behind (writes are
-//! atomic — temp + rename — so such a file is always garbage once its
-//! writer is gone; see `docs/FORMAT.md`).
+//! file) when one is present. `prune` evicts the `*.pbcol.*.tmp`
+//! atomic-write temp files a killed writer leaves behind, but keeps
+//! `*.pbcol.part.tmp` shard part files whose chunk prefix is still
+//! resumable — those are crash-recovery state the shard's next attempt
+//! continues from (see `docs/FORMAT.md`).
 //!
 //! The on-disk format is specified byte-by-byte in `docs/FORMAT.md`.
 
@@ -29,9 +35,10 @@ use std::time::Duration;
 use perfbug_core::experiment::Collection;
 use perfbug_core::orchestrate::{report_path_for, REPORT_EXTENSION};
 use perfbug_core::persist::{
-    decode_collection_with, is_temp_file_name, merge_collections, parse_cache_file_name,
-    read_header, save_collection_with, FileHeader, PersistError, CORPUS_REVISION, FILE_EXTENSION,
-    FORMAT_VERSION,
+    decode_collection_with, is_part_file_name, is_temp_file_name, merge_collections,
+    parse_cache_file_name, read_header, read_header_with_version, save_collection_with,
+    scan_part_file, verify_stream, ChunkEntry, FileHeader, PersistError, CORPUS_REVISION,
+    FILE_EXTENSION, FORMAT_VERSION,
 };
 
 fn main() -> ExitCode {
@@ -66,12 +73,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "pbcol — perfbug collection cache maintenance
 
 USAGE:
-    pbcol inspect <file>...            dump header + payload shapes (and the
-                                       orchestrator run report, when present)
-    pbcol verify  <file-or-dir>...     checksum + shard-coverage validation
+    pbcol inspect <file>...            dump header + payload shapes + chunk
+                                       index (for a `.part.tmp`: the durably
+                                       recoverable prefix), and the
+                                       orchestrator run report when present
+    pbcol verify  [--stream] <file-or-dir>...
+                                       checksum + shard-coverage validation;
+                                       --stream goes chunk-by-chunk in
+                                       O(chunk) memory, per-chunk status
     pbcol merge   -o <out> <file>...   merge a shard set into one full file
-    pbcol prune   <dir> [--dry-run]    evict stale cache files and orphaned
-                                       in-flight temp files
+    pbcol prune   <dir> [--dry-run]    evict stale cache files and dead temp
+                                       files; resumable shard parts are kept
 
 The on-disk format is documented in docs/FORMAT.md.";
 
@@ -99,8 +111,15 @@ fn read_bytes(path: &Path) -> Result<Vec<u8>, String> {
     std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
 }
 
-fn print_header(header: &FileHeader) {
-    println!("  format version:  {FORMAT_VERSION}");
+fn print_header(header: &FileHeader, version: u32) {
+    println!(
+        "  format version:  {version}{}",
+        if version == FORMAT_VERSION {
+            ""
+        } else {
+            "  (legacy: readable, rewritten as v3 on the next collection)"
+        }
+    );
     println!(
         "  corpus revision: {}{}",
         header.corpus_revision,
@@ -144,21 +163,55 @@ fn inspect(args: &[String]) -> Result<(), String> {
     for arg in args {
         let path = Path::new(arg);
         println!("{}:", path.display());
+        // A `*.pbcol.part.tmp` is a crash-recovery artifact, not a
+        // finished file: report its durably recoverable chunk prefix.
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(is_part_file_name)
+        {
+            match scan_part_file(path) {
+                Ok(prefix) => {
+                    print_header(&prefix.header, FORMAT_VERSION);
+                    println!(
+                        "  in-flight part:  {} probe(s) durably recoverable, {} torn tail byte(s)",
+                        prefix.probes, prefix.torn_bytes
+                    );
+                    print_chunk_index(&prefix.chunks);
+                }
+                Err(e) => {
+                    println!("  in-flight part:  nothing recoverable ({e})");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         let bytes = read_bytes(path)?;
-        let header = match read_header(&bytes) {
-            Ok(h) => h,
+        let (header, version) = match read_header_with_version(&bytes) {
+            Ok(hv) => hv,
             Err(e) => {
                 println!("  unreadable header: {e}");
                 failed = true;
                 continue;
             }
         };
-        print_header(&header);
+        print_header(&header, version);
         match decode_collection_with(&bytes, None) {
             Ok((col, _)) => print_shapes(&col),
             Err(e) => {
                 println!("  payload:         INVALID ({e})");
                 failed = true;
+            }
+        }
+        // The v3 chunk/offset index enables O(chunk) random access;
+        // surface it so a human can see what `read_probe` would seek to.
+        if version == FORMAT_VERSION {
+            match perfbug_core::persist::ProbeReader::open(path, None) {
+                Ok(reader) => print_chunk_index(reader.chunk_index()),
+                Err(e) => {
+                    println!("  chunk index:     INVALID ({e})");
+                    failed = true;
+                }
             }
         }
         print_provenance(path);
@@ -167,6 +220,28 @@ fn inspect(args: &[String]) -> Result<(), String> {
         Err("one or more files were unreadable".into())
     } else {
         Ok(())
+    }
+}
+
+/// Prints the v3 chunk/offset index (footer) of a file or part prefix.
+fn print_chunk_index(chunks: &[ChunkEntry]) {
+    println!("  chunk index:     {} chunk(s)", chunks.len());
+    for (i, c) in chunks.iter().enumerate() {
+        if c.is_meta() {
+            println!(
+                "    [{i:>3}] meta    offset {:>8}  len {:>8}  fnv {:016x}",
+                c.offset, c.len, c.checksum
+            );
+        } else {
+            println!(
+                "    [{i:>3}] probes  offset {:>8}  len {:>8}  fnv {:016x}  probes {}..{}",
+                c.offset,
+                c.len,
+                c.checksum,
+                c.first_probe,
+                c.probe_end()
+            );
+        }
     }
 }
 
@@ -190,16 +265,56 @@ fn print_provenance(path: &Path) {
 /// Key grouping the shard files of one collection pass.
 type PassKey = (String, u64);
 
+/// Chunk-by-chunk streaming verification of one v3 file: per-chunk
+/// status lines, O(chunk) peak memory. Falls back to a full in-memory
+/// decode for a legacy v2 file (which has no chunk structure to stream).
+fn verify_one_streaming(path: &Path) -> Result<FileHeader, String> {
+    let mut n = 0usize;
+    match verify_stream(path, None, |entry: &ChunkEntry| {
+        n += 1;
+        if entry.is_meta() {
+            println!(
+                "  chunk meta    @{:>8} len {:>8} ok",
+                entry.offset, entry.len
+            );
+        } else {
+            println!(
+                "  chunk probes  @{:>8} len {:>8} probes {}..{} ok",
+                entry.offset,
+                entry.len,
+                entry.first_probe,
+                entry.probe_end()
+            );
+        }
+    }) {
+        Ok(header) => Ok(header),
+        Err(PersistError::Version { found, .. }) if found != FORMAT_VERSION => {
+            // Legacy v2: whole-file decode is the only validation.
+            let bytes = read_bytes(path)?;
+            let (_, header) = decode_collection_with(&bytes, None)
+                .map_err(|e| format!("legacy v{found} file: {e}"))?;
+            println!("  legacy v{found} file: validated by full decode (not streamable)");
+            Ok(header)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 fn verify(args: &[String]) -> Result<(), String> {
+    let stream = args.iter().any(|a| a == "--stream");
+    let args: Vec<&String> = args.iter().filter(|a| a.as_str() != "--stream").collect();
     if args.is_empty() {
         return Err("verify needs at least one file or directory".into());
     }
     let mut files = Vec::new();
-    for arg in args {
-        files.extend(pbcol_files(Path::new(arg))?);
+    for arg in &args {
+        files.extend(pbcol_files(Path::new(arg.as_str()))?);
     }
     if files.is_empty() {
         return Err("no .pbcol files found".into());
+    }
+    if stream {
+        return verify_streaming(&files);
     }
     let mut errors = 0usize;
     let mut shard_groups: BTreeMap<PassKey, Vec<(PathBuf, Collection, FileHeader)>> =
@@ -278,6 +393,78 @@ fn verify(args: &[String]) -> Result<(), String> {
     }
     if errors > 0 {
         Err(format!("{errors} file(s)/shard set(s) failed verification"))
+    } else {
+        Ok(())
+    }
+}
+
+/// `verify --stream`: each file is validated chunk-by-chunk with
+/// per-chunk status and O(chunk) peak memory (the non-stream path holds
+/// every decoded collection at once to prove shard sets merge). Shard
+/// completeness is still checked — from headers alone.
+fn verify_streaming(files: &[PathBuf]) -> Result<(), String> {
+    let mut errors = 0usize;
+    let mut shard_groups: BTreeMap<PassKey, Vec<FileHeader>> = BTreeMap::new();
+    for path in files {
+        println!("{}:", path.display());
+        match verify_one_streaming(path) {
+            Ok(header) => {
+                // Same name-vs-header agreement check as the full path.
+                if let Some(parsed) = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(parse_cache_file_name)
+                {
+                    let header_shard = (!header.manifest.is_full())
+                        .then_some((header.manifest.index, header.manifest.count));
+                    if parsed.fingerprint != header.fingerprint
+                        || parsed.kind != header.kind
+                        || parsed.shard != header_shard
+                    {
+                        println!(
+                            "FAIL {}: file name says {} {:016x} shard {:?}, header says {} {:016x} {}",
+                            path.display(),
+                            parsed.kind,
+                            parsed.fingerprint,
+                            parsed.shard,
+                            header.kind,
+                            header.fingerprint,
+                            header.manifest
+                        );
+                        errors += 1;
+                        continue;
+                    }
+                }
+                println!("ok   {}: {}", path.display(), header.manifest);
+                if !header.manifest.is_full() {
+                    shard_groups
+                        .entry((header.kind.to_string(), header.fingerprint))
+                        .or_default()
+                        .push(header);
+                }
+            }
+            Err(e) => {
+                println!("FAIL {}: {e}", path.display());
+                errors += 1;
+            }
+        }
+    }
+    for ((kind, fingerprint), group) in shard_groups {
+        let expected = group[0].manifest.count as usize;
+        let mut have: Vec<u32> = group.iter().map(|h| h.manifest.index).collect();
+        have.sort_unstable();
+        if group.len() < expected {
+            println!(
+                "note {kind} {fingerprint:016x}: {}/{expected} shards present (have {have:?}) — \
+                 corpus not yet assemblable",
+                group.len()
+            );
+        } else {
+            println!("ok   {kind} {fingerprint:016x}: all {expected} shards present");
+        }
+    }
+    if errors > 0 {
+        Err(format!("{errors} file(s) failed streaming verification"))
     } else {
         Ok(())
     }
@@ -456,6 +643,37 @@ fn prune_dir(dir: &Path, dry_run: bool, temp_age: Duration) -> Result<(), String
         }
     }
     for path in temp_files(dir)? {
+        // A shard part file (`*.pbcol.part.tmp`) with a valid chunk
+        // prefix is crash-recovery state, not garbage: the next attempt
+        // of its shard resumes from it instead of re-collecting. Only a
+        // part with nothing durably recoverable is a dead orphan.
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(is_part_file_name)
+        {
+            if let Ok(prefix) = scan_part_file(&path) {
+                if prefix.probes > 0 {
+                    kept += 1;
+                    println!(
+                        "kept {}: resumable part ({} probe(s) durable; the shard's next \
+                         attempt resumes from it)",
+                        path.display(),
+                        prefix.probes
+                    );
+                    continue;
+                }
+            }
+            if orphaned_temp(&path, temp_age) {
+                evict(
+                    &path,
+                    "dead part file (no durably recoverable probes, writer gone)",
+                )?;
+            } else {
+                kept += 1;
+            }
+            continue;
+        }
         if orphaned_temp(&path, temp_age) {
             evict(&path, "orphaned in-flight temp file (writer died mid-save)")?;
         } else {
@@ -562,6 +780,78 @@ mod tests {
             !cascade.exists(),
             "a report orphaned by its corpus's eviction goes with it"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_resumable_parts_and_evicts_dead_ones() {
+        use perfbug_core::experiment::{ProbeMeta, RunKey};
+        use perfbug_core::persist::{part_path_for, ProbeRecord, ShardManifest, ShardStreamWriter};
+        use perfbug_core::ExperimentKind;
+
+        let dir = scratch("prune-parts");
+        let epoch = std::time::SystemTime::UNIX_EPOCH;
+        let age = |p: &Path| {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(p)
+                .expect("open")
+                .set_modified(epoch)
+                .expect("set mtime");
+        };
+
+        // A part with no recoverable chunk prefix is a dead orphan.
+        let dead = dir.join("demo-core-00ff.pbcol.part.tmp");
+        std::fs::write(&dead, b"junk").expect("write");
+        age(&dead);
+
+        // A part with one durable probe chunk is resumable and must
+        // survive prune no matter how old it is.
+        let target = dir.join("live-core-00aa.pbcol");
+        let header = FileHeader {
+            kind: ExperimentKind::Core,
+            corpus_revision: CORPUS_REVISION,
+            fingerprint: 0xaa,
+            manifest: ShardManifest::full(2),
+        };
+        let keys = vec![RunKey {
+            arch: "Skylake".into(),
+            set: perfbug_uarch::ArchSet::IV,
+            bug: None,
+        }];
+        let catalog = perfbug_core::BugCatalog::core_small();
+        let mut writer = ShardStreamWriter::create_or_resume(
+            &target,
+            &header,
+            &keys,
+            &["GBT-0".into()],
+            &catalog,
+        )
+        .expect("writer");
+        writer
+            .append_probe(
+                &ProbeRecord {
+                    meta: ProbeMeta {
+                        id: "bench#0".into(),
+                        benchmark: "bench".into(),
+                        weight: 1.0,
+                    },
+                    overall: vec![1.0],
+                    agg: vec![vec![0.5]],
+                    deltas: vec![vec![0.25]],
+                    captures: Vec::new(),
+                },
+                &[(Duration::ZERO, Duration::ZERO)],
+            )
+            .expect("append");
+        drop(writer); // unfinished on purpose: the part IS the artifact
+        let resumable = part_path_for(&target);
+        assert!(resumable.exists());
+        age(&resumable);
+
+        prune_dir(&dir, false, ORPHAN_TEMP_AGE).expect("prune");
+        assert!(!dead.exists(), "dead part must be evicted");
+        assert!(resumable.exists(), "resumable part must be kept");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

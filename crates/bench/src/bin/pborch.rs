@@ -18,10 +18,15 @@
 //! pborch specs
 //! ```
 //!
-//! `PERFBUG_ORCH_FAULT=kill:<shard>[@<attempt>]` injects a worker kill
-//! (supervisor-side test hook); CI's `orchestrate-guard` leg uses it with
-//! `--check-full` to prove on every push that a pass surviving worker
-//! loss still assembles the bit-identical corpus.
+//! `PERFBUG_ORCH_FAULT=<op>:<shard>[@<attempt>]` injects worker faults
+//! (supervisor-side test hook): `kill` right after launch, `killmid`
+//! once at least one probe chunk is durable in the shard's part file,
+//! and `torn` like `killmid` plus a mid-chunk tear of the part file.
+//! Retries resume from the crashed attempt's durable chunk prefix
+//! instead of re-collecting; CI's `orchestrate-guard` legs use the hook
+//! with `--check-full` to prove on every push that a pass surviving
+//! worker loss — including a torn write — still assembles the
+//! bit-identical corpus.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
@@ -53,8 +58,12 @@ USAGE:
                    shard is saved)
     pborch specs  list the named collection specs
 
-Faults: PERFBUG_ORCH_FAULT=kill:<shard>[@<attempt>][,...] makes the
-supervisor kill that shard's worker on that attempt (default: first).
+Faults: PERFBUG_ORCH_FAULT=<op>:<shard>[@<attempt>][,...] makes the
+supervisor fault that shard's worker on that attempt (default: first).
+Ops: kill (right after launch), killmid (once >= 1 probe chunk is
+durable in the part file), torn (killmid + mid-chunk tear of the part
+file). Retries resume from the durable chunk prefix; the supervisor
+prints `resumed=<k>` per resuming attempt.
 The run report lands at <cache-dir>/<spec>-<kind>-<fp>.orchrun.json.";
 
 /// A named collection configuration `pborch` can orchestrate.
@@ -78,18 +87,14 @@ impl SpecConfig {
         }
     }
 
-    fn collect_shard_or_load(
+    fn collect_shard_or_resume(
         &self,
         path: &Path,
         shard: ShardSpec,
-    ) -> Result<Collection, persist::PersistError> {
+    ) -> Result<persist::ShardOutcome, persist::PersistError> {
         match self {
-            SpecConfig::Core(c) => {
-                persist::collect_shard_or_load(path, c, shard).map(|(col, _)| col)
-            }
-            SpecConfig::Memory(c) => {
-                persist::collect_memory_shard_or_load(path, c, shard).map(|(col, _)| col)
-            }
+            SpecConfig::Core(c) => persist::collect_shard_or_resume(path, c, shard),
+            SpecConfig::Memory(c) => persist::collect_memory_shard_or_resume(path, c, shard),
         }
     }
 
@@ -285,6 +290,17 @@ fn run(args: &[String]) -> Result<(), String> {
     let run = orchestrate::orchestrate_collection(&plan, &config, build)
         .map_err(|e| format!("{}: {e}", common.spec_name))?;
     println!("{}", run.report.summary());
+    // Resume accounting: retries that picked up a crashed attempt's
+    // durable part-file prefix (worker stdout is nulled, so the
+    // supervisor reports this; CI's torn-fault guard greps for it).
+    for a in &run.report.attempts {
+        if let Some(k) = a.resumed_probes {
+            println!(
+                "  shard {} attempt {}: resumed={k} durable probe(s) from the previous attempt",
+                a.shard, a.attempt
+            );
+        }
+    }
     println!("obtained corpus: {:?}", run.status);
     // The replay fast path launches nothing and writes no report.
     if run.report_path.exists() {
@@ -335,15 +351,16 @@ fn worker(args: &[String]) -> Result<(), String> {
         shard.index,
         shard.count,
     ));
-    let col = common
+    let outcome = common
         .spec
-        .collect_shard_or_load(&path, shard)
+        .collect_shard_or_resume(&path, shard)
         .map_err(|e| format!("shard {}: {e}", path.display()))?;
     println!(
-        "worker: shard {}/{} ({} probes) -> {}",
+        "worker: shard {}/{} ({} probes, resumed={}) -> {}",
         shard.index,
         shard.count,
-        col.probes.len(),
+        outcome.collection.probes.len(),
+        outcome.resumed_probes,
         path.display()
     );
     Ok(())

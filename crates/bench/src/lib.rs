@@ -41,12 +41,14 @@
 //!
 //! Setting `PERFBUG_SHARD=<index>/<count>` turns a bench target into one
 //! shard worker of a `count`-process collection pass: it collects only its
-//! probe range, saves the shard file beside the full cache file, and then
-//! either assembles the full corpus (when every shard is on disk) and
-//! continues, or exits cleanly so the remaining shards can be run —
-//! possibly on other hosts sharing the cache directory. `pbcol merge` /
-//! `pbcol verify` (in `src/bin/pbcol.rs`) are the matching offline cache
-//! tools. See the README walkthrough and `docs/FORMAT.md`.
+//! probe range, streams it into the shard file beside the full cache file
+//! — resuming a crashed predecessor's durable part-file prefix instead of
+//! re-collecting it — and then either assembles the full corpus (when
+//! every shard is on disk) and continues, or exits cleanly so the
+//! remaining shards can be run, possibly on other hosts sharing the cache
+//! directory. `pbcol merge` / `pbcol verify` (in `src/bin/pbcol.rs`) are
+//! the matching offline cache tools. See the README walkthrough and
+//! `docs/FORMAT.md`.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -211,7 +213,7 @@ fn run_shard_worker(
     kind: ExperimentKind,
     fingerprint: u64,
     shard: ShardSpec,
-    collect_shard: impl FnOnce(&Path) -> Result<(Collection, CacheStatus), PersistError>,
+    collect_shard: impl FnOnce(&Path) -> Result<persist::ShardOutcome, PersistError>,
 ) -> Collection {
     let shard_path = dir.join(persist::shard_file_name(
         name,
@@ -220,10 +222,16 @@ fn run_shard_worker(
         shard.index,
         shard.count,
     ));
-    let (_, status) = collect_shard(&shard_path)
+    let outcome = collect_shard(&shard_path)
         .unwrap_or_else(|e| panic!("shard cache {}: {e}", shard_path.display()));
-    match status {
+    match outcome.status {
         CacheStatus::Replayed => println!("  [shard] replayed {}", shard_path.display()),
+        _ if outcome.resumed_probes > 0 => println!(
+            "  [shard] collected and saved {} (resumed {} durable probe(s) \
+             from a crashed attempt's part file)",
+            shard_path.display(),
+            outcome.resumed_probes
+        ),
         _ => println!("  [shard] collected and saved {}", shard_path.display()),
     }
     let full = dir.join(persist::cache_file_name(name, kind, fingerprint));
@@ -341,7 +349,7 @@ pub fn collect_cached(name: &str, config: &CollectionConfig) -> Collection {
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
         return run_shard_worker(&dir, name, ExperimentKind::Core, fingerprint, shard, |p| {
-            persist::collect_shard_or_load(p, config, shard)
+            persist::collect_shard_or_resume(p, config, shard)
         });
     }
     if let Some(orch) = orch_from_env() {
@@ -377,7 +385,7 @@ pub fn collect_memory_cached(name: &str, config: &MemCollectionConfig) -> Collec
             ExperimentKind::Memory,
             fingerprint,
             shard,
-            |p| persist::collect_memory_shard_or_load(p, config, shard),
+            |p| persist::collect_memory_shard_or_resume(p, config, shard),
         );
     }
     if let Some(orch) = orch_from_env() {

@@ -333,12 +333,31 @@ pub struct GridOutput {
     pub captures: Vec<CapturedSeries>,
 }
 
-/// Output of one (probe, engine) training task.
-struct TrainOutput {
-    deltas: Vec<f64>,
-    train_time: Duration,
-    infer_time: Duration,
-    captures: Vec<CapturedSeries>,
+/// Output of one (probe, engine) stage-1 training task, as surfaced per
+/// probe by [`collect_unit_grid_streaming`].
+#[derive(Debug)]
+pub struct EngineProbeOutput {
+    /// Eq.-(1) inference errors for this probe, one per run key.
+    pub deltas: Vec<f64>,
+    /// Wall-clock stage-1 training time of this (probe, engine) task.
+    pub train_time: Duration,
+    /// Wall-clock stage-1 inference time of this (probe, engine) task.
+    pub infer_time: Duration,
+    /// Captured (simulated, inferred) series, in key order.
+    pub captures: Vec<CapturedSeries>,
+}
+
+/// Everything one probe's pipeline produced, handed to the
+/// [`collect_unit_grid_streaming`] completion callback as soon as the
+/// probe's block finishes.
+#[derive(Debug)]
+pub struct ProbeOutput {
+    /// Overall target metric, one per run key.
+    pub overall: Vec<f64>,
+    /// Aggregated per-run baseline features, one row per run key.
+    pub agg: Vec<Vec<f64>>,
+    /// Per-engine stage-1 outputs, in configured engine order.
+    pub engines: Vec<EngineProbeOutput>,
 }
 
 /// Runs the shared three-phase collection pipeline over a (probe × unit)
@@ -383,13 +402,7 @@ where
     Prep: Fn(usize, &[(RunSeries, f64)]) -> FeatureSpec + Sync,
     Cap: Fn(usize, usize, &EngineSpec, &RunSeries, &[f64]) -> Option<CapturedSeries> + Sync,
 {
-    let threads = threads.max(1);
-    let n_units = grid.n_units;
-    let n_engines = engines.len();
-    let block = threads.max(2);
-    let range = shard.probe_range(n_probes);
-    let shard_len = range.len();
-
+    let shard_len = shard.probe_range(n_probes).len();
     let mut out = GridOutput {
         engines: engines
             .iter()
@@ -404,8 +417,78 @@ where
         agg_features: Vec::with_capacity(shard_len),
         captures: Vec::new(),
     };
+    let result: Result<(), std::convert::Infallible> = collect_unit_grid_streaming(
+        n_probes,
+        threads,
+        shard,
+        0,
+        grid,
+        engines,
+        make_trace,
+        simulate,
+        prepare,
+        capture,
+        |_probe, po| {
+            out.overall.push(po.overall);
+            out.agg_features.push(po.agg);
+            for (engine, o) in out.engines.iter_mut().zip(po.engines) {
+                engine.deltas.push(o.deltas);
+                engine.train_time += o.train_time;
+                engine.infer_time += o.infer_time;
+                out.captures.extend(o.captures);
+            }
+            Ok(())
+        },
+    );
+    match result {
+        Ok(()) => out,
+        Err(never) => match never {},
+    }
+}
 
-    for block_start in range.clone().step_by(block) {
+/// The streaming variant of [`collect_unit_grid`]: identical pipeline,
+/// but each probe's complete output is handed to `on_probe(absolute
+/// probe index, output)` as soon as its block's deterministic assembly
+/// reaches it, instead of being accumulated in memory. The callback runs
+/// on the calling thread, in strictly increasing probe order, and may
+/// fail — a `Err` aborts the pass immediately (work already queued in
+/// the current block is finished first).
+///
+/// `skip` drops the first `skip` probes of the shard's range without
+/// simulating them — the resume path: a crashed worker whose durable
+/// prefix already holds `skip` probes continues from the first missing
+/// one. Because every probe's pipeline depends only on its own trace,
+/// the probes that *are* run produce bit-identical output regardless of
+/// `skip` (block boundaries shift, which affects nothing but batching).
+#[allow(clippy::too_many_arguments)]
+pub fn collect_unit_grid_streaming<T, MkTrace, Sim, Prep, Cap, E>(
+    n_probes: usize,
+    threads: usize,
+    shard: ShardSpec,
+    skip: usize,
+    grid: &UnitGrid,
+    engines: &[EngineSpec],
+    make_trace: MkTrace,
+    simulate: Sim,
+    prepare: Prep,
+    capture: Cap,
+    mut on_probe: impl FnMut(usize, ProbeOutput) -> Result<(), E>,
+) -> Result<(), E>
+where
+    T: Send + Sync,
+    MkTrace: Fn(usize) -> T + Sync,
+    Sim: Fn(&T, usize) -> (RunSeries, f64) + Sync,
+    Prep: Fn(usize, &[(RunSeries, f64)]) -> FeatureSpec + Sync,
+    Cap: Fn(usize, usize, &EngineSpec, &RunSeries, &[f64]) -> Option<CapturedSeries> + Sync,
+{
+    let threads = threads.max(1);
+    let n_units = grid.n_units;
+    let n_engines = engines.len();
+    let block = threads.max(2);
+    let range = shard.probe_range(n_probes);
+    let start = range.start + skip.min(range.len());
+
+    for block_start in (start..range.end).step_by(block) {
         let block_len = (range.end - block_start).min(block);
 
         // Trace generation, one task per probe.
@@ -448,7 +531,7 @@ where
         });
 
         // Phase C: the (probe x engine) stage-1 training grid.
-        let outputs: Vec<TrainOutput> = parallel_map(block_len * n_engines, threads, |t| {
+        let outputs: Vec<EngineProbeOutput> = parallel_map(block_len * n_engines, threads, |t| {
             let (pi, e) = (t / n_engines, t % n_engines);
             let units = sims_of(pi);
             let engine = &engines[e];
@@ -473,7 +556,7 @@ where
                     captures.push(c);
                 }
             }
-            TrainOutput {
+            EngineProbeOutput {
                 deltas,
                 train_time,
                 infer_time: t1.elapsed(),
@@ -484,20 +567,22 @@ where
         // Deterministic assembly in (probe, engine) order, consuming the
         // task outputs so deltas and captures move instead of cloning.
         let mut outputs = outputs.into_iter();
-        for (_, agg, overall) in preps {
-            out.overall.push(overall);
-            out.agg_features.push(agg);
-            for engine in out.engines.iter_mut() {
-                let o = outputs.next().expect("one output per (probe, engine)");
-                engine.deltas.push(o.deltas);
-                engine.train_time += o.train_time;
-                engine.infer_time += o.infer_time;
-                out.captures.extend(o.captures);
-            }
+        for (pi, (_, agg, overall)) in preps.into_iter().enumerate() {
+            let probe_engines: Vec<EngineProbeOutput> = (0..n_engines)
+                .map(|_| outputs.next().expect("one output per (probe, engine)"))
+                .collect();
+            on_probe(
+                block_start + pi,
+                ProbeOutput {
+                    overall,
+                    agg,
+                    engines: probe_engines,
+                },
+            )?;
         }
     }
 
-    out
+    Ok(())
 }
 
 #[cfg(test)]

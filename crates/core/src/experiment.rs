@@ -382,24 +382,37 @@ pub fn collect(config: &CollectionConfig) -> Collection {
     collect_sharded(config, exec::ShardSpec::full()).0
 }
 
-/// Runs one shard of the collection pass: only the probes in
-/// `shard.probe_range(total)` are simulated and trained, producing a
-/// partial [`Collection`] whose per-probe vectors cover exactly that
-/// range (the run-key axis is always complete). Returns the shard's
-/// collection and the total probe count of the full pass, so callers can
-/// build the persistence manifest (`crate::persist::ShardManifest`).
+/// The simulation-independent shape of a collection pass, derivable from
+/// the configuration alone (no probe is simulated).
 ///
-/// Every probe's pipeline depends only on its own trace, so a probe's
-/// results are bit-identical whether collected in a full pass or in any
-/// shard; merging a disjoint covering set of shards
-/// (`crate::persist::merge_collections`) reassembles the single-process
-/// collection exactly (wall-clock timings aside, which sum over shards).
-///
-/// # Panics
-///
-/// As [`collect`]. A shard may legitimately own zero probes (more shards
-/// than probes); the *global* probe set must still be non-empty.
-pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Collection, usize) {
+/// It carries everything a persistence layer needs to lay out an output
+/// file *before* the first probe finishes — the run-key axis, the engine
+/// roster, the catalogue and the total probe count — which is what makes
+/// crash-recoverable streaming collection
+/// ([`crate::persist::collect_shard_or_resume`]) possible.
+#[derive(Debug, Clone)]
+pub struct PassIdentity {
+    /// Run keys of the pass, shared by all per-probe vectors.
+    pub keys: Vec<RunKey>,
+    /// Engine display names, in configured engine order.
+    pub engine_names: Vec<String>,
+    /// The bug catalogue of the pass.
+    pub catalog: BugCatalog,
+    /// Total probe count of the full (unsharded) pass.
+    pub total_probes: usize,
+}
+
+/// Everything [`collect_sharded_streaming`] derives from the
+/// configuration before any simulation runs.
+struct PreparedPass<'c> {
+    grid: SimGrid<'c>,
+    programs: Vec<Program>,
+    probes: Vec<Probe>,
+}
+
+/// Builds the simulation grid and probe list of a pass, validating the
+/// configuration.
+fn prepare_pass(config: &CollectionConfig) -> PreparedPass<'_> {
     assert!(
         !config.engines.is_empty(),
         "collection needs at least one engine"
@@ -415,7 +428,6 @@ pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Co
     );
 
     let grid = SimGrid::build(&config.partition, &config.catalog);
-    let keys = grid.keys.clone();
 
     // Build programs and probes per benchmark.
     let programs: Vec<Program> = config
@@ -430,6 +442,57 @@ pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Co
         .collect();
     let probes = subsample_probes(per_benchmark, config.max_probes);
     assert!(!probes.is_empty(), "no probes extracted");
+    PreparedPass {
+        grid,
+        programs,
+        probes,
+    }
+}
+
+/// Derives the [`PassIdentity`] of a configuration without simulating
+/// anything.
+///
+/// # Panics
+///
+/// As [`collect`].
+pub fn pass_identity(config: &CollectionConfig) -> PassIdentity {
+    let pass = prepare_pass(config);
+    PassIdentity {
+        keys: pass.grid.keys.clone(),
+        engine_names: config.engines.iter().map(|e| e.name()).collect(),
+        catalog: config.catalog.clone(),
+        total_probes: pass.probes.len(),
+    }
+}
+
+/// The streaming heart of sharded collection: runs the probes of
+/// `shard`, skipping the first `skip` (already-durable probes of a
+/// resumed attempt), and hands each probe's metadata and complete output
+/// to `sink` in strictly increasing probe order as soon as it is
+/// assembled. Returns the total probe count of the full pass.
+///
+/// A `sink` error aborts the pass (the error is returned verbatim);
+/// nothing is retried. Every probe's pipeline depends only on its own
+/// trace, so the streamed outputs are bit-identical to the corresponding
+/// slice of [`collect_sharded`] for any `skip`.
+///
+/// # Panics
+///
+/// As [`collect`]. A shard may legitimately own zero probes (more shards
+/// than probes); the *global* probe set must still be non-empty.
+pub fn collect_sharded_streaming<E>(
+    config: &CollectionConfig,
+    shard: exec::ShardSpec,
+    skip: usize,
+    mut sink: impl FnMut(ProbeMeta, exec::ProbeOutput) -> Result<(), E>,
+) -> Result<usize, E> {
+    let pass = prepare_pass(config);
+    let PreparedPass {
+        grid,
+        programs,
+        probes,
+    } = &pass;
+    let keys = &grid.keys;
     let program_of = |probe: &Probe| -> &Program {
         let idx = config
             .benchmarks
@@ -439,33 +502,22 @@ pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Co
         &programs[idx]
     };
 
-    // Probe metadata covers only this shard's range; the probe vector
-    // itself stays complete because the driver addresses probes by
-    // absolute grid index.
-    let metas: Vec<ProbeMeta> = probes[shard.probe_range(probes.len())]
-        .iter()
-        .map(|p| ProbeMeta {
-            id: p.id(),
-            benchmark: p.benchmark.clone(),
-            weight: p.weight,
-        })
-        .collect();
-
     // Run-level parallel collection through the shared unit-grid driver
-    // (`exec::collect_unit_grid`): trace generation, the (probe x unit)
-    // simulation grid, per-probe counter selection and the (probe x
-    // engine) training grid all run on the work-stealing pool, with
-    // deterministic assembly for any worker count.
+    // (`exec::collect_unit_grid_streaming`): trace generation, the
+    // (probe x unit) simulation grid, per-probe counter selection and the
+    // (probe x engine) training grid all run on the work-stealing pool,
+    // with deterministic assembly for any worker count.
     let unit_grid = exec::UnitGrid {
         n_units: grid.units.len(),
         train_units: grid.train_units.clone(),
         val_units: grid.val_units.clone(),
         key_units: grid.key_units.clone(),
     };
-    let out = exec::collect_unit_grid(
+    exec::collect_unit_grid_streaming(
         probes.len(),
         config.threads,
         shard,
+        skip,
         &unit_grid,
         &config.engines,
         |pi| probes[pi].trace(program_of(&probes[pi])),
@@ -523,21 +575,79 @@ pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Co
                 inferred: inferred.to_vec(),
             })
         },
-    );
-
-    let total = probes.len();
-    (
-        Collection {
-            keys,
-            probes: metas,
-            engines: out.engines,
-            overall_ipc: out.overall,
-            agg_features: out.agg_features,
-            captures: out.captures,
-            catalog: config.catalog.clone(),
+        |pi, output| {
+            let probe = &probes[pi];
+            sink(
+                ProbeMeta {
+                    id: probe.id(),
+                    benchmark: probe.benchmark.clone(),
+                    weight: probe.weight,
+                },
+                output,
+            )
         },
-        total,
-    )
+    )?;
+    Ok(probes.len())
+}
+
+/// Runs one shard of the collection pass: only the probes in
+/// `shard.probe_range(total)` are simulated and trained, producing a
+/// partial [`Collection`] whose per-probe vectors cover exactly that
+/// range (the run-key axis is always complete). Returns the shard's
+/// collection and the total probe count of the full pass, so callers can
+/// build the persistence manifest (`crate::persist::ShardManifest`).
+///
+/// Every probe's pipeline depends only on its own trace, so a probe's
+/// results are bit-identical whether collected in a full pass or in any
+/// shard; merging a disjoint covering set of shards
+/// (`crate::persist::merge_collections`) reassembles the single-process
+/// collection exactly (wall-clock timings aside, which sum over shards).
+///
+/// # Panics
+///
+/// As [`collect`]. A shard may legitimately own zero probes (more shards
+/// than probes); the *global* probe set must still be non-empty.
+pub fn collect_sharded(config: &CollectionConfig, shard: exec::ShardSpec) -> (Collection, usize) {
+    let identity = pass_identity(config);
+    let mut col = Collection {
+        keys: identity.keys,
+        probes: Vec::new(),
+        engines: identity
+            .engine_names
+            .into_iter()
+            .map(|name| EngineResult {
+                name,
+                deltas: Vec::new(),
+                train_time: Duration::ZERO,
+                infer_time: Duration::ZERO,
+            })
+            .collect(),
+        overall_ipc: Vec::new(),
+        agg_features: Vec::new(),
+        captures: Vec::new(),
+        catalog: identity.catalog,
+    };
+    let total = {
+        let col = &mut col;
+        let result: Result<usize, std::convert::Infallible> =
+            collect_sharded_streaming(config, shard, 0, |meta, po| {
+                col.probes.push(meta);
+                col.overall_ipc.push(po.overall);
+                col.agg_features.push(po.agg);
+                for (engine, o) in col.engines.iter_mut().zip(po.engines) {
+                    engine.deltas.push(o.deltas);
+                    engine.train_time += o.train_time;
+                    engine.infer_time += o.infer_time;
+                    col.captures.extend(o.captures);
+                }
+                Ok(())
+            });
+        match result {
+            Ok(total) => total,
+            Err(never) => match never {},
+        }
+    };
+    (col, total)
 }
 
 // --------------------------------------------------------------------------

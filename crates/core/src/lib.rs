@@ -61,9 +61,12 @@ pub use orchestrate::{
     OrchestratedRun, OrchestratorConfig, RunReport,
 };
 pub use persist::{
-    collect_memory_or_load, collect_memory_shard_or_load, collect_or_load, collect_shard_or_load,
-    config_fingerprint, load_collection, mem_config_fingerprint, merge_collections,
-    save_collection, CacheStatus, ExperimentKind, FileHeader, PersistError, ShardManifest,
+    collect_memory_or_load, collect_memory_shard_or_load, collect_memory_shard_or_resume,
+    collect_or_load, collect_shard_or_load, collect_shard_or_resume, config_fingerprint,
+    load_collection, mem_config_fingerprint, merge_collections, merge_shard_files, part_path_for,
+    save_collection, scan_part, scan_part_file, verify_stream, CacheStatus, ChunkEntry,
+    ExperimentKind, FileHeader, PersistError, ProbeReader, RecoveredPrefix, ShardManifest,
+    ShardOutcome, ShardStreamWriter,
 };
 pub use stage1::{inference_error, EngineSpec, FeatureSpec, ProbeModel, RunSeries};
 pub use stage2::{Stage2Classifier, Stage2Params};

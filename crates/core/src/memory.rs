@@ -9,10 +9,12 @@ use perfbug_memsim::{self as memsim, simulate_memory, MemArchConfig, MemBugSpec}
 use perfbug_uarch::ArchSet;
 use perfbug_workloads::{Probe, Program, RowMatrix, WorkloadScale};
 
+use std::time::Duration;
+
 use crate::bugs::{BugCatalog, MemBugCatalog};
 use crate::counter_select::{select_counters, CounterMode, SelectionThresholds};
 use crate::exec;
-use crate::experiment::{Collection, ProbeMeta, RunKey};
+use crate::experiment::{Collection, EngineResult, PassIdentity, ProbeMeta, RunKey};
 use crate::stage1::{EngineSpec, FeatureSpec, RunSeries};
 use perfbug_memsim::mem_counter_names;
 
@@ -98,49 +100,52 @@ pub fn collect_memory(config: &MemCollectionConfig) -> Collection {
     collect_memory_sharded(config, exec::ShardSpec::full()).0
 }
 
-/// Runs one shard of the memory collection pass (the memory-experiment
-/// sibling of [`crate::experiment::collect_sharded`]): only the probes in
-/// `shard.probe_range(total)` run, the returned partial [`Collection`]
-/// covers exactly that range, and the second value is the full pass's
-/// total probe count for the persistence manifest.
-///
-/// # Panics
-///
-/// As [`collect_memory`]; a shard may own zero probes.
-pub fn collect_memory_sharded(
-    config: &MemCollectionConfig,
-    shard: exec::ShardSpec,
-) -> (Collection, usize) {
+/// Everything [`collect_memory_sharded_streaming`] derives from the
+/// configuration before any simulation runs. Units reference designs by
+/// index into `archs` so the struct owns all of its data.
+struct MemPreparedPass {
+    archs: Vec<MemArchConfig>,
+    units: Vec<(usize, Option<usize>)>,
+    train_units: Vec<usize>,
+    val_units: Vec<usize>,
+    key_units: Vec<usize>,
+    keys: Vec<RunKey>,
+    programs: Vec<Program>,
+    probes: Vec<(usize, Probe)>,
+}
+
+/// Builds the memory experiment's unit grid and probe list, validating
+/// the configuration.
+fn prepare_mem_pass(config: &MemCollectionConfig) -> MemPreparedPass {
     assert!(
         !config.engines.is_empty(),
         "collection needs at least one engine"
     );
     let archs = memsim::config::all();
-    let train: Vec<&MemArchConfig> = archs
-        .iter()
-        .filter(|a| a.set == memsim::ArchSet::I)
+    let train: Vec<usize> = (0..archs.len())
+        .filter(|&i| archs[i].set == memsim::ArchSet::I)
         .collect();
-    let eval: Vec<&MemArchConfig> = archs
-        .iter()
-        .filter(|a| a.set != memsim::ArchSet::I)
+    let eval: Vec<usize> = (0..archs.len())
+        .filter(|&i| archs[i].set != memsim::ArchSet::I)
         .collect();
 
     // The simulation-unit grid: Set-I bug-free runs first, then per
     // evaluation design its bug-free reference run (shared between
     // stage-1 validation and the bug-free key — the previous
     // implementation simulated Set-II designs twice) and its bug runs.
-    let mut units: Vec<(&MemArchConfig, Option<usize>)> = Vec::new();
+    let mut units: Vec<(usize, Option<usize>)> = Vec::new();
     let mut train_units = Vec::new();
-    for arch in &train {
+    for &ai in &train {
         train_units.push(units.len());
-        units.push((arch, None));
+        units.push((ai, None));
     }
     let mut val_units = Vec::new();
     let mut key_units = Vec::new();
     let mut keys = Vec::new();
-    for arch in &eval {
+    for &ai in &eval {
+        let arch = &archs[ai];
         let bugfree_unit = units.len();
-        units.push((arch, None));
+        units.push((ai, None));
         if arch.set == memsim::ArchSet::II {
             val_units.push(bugfree_unit);
         }
@@ -152,7 +157,7 @@ pub fn collect_memory_sharded(
         });
         for i in 0..config.catalog.len() {
             key_units.push(units.len());
-            units.push((arch, Some(i)));
+            units.push((ai, Some(i)));
             keys.push(RunKey {
                 arch: arch.name.clone(),
                 set: mem_set(arch.set),
@@ -175,60 +180,153 @@ pub fn collect_memory_sharded(
     }
     assert!(!probes.is_empty(), "no memory probes extracted");
 
-    let metas: Vec<ProbeMeta> = probes[shard.probe_range(probes.len())]
-        .iter()
-        .map(|(_, p)| ProbeMeta {
-            id: p.id(),
-            benchmark: p.benchmark.clone(),
-            weight: p.weight,
-        })
-        .collect();
+    MemPreparedPass {
+        archs,
+        units,
+        train_units,
+        val_units,
+        key_units,
+        keys,
+        programs,
+        probes,
+    }
+}
+
+/// Derives the [`PassIdentity`] of a memory configuration without
+/// simulating anything (the memory sibling of
+/// [`crate::experiment::pass_identity`]). The identity's catalogue is the
+/// core-shaped mirror ([`mem_catalog_as_core`]), matching what
+/// [`collect_memory`] stores in its collections.
+///
+/// # Panics
+///
+/// As [`collect_memory`].
+pub fn mem_pass_identity(config: &MemCollectionConfig) -> PassIdentity {
+    let pass = prepare_mem_pass(config);
+    PassIdentity {
+        keys: pass.keys.clone(),
+        engine_names: config.engines.iter().map(|e| e.name()).collect(),
+        catalog: mem_catalog_as_core(&config.catalog),
+        total_probes: pass.probes.len(),
+    }
+}
+
+/// The streaming heart of sharded memory collection (the memory sibling
+/// of [`crate::experiment::collect_sharded_streaming`]): runs the probes
+/// of `shard`, skipping the first `skip`, and hands each probe's
+/// metadata and output to `sink` in strictly increasing probe order.
+/// Returns the total probe count of the full pass.
+///
+/// # Panics
+///
+/// As [`collect_memory`]; a shard may own zero probes.
+pub fn collect_memory_sharded_streaming<E>(
+    config: &MemCollectionConfig,
+    shard: exec::ShardSpec,
+    skip: usize,
+    mut sink: impl FnMut(ProbeMeta, exec::ProbeOutput) -> Result<(), E>,
+) -> Result<usize, E> {
+    let pass = prepare_mem_pass(config);
 
     // The shared unit-grid driver runs the same three-phase pipeline as
     // the core experiment; only the simulator and the counter-selection
     // policy differ, and the memory experiment captures no series.
     let unit_grid = exec::UnitGrid {
-        n_units: units.len(),
-        train_units: train_units.clone(),
-        val_units,
-        key_units,
+        n_units: pass.units.len(),
+        train_units: pass.train_units.clone(),
+        val_units: pass.val_units.clone(),
+        key_units: pass.key_units.clone(),
     };
-    let out = exec::collect_unit_grid(
-        probes.len(),
+    exec::collect_unit_grid_streaming(
+        pass.probes.len(),
         config.threads,
         shard,
+        skip,
         &unit_grid,
         &config.engines,
         |pi| {
-            let (bi, probe) = &probes[pi];
-            probe.trace(&programs[*bi])
+            let (bi, probe) = &pass.probes[pi];
+            probe.trace(&pass.programs[*bi])
         },
         |trace: &Vec<perfbug_workloads::Inst>, u| {
-            let (arch, bug_idx) = units[u];
+            let (ai, bug_idx) = pass.units[u];
             let bug = bug_idx.map(|i| config.catalog.variants()[i]);
-            mem_run(config, arch, bug, trace)
+            mem_run(config, &pass.archs[ai], bug, trace)
         },
         |_pi, sims| FeatureSpec {
-            selected: select_mem_counters(config, sims, &train_units),
+            selected: select_mem_counters(config, sims, &pass.train_units),
             arch_features: true,
             window: 1,
         },
         |_, _, _, _, _| None,
-    );
-
-    let total = probes.len();
-    (
-        Collection {
-            keys,
-            probes: metas,
-            engines: out.engines,
-            overall_ipc: out.overall,
-            agg_features: out.agg_features,
-            captures: Vec::new(),
-            catalog: mem_catalog_as_core(&config.catalog),
+        |pi, output| {
+            let (_, probe) = &pass.probes[pi];
+            sink(
+                ProbeMeta {
+                    id: probe.id(),
+                    benchmark: probe.benchmark.clone(),
+                    weight: probe.weight,
+                },
+                output,
+            )
         },
-        total,
-    )
+    )?;
+    Ok(pass.probes.len())
+}
+
+/// Runs one shard of the memory collection pass (the memory-experiment
+/// sibling of [`crate::experiment::collect_sharded`]): only the probes in
+/// `shard.probe_range(total)` run, the returned partial [`Collection`]
+/// covers exactly that range, and the second value is the full pass's
+/// total probe count for the persistence manifest.
+///
+/// # Panics
+///
+/// As [`collect_memory`]; a shard may own zero probes.
+pub fn collect_memory_sharded(
+    config: &MemCollectionConfig,
+    shard: exec::ShardSpec,
+) -> (Collection, usize) {
+    let identity = mem_pass_identity(config);
+    let mut col = Collection {
+        keys: identity.keys,
+        probes: Vec::new(),
+        engines: identity
+            .engine_names
+            .into_iter()
+            .map(|name| EngineResult {
+                name,
+                deltas: Vec::new(),
+                train_time: Duration::ZERO,
+                infer_time: Duration::ZERO,
+            })
+            .collect(),
+        overall_ipc: Vec::new(),
+        agg_features: Vec::new(),
+        captures: Vec::new(),
+        catalog: identity.catalog,
+    };
+    let total = {
+        let col = &mut col;
+        let result: Result<usize, std::convert::Infallible> =
+            collect_memory_sharded_streaming(config, shard, 0, |meta, po| {
+                col.probes.push(meta);
+                col.overall_ipc.push(po.overall);
+                col.agg_features.push(po.agg);
+                for (engine, o) in col.engines.iter_mut().zip(po.engines) {
+                    engine.deltas.push(o.deltas);
+                    engine.train_time += o.train_time;
+                    engine.infer_time += o.infer_time;
+                    col.captures.extend(o.captures);
+                }
+                Ok(())
+            });
+        match result {
+            Ok(total) => total,
+            Err(never) => match never {},
+        }
+    };
+    (col, total)
 }
 
 /// Simulates one memory run and shapes it for stage 1.

@@ -89,20 +89,38 @@ pub enum Fault {
         /// Attempt (0-based) on which the kill fires.
         attempt: u32,
     },
+    /// Kill the worker *mid-shard*: wait until at least one probe chunk
+    /// is durable in its part file ([`Launcher::durable_probes`]), then
+    /// kill. Exercises the crash-recovery resume path — the retry must
+    /// re-collect strictly fewer probes than the shard holds.
+    KillMid {
+        /// Shard whose worker is killed.
+        shard: usize,
+        /// Attempt (0-based) on which the kill fires.
+        attempt: u32,
+    },
+    /// [`Fault::KillMid`], then tear the part file mid-chunk
+    /// ([`Launcher::tear_output`]): the last durable chunk loses its
+    /// tail, so recovery must truncate a *torn* chunk — not just pick up
+    /// a cleanly cut prefix.
+    Torn {
+        /// Shard whose worker is killed.
+        shard: usize,
+        /// Attempt (0-based) on which the kill fires.
+        attempt: u32,
+    },
 }
 
 impl Fault {
-    /// Parses a comma-separated fault list: `kill:<shard>` (first attempt)
-    /// or `kill:<shard>@<attempt>`.
+    /// Parses a comma-separated fault list: `<op>:<shard>` (first
+    /// attempt) or `<op>:<shard>@<attempt>`, with ops `kill`, `killmid`
+    /// and `torn`.
     pub fn parse_list(raw: &str) -> Result<Vec<Fault>, String> {
         let mut faults = Vec::new();
         for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (op, rest) = part
                 .split_once(':')
                 .ok_or_else(|| format!("fault {part:?} is not <op>:<shard>[@<attempt>]"))?;
-            if op != "kill" {
-                return Err(format!("unknown fault op {op:?} (supported: kill)"));
-            }
             let (shard, attempt) = match rest.split_once('@') {
                 Some((s, a)) => (
                     s,
@@ -113,9 +131,35 @@ impl Fault {
             let shard = shard
                 .parse()
                 .map_err(|_| format!("bad shard index in {part:?}"))?;
-            faults.push(Fault::Kill { shard, attempt });
+            faults.push(match op {
+                "kill" => Fault::Kill { shard, attempt },
+                "killmid" => Fault::KillMid { shard, attempt },
+                "torn" => Fault::Torn { shard, attempt },
+                _ => {
+                    return Err(format!(
+                        "unknown fault op {op:?} (supported: kill, killmid, torn)"
+                    ))
+                }
+            });
         }
         Ok(faults)
+    }
+
+    /// Whether this fault targets the given (shard, attempt).
+    pub fn matches(&self, shard: usize, attempt: u32) -> bool {
+        let (Fault::Kill {
+            shard: s,
+            attempt: a,
+        }
+        | Fault::KillMid {
+            shard: s,
+            attempt: a,
+        }
+        | Fault::Torn {
+            shard: s,
+            attempt: a,
+        }) = self;
+        *s == shard && *a == attempt
     }
 
     /// Reads [`FAULT_ENV`]; empty when unset.
@@ -127,7 +171,7 @@ impl Fault {
     pub fn from_env() -> Vec<Fault> {
         match std::env::var(FAULT_ENV) {
             Ok(raw) => Self::parse_list(&raw).unwrap_or_else(|e| {
-                panic!("{FAULT_ENV} must be kill:<shard>[@<attempt>],...: {e}")
+                panic!("{FAULT_ENV} must be <op>:<shard>[@<attempt>],...: {e}")
             }),
             Err(_) => Vec::new(),
         }
@@ -229,18 +273,39 @@ pub trait Launcher {
     /// collection workers, that the shard file exists and decodes. The
     /// error message names what was wrong.
     fn verify(&mut self, shard: ShardSpec) -> Result<(), String>;
+
+    /// How many probes of `shard` are already durable in its part file
+    /// (crash-recovery prefix, see `persist::scan_part`). `None` when the
+    /// launcher cannot tell — the default for launchers without access to
+    /// the collection plan. Drives [`Fault::KillMid`]/[`Fault::Torn`]
+    /// timing and the report's `resumed_probes` accounting.
+    fn durable_probes(&mut self, _shard: ShardSpec) -> Option<u64> {
+        None
+    }
+
+    /// Tears `shard`'s part file mid-chunk after a [`Fault::Torn`] kill
+    /// (cuts into the last durable chunk), so recovery must handle a
+    /// torn write, not only a clean chunk boundary. Default: no-op.
+    fn tear_output(&mut self, _shard: ShardSpec) {}
 }
 
 /// [`Launcher`] over real child processes.
 ///
 /// `build` constructs the `Command` re-invoking the current binary (or
 /// any worker binary) with the shard's arguments; `verify` typically
-/// decodes the shard file the worker should have written.
+/// decodes the shard file the worker should have written. When `plan` is
+/// set, the launcher can also inspect shard part files on disk — that
+/// powers mid-write fault timing ([`Fault::KillMid`], [`Fault::Torn`])
+/// and the `resumed_probes` accounting in the run report.
 pub struct ProcessLauncher<B, V> {
     /// Builds the worker command for a (shard, attempt).
     pub build: B,
     /// Post-exit output verification.
     pub verify: V,
+    /// The collection plan whose part files this launcher may inspect;
+    /// `None` disables part-file awareness (faults degrade to immediate
+    /// kills and resume goes unreported).
+    pub plan: Option<CollectPlan>,
 }
 
 impl<B, V> Launcher for ProcessLauncher<B, V>
@@ -261,6 +326,35 @@ where
 
     fn verify(&mut self, shard: ShardSpec) -> Result<(), String> {
         (self.verify)(shard)
+    }
+
+    fn durable_probes(&mut self, shard: ShardSpec) -> Option<u64> {
+        let plan = self.plan.as_ref()?;
+        match persist::scan_part_file(&plan.part_path(shard)) {
+            Ok(prefix) => Some(prefix.probes),
+            // No part yet: the worker has durably written nothing.
+            Err(PersistError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Some(0),
+            // Unscannable part (e.g. the header itself is still mid-
+            // write): nothing durable either.
+            Err(_) => Some(0),
+        }
+    }
+
+    fn tear_output(&mut self, shard: ShardSpec) {
+        let Some(plan) = self.plan.as_ref() else {
+            return;
+        };
+        let part = plan.part_path(shard);
+        if let Ok(prefix) = persist::scan_part_file(&part) {
+            if prefix.probes > 0 {
+                // Cut into the last durable chunk's trailing checksum:
+                // the classic torn write. Recovery must drop exactly
+                // that chunk and resume one probe earlier.
+                if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&part) {
+                    let _ = file.set_len(prefix.durable_len - 8);
+                }
+            }
+        }
     }
 }
 
@@ -378,6 +472,11 @@ pub struct ShardAttempt {
     pub outcome: AttemptOutcome,
     /// Wall-clock duration of the attempt.
     pub duration: Duration,
+    /// Probes already durable in the shard's part file when this attempt
+    /// launched — the crash-recovery prefix a resuming worker skips.
+    /// `None` when the launcher cannot inspect part files
+    /// ([`Launcher::durable_probes`]).
+    pub resumed_probes: Option<u64>,
 }
 
 /// Everything one orchestrated pass did, in launch order — the
@@ -447,10 +546,13 @@ impl RunReport {
         ));
         out.push_str("  \"attempts\": [\n");
         for (i, a) in self.attempts.iter().enumerate() {
-            let detail = match a.outcome.detail() {
+            let mut detail = match a.outcome.detail() {
                 Some(d) => format!(", \"detail\": {}", json_str(&d)),
                 None => String::new(),
             };
+            if let Some(resumed) = a.resumed_probes {
+                detail.push_str(&format!(", \"resumed_probes\": {resumed}"));
+            }
             out.push_str(&format!(
                 "    {{\"shard\": {}, \"attempt\": {}, \"worker\": {}, \"outcome\": {}, \
                  \"duration_secs\": {:.6}{detail}}}{}\n",
@@ -513,8 +615,12 @@ struct Running<H> {
     attempt: u32,
     handle: H,
     started: Instant,
-    /// An injected fault marked this attempt for death.
-    fault_kill: bool,
+    /// An injected fault marked this attempt for death (fires
+    /// immediately for [`Fault::Kill`], once a probe is durable for
+    /// [`Fault::KillMid`] / [`Fault::Torn`]).
+    fault: Option<Fault>,
+    /// Durable part-file probes observed at launch (report accounting).
+    resumed_probes: Option<u64>,
 }
 
 /// One queued (shard, attempt), optionally held back until `not_before`
@@ -544,6 +650,7 @@ struct WorkState {
 impl WorkState {
     /// Records a failed attempt and either requeues the shard (budget
     /// permitting, after the retry delay) or excludes it.
+    #[allow(clippy::too_many_arguments)]
     fn fail(
         &mut self,
         shard: usize,
@@ -551,6 +658,7 @@ impl WorkState {
         worker: usize,
         outcome: AttemptOutcome,
         dur: Duration,
+        resumed_probes: Option<u64>,
     ) {
         self.attempts.push(ShardAttempt {
             shard,
@@ -558,6 +666,7 @@ impl WorkState {
             worker,
             outcome,
             duration: dur,
+            resumed_probes,
         });
         if attempt + 1 < self.max_attempts {
             self.queue.push_back(QueueItem {
@@ -571,13 +680,21 @@ impl WorkState {
     }
 
     /// Records a successful attempt.
-    fn succeed(&mut self, shard: usize, attempt: u32, worker: usize, dur: Duration) {
+    fn succeed(
+        &mut self,
+        shard: usize,
+        attempt: u32,
+        worker: usize,
+        dur: Duration,
+        resumed_probes: Option<u64>,
+    ) {
         self.attempts.push(ShardAttempt {
             shard,
             attempt,
             worker,
             outcome: AttemptOutcome::Success,
             duration: dur,
+            resumed_probes,
         });
         self.done[shard] = true;
     }
@@ -626,20 +743,27 @@ pub fn run_orchestrator<L: Launcher>(config: &OrchestratorConfig, launcher: &mut
             let QueueItem { shard, attempt, .. } =
                 state.queue.remove(pos).expect("position is in range");
             let spec = ShardSpec::new(shard, config.shards);
+            // Sample the durable part-file prefix *before* the worker
+            // launches: exactly what a resuming attempt will skip.
+            let resumed_probes = if attempt > 0 {
+                launcher.durable_probes(spec)
+            } else {
+                None
+            };
             match launcher.launch(spec, attempt, w) {
                 Ok(handle) => {
-                    let fault_kill = config.faults.iter().any(
-                        |&Fault::Kill {
-                             shard: s,
-                             attempt: a,
-                         }| s == shard && a == attempt,
-                    );
+                    let fault = config
+                        .faults
+                        .iter()
+                        .copied()
+                        .find(|f| f.matches(shard, attempt));
                     *slot = Some(Running {
                         shard,
                         attempt,
                         handle,
                         started: Instant::now(),
-                        fault_kill,
+                        fault,
+                        resumed_probes,
                     });
                 }
                 Err(e) => {
@@ -649,6 +773,7 @@ pub fn run_orchestrator<L: Launcher>(config: &OrchestratorConfig, launcher: &mut
                         w,
                         AttemptOutcome::SpawnFailed { why: e.to_string() },
                         Duration::ZERO,
+                        resumed_probes,
                     );
                 }
             }
@@ -659,25 +784,44 @@ pub fn run_orchestrator<L: Launcher>(config: &OrchestratorConfig, launcher: &mut
         for (w, slot) in slots.iter_mut().enumerate() {
             let Some(run) = slot.as_mut() else { continue };
             let (shard, attempt) = (run.shard, run.attempt);
-            if run.fault_kill {
-                run.handle.kill();
-                let dur = run.started.elapsed();
-                state.fail(shard, attempt, w, AttemptOutcome::FaultKilled, dur);
-                *slot = None;
-                progressed = true;
-                continue;
+            if let Some(fault) = run.fault {
+                let spec = ShardSpec::new(shard, config.shards);
+                // `Kill` fires the moment the supervisor observes the
+                // attempt. The write-sensitive faults wait until at least
+                // one probe chunk is durable so the kill lands mid-shard
+                // (a launcher with no payload visibility fires at once).
+                let fire = match fault {
+                    Fault::Kill { .. } => true,
+                    Fault::KillMid { .. } | Fault::Torn { .. } => {
+                        launcher.durable_probes(spec).is_none_or(|p| p >= 1)
+                    }
+                };
+                if fire {
+                    run.handle.kill();
+                    if matches!(fault, Fault::Torn { .. }) {
+                        launcher.tear_output(spec);
+                    }
+                    let dur = run.started.elapsed();
+                    let resumed = run.resumed_probes;
+                    state.fail(shard, attempt, w, AttemptOutcome::FaultKilled, dur, resumed);
+                    *slot = None;
+                    progressed = true;
+                    continue;
+                }
             }
             let finished = match run.handle.try_finish() {
                 Ok(finished) => finished,
                 Err(e) => {
                     run.handle.kill();
                     let dur = run.started.elapsed();
+                    let resumed = run.resumed_probes;
                     state.fail(
                         shard,
                         attempt,
                         w,
                         AttemptOutcome::WaitFailed { why: e.to_string() },
                         dur,
+                        resumed,
                     );
                     *slot = None;
                     progressed = true;
@@ -687,18 +831,32 @@ pub fn run_orchestrator<L: Launcher>(config: &OrchestratorConfig, launcher: &mut
             match finished {
                 Some(ExitKind::Success) => {
                     let dur = run.started.elapsed();
+                    let resumed = run.resumed_probes;
                     match launcher.verify(ShardSpec::new(shard, config.shards)) {
-                        Ok(()) => state.succeed(shard, attempt, w, dur),
-                        Err(why) => {
-                            state.fail(shard, attempt, w, AttemptOutcome::BadOutput { why }, dur)
-                        }
+                        Ok(()) => state.succeed(shard, attempt, w, dur, resumed),
+                        Err(why) => state.fail(
+                            shard,
+                            attempt,
+                            w,
+                            AttemptOutcome::BadOutput { why },
+                            dur,
+                            resumed,
+                        ),
                     }
                     *slot = None;
                     progressed = true;
                 }
                 Some(ExitKind::Failure { code }) => {
                     let dur = run.started.elapsed();
-                    state.fail(shard, attempt, w, AttemptOutcome::Exit { code }, dur);
+                    let resumed = run.resumed_probes;
+                    state.fail(
+                        shard,
+                        attempt,
+                        w,
+                        AttemptOutcome::Exit { code },
+                        dur,
+                        resumed,
+                    );
                     *slot = None;
                     progressed = true;
                 }
@@ -707,7 +865,8 @@ pub fn run_orchestrator<L: Launcher>(config: &OrchestratorConfig, launcher: &mut
                         if run.started.elapsed() >= limit {
                             run.handle.kill();
                             let dur = run.started.elapsed();
-                            state.fail(shard, attempt, w, AttemptOutcome::TimedOut, dur);
+                            let resumed = run.resumed_probes;
+                            state.fail(shard, attempt, w, AttemptOutcome::TimedOut, dur, resumed);
                             *slot = None;
                             progressed = true;
                         }
@@ -772,6 +931,12 @@ impl CollectPlan {
             shard.index,
             shard.count,
         ))
+    }
+
+    /// Path of one shard's resumable part file (the in-progress sibling a
+    /// crashed worker leaves behind; see `persist::part_path_for`).
+    pub fn part_path(&self, shard: ShardSpec) -> PathBuf {
+        persist::part_path_for(&self.shard_path(shard))
     }
 }
 
@@ -906,6 +1071,7 @@ where
     let mut launcher = ProcessLauncher {
         build: worker_command,
         verify: |shard| verify_shard_file(plan, shard),
+        plan: Some(plan.clone()),
     };
     let report = run_orchestrator(config, &mut launcher);
     std::fs::write(
@@ -972,6 +1138,10 @@ mod tests {
         last: HashMap<usize, FakeRun>,
         /// (shard, attempt, worker) launch log.
         launches: Vec<(usize, u32, usize)>,
+        /// Scripted part-file visibility: what `durable_probes` reports.
+        durable: Option<u64>,
+        /// Shards `tear_output` was invoked for.
+        torn: Vec<usize>,
     }
 
     impl FakeLauncher {
@@ -980,6 +1150,8 @@ mod tests {
                 script: script.iter().copied().collect(),
                 last: HashMap::new(),
                 launches: Vec::new(),
+                durable: None,
+                torn: Vec::new(),
             }
         }
     }
@@ -1008,6 +1180,14 @@ mod tests {
                 Some(FakeRun::NoOutput) => Err("no shard file".into()),
                 _ => Ok(()),
             }
+        }
+
+        fn durable_probes(&mut self, _shard: ShardSpec) -> Option<u64> {
+            self.durable
+        }
+
+        fn tear_output(&mut self, shard: ShardSpec) {
+            self.torn.push(shard.index);
         }
     }
 
@@ -1115,6 +1295,55 @@ mod tests {
     }
 
     #[test]
+    fn torn_fault_tears_output_and_retry_reports_resume() {
+        let mut config = quick_config(2, 3);
+        config.faults = Fault::parse_list("torn:1").expect("fault");
+        let mut launcher = FakeLauncher::new(&[((1, 0), FakeRun::Hang)]);
+        // The launcher sees 2 durable probes in shard 1's part file, so
+        // the torn fault fires and the retry records what it resumed.
+        launcher.durable = Some(2);
+        let report = run_orchestrator(&config, &mut launcher);
+        assert!(report.success, "{}", report.summary());
+        assert_eq!(launcher.torn, vec![1], "tear follows the kill");
+        let attempts = report.attempts_for(1);
+        assert_eq!(attempts[0].outcome, AttemptOutcome::FaultKilled);
+        assert_eq!(
+            attempts[0].resumed_probes, None,
+            "first attempt resumes nothing"
+        );
+        assert!(attempts[1].outcome.is_success());
+        assert_eq!(attempts[1].resumed_probes, Some(2));
+        let json = report.to_json("demo", ExperimentKind::Core, 7);
+        assert!(
+            json.contains("\"resumed_probes\": 2"),
+            "resume accounting must land in the report JSON:\n{json}"
+        );
+    }
+
+    #[test]
+    fn mid_write_faults_wait_for_a_durable_probe() {
+        // durable_probes scripted to 0: a KillMid fault must NOT fire
+        // while nothing is durable, so the hang is ended by the timeout
+        // instead (the fault targets attempt 0 only; the retry runs
+        // clean).
+        let mut config = quick_config(1, 1);
+        config.shard_timeout = Some(Duration::from_millis(30));
+        config.faults = Fault::parse_list("killmid:0").expect("fault");
+        let mut launcher = FakeLauncher::new(&[((0, 0), FakeRun::Hang)]);
+        launcher.durable = Some(0);
+        let report = run_orchestrator(&config, &mut launcher);
+        assert!(report.success, "{}", report.summary());
+        let attempts = report.attempts_for(0);
+        assert_eq!(
+            attempts[0].outcome,
+            AttemptOutcome::TimedOut,
+            "killmid with nothing durable must not fire"
+        );
+        assert!(attempts[1].outcome.is_success());
+        assert!(launcher.torn.is_empty(), "killmid never tears");
+    }
+
+    #[test]
     fn requeued_shard_can_run_on_a_different_worker() {
         // One worker hangs forever on shard 0; with a timeout the retry
         // must be able to land on the other (surviving) slot.
@@ -1155,10 +1384,32 @@ mod tests {
                 }
             ]
         );
+        assert_eq!(
+            Fault::parse_list("killmid:2, torn:1@1").unwrap(),
+            vec![
+                Fault::KillMid {
+                    shard: 2,
+                    attempt: 0
+                },
+                Fault::Torn {
+                    shard: 1,
+                    attempt: 1
+                }
+            ]
+        );
         assert_eq!(Fault::parse_list("").unwrap(), vec![]);
         assert!(Fault::parse_list("boom:1").is_err());
         assert!(Fault::parse_list("kill:x").is_err());
         assert!(Fault::parse_list("kill:1@y").is_err());
+    }
+
+    #[test]
+    fn fault_matching_targets_one_shard_attempt() {
+        for fault in Fault::parse_list("kill:2@1,killmid:2@1,torn:2@1").unwrap() {
+            assert!(fault.matches(2, 1));
+            assert!(!fault.matches(2, 0));
+            assert!(!fault.matches(1, 1));
+        }
     }
 
     #[test]

@@ -42,10 +42,12 @@
 //! configurations — and the core and memory experiments sharing one cache
 //! directory — can never collide on one path.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use perfbug_uarch::{ArchSet, BugSpec};
@@ -53,17 +55,31 @@ use perfbug_workloads::Opcode;
 
 use crate::bugs::BugCatalog;
 use crate::experiment::{
-    collect, CapturedSeries, Collection, CollectionConfig, EngineResult, ProbeMeta, RunKey,
+    CapturedSeries, Collection, CollectionConfig, EngineResult, ProbeMeta, RunKey,
 };
-use crate::memory::{collect_memory, MemCollectionConfig};
+use crate::memory::MemCollectionConfig;
 
 /// Version of the on-disk format. Bump on any layout change; readers
-/// reject every other version.
+/// reject every version except this one and [`LEGACY_FORMAT_VERSION`].
 ///
 /// * v1 — magic, version, fingerprint, payload, checksum.
 /// * v2 — adds the corpus revision, the experiment kind and the shard
 ///   manifest to the header (see `docs/FORMAT.md`).
-pub const FORMAT_VERSION: u32 = 2;
+/// * v3 — replaces the monolithic payload with self-delimiting,
+///   individually-checksummed chunks (a meta chunk, then one chunk per
+///   probe), a footer carrying the chunk/offset index and the engine
+///   timing totals, and a 16-byte trailer locating the footer. Enables
+///   O(chunk) streaming verification ([`verify_stream`]), single-probe
+///   random access ([`ProbeReader`]), streaming shard concatenation
+///   ([`merge_shard_files`]) and crash-recoverable resumable shard
+///   writes ([`ShardStreamWriter`], [`scan_part`]).
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The previous on-disk format, still accepted by every read path
+/// (read-compat shim): v2 files in an existing `PERFBUG_CACHE_DIR`
+/// replay without recollection. Writers always emit [`FORMAT_VERSION`];
+/// the streaming/resume machinery is v3-only.
+pub const LEGACY_FORMAT_VERSION: u32 = 2;
 
 /// Version of the *corpus semantics*: what the collection pipeline would
 /// produce for a given configuration. Folded into every config
@@ -302,9 +318,14 @@ impl From<io::Error> for PersistError {
 // Fingerprints
 // --------------------------------------------------------------------------
 
-/// 64-bit FNV-1a over a byte slice (also the file checksum primitive).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 offset basis.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running 64-bit FNV-1a hash. Seed with
+/// [`FNV_BASIS`]; feeding a file's bytes in any split produces the same
+/// hash as one pass, which is what lets the streaming writer and
+/// verifier maintain the whole-file checksum incrementally.
+fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -312,13 +333,26 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// 64-bit FNV-1a over a byte slice (also the file checksum primitive).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_BASIS, bytes)
+}
+
+/// Version token frozen into the fingerprint canon. This is *not*
+/// [`FORMAT_VERSION`]: fingerprints identify what the collection pipeline
+/// would produce, and the v2→v3 codec change reshaped only the container,
+/// not the data — so v2-era cache files (and their fingerprint-bearing
+/// names) must keep matching. Bump [`CORPUS_REVISION`] — not this — when
+/// collection *output* changes.
+const FINGERPRINT_VERSION: u32 = 2;
+
 /// Fingerprint of everything in a [`CollectionConfig`] that shapes the
 /// collected data. `threads` is deliberately excluded: the engine is
 /// deterministic for any worker count, so parallelism is an execution
 /// detail, not part of the corpus identity.
 pub fn config_fingerprint(config: &CollectionConfig) -> u64 {
     let canon = format!(
-        "core/v{FORMAT_VERSION}/c{CORPUS_REVISION}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        "core/v{FINGERPRINT_VERSION}/c{CORPUS_REVISION}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         config.scale,
         config.engines,
         config.counter_mode,
@@ -340,7 +374,7 @@ pub fn config_fingerprint(config: &CollectionConfig) -> u64 {
 /// same reason as [`config_fingerprint`].
 pub fn mem_config_fingerprint(config: &MemCollectionConfig) -> u64 {
     let canon = format!(
-        "mem/v{FORMAT_VERSION}/c{CORPUS_REVISION}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        "mem/v{FINGERPRINT_VERSION}/c{CORPUS_REVISION}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
         config.workload,
         config.step_cycles,
         config.engines,
@@ -381,6 +415,26 @@ pub fn shard_file_name(
 /// that `pbcol prune` evicts.
 pub fn is_temp_file_name(name: &str) -> bool {
     name.ends_with(".tmp") && name.contains(&format!(".{FILE_EXTENSION}."))
+}
+
+/// The deterministic in-progress ("part") file of a streaming shard
+/// write: `<target>.pbcol.part.tmp` beside the target. Deterministic —
+/// unlike [`save_collection`]'s pid-sequenced temp names — because a
+/// *later attempt in a different process* must find the file a killed
+/// worker left behind and resume it ([`ShardStreamWriter`]). The name
+/// still matches [`is_temp_file_name`], so part files stay invisible to
+/// every reader and assembly path.
+pub fn part_path_for(target: &Path) -> std::path::PathBuf {
+    target.with_extension(format!("{FILE_EXTENSION}.part.tmp"))
+}
+
+/// Whether `name` is a resumable part file ([`part_path_for`] grammar).
+/// Part files are a subset of [`is_temp_file_name`]: cache tooling
+/// (`pbcol prune`, `pbcol inspect`) distinguishes them from the
+/// anonymous in-flight temps of the atomic-save path because a part file
+/// with a valid chunk prefix represents recoverable work.
+pub fn is_part_file_name(name: &str) -> bool {
+    name.ends_with(&format!(".{FILE_EXTENSION}.part.tmp"))
 }
 
 /// A cache file name decomposed by [`parse_cache_file_name`].
@@ -761,7 +815,399 @@ fn dec_bug(dec: &mut Dec) -> Result<BugSpec, PersistError> {
     })
 }
 
-fn enc_collection(enc: &mut Enc, col: &Collection) {
+// --------------------------------------------------------------------------
+// v3 chunk codec
+// --------------------------------------------------------------------------
+
+/// Chunk kind: the single meta chunk (keys, engine roster, catalogue).
+const CHUNK_META: u8 = 0;
+/// Chunk kind: a probe chunk holding `n_probes >= 1` probe records.
+const CHUNK_PROBES: u8 = 1;
+/// Bytes of a chunk's frame header:
+/// `kind u8 | first_probe u64 | n_probes u32 | payload_len u64`.
+const CHUNK_FRAME_LEN: usize = 1 + 8 + 4 + 8;
+/// Total framing overhead of one chunk: frame header plus the trailing
+/// per-chunk FNV-1a checksum.
+const CHUNK_OVERHEAD: usize = CHUNK_FRAME_LEN + 8;
+/// Probes per probe chunk emitted by this build's writers. The format
+/// itself allows any `n_probes >= 1` per chunk; one probe per chunk
+/// gives probe-granular crash recovery and random access, which is what
+/// the resume path and [`ProbeReader`] are for.
+const PROBES_PER_CHUNK: u32 = 1;
+/// Bytes of the fixed v3 trailer: `footer_offset u64 | file fnv64`.
+const TRAILER_LEN: usize = 16;
+
+/// One row of the v3 footer's chunk index, locating and identifying a
+/// chunk without touching its bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Absolute byte offset of the chunk's frame header in the file.
+    pub offset: u64,
+    /// Total chunk length in bytes (frame + payload + checksum).
+    pub len: u64,
+    /// Chunk kind (`0` = meta, `1` = probes).
+    pub kind: u8,
+    /// Absolute index of the first probe in the chunk (0 for meta).
+    pub first_probe: u64,
+    /// Number of probe records in the chunk (0 for meta).
+    pub n_probes: u32,
+    /// FNV-1a checksum over the chunk's frame header and payload, as
+    /// also stored at the end of the chunk itself.
+    pub checksum: u64,
+}
+
+impl ChunkEntry {
+    /// Whether this entry describes the meta chunk.
+    pub fn is_meta(&self) -> bool {
+        self.kind == CHUNK_META
+    }
+
+    /// One past the last probe the chunk covers.
+    pub fn probe_end(&self) -> u64 {
+        self.first_probe + u64::from(self.n_probes)
+    }
+}
+
+/// The decoded meta chunk: the probe-independent identity of a
+/// collection, written once at the front of every v3 file so a resumed
+/// or streaming reader knows the axes before any probe is decoded.
+#[derive(Debug, Clone, PartialEq)]
+struct MetaSection {
+    keys: Vec<RunKey>,
+    engine_names: Vec<String>,
+    catalog: BugCatalog,
+}
+
+/// Everything one probe contributes to a collection, as stored inside a
+/// v3 probe chunk: metadata, per-key overall metric, baseline aggregate
+/// rows, one delta row per engine (in meta-chunk roster order) and any
+/// captured series. Engine wall-clock timings are *not* per-probe on
+/// disk — totals live in the footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Probe metadata.
+    pub meta: ProbeMeta,
+    /// Overall target metric, one per run key.
+    pub overall: Vec<f64>,
+    /// Aggregated baseline feature rows, one per run key.
+    pub agg: Vec<Vec<f64>>,
+    /// Eq.-(1) inference errors, `[engine][run key]` in roster order.
+    pub deltas: Vec<Vec<f64>>,
+    /// Captured series of this probe, in (engine, key) capture order.
+    pub captures: Vec<CapturedSeries>,
+}
+
+fn enc_meta_section(enc: &mut Enc, meta: &MetaSection) {
+    enc.usize(meta.keys.len());
+    for key in &meta.keys {
+        enc.str(&key.arch);
+        enc_arch_set(enc, key.set);
+        enc.opt_usize(key.bug);
+    }
+    enc.usize(meta.engine_names.len());
+    for name in &meta.engine_names {
+        enc.str(name);
+    }
+    enc.usize(meta.catalog.len());
+    for bug in meta.catalog.variants() {
+        enc_bug(enc, bug);
+    }
+}
+
+fn dec_meta_section(dec: &mut Dec) -> Result<MetaSection, PersistError> {
+    let n_keys = dec.len()?;
+    let mut keys = Vec::with_capacity(n_keys);
+    for _ in 0..n_keys {
+        keys.push(RunKey {
+            arch: dec.str()?,
+            set: dec_arch_set(dec)?,
+            bug: dec.opt_usize()?,
+        });
+    }
+    let n_engines = dec.len()?;
+    let mut engine_names = Vec::with_capacity(n_engines);
+    for _ in 0..n_engines {
+        engine_names.push(dec.str()?);
+    }
+    let n_bugs = dec.len()?;
+    if n_bugs == 0 {
+        return Err(PersistError::Corrupt("empty bug catalogue".into()));
+    }
+    let mut variants = Vec::with_capacity(n_bugs);
+    for _ in 0..n_bugs {
+        variants.push(dec_bug(dec)?);
+    }
+    Ok(MetaSection {
+        keys,
+        engine_names,
+        catalog: BugCatalog::new(variants),
+    })
+}
+
+fn enc_probe_record(enc: &mut Enc, rec: &ProbeRecord) {
+    enc.str(&rec.meta.id);
+    enc.str(&rec.meta.benchmark);
+    enc.f64(rec.meta.weight);
+    enc.f64s(&rec.overall);
+    enc.usize(rec.agg.len());
+    for row in &rec.agg {
+        enc.f64s(row);
+    }
+    // One delta row per engine, count fixed by the meta-chunk roster.
+    for row in &rec.deltas {
+        enc.f64s(row);
+    }
+    enc.usize(rec.captures.len());
+    for c in &rec.captures {
+        enc.str(&c.probe_id);
+        enc.str(&c.arch);
+        enc.opt_usize(c.bug);
+        enc.str(&c.engine);
+        enc.f64s(&c.simulated);
+        enc.f64s(&c.inferred);
+    }
+}
+
+fn dec_probe_record(dec: &mut Dec, n_engines: usize) -> Result<ProbeRecord, PersistError> {
+    let meta = ProbeMeta {
+        id: dec.str()?,
+        benchmark: dec.str()?,
+        weight: dec.f64()?,
+    };
+    let overall = dec.f64s()?;
+    let n_agg = dec.len()?;
+    let mut agg = Vec::with_capacity(n_agg);
+    for _ in 0..n_agg {
+        agg.push(dec.f64s()?);
+    }
+    let mut deltas = Vec::with_capacity(n_engines);
+    for _ in 0..n_engines {
+        deltas.push(dec.f64s()?);
+    }
+    let n_caps = dec.len()?;
+    let mut captures = Vec::with_capacity(n_caps);
+    for _ in 0..n_caps {
+        captures.push(CapturedSeries {
+            probe_id: dec.str()?,
+            arch: dec.str()?,
+            bug: dec.opt_usize()?,
+            engine: dec.str()?,
+            simulated: dec.f64s()?,
+            inferred: dec.f64s()?,
+        });
+    }
+    Ok(ProbeRecord {
+        meta,
+        overall,
+        agg,
+        deltas,
+        captures,
+    })
+}
+
+/// Frames `payload` as one chunk: frame header, payload, then the
+/// per-chunk FNV-1a checksum over frame + payload. Returns the chunk
+/// bytes and its checksum.
+fn build_chunk(kind: u8, first_probe: u64, n_probes: u32, payload: &[u8]) -> (Vec<u8>, u64) {
+    let mut enc = Enc::new();
+    enc.u8(kind);
+    enc.u64(first_probe);
+    enc.u32(n_probes);
+    enc.u64(payload.len() as u64);
+    enc.buf.extend_from_slice(payload);
+    let checksum = fnv1a(&enc.buf);
+    enc.u64(checksum);
+    (enc.buf, checksum)
+}
+
+/// A chunk parsed (and checksum-validated) out of a byte buffer.
+struct ParsedChunk<'b> {
+    kind: u8,
+    first_probe: u64,
+    n_probes: u32,
+    payload: &'b [u8],
+    checksum: u64,
+    /// Total chunk length in bytes.
+    len: usize,
+}
+
+/// Parses the chunk starting at `bytes[offset..]`, validating the frame
+/// header, the payload bounds and the per-chunk checksum. `offset` is
+/// only used for error messages' byte positions.
+fn parse_chunk(bytes: &[u8], offset: usize) -> Result<ParsedChunk<'_>, PersistError> {
+    let at = |why: &str| PersistError::Corrupt(format!("chunk at byte {offset}: {why}"));
+    if bytes.len() < CHUNK_OVERHEAD {
+        return Err(at(&format!(
+            "{} bytes is too short for a chunk",
+            bytes.len()
+        )));
+    }
+    let kind = bytes[0];
+    if kind != CHUNK_META && kind != CHUNK_PROBES {
+        return Err(at(&format!("invalid chunk kind {kind}")));
+    }
+    let first_probe = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+    let n_probes = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes"));
+    let payload_len = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
+    let payload_len = usize::try_from(payload_len)
+        .ok()
+        .filter(|&n| n <= bytes.len() - CHUNK_OVERHEAD)
+        .ok_or_else(|| {
+            at(&format!(
+                "payload length {payload_len} exceeds remaining bytes"
+            ))
+        })?;
+    let len = CHUNK_FRAME_LEN + payload_len + 8;
+    let payload = &bytes[CHUNK_FRAME_LEN..CHUNK_FRAME_LEN + payload_len];
+    let stored = u64::from_le_bytes(bytes[len - 8..len].try_into().expect("8 bytes"));
+    let computed = fnv1a(&bytes[..CHUNK_FRAME_LEN + payload_len]);
+    if stored != computed {
+        return Err(at("chunk checksum mismatch"));
+    }
+    Ok(ParsedChunk {
+        kind,
+        first_probe,
+        n_probes,
+        payload,
+        checksum: stored,
+        len,
+    })
+}
+
+/// Serialises the v3 footer: the chunk index followed by the per-engine
+/// wall-clock timing totals. Timings live here — not in probe chunks —
+/// because a whole collection's per-engine times cannot be attributed to
+/// individual probes after the fact, and because a resumed write loses
+/// the crashed attempt's measurements anyway (bit-identity comparisons
+/// run after `Collection::zero_timings`).
+fn enc_footer(chunks: &[ChunkEntry], times: &[(Duration, Duration)]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.usize(chunks.len());
+    for c in chunks {
+        enc.u64(c.offset);
+        enc.u64(c.len);
+        enc.u8(c.kind);
+        enc.u64(c.first_probe);
+        enc.u32(c.n_probes);
+        enc.u64(c.checksum);
+    }
+    enc.usize(times.len());
+    for &(train, infer) in times {
+        enc.duration(train);
+        enc.duration(infer);
+    }
+    enc.buf
+}
+
+/// Decodes a v3 footer; `bytes` must hold exactly the footer.
+#[allow(clippy::type_complexity)]
+fn dec_footer(bytes: &[u8]) -> Result<(Vec<ChunkEntry>, Vec<(Duration, Duration)>), PersistError> {
+    let mut dec = Dec::new(bytes);
+    let n_chunks = dec.usize()?;
+    if n_chunks > bytes.len() / 37 {
+        // 37 = bytes per chunk entry; bounds the allocation below.
+        return Err(PersistError::Corrupt(format!(
+            "footer chunk count {n_chunks} exceeds footer size"
+        )));
+    }
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        chunks.push(ChunkEntry {
+            offset: dec.u64()?,
+            len: dec.u64()?,
+            kind: dec.u8()?,
+            first_probe: dec.u64()?,
+            n_probes: dec.u32()?,
+            checksum: dec.u64()?,
+        });
+    }
+    let n_engines = dec.len()?;
+    let mut times = Vec::with_capacity(n_engines);
+    for _ in 0..n_engines {
+        times.push((dec.duration()?, dec.duration()?));
+    }
+    if dec.pos != bytes.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after footer",
+            bytes.len() - dec.pos
+        )));
+    }
+    Ok((chunks, times))
+}
+
+/// Validates a v3 chunk table against the header: exactly one meta chunk
+/// first (at the fixed header boundary), contiguous chunk extents ending
+/// at the footer, and probe chunks covering exactly the manifest's probe
+/// range in order.
+fn validate_chunk_table(
+    chunks: &[ChunkEntry],
+    footer_offset: u64,
+    header: &FileHeader,
+) -> Result<(), PersistError> {
+    let corrupt = |why: String| PersistError::Corrupt(why);
+    let first = chunks
+        .first()
+        .ok_or_else(|| corrupt("empty chunk table".into()))?;
+    if !first.is_meta()
+        || first.offset != HEADER_LEN as u64
+        || first.first_probe != 0
+        || first.n_probes != 0
+    {
+        return Err(corrupt(format!(
+            "first chunk must be the meta chunk at byte {HEADER_LEN}"
+        )));
+    }
+    let mut end = first.offset;
+    let mut next_probe = header.manifest.probe_start;
+    for (i, c) in chunks.iter().enumerate() {
+        if c.offset != end {
+            return Err(corrupt(format!(
+                "chunk {i} at byte {} is not contiguous with the previous chunk (ends {end})",
+                c.offset
+            )));
+        }
+        if c.len < CHUNK_OVERHEAD as u64 {
+            return Err(corrupt(format!("chunk {i} length {} is too short", c.len)));
+        }
+        end = c
+            .offset
+            .checked_add(c.len)
+            .ok_or_else(|| corrupt(format!("chunk {i} extent overflows")))?;
+        if i > 0 {
+            if c.kind != CHUNK_PROBES {
+                return Err(corrupt(format!(
+                    "chunk {i} has kind {} (want probes)",
+                    c.kind
+                )));
+            }
+            if c.first_probe != next_probe || c.n_probes == 0 {
+                return Err(corrupt(format!(
+                    "chunk {i} covers probes {}..{} (expected to start at {next_probe})",
+                    c.first_probe,
+                    c.probe_end()
+                )));
+            }
+            next_probe = c.probe_end();
+        }
+    }
+    if end != footer_offset {
+        return Err(corrupt(format!(
+            "chunks end at byte {end} but the footer starts at {footer_offset}"
+        )));
+    }
+    if next_probe != header.manifest.probe_end {
+        return Err(corrupt(format!(
+            "probe chunks cover {}..{next_probe} but the manifest promises {}..{}",
+            header.manifest.probe_start, header.manifest.probe_start, header.manifest.probe_end
+        )));
+    }
+    Ok(())
+}
+
+/// Serialises the legacy v2 monolithic payload (the whole collection as
+/// one blob). Retained only for the v2 read-compat fixture encoder; v3
+/// writers go through the chunked layout above.
+fn enc_collection_v2(enc: &mut Enc, col: &Collection) {
     enc.usize(col.keys.len());
     for key in &col.keys {
         enc.str(&key.arch);
@@ -810,7 +1256,8 @@ fn enc_collection(enc: &mut Enc, col: &Collection) {
     }
 }
 
-fn dec_collection(dec: &mut Dec) -> Result<Collection, PersistError> {
+/// Decodes the legacy v2 monolithic payload (read-compat shim).
+fn dec_collection_v2(dec: &mut Dec) -> Result<Collection, PersistError> {
     let n_keys = dec.len()?;
     let mut keys = Vec::with_capacity(n_keys);
     for _ in 0..n_keys {
@@ -901,9 +1348,9 @@ fn dec_collection(dec: &mut Dec) -> Result<Collection, PersistError> {
 /// fingerprint and the five shard-manifest fields (see `docs/FORMAT.md`).
 const HEADER_LEN: usize = 4 + 4 + 4 + 1 + 8 + (4 + 4 + 8 + 8 + 8);
 
-fn enc_header(enc: &mut Enc, header: &FileHeader) {
+fn enc_header(enc: &mut Enc, header: &FileHeader, version: u32) {
     enc.buf.extend_from_slice(&MAGIC);
-    enc.u32(FORMAT_VERSION);
+    enc.u32(version);
     enc.u32(header.corpus_revision);
     enc.u8(header.kind.wire());
     enc.u64(header.fingerprint);
@@ -914,12 +1361,12 @@ fn enc_header(enc: &mut Enc, header: &FileHeader) {
     enc.u64(header.manifest.total_probes);
 }
 
-fn dec_header(dec: &mut Dec) -> Result<FileHeader, PersistError> {
+fn dec_header(dec: &mut Dec) -> Result<(FileHeader, u32), PersistError> {
     if dec.take(4)? != MAGIC {
         return Err(PersistError::Corrupt("bad magic".into()));
     }
     let version = dec.u32()?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
         return Err(PersistError::Version {
             found: version,
             expected: FORMAT_VERSION,
@@ -936,25 +1383,66 @@ fn dec_header(dec: &mut Dec) -> Result<FileHeader, PersistError> {
         total_probes: dec.u64()?,
     };
     manifest.validate()?;
-    Ok(FileHeader {
-        kind,
-        corpus_revision,
-        fingerprint,
-        manifest,
-    })
+    Ok((
+        FileHeader {
+            kind,
+            corpus_revision,
+            fingerprint,
+            manifest,
+        },
+        version,
+    ))
 }
 
-/// Serialises a collection (full or one shard) under its header.
+/// Splits a collection into per-probe [`ProbeRecord`]s, bucketing the
+/// flat capture list by probe id.
 ///
-/// Layout: `MAGIC | version | corpus revision | kind | fingerprint |
-/// shard manifest | payload | fnv64` where the trailing checksum covers
-/// everything before it (see `docs/FORMAT.md`).
+/// # Panics
+///
+/// Panics if a capture names a probe id absent from `col.probes` — such
+/// a collection is internally inconsistent and must never reach disk.
+fn collection_to_records(col: &Collection) -> Vec<ProbeRecord> {
+    let index: HashMap<&str, usize> = col
+        .probes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.id.as_str(), i))
+        .collect();
+    let mut captures: Vec<Vec<CapturedSeries>> = vec![Vec::new(); col.probes.len()];
+    for c in &col.captures {
+        let i = *index
+            .get(c.probe_id.as_str())
+            .unwrap_or_else(|| panic!("capture names unknown probe id {:?}", c.probe_id));
+        captures[i].push(c.clone());
+    }
+    let mut captures = captures.into_iter();
+    col.probes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ProbeRecord {
+            meta: p.clone(),
+            overall: col.overall_ipc[i].clone(),
+            agg: col.agg_features[i].clone(),
+            deltas: col.engines.iter().map(|e| e.deltas[i].clone()).collect(),
+            captures: captures.next().expect("one bucket per probe"),
+        })
+        .collect()
+}
+
+/// Serialises a collection (full or one shard) under its header in the
+/// v3 chunked layout.
+///
+/// Layout: fixed header, one meta chunk, one probe chunk per probe, the
+/// footer (chunk index + per-engine timing totals), then the trailer
+/// `footer_offset u64 | fnv64` whose checksum covers every preceding
+/// byte (see `docs/FORMAT.md`).
 ///
 /// # Panics
 ///
 /// Panics if the manifest's probe range does not match the collection's
-/// probe count — the manifest describes the payload; an inconsistent pair
-/// must never reach disk.
+/// probe count, or a capture names an unknown probe id — the manifest
+/// and payload describe each other; an inconsistent pair must never
+/// reach disk.
 pub fn encode_collection_with(col: &Collection, header: &FileHeader) -> Vec<u8> {
     assert_eq!(
         header.manifest.probes(),
@@ -962,8 +1450,65 @@ pub fn encode_collection_with(col: &Collection, header: &FileHeader) -> Vec<u8> 
         "shard manifest must cover exactly the collection's probes"
     );
     let mut enc = Enc::new();
-    enc_header(&mut enc, header);
-    enc_collection(&mut enc, col);
+    enc_header(&mut enc, header, FORMAT_VERSION);
+    let mut chunks = Vec::with_capacity(col.probes.len() + 1);
+    let mut push_chunk = |enc: &mut Enc, kind, first_probe, n_probes, payload: &[u8]| {
+        let offset = enc.buf.len() as u64;
+        let (bytes, checksum) = build_chunk(kind, first_probe, n_probes, payload);
+        enc.buf.extend_from_slice(&bytes);
+        chunks.push(ChunkEntry {
+            offset,
+            len: bytes.len() as u64,
+            kind,
+            first_probe,
+            n_probes,
+            checksum,
+        });
+    };
+    let meta = MetaSection {
+        keys: col.keys.clone(),
+        engine_names: col.engines.iter().map(|e| e.name.clone()).collect(),
+        catalog: col.catalog.clone(),
+    };
+    let mut payload = Enc::new();
+    enc_meta_section(&mut payload, &meta);
+    push_chunk(&mut enc, CHUNK_META, 0, 0, &payload.buf);
+    for (i, rec) in collection_to_records(col).iter().enumerate() {
+        let mut payload = Enc::new();
+        enc_probe_record(&mut payload, rec);
+        push_chunk(
+            &mut enc,
+            CHUNK_PROBES,
+            header.manifest.probe_start + i as u64,
+            PROBES_PER_CHUNK,
+            &payload.buf,
+        );
+    }
+    let times: Vec<(Duration, Duration)> = col
+        .engines
+        .iter()
+        .map(|e| (e.train_time, e.infer_time))
+        .collect();
+    let footer_offset = enc.buf.len() as u64;
+    enc.buf.extend_from_slice(&enc_footer(&chunks, &times));
+    enc.u64(footer_offset);
+    let checksum = fnv1a(&enc.buf);
+    enc.u64(checksum);
+    enc.buf
+}
+
+/// Serialises a collection in the **legacy v2** monolithic layout.
+/// Production writers always emit v3 — this exists so tests can mint v2
+/// fixtures and prove the read-compat shim keeps old caches loadable.
+pub fn encode_collection_v2_with(col: &Collection, header: &FileHeader) -> Vec<u8> {
+    assert_eq!(
+        header.manifest.probes(),
+        col.probes.len() as u64,
+        "shard manifest must cover exactly the collection's probes"
+    );
+    let mut enc = Enc::new();
+    enc_header(&mut enc, header, LEGACY_FORMAT_VERSION);
+    enc_collection_v2(&mut enc, col);
     let checksum = fnv1a(&enc.buf);
     enc.u64(checksum);
     enc.buf
@@ -989,6 +1534,13 @@ pub fn encode_collection(col: &Collection, fingerprint: u64) -> Vec<u8> {
 /// tooling uses this to triage files cheaply; anything that consumes the
 /// payload must go through [`decode_collection_with`].
 pub fn read_header(bytes: &[u8]) -> Result<FileHeader, PersistError> {
+    dec_header(&mut Dec::new(bytes)).map(|(h, _)| h)
+}
+
+/// [`read_header`] that also reports the file's format version (2 or 3),
+/// for tooling that must branch between the legacy monolithic layout and
+/// the v3 chunked one.
+pub fn read_header_with_version(bytes: &[u8]) -> Result<(FileHeader, u32), PersistError> {
     dec_header(&mut Dec::new(bytes))
 }
 
@@ -1005,7 +1557,7 @@ pub fn read_header_checked(bytes: &[u8]) -> Result<FileHeader, PersistError> {
         )));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let header = dec_header(&mut Dec::new(body))?;
+    let (header, _) = dec_header(&mut Dec::new(body))?;
     let stored_checksum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     if fnv1a(body) != stored_checksum {
         return Err(PersistError::Corrupt("checksum mismatch".into()));
@@ -1016,7 +1568,8 @@ pub fn read_header_checked(bytes: &[u8]) -> Result<FileHeader, PersistError> {
 /// Decodes a serialised collection, validating magic, version, checksum,
 /// then (when `expected` is given) the config fingerprint, then the
 /// payload and its consistency with the shard manifest. Accepts both full
-/// and shard files; the returned header says which this was.
+/// and shard files in either the v3 chunked or the legacy v2 monolithic
+/// layout; the returned header says which shard this was.
 pub fn decode_collection_with(
     bytes: &[u8],
     expected: Option<u64>,
@@ -1029,7 +1582,7 @@ pub fn decode_collection_with(
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
     let mut dec = Dec::new(body);
-    let header = dec_header(&mut dec)?;
+    let (header, version) = dec_header(&mut dec)?;
     let stored_checksum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     if fnv1a(body) != stored_checksum {
         return Err(PersistError::Corrupt("checksum mismatch".into()));
@@ -1042,13 +1595,18 @@ pub fn decode_collection_with(
             });
         }
     }
-    let col = dec_collection(&mut dec)?;
-    if dec.pos != body.len() {
-        return Err(PersistError::Corrupt(format!(
-            "{} trailing bytes after payload",
-            body.len() - dec.pos
-        )));
-    }
+    let col = if version == LEGACY_FORMAT_VERSION {
+        let col = dec_collection_v2(&mut dec)?;
+        if dec.pos != body.len() {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                body.len() - dec.pos
+            )));
+        }
+        col
+    } else {
+        decode_v3_body(body, &header)?
+    };
     if header.manifest.probes() != col.probes.len() as u64 {
         return Err(PersistError::Corrupt(format!(
             "manifest covers {} probes but payload holds {}",
@@ -1057,6 +1615,120 @@ pub fn decode_collection_with(
         )));
     }
     Ok((col, header))
+}
+
+/// Decodes the v3 chunked body of `body` (the file minus its final
+/// whole-file checksum) into a [`Collection`]. The caller has already
+/// validated magic, version and the whole-file checksum.
+fn decode_v3_body(body: &[u8], header: &FileHeader) -> Result<Collection, PersistError> {
+    // Trailer: the last 8 bytes of `body` are the footer offset (the
+    // whole-file checksum that follows has been split off already).
+    if body.len() < HEADER_LEN + 8 {
+        return Err(PersistError::Corrupt(
+            "file too short for a v3 trailer".into(),
+        ));
+    }
+    let (rest, off_bytes) = body.split_at(body.len() - 8);
+    let footer_offset = u64::from_le_bytes(off_bytes.try_into().expect("8 bytes"));
+    let footer_offset = usize::try_from(footer_offset)
+        .ok()
+        .filter(|&o| o >= HEADER_LEN && o <= rest.len())
+        .ok_or_else(|| {
+            PersistError::Corrupt(format!("footer offset {footer_offset} is out of bounds"))
+        })?;
+    let (chunks, times) = dec_footer(&rest[footer_offset..])?;
+    validate_chunk_table(&chunks, footer_offset as u64, header)?;
+    assemble_v3(body, &chunks, &times)
+}
+
+/// Decodes the meta chunk plus every probe chunk and assembles them into
+/// a [`Collection`]. Chunk checksums are validated both against the
+/// bytes and against the footer's copy.
+fn assemble_v3(
+    bytes: &[u8],
+    chunks: &[ChunkEntry],
+    times: &[(Duration, Duration)],
+) -> Result<Collection, PersistError> {
+    let chunk_at = |entry: &ChunkEntry| -> Result<ParsedChunk<'_>, PersistError> {
+        let offset = entry.offset as usize;
+        let end = offset + entry.len as usize;
+        if end > bytes.len() {
+            return Err(PersistError::Corrupt(format!(
+                "chunk at byte {offset} extends past end of file"
+            )));
+        }
+        let parsed = parse_chunk(&bytes[offset..end], offset)?;
+        if parsed.len != entry.len as usize
+            || parsed.checksum != entry.checksum
+            || parsed.kind != entry.kind
+            || parsed.first_probe != entry.first_probe
+            || parsed.n_probes != entry.n_probes
+        {
+            return Err(PersistError::Corrupt(format!(
+                "chunk at byte {offset} disagrees with its footer index entry"
+            )));
+        }
+        Ok(parsed)
+    };
+    let meta_chunk = chunk_at(&chunks[0])?;
+    let meta = {
+        let mut dec = Dec::new(meta_chunk.payload);
+        let meta = dec_meta_section(&mut dec)?;
+        if dec.pos != meta_chunk.payload.len() {
+            return Err(PersistError::Corrupt(
+                "trailing bytes after meta chunk payload".into(),
+            ));
+        }
+        meta
+    };
+    if times.len() != meta.engine_names.len() {
+        return Err(PersistError::Corrupt(format!(
+            "footer times {} engines but the roster has {}",
+            times.len(),
+            meta.engine_names.len()
+        )));
+    }
+    let mut col = Collection {
+        keys: meta.keys,
+        probes: Vec::new(),
+        engines: meta
+            .engine_names
+            .into_iter()
+            .zip(times)
+            .map(|(name, &(train_time, infer_time))| EngineResult {
+                name,
+                deltas: Vec::new(),
+                train_time,
+                infer_time,
+            })
+            .collect(),
+        overall_ipc: Vec::new(),
+        agg_features: Vec::new(),
+        captures: Vec::new(),
+        catalog: meta.catalog,
+    };
+    for entry in &chunks[1..] {
+        let chunk = chunk_at(entry)?;
+        let mut dec = Dec::new(chunk.payload);
+        for _ in 0..chunk.n_probes {
+            let rec = dec_probe_record(&mut dec, col.engines.len())?;
+            col.probes.push(rec.meta);
+            col.overall_ipc.push(rec.overall);
+            col.agg_features.push(rec.agg);
+            for (engine, row) in col.engines.iter_mut().zip(rec.deltas) {
+                engine.deltas.push(row);
+            }
+            col.captures.extend(rec.captures);
+        }
+        if dec.pos != chunk.payload.len() {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after probe chunk payload at byte {}",
+                chunk.payload.len() - dec.pos,
+                entry.offset
+            )));
+        }
+    }
+    Ok(col)
 }
 
 /// Decodes a *full* serialised collection, validating magic, version,
@@ -1072,6 +1744,834 @@ pub fn decode_collection(bytes: &[u8], expected: u64) -> Result<Collection, Pers
         )));
     }
     Ok(col)
+}
+
+// --------------------------------------------------------------------------
+// Crash recovery: part-file scanning and the resumable shard writer
+// --------------------------------------------------------------------------
+
+/// The durable prefix recovered from a half-written v3 part file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredPrefix {
+    /// The header the crashed writer was writing under.
+    pub header: FileHeader,
+    /// Number of probes whose chunks are fully durable (checksum-valid,
+    /// payload-decodable, contiguous from the manifest's first probe).
+    pub probes: u64,
+    /// Byte length of the durable prefix (header + meta chunk + the
+    /// durable probe chunks). Truncating the file here yields a clean
+    /// resume point.
+    pub durable_len: u64,
+    /// Bytes of torn tail after the durable prefix (0 when the writer
+    /// died exactly on a chunk boundary).
+    pub torn_bytes: u64,
+    /// Index entries of the durable chunks (meta chunk first).
+    pub chunks: Vec<ChunkEntry>,
+}
+
+/// Scans the bytes of a half-written v3 part file and recovers its
+/// durable chunk prefix.
+///
+/// The scan validates the fixed header, then requires a fully valid meta
+/// chunk (checksum *and* payload decode) — a part without one carries no
+/// recoverable work and is rejected with [`PersistError::Corrupt`].
+/// Probe chunks are then walked in order; each must checksum-validate,
+/// payload-decode and be contiguous with the previous one. The walk
+/// stops at the first violation: everything before it is the durable
+/// prefix, everything after is the torn tail. A *finished* file also
+/// scans cleanly — its footer bytes simply fail to parse as a chunk and
+/// count as torn tail, so callers should try a normal load first.
+///
+/// Only [`FORMAT_VERSION`] parts are resumable; a v2 file is rejected
+/// with [`PersistError::Version`].
+pub fn scan_part(bytes: &[u8]) -> Result<RecoveredPrefix, PersistError> {
+    let mut dec = Dec::new(bytes);
+    let (header, version) = dec_header(&mut dec)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let meta_chunk = parse_chunk(&bytes[HEADER_LEN..], HEADER_LEN)
+        .map_err(|e| PersistError::Corrupt(format!("part file has no valid meta chunk: {e}")))?;
+    if meta_chunk.kind != CHUNK_META || meta_chunk.first_probe != 0 || meta_chunk.n_probes != 0 {
+        return Err(PersistError::Corrupt(
+            "part file's first chunk is not a meta chunk".into(),
+        ));
+    }
+    let meta = {
+        let mut dec = Dec::new(meta_chunk.payload);
+        let meta = dec_meta_section(&mut dec).map_err(|e| {
+            PersistError::Corrupt(format!("part file's meta chunk does not decode: {e}"))
+        })?;
+        if dec.pos != meta_chunk.payload.len() {
+            return Err(PersistError::Corrupt(
+                "trailing bytes after part file's meta chunk payload".into(),
+            ));
+        }
+        meta
+    };
+    let n_engines = meta.engine_names.len();
+    let mut chunks = vec![ChunkEntry {
+        offset: HEADER_LEN as u64,
+        len: meta_chunk.len as u64,
+        kind: CHUNK_META,
+        first_probe: 0,
+        n_probes: 0,
+        checksum: meta_chunk.checksum,
+    }];
+    let mut offset = HEADER_LEN + meta_chunk.len;
+    let mut next_probe = header.manifest.probe_start;
+    while offset < bytes.len() && next_probe < header.manifest.probe_end {
+        let chunk = match parse_chunk(&bytes[offset..], offset) {
+            Ok(c) => c,
+            // Torn tail: a partially flushed chunk, or (for a finished
+            // file) the footer. Either way the durable prefix ends here.
+            Err(_) => break,
+        };
+        if chunk.kind != CHUNK_PROBES
+            || chunk.first_probe != next_probe
+            || chunk.n_probes == 0
+            || chunk.first_probe + u64::from(chunk.n_probes) > header.manifest.probe_end
+        {
+            break;
+        }
+        // A checksum-valid chunk whose payload does not decode is still
+        // torn — never resume on top of undecodable probe data.
+        let decodes = {
+            let mut dec = Dec::new(chunk.payload);
+            (0..chunk.n_probes).all(|_| dec_probe_record(&mut dec, n_engines).is_ok())
+                && dec.pos == chunk.payload.len()
+        };
+        if !decodes {
+            break;
+        }
+        chunks.push(ChunkEntry {
+            offset: offset as u64,
+            len: chunk.len as u64,
+            kind: chunk.kind,
+            first_probe: chunk.first_probe,
+            n_probes: chunk.n_probes,
+            checksum: chunk.checksum,
+        });
+        next_probe += u64::from(chunk.n_probes);
+        offset += chunk.len;
+    }
+    Ok(RecoveredPrefix {
+        probes: next_probe - header.manifest.probe_start,
+        durable_len: offset as u64,
+        torn_bytes: (bytes.len() - offset) as u64,
+        chunks,
+        header,
+    })
+}
+
+/// [`scan_part`] over a file on disk.
+pub fn scan_part_file(path: &Path) -> Result<RecoveredPrefix, PersistError> {
+    let bytes = fs::read(path)?;
+    scan_part(&bytes)
+}
+
+/// Incremental writer of one v3 shard file with crash recovery.
+///
+/// The writer appends to a deterministic sibling part file
+/// ([`part_path_for`]) — invisible to every reader and to cache
+/// assembly — and atomically renames it over the target on
+/// [`finish`](Self::finish). Each probe goes to disk as one
+/// self-checksummed chunk the moment it is collected, so a killed
+/// process loses at most the chunk it was mid-write on. A later
+/// [`create_or_resume`](Self::create_or_resume) for the same target
+/// finds the part, recovers its durable chunk prefix ([`scan_part`]),
+/// truncates the torn tail and continues from the first missing probe.
+///
+/// Consistency model: process kill, not power loss — chunks are not
+/// fsynced (matching the v2 writer's temp-file + rename discipline).
+/// Engine wall-clock timings accumulate in memory and land in the
+/// footer; a resumed attempt restarts them at zero, so recovered files
+/// compare bit-identical to uninterrupted ones only after
+/// `Collection::zero_timings`.
+///
+/// Dropping an unfinished writer intentionally leaves the part file on
+/// disk — that *is* the resumable artifact.
+pub struct ShardStreamWriter {
+    target: PathBuf,
+    part: PathBuf,
+    file: io::BufWriter<fs::File>,
+    header: FileHeader,
+    n_engines: usize,
+    chunks: Vec<ChunkEntry>,
+    offset: u64,
+    hash: u64,
+    next_probe: u64,
+    times: Vec<(Duration, Duration)>,
+    resumed: u64,
+}
+
+impl ShardStreamWriter {
+    /// Opens a writer for `target`, resuming from a durable part-file
+    /// prefix when one exists and matches this pass's identity
+    /// (byte-identical header + meta chunk), and starting fresh
+    /// otherwise. `keys`, `engine_names` and `catalog` are the
+    /// probe-independent identity the meta chunk records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manifest's probe range is empty of meaning
+    /// (`probe_start > probe_end` is rejected by manifest validation on
+    /// every read path, so only a hand-built inconsistent header can
+    /// trip this).
+    pub fn create_or_resume(
+        target: &Path,
+        header: &FileHeader,
+        keys: &[RunKey],
+        engine_names: &[String],
+        catalog: &BugCatalog,
+    ) -> Result<Self, PersistError> {
+        let mut expected = Enc::new();
+        enc_header(&mut expected, header, FORMAT_VERSION);
+        let meta = MetaSection {
+            keys: keys.to_vec(),
+            engine_names: engine_names.to_vec(),
+            catalog: catalog.clone(),
+        };
+        let mut payload = Enc::new();
+        enc_meta_section(&mut payload, &meta);
+        let (meta_bytes, meta_checksum) = build_chunk(CHUNK_META, 0, 0, &payload.buf);
+        expected.buf.extend_from_slice(&meta_bytes);
+        let meta_entry = ChunkEntry {
+            offset: HEADER_LEN as u64,
+            len: meta_bytes.len() as u64,
+            kind: CHUNK_META,
+            first_probe: 0,
+            n_probes: 0,
+            checksum: meta_checksum,
+        };
+        let part = part_path_for(target);
+
+        // A durable prefix is only worth resuming when its header and
+        // meta chunk are byte-identical to what this pass would write —
+        // anything else (other config, other shard, stale identity)
+        // starts fresh.
+        let recovered = match fs::read(&part) {
+            Ok(bytes) => scan_part(&bytes).ok().and_then(|p| {
+                let durable = usize::try_from(p.durable_len).expect("scan stays within file");
+                (durable >= expected.buf.len() && bytes[..expected.buf.len()] == expected.buf[..])
+                    .then(|| (p, fnv1a(&bytes[..durable])))
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        let zero = vec![(Duration::ZERO, Duration::ZERO); engine_names.len()];
+        match recovered {
+            Some((prefix, hash)) => {
+                let file = fs::OpenOptions::new().write(true).open(&part)?;
+                file.set_len(prefix.durable_len)?;
+                let mut file = io::BufWriter::new(file);
+                file.seek(SeekFrom::End(0))?;
+                Ok(ShardStreamWriter {
+                    target: target.to_path_buf(),
+                    part,
+                    file,
+                    header: *header,
+                    n_engines: engine_names.len(),
+                    offset: prefix.durable_len,
+                    hash,
+                    next_probe: header.manifest.probe_start + prefix.probes,
+                    times: zero,
+                    resumed: prefix.probes,
+                    chunks: prefix.chunks,
+                })
+            }
+            None => {
+                let mut file = io::BufWriter::new(fs::File::create(&part)?);
+                file.write_all(&expected.buf)?;
+                Ok(ShardStreamWriter {
+                    target: target.to_path_buf(),
+                    part,
+                    file,
+                    header: *header,
+                    n_engines: engine_names.len(),
+                    offset: expected.buf.len() as u64,
+                    hash: fnv1a(&expected.buf),
+                    next_probe: header.manifest.probe_start,
+                    times: zero,
+                    resumed: 0,
+                    chunks: vec![meta_entry],
+                })
+            }
+        }
+    }
+
+    /// Probes already durable when this writer opened — the caller
+    /// should skip exactly this many and collect the rest.
+    pub fn resumed_probes(&self) -> u64 {
+        self.resumed
+    }
+
+    /// Absolute index of the next probe this writer expects.
+    pub fn next_probe(&self) -> u64 {
+        self.next_probe
+    }
+
+    /// The header this writer writes under.
+    pub fn header(&self) -> &FileHeader {
+        &self.header
+    }
+
+    /// Appends one probe as one chunk and flushes it to the OS, making
+    /// it durable against a process kill. `times` are this probe's
+    /// per-engine `(train, infer)` wall-clock contributions, accumulated
+    /// into the footer totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's delta-row or `times` count disagrees with
+    /// the engine roster, or on an append past the manifest's probe end
+    /// — both are caller bugs, never disk states.
+    pub fn append_probe(
+        &mut self,
+        rec: &ProbeRecord,
+        times: &[(Duration, Duration)],
+    ) -> Result<(), PersistError> {
+        assert!(
+            self.next_probe < self.header.manifest.probe_end,
+            "append past the manifest's probe range"
+        );
+        assert_eq!(rec.deltas.len(), self.n_engines, "one delta row per engine");
+        assert_eq!(times.len(), self.n_engines, "one time pair per engine");
+        let mut payload = Enc::new();
+        enc_probe_record(&mut payload, rec);
+        let (bytes, checksum) = build_chunk(
+            CHUNK_PROBES,
+            self.next_probe,
+            PROBES_PER_CHUNK,
+            &payload.buf,
+        );
+        self.file.write_all(&bytes)?;
+        self.file.flush()?;
+        self.hash = fnv1a_update(self.hash, &bytes);
+        self.chunks.push(ChunkEntry {
+            offset: self.offset,
+            len: bytes.len() as u64,
+            kind: CHUNK_PROBES,
+            first_probe: self.next_probe,
+            n_probes: PROBES_PER_CHUNK,
+            checksum,
+        });
+        self.offset += bytes.len() as u64;
+        self.next_probe += 1;
+        for ((train, infer), &(t, i)) in self.times.iter_mut().zip(times) {
+            *train += t;
+            *infer += i;
+        }
+        Ok(())
+    }
+
+    /// Seals the file — footer, trailer, whole-file checksum — and
+    /// atomically renames the part over the target. Consumes the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manifest's probe range has not been fully appended:
+    /// a partial shard must stay a part file, never become a target.
+    pub fn finish(mut self) -> Result<FileHeader, PersistError> {
+        assert_eq!(
+            self.next_probe, self.header.manifest.probe_end,
+            "finish before the manifest's probe range is complete"
+        );
+        let mut tail = Enc::new();
+        tail.buf = enc_footer(&self.chunks, &self.times);
+        tail.u64(self.offset);
+        self.hash = fnv1a_update(self.hash, &tail.buf);
+        tail.u64(self.hash);
+        self.file.write_all(&tail.buf)?;
+        self.file.flush()?;
+        if let Err(e) = fs::rename(&self.part, &self.target) {
+            return Err(e.into());
+        }
+        Ok(self.header)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Streaming readers: random access, verification, shard concatenation
+// --------------------------------------------------------------------------
+
+/// Reads the 16-byte v3 trailer and the footer of an open file, returning
+/// `(footer_offset, stored file checksum, chunk index, engine times)`.
+/// Validates footer bounds and exact decode, not the chunk table.
+#[allow(clippy::type_complexity)]
+fn read_trailer_and_footer(
+    file: &mut fs::File,
+    file_len: u64,
+) -> Result<(u64, u64, Vec<ChunkEntry>, Vec<(Duration, Duration)>), PersistError> {
+    let min = (HEADER_LEN + CHUNK_OVERHEAD + TRAILER_LEN) as u64;
+    if file_len < min {
+        return Err(PersistError::Corrupt(format!(
+            "{file_len} bytes is too short for a v3 collection file"
+        )));
+    }
+    let mut trailer = [0u8; TRAILER_LEN];
+    file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+    file.read_exact(&mut trailer)?;
+    let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+    let stored_fnv = u64::from_le_bytes(trailer[8..].try_into().expect("8 bytes"));
+    let footer_end = file_len - TRAILER_LEN as u64;
+    if footer_offset < HEADER_LEN as u64 || footer_offset > footer_end {
+        return Err(PersistError::Corrupt(format!(
+            "footer offset {footer_offset} is out of bounds"
+        )));
+    }
+    let mut footer = vec![0u8; (footer_end - footer_offset) as usize];
+    file.seek(SeekFrom::Start(footer_offset))?;
+    file.read_exact(&mut footer)?;
+    let (chunks, times) = dec_footer(&footer)?;
+    Ok((footer_offset, stored_fnv, chunks, times))
+}
+
+/// Reads the fixed header of an open file, requiring the v3 layout (a v2
+/// file surfaces as [`PersistError::Version`] so callers can fall back
+/// to a full decode).
+fn read_v3_file_header(file: &mut fs::File) -> Result<FileHeader, PersistError> {
+    let mut buf = [0u8; HEADER_LEN];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut buf)?;
+    let (header, version) = dec_header(&mut Dec::new(&buf))?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    Ok(header)
+}
+
+/// Reads one chunk of an open file into `buf` and validates it against
+/// its footer index entry (bounds, frame fields and checksum).
+fn read_chunk_at<'b>(
+    file: &mut fs::File,
+    file_len: u64,
+    entry: &ChunkEntry,
+    buf: &'b mut Vec<u8>,
+) -> Result<ParsedChunk<'b>, PersistError> {
+    let end = entry.offset.checked_add(entry.len);
+    if end.is_none() || end.expect("checked") > file_len {
+        return Err(PersistError::Corrupt(format!(
+            "chunk at byte {} extends past end of file",
+            entry.offset
+        )));
+    }
+    buf.resize(entry.len as usize, 0);
+    file.seek(SeekFrom::Start(entry.offset))?;
+    file.read_exact(buf)?;
+    let parsed = parse_chunk(buf, entry.offset as usize)?;
+    if parsed.len != entry.len as usize
+        || parsed.checksum != entry.checksum
+        || parsed.kind != entry.kind
+        || parsed.first_probe != entry.first_probe
+        || parsed.n_probes != entry.n_probes
+    {
+        return Err(PersistError::Corrupt(format!(
+            "chunk at byte {} disagrees with its footer index entry",
+            entry.offset
+        )));
+    }
+    Ok(parsed)
+}
+
+/// Random-access reader over one v3 collection file: opening touches only
+/// the header, trailer, footer and meta chunk, and
+/// [`read_probe`](Self::read_probe) then decodes exactly one chunk — so
+/// replaying a single probe from a full-size corpus costs O(chunk)
+/// memory, not O(corpus).
+///
+/// Integrity model: every byte this reader consumes is covered by a
+/// validated per-chunk checksum cross-checked against the footer index;
+/// the whole-file checksum is *not* recomputed (that would cost a full
+/// sequential read — use [`verify_stream`] for that).
+pub struct ProbeReader {
+    file: fs::File,
+    file_len: u64,
+    header: FileHeader,
+    chunks: Vec<ChunkEntry>,
+    times: Vec<(Duration, Duration)>,
+    keys: Vec<RunKey>,
+    engine_names: Vec<String>,
+    catalog: BugCatalog,
+}
+
+impl ProbeReader {
+    /// Opens `path`, validating header, footer, chunk table and the meta
+    /// chunk — but no probe chunk. When `expected` is given, the config
+    /// fingerprint must match. A v2 file is [`PersistError::Version`].
+    pub fn open(path: &Path, expected: Option<u64>) -> Result<Self, PersistError> {
+        let mut file = fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let header = read_v3_file_header(&mut file)?;
+        if let Some(expected) = expected {
+            if header.fingerprint != expected {
+                return Err(PersistError::Fingerprint {
+                    found: header.fingerprint,
+                    expected,
+                });
+            }
+        }
+        let (footer_offset, _, chunks, times) = read_trailer_and_footer(&mut file, file_len)?;
+        validate_chunk_table(&chunks, footer_offset, &header)?;
+        let mut buf = Vec::new();
+        let meta_chunk = read_chunk_at(&mut file, file_len, &chunks[0], &mut buf)?;
+        let meta = {
+            let mut dec = Dec::new(meta_chunk.payload);
+            let meta = dec_meta_section(&mut dec)?;
+            if dec.pos != meta_chunk.payload.len() {
+                return Err(PersistError::Corrupt(
+                    "trailing bytes after meta chunk payload".into(),
+                ));
+            }
+            meta
+        };
+        if times.len() != meta.engine_names.len() {
+            return Err(PersistError::Corrupt(format!(
+                "footer times {} engines but the roster has {}",
+                times.len(),
+                meta.engine_names.len()
+            )));
+        }
+        Ok(ProbeReader {
+            file,
+            file_len,
+            header,
+            chunks,
+            times,
+            keys: meta.keys,
+            engine_names: meta.engine_names,
+            catalog: meta.catalog,
+        })
+    }
+
+    /// The file's header.
+    pub fn header(&self) -> &FileHeader {
+        &self.header
+    }
+
+    /// The footer's chunk index (meta chunk first).
+    pub fn chunk_index(&self) -> &[ChunkEntry] {
+        &self.chunks
+    }
+
+    /// Per-engine `(train, infer)` wall-clock totals from the footer.
+    pub fn engine_times(&self) -> &[(Duration, Duration)] {
+        &self.times
+    }
+
+    /// The run-key axis recorded in the meta chunk.
+    pub fn keys(&self) -> &[RunKey] {
+        &self.keys
+    }
+
+    /// The engine roster recorded in the meta chunk.
+    pub fn engine_names(&self) -> &[String] {
+        &self.engine_names
+    }
+
+    /// The bug catalogue recorded in the meta chunk.
+    pub fn catalog(&self) -> &BugCatalog {
+        &self.catalog
+    }
+
+    /// Reads and decodes the single probe `probe` (absolute index of the
+    /// producing pass), touching only its chunk.
+    pub fn read_probe(&mut self, probe: u64) -> Result<ProbeRecord, PersistError> {
+        let m = &self.header.manifest;
+        if probe < m.probe_start || probe >= m.probe_end {
+            return Err(PersistError::Shard(format!(
+                "probe {probe} is outside this file's {m}"
+            )));
+        }
+        // Probe chunks are sorted by first_probe (validate_chunk_table):
+        // the containing chunk is the last one starting at or before it.
+        let probes = &self.chunks[1..];
+        let i = probes.partition_point(|c| c.first_probe <= probe) - 1;
+        let entry = probes[i];
+        debug_assert!(probe >= entry.first_probe && probe < entry.probe_end());
+        let mut buf = Vec::new();
+        let chunk = read_chunk_at(&mut self.file, self.file_len, &entry, &mut buf)?;
+        let mut dec = Dec::new(chunk.payload);
+        let mut rec = None;
+        for p in entry.first_probe..entry.probe_end() {
+            let r = dec_probe_record(&mut dec, self.engine_names.len())?;
+            if p == probe {
+                rec = Some(r);
+                break;
+            }
+        }
+        Ok(rec.expect("containing chunk covers the probe"))
+    }
+}
+
+/// Verifies a v3 file chunk-by-chunk in O(chunk) memory: header, footer
+/// bounds and chunk-table consistency first, then one sequential pass
+/// that revalidates every chunk's checksum *and* payload decode against
+/// the footer index while folding the whole-file checksum incrementally,
+/// finally compared against the stored trailer value. `on_chunk` fires
+/// after each chunk validates — tooling uses it for per-chunk status.
+/// Returns the header on success.
+///
+/// A v2 file is [`PersistError::Version`]; callers that still want to
+/// verify it fall back to a full [`decode_collection_with`].
+pub fn verify_stream(
+    path: &Path,
+    expected: Option<u64>,
+    mut on_chunk: impl FnMut(&ChunkEntry),
+) -> Result<FileHeader, PersistError> {
+    let mut file = fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let header = read_v3_file_header(&mut file)?;
+    if let Some(expected) = expected {
+        if header.fingerprint != expected {
+            return Err(PersistError::Fingerprint {
+                found: header.fingerprint,
+                expected,
+            });
+        }
+    }
+    let (footer_offset, stored_fnv, chunks, times) = read_trailer_and_footer(&mut file, file_len)?;
+    validate_chunk_table(&chunks, footer_offset, &header)?;
+    // Sequential pass with one reused buffer and an incremental hash.
+    let mut head = [0u8; HEADER_LEN];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut head)?;
+    let mut hash = fnv1a(&head);
+    let mut buf = Vec::new();
+    let mut n_engines = None;
+    for entry in &chunks {
+        let chunk = read_chunk_at(&mut file, file_len, entry, &mut buf)?;
+        let mut dec = Dec::new(chunk.payload);
+        match n_engines {
+            None => {
+                let meta = dec_meta_section(&mut dec)?;
+                if times.len() != meta.engine_names.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "footer times {} engines but the roster has {}",
+                        times.len(),
+                        meta.engine_names.len()
+                    )));
+                }
+                n_engines = Some(meta.engine_names.len());
+            }
+            Some(n) => {
+                for _ in 0..chunk.n_probes {
+                    dec_probe_record(&mut dec, n)?;
+                }
+            }
+        }
+        if dec.pos != chunk.payload.len() {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after chunk payload at byte {}",
+                chunk.payload.len() - dec.pos,
+                entry.offset
+            )));
+        }
+        hash = fnv1a_update(hash, &buf);
+        on_chunk(entry);
+    }
+    // Footer + the trailer's footer-offset field are inside the
+    // whole-file checksum; only the final 8 checksum bytes are not.
+    let mut tail = vec![0u8; (file_len - 8 - footer_offset) as usize];
+    file.seek(SeekFrom::Start(footer_offset))?;
+    file.read_exact(&mut tail)?;
+    hash = fnv1a_update(hash, &tail);
+    if hash != stored_fnv {
+        return Err(PersistError::Corrupt("checksum mismatch".into()));
+    }
+    Ok(header)
+}
+
+/// A sibling temp path unique per process and call, for atomic
+/// write-then-rename publication ([`is_temp_file_name`] grammar).
+fn temp_sibling(path: &Path) -> PathBuf {
+    // Unique per process and call: concurrent savers of the same path must
+    // not clobber each other's in-flight temp file — last rename wins with
+    // a complete file.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    path.with_extension(format!("{FILE_EXTENSION}.{}-{seq}.tmp", std::process::id()))
+}
+
+/// Reassembles a full collection file at `out` by **streaming
+/// concatenation** of v3 shard files — probe chunks are copied verbatim
+/// (their frames carry absolute probe indices and their checksums do not
+/// depend on position), validated chunk-by-chunk during the copy, with
+/// only the footer and trailer rewritten. Peak memory is O(chunk), never
+/// O(corpus), and the output is byte-identical to encoding the merged
+/// collection directly (engine times sum over shards).
+///
+/// Validates the same identity and coverage invariants as
+/// [`merge_collections`]: matching fingerprint, kind, corpus revision,
+/// partition width and byte-identical meta chunks, and a disjoint,
+/// complete probe partition. Publication is atomic (temp + rename).
+///
+/// Any v2 shard aborts with [`PersistError::Version`] — the caller falls
+/// back to the in-memory [`merge_collections`] path.
+pub fn merge_shard_files(parts: &[PathBuf], out: &Path) -> Result<FileHeader, PersistError> {
+    struct Part {
+        file: fs::File,
+        file_len: u64,
+        header: FileHeader,
+        chunks: Vec<ChunkEntry>,
+        times: Vec<(Duration, Duration)>,
+        meta_bytes: Vec<u8>,
+    }
+    if parts.is_empty() {
+        return Err(PersistError::Shard("no shards to merge".into()));
+    }
+    let mut opened = Vec::with_capacity(parts.len());
+    for path in parts {
+        let mut file = fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let header = read_v3_file_header(&mut file)?;
+        let (footer_offset, _, chunks, times) = read_trailer_and_footer(&mut file, file_len)?;
+        validate_chunk_table(&chunks, footer_offset, &header)
+            .map_err(|e| PersistError::Corrupt(format!("shard file {}: {e}", path.display())))?;
+        let mut meta_bytes = Vec::new();
+        read_chunk_at(&mut file, file_len, &chunks[0], &mut meta_bytes)?;
+        opened.push(Part {
+            file,
+            file_len,
+            header,
+            chunks,
+            times,
+            meta_bytes,
+        });
+    }
+    opened.sort_by_key(|p| (p.header.manifest.probe_start, p.header.manifest.index));
+    let first = opened[0].header;
+    for p in &opened[1..] {
+        let h = &p.header;
+        if h.fingerprint != first.fingerprint {
+            return Err(PersistError::Shard(format!(
+                "fingerprint mismatch: {:016x} vs {:016x}",
+                first.fingerprint, h.fingerprint
+            )));
+        }
+        if h.kind != first.kind {
+            return Err(PersistError::Shard(format!(
+                "experiment kind mismatch: {} vs {}",
+                first.kind, h.kind
+            )));
+        }
+        if h.corpus_revision != first.corpus_revision {
+            return Err(PersistError::Shard(format!(
+                "corpus revision mismatch: {} vs {}",
+                first.corpus_revision, h.corpus_revision
+            )));
+        }
+        if h.manifest.count != first.manifest.count
+            || h.manifest.total_probes != first.manifest.total_probes
+        {
+            return Err(PersistError::Shard(format!(
+                "partition mismatch: {} vs {}",
+                first.manifest, h.manifest
+            )));
+        }
+        if p.meta_bytes != opened[0].meta_bytes {
+            return Err(PersistError::Shard(format!(
+                "shard {} disagrees on the meta chunk (keys, engine roster or bug catalogue)",
+                h.manifest.index
+            )));
+        }
+        if p.times.len() != opened[0].times.len() {
+            return Err(PersistError::Shard(format!(
+                "shard {} disagrees on the engine roster length",
+                h.manifest.index
+            )));
+        }
+    }
+    let expected_shards = first.manifest.count as usize;
+    if opened.len() != expected_shards {
+        let have: Vec<u32> = opened.iter().map(|p| p.header.manifest.index).collect();
+        return Err(PersistError::Shard(format!(
+            "expected {expected_shards} shards, got {} (indices {have:?})",
+            opened.len()
+        )));
+    }
+    let mut cursor = 0u64;
+    for p in &opened {
+        let m = &p.header.manifest;
+        match m.probe_start.cmp(&cursor) {
+            std::cmp::Ordering::Less => {
+                return Err(PersistError::Shard(format!(
+                    "shard {} overlaps probes {}..{cursor}",
+                    m.index, m.probe_start
+                )));
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(PersistError::Shard(format!(
+                    "probes {cursor}..{} missing (next is shard {})",
+                    m.probe_start, m.index
+                )));
+            }
+            std::cmp::Ordering::Equal => cursor = m.probe_end,
+        }
+    }
+    if cursor != first.manifest.total_probes {
+        return Err(PersistError::Shard(format!(
+            "probes {cursor}..{} missing at the end of the partition",
+            first.manifest.total_probes
+        )));
+    }
+
+    let out_header = FileHeader {
+        manifest: ShardManifest::full(first.manifest.total_probes as usize),
+        ..first
+    };
+    let tmp = temp_sibling(out);
+    let result = (|| -> Result<(), PersistError> {
+        let mut head = Enc::new();
+        enc_header(&mut head, &out_header, FORMAT_VERSION);
+        head.buf.extend_from_slice(&opened[0].meta_bytes);
+        let mut hash = fnv1a(&head.buf);
+        let mut offset = head.buf.len() as u64;
+        let mut dst = io::BufWriter::new(fs::File::create(&tmp)?);
+        dst.write_all(&head.buf)?;
+        let mut chunks = vec![ChunkEntry {
+            offset: HEADER_LEN as u64,
+            ..opened[0].chunks[0]
+        }];
+        let mut times = vec![(Duration::ZERO, Duration::ZERO); opened[0].times.len()];
+        let mut buf = Vec::new();
+        for p in &mut opened {
+            for entry in &p.chunks[1..] {
+                read_chunk_at(&mut p.file, p.file_len, entry, &mut buf)?;
+                dst.write_all(&buf)?;
+                hash = fnv1a_update(hash, &buf);
+                chunks.push(ChunkEntry { offset, ..*entry });
+                offset += entry.len;
+            }
+            for ((train, infer), &(t, i)) in times.iter_mut().zip(&p.times) {
+                *train += t;
+                *infer += i;
+            }
+        }
+        let mut tail = Enc::new();
+        tail.buf = enc_footer(&chunks, &times);
+        tail.u64(offset);
+        hash = fnv1a_update(hash, &tail.buf);
+        tail.u64(hash);
+        dst.write_all(&tail.buf)?;
+        dst.flush()?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, out) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(out_header)
 }
 
 // --------------------------------------------------------------------------
@@ -1215,12 +2715,7 @@ pub fn merge_collections(
 /// Saves an encoded collection to `path` (atomically: write to a sibling
 /// temp file, then rename).
 fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
-    // Unique per process and call: concurrent savers of the same path must
-    // not clobber each other's in-flight temp file — last rename wins with
-    // a complete file.
-    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = path.with_extension(format!("{FILE_EXTENSION}.{}-{seq}.tmp", std::process::id()));
+    let tmp = temp_sibling(path);
     fs::write(&tmp, bytes)?;
     if let Err(e) = fs::rename(&tmp, path) {
         let _ = fs::remove_file(&tmp);
@@ -1349,6 +2844,92 @@ pub fn assemble_from_shards(
     Ok(None)
 }
 
+/// Scans `dir` for shard files of the pass identified by `(prefix, kind,
+/// fingerprint)` — same name-based candidate selection as
+/// [`assemble_from_shards`] — reading only each candidate's fixed header,
+/// and returns the first complete partition as `(path, format version)`
+/// pairs in probe order. `Ok(None)` when no group is complete.
+#[allow(clippy::type_complexity)]
+fn complete_shard_group(
+    dir: &Path,
+    prefix: Option<&str>,
+    kind: ExperimentKind,
+    fingerprint: u64,
+) -> Result<Option<Vec<(PathBuf, u32)>>, PersistError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut groups: std::collections::BTreeMap<u32, Vec<(u32, PathBuf, u32)>> =
+        std::collections::BTreeMap::new();
+    for entry in entries {
+        let path = entry?.path();
+        let parsed = match path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_cache_file_name)
+        {
+            Some(parsed) => parsed,
+            None => continue,
+        };
+        if parsed.kind != kind
+            || parsed.fingerprint != fingerprint
+            || parsed.shard.is_none()
+            || prefix.is_some_and(|p| parsed.prefix != p)
+        {
+            continue;
+        }
+        let mut file = match fs::File::open(&path) {
+            Ok(file) => file,
+            // Pruned or still being renamed into place: not ours to judge.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        let corrupt =
+            |e: PersistError| PersistError::Corrupt(format!("shard file {}: {e}", path.display()));
+        file.read_exact(&mut buf)
+            .map_err(|e| corrupt(PersistError::Io(e)))?;
+        let (header, version) = dec_header(&mut Dec::new(&buf)).map_err(corrupt)?;
+        if header.fingerprint != fingerprint {
+            return Err(corrupt(PersistError::Fingerprint {
+                found: header.fingerprint,
+                expected: fingerprint,
+            }));
+        }
+        if header.kind != kind
+            || parsed.shard != Some((header.manifest.index, header.manifest.count))
+        {
+            return Err(PersistError::Shard(format!(
+                "{} is named for a different shard than its header ({})",
+                path.display(),
+                header.manifest
+            )));
+        }
+        groups.entry(header.manifest.count).or_default().push((
+            header.manifest.index,
+            path,
+            version,
+        ));
+    }
+    for (count, mut members) in groups {
+        members.sort_by_key(|(index, ..)| *index);
+        members.dedup_by_key(|(index, ..)| *index);
+        if members.len() == count as usize {
+            return Ok(Some(
+                members
+                    .into_iter()
+                    .map(|(_, path, version)| (path, version))
+                    .collect(),
+            ));
+        }
+        // Incomplete group: workers of this partition may still be
+        // running; try the next partition width.
+    }
+    Ok(None)
+}
+
 /// Replays `path` when it exists, otherwise tries to assemble the corpus
 /// from shard files beside it (saving the merged result to `path`).
 /// When `path`'s file name follows the [`cache_file_name`] grammar, only
@@ -1356,6 +2937,11 @@ pub fn assemble_from_shards(
 /// configurations never cross-assemble in a shared directory. Returns
 /// `Ok(None)` on a genuine cache miss — a stale or corrupt cache is
 /// still an error.
+///
+/// An all-v3 shard set assembles by [`merge_shard_files`] — streaming
+/// concatenation in O(chunk) memory — and the merged file is then decoded
+/// once as its validation pass. A set containing legacy v2 shards falls
+/// back to the in-memory [`assemble_from_shards`] path.
 pub fn load_or_assemble(
     path: &Path,
     kind: ExperimentKind,
@@ -1375,7 +2961,23 @@ pub fn load_or_assemble(
         .and_then(|n| n.to_str())
         .and_then(parse_cache_file_name);
     let prefix = parsed.as_ref().map(|p| p.prefix.as_str());
-    if let Some(col) = assemble_from_shards(dir, prefix, kind, fingerprint)? {
+    let group = match complete_shard_group(dir, prefix, kind, fingerprint)? {
+        Some(group) => group,
+        None => return Ok(None),
+    };
+    if group.iter().all(|&(_, version)| version == FORMAT_VERSION) {
+        let paths: Vec<PathBuf> = group.into_iter().map(|(path, _)| path).collect();
+        merge_shard_files(&paths, path)?;
+        // The full decode of the merged file is its validation pass; on
+        // failure, remove the output so a bad merge is never replayed.
+        match load_collection(path, fingerprint) {
+            Ok(col) => Ok(Some((col, CacheStatus::Assembled))),
+            Err(e) => {
+                let _ = fs::remove_file(path);
+                Err(e)
+            }
+        }
+    } else if let Some(col) = assemble_from_shards(dir, prefix, kind, fingerprint)? {
         save_collection_with(
             path,
             &col,
@@ -1386,16 +2988,17 @@ pub fn load_or_assemble(
                 manifest: ShardManifest::full(col.probes.len()),
             },
         )?;
-        return Ok(Some((col, CacheStatus::Assembled)));
+        Ok(Some((col, CacheStatus::Assembled)))
+    } else {
+        Ok(None)
     }
-    Ok(None)
 }
 
 /// Front door for cached core collections: replays `path` when it exists
 /// (validating its fingerprint against `config` — a stale file is an
 /// error, never silently re-collected), assembles it from a complete set
 /// of sibling shard files when it does not, and otherwise runs
-/// [`collect`] and saves the result.
+/// [`collect`](crate::experiment::collect) and saves the result.
 pub fn collect_or_load(
     path: &Path,
     config: &CollectionConfig,
@@ -1404,9 +3007,11 @@ pub fn collect_or_load(
     if let Some(hit) = load_or_assemble(path, ExperimentKind::Core, fingerprint)? {
         return Ok(hit);
     }
-    let col = collect(config);
-    save_collection(path, &col, fingerprint)?;
-    Ok((col, CacheStatus::Collected))
+    // Collect through the resumable streaming writer even for a full
+    // pass: an interrupted single-process collection leaves a part file
+    // a later run continues from instead of starting over.
+    let outcome = collect_shard_or_resume(path, config, crate::exec::ShardSpec::full())?;
+    Ok((outcome.collection, outcome.status))
 }
 
 /// [`collect_or_load`] for the memory experiment.
@@ -1418,34 +3023,80 @@ pub fn collect_memory_or_load(
     if let Some(hit) = load_or_assemble(path, ExperimentKind::Memory, fingerprint)? {
         return Ok(hit);
     }
-    let col = collect_memory(config);
-    save_collection_with(
-        path,
-        &col,
-        &FileHeader {
-            kind: ExperimentKind::Memory,
-            corpus_revision: CORPUS_REVISION,
-            fingerprint,
-            manifest: ShardManifest::full(col.probes.len()),
-        },
-    )?;
-    Ok((col, CacheStatus::Collected))
+    let outcome = collect_memory_shard_or_resume(path, config, crate::exec::ShardSpec::full())?;
+    Ok((outcome.collection, outcome.status))
 }
 
-/// Shard-worker front door for the core experiment: loads the shard file
-/// for `shard` when it exists (validating fingerprint and manifest) and
-/// otherwise collects just that shard and saves it. `path` is the shard
-/// file itself (see [`shard_file_name`]).
+/// How a shard-worker front door obtained its collection, plus how much
+/// previously collected work a resumed attempt salvaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// The shard's collection.
+    pub collection: Collection,
+    /// Replayed from the finished file, or freshly collected.
+    pub status: CacheStatus,
+    /// Probes recovered from a crashed attempt's part file and *not*
+    /// re-collected (0 for a fresh or replayed pass).
+    pub resumed_probes: u64,
+}
+
+/// Shard-worker front door for the core experiment: replays the shard
+/// file for `shard` when it exists (validating fingerprint and manifest);
+/// otherwise collects the shard through a [`ShardStreamWriter`] —
+/// resuming from a crashed attempt's durable part-file prefix when one
+/// exists — and finally replays the finished file as its validation
+/// pass. `path` is the shard file itself (see [`shard_file_name`]).
+pub fn collect_shard_or_resume(
+    path: &Path,
+    config: &CollectionConfig,
+    shard: crate::exec::ShardSpec,
+) -> Result<ShardOutcome, PersistError> {
+    let fingerprint = config_fingerprint(config);
+    collect_shard_streaming_impl(
+        path,
+        ExperimentKind::Core,
+        fingerprint,
+        shard,
+        || crate::experiment::pass_identity(config),
+        |skip, writer| {
+            crate::experiment::collect_sharded_streaming(config, shard, skip, |meta, output| {
+                append_probe_output(writer, meta, output)
+            })
+            .map(|_| ())
+        },
+    )
+}
+
+/// [`collect_shard_or_resume`] for the memory experiment.
+pub fn collect_memory_shard_or_resume(
+    path: &Path,
+    config: &MemCollectionConfig,
+    shard: crate::exec::ShardSpec,
+) -> Result<ShardOutcome, PersistError> {
+    let fingerprint = mem_config_fingerprint(config);
+    collect_shard_streaming_impl(
+        path,
+        ExperimentKind::Memory,
+        fingerprint,
+        shard,
+        || crate::memory::mem_pass_identity(config),
+        |skip, writer| {
+            crate::memory::collect_memory_sharded_streaming(config, shard, skip, |meta, output| {
+                append_probe_output(writer, meta, output)
+            })
+            .map(|_| ())
+        },
+    )
+}
+
+/// [`collect_shard_or_resume`] flattened to the legacy `(Collection,
+/// CacheStatus)` shape, for callers indifferent to resume accounting.
 pub fn collect_shard_or_load(
     path: &Path,
     config: &CollectionConfig,
     shard: crate::exec::ShardSpec,
 ) -> Result<(Collection, CacheStatus), PersistError> {
-    let fingerprint = config_fingerprint(config);
-    collect_shard_impl(path, ExperimentKind::Core, fingerprint, shard, || {
-        let (col, total) = crate::experiment::collect_sharded(config, shard);
-        (col, ShardManifest::of(shard, total))
-    })
+    collect_shard_or_resume(path, config, shard).map(|o| (o.collection, o.status))
 }
 
 /// [`collect_shard_or_load`] for the memory experiment.
@@ -1454,20 +3105,46 @@ pub fn collect_memory_shard_or_load(
     config: &MemCollectionConfig,
     shard: crate::exec::ShardSpec,
 ) -> Result<(Collection, CacheStatus), PersistError> {
-    let fingerprint = mem_config_fingerprint(config);
-    collect_shard_impl(path, ExperimentKind::Memory, fingerprint, shard, || {
-        let (col, total) = crate::memory::collect_memory_sharded(config, shard);
-        (col, ShardManifest::of(shard, total))
-    })
+    collect_memory_shard_or_resume(path, config, shard).map(|o| (o.collection, o.status))
 }
 
-fn collect_shard_impl(
+/// Appends one streamed probe result to a shard writer: flattens the
+/// per-engine outputs into a [`ProbeRecord`] (delta rows and captures in
+/// roster order) and accumulates the per-engine timings.
+pub fn append_probe_output(
+    writer: &mut ShardStreamWriter,
+    meta: ProbeMeta,
+    output: crate::exec::ProbeOutput,
+) -> Result<(), PersistError> {
+    let times: Vec<(Duration, Duration)> = output
+        .engines
+        .iter()
+        .map(|e| (e.train_time, e.infer_time))
+        .collect();
+    let mut deltas = Vec::with_capacity(output.engines.len());
+    let mut captures = Vec::new();
+    for engine in output.engines {
+        deltas.push(engine.deltas);
+        captures.extend(engine.captures);
+    }
+    let rec = ProbeRecord {
+        meta,
+        overall: output.overall,
+        agg: output.agg,
+        deltas,
+        captures,
+    };
+    writer.append_probe(&rec, &times)
+}
+
+fn collect_shard_streaming_impl(
     path: &Path,
     kind: ExperimentKind,
     fingerprint: u64,
     shard: crate::exec::ShardSpec,
-    collect_shard: impl FnOnce() -> (Collection, ShardManifest),
-) -> Result<(Collection, CacheStatus), PersistError> {
+    identity: impl FnOnce() -> crate::experiment::PassIdentity,
+    collect_fn: impl FnOnce(usize, &mut ShardStreamWriter) -> Result<(), PersistError>,
+) -> Result<ShardOutcome, PersistError> {
     match fs::read(path) {
         Ok(bytes) => {
             let (col, header) = decode_collection_with(&bytes, Some(fingerprint))?;
@@ -1482,23 +3159,41 @@ fn collect_shard_impl(
                     shard.count
                 )));
             }
-            return Ok((col, CacheStatus::Replayed));
+            return Ok(ShardOutcome {
+                collection: col,
+                status: CacheStatus::Replayed,
+                resumed_probes: 0,
+            });
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {}
         Err(e) => return Err(e.into()),
     }
-    let (col, manifest) = collect_shard();
-    save_collection_with(
+    let identity = identity();
+    let header = FileHeader {
+        kind,
+        corpus_revision: CORPUS_REVISION,
+        fingerprint,
+        manifest: ShardManifest::of(shard, identity.total_probes),
+    };
+    let mut writer = ShardStreamWriter::create_or_resume(
         path,
-        &col,
-        &FileHeader {
-            kind,
-            corpus_revision: CORPUS_REVISION,
-            fingerprint,
-            manifest,
-        },
+        &header,
+        &identity.keys,
+        &identity.engine_names,
+        &identity.catalog,
     )?;
-    Ok((col, CacheStatus::Collected))
+    let resumed = writer.resumed_probes();
+    collect_fn(resumed as usize, &mut writer)?;
+    writer.finish()?;
+    // Replaying the finished file is the validation pass: every chunk —
+    // recovered or fresh — decodes under the same checks a reader uses.
+    let bytes = fs::read(path)?;
+    let (collection, _) = decode_collection_with(&bytes, Some(fingerprint))?;
+    Ok(ShardOutcome {
+        collection,
+        status: CacheStatus::Collected,
+        resumed_probes: resumed,
+    })
 }
 
 #[cfg(test)]

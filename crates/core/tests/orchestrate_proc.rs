@@ -52,6 +52,7 @@ fn real_workers_complete_a_clean_pass() {
                 Err("marker missing".into())
             }
         },
+        plan: None,
     };
     let report = run_orchestrator(&quick_config(2, 5), &mut launcher);
     assert!(report.success, "{}", report.summary());
@@ -79,6 +80,7 @@ fn nonzero_exit_is_requeued_with_its_code() {
                 Err("marker missing".into())
             }
         },
+        plan: None,
     };
     let report = run_orchestrator(&quick_config(2, 3), &mut launcher);
     assert!(report.success, "{}", report.summary());
@@ -111,6 +113,7 @@ fn hung_worker_is_killed_on_timeout_and_shard_recovers() {
                 Err("marker missing".into())
             }
         },
+        plan: None,
     };
     let report = run_orchestrator(&config, &mut launcher);
     assert!(report.success, "{}", report.summary());
@@ -147,6 +150,7 @@ fn injected_fault_kills_a_real_worker_and_the_pool_recovers() {
                 Err("marker missing".into())
             }
         },
+        plan: None,
     };
     let t0 = Instant::now();
     let report = run_orchestrator(&config, &mut launcher);
@@ -177,6 +181,7 @@ fn unspawnable_worker_is_a_recorded_failure_not_a_crash() {
                 Err("marker missing".into())
             }
         },
+        plan: None,
     };
     let report = run_orchestrator(&quick_config(1, 2), &mut launcher);
     assert!(report.success, "{}", report.summary());
@@ -208,6 +213,7 @@ fn zero_exit_without_output_is_retried() {
                 Err("marker missing".into())
             }
         },
+        plan: None,
     };
     let report = run_orchestrator(&quick_config(1, 1), &mut launcher);
     assert!(report.success, "{}", report.summary());

@@ -10,9 +10,12 @@
 //! This example is also the CI replay guard: it exits non-zero if the
 //! replay path performed any simulation, if the replayed collection is not
 //! identical to the freshly collected one, if a stale-config cache is not
-//! rejected, or if the shard assembly diverges from the single-process
-//! collection. With an explicit cache-dir argument the produced files are
-//! kept, so CI can run `pbcol verify` over them afterwards.
+//! rejected, if the shard assembly diverges from the single-process
+//! collection, if chunk-index random access returns the wrong probe, or if
+//! resuming a torn shard part file fails to salvage the durable chunk
+//! prefix and finish bit-identical. With an explicit cache-dir argument
+//! the produced files are kept, so CI can run `pbcol verify` over them
+//! afterwards.
 //!
 //! ```sh
 //! cargo run --release --example replay [cache-dir]
@@ -24,8 +27,9 @@ use perfbug_bench::replay_demo_config;
 use perfbug_core::exec::{self, ShardSpec};
 use perfbug_core::experiment::{evaluate_two_stage, CollectionConfig};
 use perfbug_core::persist::{
-    cache_file_name, collect_or_load, collect_shard_or_load, config_fingerprint, load_collection,
-    load_or_assemble, shard_file_name, CacheStatus, ExperimentKind, PersistError,
+    cache_file_name, collect_or_load, collect_shard_or_load, collect_shard_or_resume,
+    config_fingerprint, load_collection, load_or_assemble, part_path_for, scan_part,
+    shard_file_name, CacheStatus, ExperimentKind, PersistError, ProbeReader,
 };
 use perfbug_core::stage2::Stage2Params;
 
@@ -144,6 +148,71 @@ fn main() {
         std::process::exit(1);
     }
     println!("  2-shard assembly matches the single-process collection");
+
+    // Streaming random access: one probe decoded through the chunk/offset
+    // index, without materialising the corpus.
+    let probe = (cold.probes.len() - 1) as u64;
+    let mut reader = ProbeReader::open(&path, Some(fingerprint)).expect("probe reader");
+    let rec = reader.read_probe(probe).expect("read probe");
+    if rec.meta != cold.probes[probe as usize] || rec.overall != cold.overall_ipc[probe as usize] {
+        eprintln!("REPLAY GUARD FAILED: random-access probe {probe} differs from the corpus");
+        std::process::exit(1);
+    }
+    println!(
+        "  random access: probe {probe} ({}) decoded from 1 of {} chunks",
+        rec.meta.id,
+        reader.chunk_index().len()
+    );
+
+    // Crash-recovery leg: tear shard 0's finished file into a part file
+    // whose last chunk is cut mid-write (what a killed worker leaves
+    // behind), then resume. The retry must salvage every intact chunk,
+    // re-collect only the torn probe, and finish bit-identical (timings
+    // aside) to the uninterrupted shard.
+    println!("recovery pass: tearing shard 0 mid-chunk and resuming ...");
+    let shard0 = ShardSpec::new(0, shards);
+    let shard0_path = dir.join(shard_file_name(
+        "replay-demo",
+        ExperimentKind::Core,
+        fingerprint,
+        0,
+        shards,
+    ));
+    let (intact, status) =
+        collect_shard_or_load(&shard0_path, &config, shard0).expect("shard 0 loads");
+    assert_eq!(status, CacheStatus::Replayed);
+    let bytes = std::fs::read(&shard0_path).expect("shard 0 bytes");
+    // On a finished file, scan_part recovers the full probe prefix (the
+    // footer reads as a torn tail); cutting 9 more bytes tears into the
+    // last probe chunk's checksum.
+    let durable = scan_part(&bytes).expect("scan").durable_len as usize;
+    std::fs::write(part_path_for(&shard0_path), &bytes[..durable - 9]).expect("write part");
+    std::fs::remove_file(&shard0_path).expect("remove shard 0");
+    let sims_before = exec::simulations_run();
+    let outcome = collect_shard_or_resume(&shard0_path, &config, shard0).expect("resume");
+    let resumed_sims = exec::simulations_run() - sims_before;
+    let expect_resumed = intact.probes.len() as u64 - 1;
+    if outcome.resumed_probes != expect_resumed {
+        eprintln!(
+            "REPLAY GUARD FAILED: resume salvaged {} probes, expected {expect_resumed}",
+            outcome.resumed_probes
+        );
+        std::process::exit(1);
+    }
+    let (mut resumed_cmp, mut intact_cmp) = (outcome.collection, intact);
+    resumed_cmp.zero_timings();
+    intact_cmp.zero_timings();
+    if resumed_cmp != intact_cmp {
+        eprintln!("REPLAY GUARD FAILED: resumed shard differs from the uninterrupted one");
+        std::process::exit(1);
+    }
+    println!(
+        "  resumed {} of {} probes from the torn part ({} simulations re-run), \
+         finished shard is bit-identical",
+        expect_resumed,
+        resumed_cmp.probes.len(),
+        resumed_sims
+    );
 
     if keep_files {
         println!("keeping cache files in {} for inspection", dir.display());
