@@ -600,6 +600,9 @@ fn orphaned_temp(path: &Path, min_age: Duration) -> bool {
     std::fs::metadata(path)
         .and_then(|m| m.modified())
         .ok()
+        // pblint: allow(wall-clock) -- mtime-age pruning is inherently
+        // wall-clock; the result gates file deletion only and never feeds
+        // corpus bytes or report state.
         .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
         .is_some_and(|age| age >= min_age)
 }

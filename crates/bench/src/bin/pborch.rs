@@ -242,7 +242,7 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(raw) = flag_value(args, "--timeout-secs")? {
         config.shard_timeout = Some(Duration::from_secs(parse_num(&raw, "--timeout-secs")?));
     }
-    config.faults = Fault::from_env();
+    config.faults = Fault::from_env()?;
     let check_full = args.iter().any(|a| a == "--check-full");
 
     let kind = common.spec.kind();

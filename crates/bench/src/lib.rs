@@ -290,7 +290,7 @@ fn run_orchestrated(
     let mut config = OrchestratorConfig::new(orch.workers, orch.shards);
     config.max_attempts = orch.max_attempts;
     config.shard_timeout = orch.timeout;
-    config.faults = Fault::from_env();
+    config.faults = Fault::from_env().unwrap_or_else(|e| panic!("{e}"));
     let exe = std::env::current_exe().expect("current executable for worker re-invocation");
     println!(
         "  [orch] {} workers x {} shards (<= {} attempts each) for {name} ...",

@@ -164,16 +164,14 @@ impl Fault {
 
     /// Reads [`FAULT_ENV`]; empty when unset.
     ///
-    /// # Panics
-    ///
-    /// Panics on a malformed value — a typo'd fault must not silently run
-    /// a fault-free pass that then looks like a passing guard.
-    pub fn from_env() -> Vec<Fault> {
+    /// A malformed value is an error the caller must surface — a typo'd
+    /// fault must not silently run a fault-free pass that then looks
+    /// like a passing guard.
+    pub fn from_env() -> Result<Vec<Fault>, String> {
         match std::env::var(FAULT_ENV) {
-            Ok(raw) => Self::parse_list(&raw).unwrap_or_else(|e| {
-                panic!("{FAULT_ENV} must be <op>:<shard>[@<attempt>],...: {e}")
-            }),
-            Err(_) => Vec::new(),
+            Ok(raw) => Self::parse_list(&raw)
+                .map_err(|e| format!("{FAULT_ENV} must be <op>:<shard>[@<attempt>],...: {e}")),
+            Err(_) => Ok(Vec::new()),
         }
     }
 }
@@ -696,6 +694,9 @@ impl WorkState {
             duration: dur,
             resumed_probes,
         });
+        // pblint: allow(slice-index) -- `done` is sized to config.shards and
+        // every shard id comes from the 0..shards queue; .get_mut would hide
+        // a supervisor bookkeeping bug instead of surfacing it in tests.
         self.done[shard] = true;
     }
 }
@@ -740,8 +741,9 @@ pub fn run_orchestrator<L: Launcher>(config: &OrchestratorConfig, launcher: &mut
             let Some(pos) = state.queue.iter().position(|item| item.ready(now)) else {
                 break;
             };
-            let QueueItem { shard, attempt, .. } =
-                state.queue.remove(pos).expect("position is in range");
+            let Some(QueueItem { shard, attempt, .. }) = state.queue.remove(pos) else {
+                break;
+            };
             let spec = ShardSpec::new(shard, config.shards);
             // Sample the durable part-file prefix *before* the worker
             // launches: exactly what a resuming attempt will skip.
@@ -1113,6 +1115,8 @@ mod tests {
         Hang,
         /// Exits 0 but verification fails (no output).
         NoOutput,
+        /// The wait itself errors (e.g. the worker's pidfd went away).
+        WaitErr,
     }
 
     struct FakeHandle {
@@ -1125,6 +1129,7 @@ mod tests {
                 FakeRun::Ok | FakeRun::NoOutput => Some(ExitKind::Success),
                 FakeRun::Exit(code) => Some(ExitKind::Failure { code: Some(code) }),
                 FakeRun::Hang => None,
+                FakeRun::WaitErr => return Err(io::Error::other("wait syscall failed")),
             })
         }
 
@@ -1249,6 +1254,33 @@ mod tests {
             .attempts_for(1)
             .iter()
             .any(|a| a.outcome.is_success()));
+    }
+
+    #[test]
+    fn poisoned_wait_reports_shard_failure_instead_of_aborting() {
+        // A wait error on the worker handle (poisoned pidfd, EBADF, ...)
+        // must surface as a WaitFailed attempt and burn through the
+        // shard's budget — never panic the supervisor, never stall the
+        // surviving shards.
+        let mut config = quick_config(2, 3);
+        config.max_attempts = 2;
+        let mut launcher =
+            FakeLauncher::new(&[((1, 0), FakeRun::WaitErr), ((1, 1), FakeRun::WaitErr)]);
+        let report = run_orchestrator(&config, &mut launcher);
+        assert!(!report.success);
+        assert_eq!(report.excluded, vec![1]);
+        let attempts = report.attempts_for(1);
+        assert_eq!(attempts.len(), 2);
+        assert!(attempts
+            .iter()
+            .all(|a| matches!(a.outcome, AttemptOutcome::WaitFailed { .. })));
+        assert!(attempts.iter().all(|a| a.outcome.detail().is_some()));
+        for ok in [0, 2] {
+            assert!(report
+                .attempts_for(ok)
+                .iter()
+                .any(|a| a.outcome.is_success()));
+        }
     }
 
     #[test]

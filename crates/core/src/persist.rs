@@ -42,7 +42,11 @@
 //! configurations — and the core and memory experiments sharing one cache
 //! directory — can never collide on one path.
 
-use std::collections::HashMap;
+// pblint: allow-file(slice-index) -- decode keeps raw-byte indexing for the
+// fixed-width frame fields; every site is behind an explicit length guard
+// (dec_* readers, scan_part, parse_chunk) and the whole decode surface is
+// proptested against truncation/corruption in the roundtrip suite.
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -321,6 +325,9 @@ impl From<io::Error> for PersistError {
 /// FNV-1a 64 offset basis.
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// Folds `bytes` into a running 64-bit FNV-1a hash. Seed with
 /// [`FNV_BASIS`]; feeding a file's bytes in any split produces the same
 /// hash as one pass, which is what lets the streaming writer and
@@ -328,7 +335,7 @@ const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
 }
@@ -693,6 +700,9 @@ fn enc_opcode(enc: &mut Enc, op: Opcode) {
     let code = OPCODES
         .iter()
         .position(|&o| o == op)
+        // pblint: allow(panic-policy) -- encode-side invariant: OPCODES is the
+        // exhaustive wire table; a missing variant is a compile-time-shaped bug,
+        // not a recoverable input condition.
         .expect("every opcode has a wire code");
     enc.u8(code as u8);
 }
@@ -1402,7 +1412,7 @@ fn dec_header(dec: &mut Dec) -> Result<(FileHeader, u32), PersistError> {
 /// Panics if a capture names a probe id absent from `col.probes` — such
 /// a collection is internally inconsistent and must never reach disk.
 fn collection_to_records(col: &Collection) -> Vec<ProbeRecord> {
-    let index: HashMap<&str, usize> = col
+    let index: BTreeMap<&str, usize> = col
         .probes
         .iter()
         .enumerate()
@@ -1412,6 +1422,9 @@ fn collection_to_records(col: &Collection) -> Vec<ProbeRecord> {
     for c in &col.captures {
         let i = *index
             .get(c.probe_id.as_str())
+            // pblint: allow(panic-policy) -- encode-side, documented under
+            // `# Panics`: an internally inconsistent collection must never
+            // reach disk, and callers construct probes/captures together.
             .unwrap_or_else(|| panic!("capture names unknown probe id {:?}", c.probe_id));
         captures[i].push(c.clone());
     }
@@ -1424,6 +1437,8 @@ fn collection_to_records(col: &Collection) -> Vec<ProbeRecord> {
             overall: col.overall_ipc[i].clone(),
             agg: col.agg_features[i].clone(),
             deltas: col.engines.iter().map(|e| e.deltas[i].clone()).collect(),
+            // pblint: allow(panic-policy) -- encode-side: the bucket vec is
+            // built with exactly `col.probes.len()` entries four lines up.
             captures: captures.next().expect("one bucket per probe"),
         })
         .collect()
@@ -1955,7 +1970,7 @@ impl ShardStreamWriter {
         // starts fresh.
         let recovered = match fs::read(&part) {
             Ok(bytes) => scan_part(&bytes).ok().and_then(|p| {
-                let durable = usize::try_from(p.durable_len).expect("scan stays within file");
+                let durable = usize::try_from(p.durable_len).ok()?;
                 (durable >= expected.buf.len() && bytes[..expected.buf.len()] == expected.buf[..])
                     .then(|| (p, fnv1a(&bytes[..durable])))
             }),
@@ -2155,12 +2170,14 @@ fn read_chunk_at<'b>(
     entry: &ChunkEntry,
     buf: &'b mut Vec<u8>,
 ) -> Result<ParsedChunk<'b>, PersistError> {
-    let end = entry.offset.checked_add(entry.len);
-    if end.is_none() || end.expect("checked") > file_len {
-        return Err(PersistError::Corrupt(format!(
-            "chunk at byte {} extends past end of file",
-            entry.offset
-        )));
+    match entry.offset.checked_add(entry.len) {
+        Some(end) if end <= file_len => {}
+        _ => {
+            return Err(PersistError::Corrupt(format!(
+                "chunk at byte {} extends past end of file",
+                entry.offset
+            )));
+        }
     }
     buf.resize(entry.len as usize, 0);
     file.seek(SeekFrom::Start(entry.offset))?;
@@ -2306,7 +2323,12 @@ impl ProbeReader {
                 break;
             }
         }
-        Ok(rec.expect("containing chunk covers the probe"))
+        rec.ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "chunk starting at probe {} decodes without covering probe {probe}",
+                entry.first_probe
+            ))
+        })
     }
 }
 
@@ -2670,7 +2692,9 @@ pub fn merge_collections(
     }
 
     let mut parts = parts.into_iter();
-    let (mut merged, _) = parts.next().expect("at least one shard");
+    let (mut merged, _) = parts
+        .next()
+        .ok_or_else(|| PersistError::Shard("no shards to merge".to_string()))?;
     for (col, h) in parts {
         if col.keys != merged.keys {
             return Err(PersistError::Shard(format!(

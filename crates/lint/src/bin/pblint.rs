@@ -1,0 +1,110 @@
+//! `pblint` — run the workspace invariant rules from the command line.
+//!
+//! ```text
+//! pblint [--deny-all] [--json <path>] [--root <dir>] [--list-rules]
+//! ```
+//!
+//! * `--deny-all` — exit 1 on any finding (the CI gate). Without it the
+//!   run is advisory: findings print, exit stays 0.
+//! * `--json <path>` — also write the machine-readable report (written
+//!   on success too, so CI can upload it unconditionally).
+//! * `--root <dir>` — workspace root; default: walk up from the current
+//!   directory to the first `Cargo.toml` declaring `[workspace]`.
+//! * `--list-rules` — print the rule ids and exit.
+//!
+//! Exit codes: 0 clean (or advisory), 1 findings under `--deny-all`,
+//! 2 usage or environment error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use perfbug_lint::{find_workspace_root, rules, run_workspace};
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a directory"),
+            },
+            "--list-rules" => {
+                for rule in rules::RULE_IDS {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pblint [--deny-all] [--json <path>] [--root <dir>] [--list-rules]\n\
+                     Workspace invariant checks; rulebook in docs/LINTS.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found (pass --root)"),
+    };
+
+    let run = match run_workspace(&root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("pblint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, run.to_json()) {
+            eprintln!("pblint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for finding in &run.findings {
+        println!("{finding}");
+    }
+    println!(
+        "pblint: {} finding(s) over {} files{}",
+        run.findings.len(),
+        run.files_scanned,
+        if deny_all {
+            " (deny-all)"
+        } else {
+            " (advisory)"
+        }
+    );
+
+    if deny_all && !run.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!(
+        "pblint: {why}\nusage: pblint [--deny-all] [--json <path>] [--root <dir>] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

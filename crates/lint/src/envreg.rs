@@ -1,0 +1,165 @@
+//! `env-registry`: every `PERFBUG_*` environment variable the workspace
+//! mentions must be declared in [`crate::config::ENV_REGISTRY`], still
+//! referenced by code, and documented in README/docs.
+//!
+//! The rule scans string literals in comment-stripped source (read
+//! sites, `.env(...)` write sites, help text and `const NAME: &str`
+//! indirections all spell the variable inside a literal), so an
+//! undeclared knob cannot slip in through any of those shapes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::ENV_REGISTRY;
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// Where the registry itself lives (stale-entry findings point here).
+const REGISTRY_PATH: &str = "crates/lint/src/config.rs";
+
+/// Extracts every `PERFBUG_*` spelling from one scanned file:
+/// `(name, 1-based line)` of the first occurrence per line.
+pub fn env_mentions(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let text = &line.with_strings;
+        let mut from = 0;
+        while let Some(p) = text[from..].find("PERFBUG_") {
+            let start = from + p;
+            let name: String = text[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+                .collect();
+            from = start + name.len();
+            // Normalize a family-glob spelling (`PERFBUG_ORCH_*`) to its
+            // prefix; an unregistered prefix still fires, just under a
+            // readable name.
+            let name = name.trim_end_matches('_');
+            if name != "PERFBUG" {
+                out.push((name.to_string(), idx + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the registry check over every scanned file plus the workspace
+/// documentation (`docs_text` = README.md and docs/*.md concatenated).
+pub fn check_env_registry(files: &[SourceFile], docs_text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let registered: BTreeSet<&str> = ENV_REGISTRY.iter().map(|v| v.name).collect();
+    // name -> first (file, line) seen, for stale-entry accounting.
+    let mut seen: BTreeMap<String, (String, usize)> = BTreeMap::new();
+
+    for file in files {
+        for (name, line) in env_mentions(file) {
+            // `trim_end_matches('_')` may shorten a registered name's
+            // family prefix; only exact names count as uses.
+            seen.entry(name.clone())
+                .or_insert_with(|| (file.rel.clone(), line));
+            if !registered.contains(name.as_str()) && !file.is_allowed("env-registry", line - 1) {
+                findings.push(Finding {
+                    rule: "env-registry",
+                    file: file.rel.clone(),
+                    line,
+                    message: format!(
+                        "{name} is not in the PERFBUG_* registry \
+                         ({REGISTRY_PATH}) — declare it there and document it in README/docs"
+                    ),
+                });
+            }
+        }
+    }
+
+    for var in ENV_REGISTRY {
+        if !seen.contains_key(var.name) {
+            findings.push(Finding {
+                rule: "env-registry",
+                file: REGISTRY_PATH.to_string(),
+                line: 0,
+                message: format!(
+                    "stale registry entry: no code mentions {} — remove it or the code \
+                     that should read it",
+                    var.name
+                ),
+            });
+        }
+        if !docs_text.contains(var.name) {
+            findings.push(Finding {
+                rule: "env-registry",
+                file: REGISTRY_PATH.to_string(),
+                line: 0,
+                message: format!(
+                    "{} is registered but undocumented — add it to README.md or docs/",
+                    var.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn docs_all() -> String {
+        ENV_REGISTRY
+            .iter()
+            .map(|v| v.name)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn code_all() -> Vec<SourceFile> {
+        let body: String = ENV_REGISTRY
+            .iter()
+            .map(|v| format!("let _ = std::env::var(\"{}\");\n", v.name))
+            .collect();
+        vec![scan_source("crates/x/src/lib.rs", &body)]
+    }
+
+    #[test]
+    fn registered_documented_vars_are_clean() {
+        assert!(check_env_registry(&code_all(), &docs_all()).is_empty());
+    }
+
+    #[test]
+    fn unregistered_read_site_fires() {
+        let mut files = code_all();
+        files.push(scan_source(
+            "crates/x/src/evil.rs",
+            "let _ = std::env::var(\"PERFBUG_BOGUS\");\n",
+        ));
+        let findings = check_env_registry(&files, &docs_all());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("PERFBUG_BOGUS"));
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn stale_and_undocumented_entries_fire() {
+        let findings = check_env_registry(&code_all(), "no vars documented here");
+        assert_eq!(
+            findings.len(),
+            ENV_REGISTRY.len(),
+            "one per undocumented var"
+        );
+        let findings = check_env_registry(&[], &docs_all());
+        assert_eq!(findings.len(), ENV_REGISTRY.len(), "one per stale var");
+    }
+
+    #[test]
+    fn family_glob_in_literal_fires() {
+        let mut files = code_all();
+        files.push(scan_source(
+            "crates/x/src/help.rs",
+            "let help = \"see the PERFBUG_ORCH_* knobs\";\n",
+        ));
+        let findings = check_env_registry(&files, &docs_all());
+        assert!(
+            findings.iter().any(|f| f.message.contains("PERFBUG_ORCH ")),
+            "a family glob in a literal is not a registered variable: {findings:?}"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The line-level invariant rules.
+//!
+//! Every rule is deny-by-default inside its scope (`config.rs`) and can
+//! only be silenced by a scoped suppression carrying a reason
+//! (`// pblint: allow(<rule>) -- <why>`). Rules operate on masked code
+//! (comments and string contents blanked), so prose can never trip them.
+
+use crate::config::FileClass;
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// Every rule id `pblint` knows (suppression comments are validated
+/// against this list).
+pub const RULE_IDS: &[&str] = &[
+    "hash-iter",
+    "wall-clock",
+    "entropy-rng",
+    "panic-policy",
+    "slice-index",
+    "format-spec",
+    "env-registry",
+    "suppression",
+];
+
+/// Whether the byte before/after a match keeps it a whole word.
+fn word_at(code: &str, pos: usize, len: usize) -> bool {
+    let bytes = code.as_bytes();
+    let before = pos
+        .checked_sub(1)
+        .map(|i| bytes[i] as char)
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    let after = bytes
+        .get(pos + len)
+        .map(|&b| b as char)
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    before && after
+}
+
+/// All positions where `needle` occurs in `hay` as a whole word.
+fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let pos = from + p;
+        if word_at(hay, pos, needle.len()) {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+/// Pushes a finding unless the line suppresses the rule.
+fn emit(
+    findings: &mut Vec<Finding>,
+    file: &SourceFile,
+    idx: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if !file.is_allowed(rule, idx) {
+        findings.push(Finding {
+            rule,
+            file: file.rel.clone(),
+            line: idx + 1,
+            message,
+        });
+    }
+}
+
+/// Runs every line rule applicable to `file` under `class`.
+pub fn check_file(file: &SourceFile, class: FileClass) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    for (line, why) in &file.bad_suppressions {
+        findings.push(Finding {
+            rule: "suppression",
+            file: file.rel.clone(),
+            line: *line,
+            message: format!("malformed pblint suppression: {why}"),
+        });
+    }
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+
+        // hash-iter: unordered containers in output-critical files.
+        if class.output_critical {
+            for token in ["HashMap", "HashSet"] {
+                if !word_positions(code, token).is_empty() {
+                    emit(
+                        &mut findings,
+                        file,
+                        idx,
+                        "hash-iter",
+                        format!(
+                            "{token} in an output-critical file: iteration order can leak \
+                             nondeterminism into encoded/serialized output — use BTreeMap/BTreeSet \
+                             or sort before emitting"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // wall-clock: time reads outside the timing allowlist.
+        if !class.timing_allowed {
+            for token in ["Instant::now", "SystemTime::now"] {
+                if code.contains(token) {
+                    emit(
+                        &mut findings,
+                        file,
+                        idx,
+                        "wall-clock",
+                        format!(
+                            "{token} outside the timing allowlist: wall-clock reads feeding \
+                             corpus or report state break bit-identical replay"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // entropy-rng: non-seeded randomness anywhere.
+        for token in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
+            if !word_positions(code, token).is_empty() {
+                emit(
+                    &mut findings,
+                    file,
+                    idx,
+                    "entropy-rng",
+                    format!(
+                        "{token}: entropy-seeded RNG construction — every generator must be \
+                         seeded through a deterministic entry point"
+                    ),
+                );
+            }
+        }
+
+        if class.panic_free {
+            // panic-policy: aborts in decode/supervision paths must be Errs.
+            // `try_into().expect(...)` after an explicit length slice is the
+            // one recognized infallible idiom (fixed-width byte conversion).
+            let infallible_width = code.contains("try_into");
+            for token in [
+                ".unwrap()",
+                ".expect(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ] {
+                if code.contains(token) && !(infallible_width && token == ".expect(") {
+                    emit(
+                        &mut findings,
+                        file,
+                        idx,
+                        "panic-policy",
+                        format!(
+                            "{token} in a panic-free zone: decode and supervision paths must \
+                             return Err so retry/resume logic stays reachable"
+                        ),
+                    );
+                }
+            }
+
+            // slice-index: direct indexing can panic; decode paths must
+            // bounds-check. Same try_into carve-out as above.
+            if !infallible_width {
+                for (pos, _) in code.match_indices('[') {
+                    let prev = code[..pos].trim_end().chars().next_back();
+                    if matches!(prev, Some(c) if c.is_alphanumeric() || c == '_' || c == ']' || c == ')')
+                    {
+                        emit(
+                            &mut findings,
+                            file,
+                            idx,
+                            "slice-index",
+                            "direct indexing in a panic-free zone: an out-of-range index \
+                             panics instead of returning Err — bounds-check or use .get()"
+                                .to_string(),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn class_all() -> FileClass {
+        FileClass {
+            output_critical: true,
+            timing_allowed: false,
+            panic_free: true,
+        }
+    }
+
+    fn rules_fired(src: &str, class: FileClass) -> Vec<&'static str> {
+        let file = scan_source("fixture.rs", src);
+        let mut rules: Vec<&'static str> = check_file(&file, class)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn hash_iter_fires_only_in_output_critical_files() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_fired(src, class_all()), vec!["hash-iter"]);
+        assert!(rules_fired(src, FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_respects_allowlist() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(rules_fired(src, FileClass::default()), vec!["wall-clock"]);
+        let allowed = FileClass {
+            timing_allowed: true,
+            ..FileClass::default()
+        };
+        assert!(rules_fired(src, allowed).is_empty());
+    }
+
+    #[test]
+    fn entropy_rng_fires_everywhere() {
+        assert_eq!(
+            rules_fired("let r = rand::thread_rng();\n", FileClass::default()),
+            vec!["entropy-rng"]
+        );
+    }
+
+    #[test]
+    fn panic_policy_fires_in_panic_free_zones_only() {
+        let src = "let v = maybe.unwrap();\n";
+        assert_eq!(rules_fired(src, class_all()), vec!["panic-policy"]);
+        assert!(rules_fired(src, FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn try_into_width_conversion_is_recognized_infallible() {
+        let src = "let n = u64::from_le_bytes(b[0..8].try_into().expect(\"8 bytes\"));\n";
+        assert!(rules_fired(src, class_all()).is_empty());
+    }
+
+    #[test]
+    fn slice_index_fires_and_skips_literals_and_attrs() {
+        assert_eq!(
+            rules_fired("let x = buf[i];\n", class_all()),
+            vec!["slice-index"]
+        );
+        assert!(rules_fired(
+            "#[derive(Debug)]\nlet v = vec![1, 2];\nlet t: [u8; 4];\n",
+            class_all()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "let v = maybe.unwrap_or(3).max(other.unwrap_or_default());\n";
+        assert!(rules_fired(src, class_all()).is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_one_line() {
+        let src = "let v = maybe.unwrap(); // pblint: allow(panic-policy) -- startup contract\n";
+        assert!(rules_fired(src, class_all()).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); let m = HashMap::new(); }\n}\n";
+        assert!(rules_fired(src, class_all()).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "let s = \"call .unwrap() on a HashMap\"; // Instant::now in prose\n";
+        assert!(rules_fired(src, class_all()).is_empty());
+    }
+}

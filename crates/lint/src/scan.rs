@@ -1,0 +1,469 @@
+//! A lightweight Rust source scanner: no `syn`, no parser — a line-level
+//! lexer that is just precise enough for invariant linting.
+//!
+//! For every source line it produces:
+//!
+//! * `code` — the line with comments *and* string/char-literal contents
+//!   masked to spaces, so token searches (`HashMap`, `.unwrap()`, …)
+//!   cannot match inside prose or message strings;
+//! * `with_strings` — comments masked but string contents intact, for
+//!   rules that inspect literals (the `PERFBUG_*` env-var registry);
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item
+//!   (test code is exempt from the production-invariant rules);
+//! * the `// pblint: allow(...)` suppressions that apply to the line.
+//!
+//! The lexer understands line and nested block comments, plain / raw /
+//! byte string literals, char literals vs. lifetimes, and carries its
+//! state across lines. It does not need to be a full lexer: anything it
+//! mis-masks shows up as a false positive that a scoped suppression can
+//! silence — never as silent acceptance of real output.
+
+use std::collections::BTreeSet;
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// Comments and string/char contents masked to spaces.
+    pub code: String,
+    /// Comments masked, string contents kept.
+    pub with_strings: String,
+    /// Line-comment text (suppression comments live here).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Rules suppressed on this line via `pblint: allow`.
+    pub allowed: BTreeSet<String>,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Scanned lines, in order.
+    pub lines: Vec<Line>,
+    /// Rules suppressed for the whole file via `pblint: allow-file`.
+    pub allowed_file: BTreeSet<String>,
+    /// Malformed suppression comments: (1-based line, what was wrong).
+    pub bad_suppressions: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Whether `rule` is suppressed at `line_idx` (0-based).
+    pub fn is_allowed(&self, rule: &str, line_idx: usize) -> bool {
+        self.allowed_file.contains(rule) || self.lines[line_idx].allowed.contains(rule)
+    }
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    /// Inside a normal (escaped) string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`.
+    RawStr(u32),
+}
+
+/// Scans `content` (the text of the file at `rel`) into a [`SourceFile`].
+pub fn scan_source(rel: &str, content: &str) -> SourceFile {
+    let mut state = State::Code;
+    let mut raw_lines: Vec<Line> = Vec::new();
+
+    for line in content.lines() {
+        raw_lines.push(mask_line(line, &mut state));
+    }
+
+    mark_test_regions(&mut raw_lines);
+
+    let mut file = SourceFile {
+        rel: rel.to_string(),
+        lines: raw_lines,
+        allowed_file: BTreeSet::new(),
+        bad_suppressions: Vec::new(),
+    };
+    apply_suppressions(&mut file);
+    file
+}
+
+/// Masks one line under the running lexer `state`.
+fn mask_line(line: &str, state: &mut State) -> Line {
+    let chars: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut with_strings = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+
+    // Pushes a masked char (string/comment content) to the outputs.
+    macro_rules! mask {
+        ($keep_in_strings:expr, $c:expr) => {{
+            code.push(' ');
+            if $keep_in_strings {
+                with_strings.push($c);
+            } else {
+                with_strings.push(' ');
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        match state {
+            State::Block(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        *state = State::Code;
+                    }
+                    mask!(false, ' ');
+                    mask!(false, ' ');
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    *depth += 1;
+                    mask!(false, ' ');
+                    mask!(false, ' ');
+                    i += 2;
+                } else {
+                    mask!(false, ' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if chars[i] == '\\' {
+                    mask!(true, chars[i]);
+                    if let Some(&next) = chars.get(i + 1) {
+                        mask!(true, next);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if chars[i] == '"' {
+                    *state = State::Code;
+                    code.push('"');
+                    with_strings.push('"');
+                    i += 1;
+                } else {
+                    mask!(true, chars[i]);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if chars[i] == '"' && closes_raw(&chars, i, *hashes) {
+                    let h = *hashes as usize;
+                    *state = State::Code;
+                    code.push('"');
+                    with_strings.push('"');
+                    for _ in 0..h {
+                        code.push('#');
+                        with_strings.push('#');
+                    }
+                    i += 1 + h;
+                } else {
+                    mask!(true, chars[i]);
+                    i += 1;
+                }
+            }
+            State::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    comment = chars[i + 2..].iter().collect();
+                    for _ in i..chars.len() {
+                        code.push(' ');
+                        with_strings.push(' ');
+                    }
+                    break;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = State::Block(1);
+                    mask!(false, ' ');
+                    mask!(false, ' ');
+                    i += 2;
+                } else if let Some(consumed) = raw_string_start(&chars, i) {
+                    // r"..." / r#"..."# / br"..." / b"..." prefixes.
+                    let (skip, hashes, is_raw) = consumed;
+                    for k in 0..skip {
+                        let pc = chars[i + k];
+                        code.push(pc);
+                        with_strings.push(pc);
+                    }
+                    *state = if is_raw {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                    i += skip;
+                } else if c == '"' {
+                    *state = State::Str;
+                    code.push('"');
+                    with_strings.push('"');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs. lifetime.
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code.push('\'');
+                        with_strings.push('\'');
+                        for _ in i + 1..end {
+                            mask!(false, ' ');
+                        }
+                        code.push('\'');
+                        with_strings.push('\'');
+                        i = end + 1;
+                    } else {
+                        code.push('\'');
+                        with_strings.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    with_strings.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    Line {
+        code,
+        with_strings,
+        comment,
+        in_test: false,
+        allowed: BTreeSet::new(),
+    }
+}
+
+/// Whether the `"` at `i` closes a raw string requiring `hashes` hashes.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+/// Detects a raw/byte string opener at `i`. Returns
+/// `(chars consumed through the opening quote, hash count, is_raw)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, u32, bool)> {
+    // Must not be the tail of an identifier (`number"..."` is not a
+    // raw-string prefix).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let is_raw = chars.get(j) == Some(&'r');
+    if is_raw {
+        j += 1;
+        let mut hashes = 0u32;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some((j - i + 1, hashes, true));
+        }
+        return None;
+    }
+    // b"..." (plain byte string).
+    if j > i && chars.get(j) == Some(&'"') {
+        return Some((j - i + 1, 0, false));
+    }
+    None
+}
+
+/// If the `'` at `i` opens a char literal, returns the index of its
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escape: find the closing quote within a short window
+            // (covers \n, \', \u{...}).
+            (i + 3..(i + 12).min(chars.len())).find(|&k| chars[k] == '\'' && chars[k - 1] != '\\')
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` items (test modules and functions)
+/// by tracking brace depth through the masked code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut test_depth: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        if test_depth.is_some() {
+            line.in_test = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        pending_attr = false;
+                        line.in_test = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = test_depth {
+                        if depth < d {
+                            test_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses `pblint: allow(...)` / `allow-file(...)` comments and attaches
+/// them to the lines (or file) they govern.
+fn apply_suppressions(file: &mut SourceFile) {
+    // (rules, 0-based line of the comment, own-line?)
+    let mut parsed: Vec<(BTreeSet<String>, usize, bool, bool)> = Vec::new();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(pos) = line.comment.find("pblint:") else {
+            continue;
+        };
+        let directive = line.comment[pos + "pblint:".len()..].trim();
+        let own_line = line.code.trim().is_empty();
+        match parse_allow(directive) {
+            Ok((rules, is_file)) => parsed.push((rules, idx, own_line, is_file)),
+            Err(why) => file.bad_suppressions.push((idx + 1, why)),
+        }
+    }
+
+    for (rules, idx, own_line, is_file) in parsed {
+        if is_file {
+            file.allowed_file.extend(rules);
+        } else if own_line {
+            // Applies to the next line that has code on it.
+            if let Some(target) = file
+                .lines
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(i, _)| i)
+            {
+                file.lines[target].allowed.extend(rules);
+            }
+        } else {
+            file.lines[idx].allowed.extend(rules);
+        }
+    }
+}
+
+/// Parses the text after `pblint:`. Accepts
+/// `allow(<rule>[, <rule>]*) -- <reason>` and the `allow-file` variant;
+/// the reason is mandatory.
+fn parse_allow(directive: &str) -> Result<(BTreeSet<String>, bool), String> {
+    let (is_file, rest) = if let Some(r) = directive.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = directive.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "unknown pblint directive {directive:?} (expected allow(...) or allow-file(...))"
+        ));
+    };
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.split_once(')'))
+        .ok_or_else(|| "allow requires a parenthesised rule list".to_string())?;
+    let (rule_list, tail) = inner;
+    let rules: BTreeSet<String> = rule_list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow lists no rules".to_string());
+    }
+    for rule in &rules {
+        if !crate::rules::RULE_IDS.contains(&rule.as_str()) {
+            return Err(format!("unknown rule {rule:?} in allow(...)"));
+        }
+    }
+    let tail = tail.trim_start();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err("allow requires a reason: `-- <why this is sound>`".to_string());
+    }
+    Ok((rules, is_file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let f = scan_source("x.rs", "let a = \"HashMap\"; // HashMap here\nlet b = 1;");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].with_strings.contains("HashMap"));
+        assert_eq!(f.lines[0].comment.trim(), "HashMap here");
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let f = scan_source(
+            "x.rs",
+            "let a = r#\"panic!()\"#; let c = '\\''; let l: &'a str;",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains("&'a str"), "{}", f.lines[0].code);
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let f = scan_source(
+            "x.rs",
+            "/* outer /* panic!() */\nstill comment */ let x = 1;",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[1].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}";
+        let f = scan_source("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn suppressions_attach_to_lines() {
+        let src = "// pblint: allow(hash-iter) -- scripted test map\nlet m = HashMap::new();\nlet n = 1; // pblint: allow(wall-clock) -- poll loop\n";
+        let f = scan_source("x.rs", src);
+        assert!(f.is_allowed("hash-iter", 1));
+        assert!(f.is_allowed("wall-clock", 2));
+        assert!(!f.is_allowed("hash-iter", 2));
+    }
+
+    #[test]
+    fn bad_suppressions_are_reported() {
+        let f = scan_source("x.rs", "let a = 1; // pblint: allow(hash-iter)\n");
+        assert_eq!(f.bad_suppressions.len(), 1, "reason is mandatory");
+        let f = scan_source("x.rs", "let a = 1; // pblint: allow(no-such-rule) -- x\n");
+        assert_eq!(f.bad_suppressions.len(), 1, "unknown rule rejected");
+    }
+
+    #[test]
+    fn allow_file_covers_every_line() {
+        let src = "// pblint: allow-file(slice-index) -- bounds-proptested\nlet a = buf[1..2];\n";
+        let f = scan_source("x.rs", src);
+        assert!(f.is_allowed("slice-index", 1));
+    }
+}

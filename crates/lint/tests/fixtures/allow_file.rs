@@ -1,0 +1,9 @@
+// pblint: allow-file(slice-index) -- fixture: file-wide suppression
+fn frames(buf: &[u8]) -> u8 {
+    buf[0] + buf[1] + buf[2]
+}
+
+// Other rules still apply; this must fire despite the allow-file above.
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

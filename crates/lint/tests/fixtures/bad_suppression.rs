@@ -1,0 +1,8 @@
+// Malformed suppressions: each line here must yield a `suppression`
+// meta-finding, and the violations must still fire.
+use std::collections::HashMap; // pblint: allow(hash-iter)
+
+fn stamp() -> std::time::Instant {
+    // pblint: allow(wall-clok) -- typo'd rule name
+    std::time::Instant::now()
+}

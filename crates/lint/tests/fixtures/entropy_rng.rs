@@ -1,0 +1,14 @@
+// Seeded violations for the `entropy-rng` rule.
+fn seeds() {
+    let a = rand::thread_rng();
+    let b = rand::rngs::StdRng::from_entropy();
+    let c = rand::rngs::OsRng;
+    let mut buf = [0u8; 8];
+    getrandom(&mut buf);
+    let _ = (a, b, c, buf);
+}
+
+// Deterministic seeding is the approved idiom and must not fire:
+fn approved() {
+    let _rng = rand::rngs::StdRng::seed_from_u64(42);
+}

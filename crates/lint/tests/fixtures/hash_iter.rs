@@ -1,0 +1,12 @@
+// Seeded violations for the `hash-iter` rule (scanned as data by the
+// integration tests, never compiled).
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn emit(order: &HashMap<String, u64>) -> Vec<u64> {
+    let dedup: HashSet<u64> = order.values().copied().collect();
+    dedup.into_iter().collect()
+}
+
+// In a string or comment the token is data, not a use: HashMap.
+const DOC: &str = "HashMap iteration order is arbitrary";

@@ -1,0 +1,25 @@
+// Seeded violations for the `panic-policy` rule (scanned with
+// `panic_free` set, as if this were a codec decode path).
+fn decode(bytes: &[u8]) -> u64 {
+    let head = bytes.first().unwrap();
+    let tail = bytes.last().expect("nonempty");
+    if *head > *tail {
+        panic!("backwards");
+    }
+    match head {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => u64::from(*head),
+    }
+}
+
+// The fixed-width conversion idiom is carved out and must not fire:
+fn word(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"))
+}
+
+// Error propagation is the approved shape and must not fire:
+fn decode_ok(bytes: &[u8]) -> Option<u64> {
+    bytes.first().map(|b| u64::from(*b))
+}

@@ -1,0 +1,19 @@
+// Seeded violations for the `slice-index` rule (scanned with
+// `panic_free` set).
+fn frame(buf: &[u8], lens: &[usize]) -> u8 {
+    let first = buf[0];
+    let window = &buf[4..12];
+    let n = lens[first as usize];
+    window[n]
+}
+
+// `.get(...)` is the approved shape and must not fire:
+fn frame_ok(buf: &[u8]) -> Option<u8> {
+    buf.get(0).copied()
+}
+
+// Declarations and literals are not index expressions and must not fire:
+fn types() -> [u8; 4] {
+    let arr: [u8; 4] = [1, 2, 3, 4];
+    arr
+}

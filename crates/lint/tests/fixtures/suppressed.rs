@@ -1,0 +1,14 @@
+// Every violation in this fixture carries a valid scoped suppression;
+// the integration tests assert the file scans clean.
+use std::collections::HashMap; // pblint: allow(hash-iter) -- fixture: same-line form
+
+fn stamp() -> std::time::Instant {
+    // pblint: allow(wall-clock) -- fixture: own-line form applies to the
+    // next code line even across a wrapped comment.
+    std::time::Instant::now()
+}
+
+fn decode(bytes: &[u8]) -> u8 {
+    // pblint: allow(panic-policy, slice-index) -- fixture: multi-rule list
+    bytes[0] + bytes.first().unwrap()
+}

@@ -1,0 +1,12 @@
+// Seeded violations for the `wall-clock` rule.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> (Instant, SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}
+
+fn elapsed_named() -> std::time::Instant {
+    std::time::Instant::now()
+}
