@@ -177,6 +177,27 @@ impl BugCatalog {
         ])
     }
 
+    /// The extended catalogue: [`BugCatalog::core_full`] plus three
+    /// variants of each extension type (15: TLB/page-walk latency, 16:
+    /// issue replay), 48 bugs in all. Paper-faithful experiments keep
+    /// `core_full`; the fuzzer and the per-family evaluation harness draw
+    /// from here.
+    pub fn core_extended() -> Self {
+        use BugSpec::*;
+        let mut variants = Self::core_full().variants;
+        variants.extend([
+            // 15: Data TLB holds N pages, misses walk T cycles.
+            TlbPageWalkDelay { entries: 64, t: 10 },
+            TlbPageWalkDelay { entries: 16, t: 30 },
+            TlbPageWalkDelay { entries: 4, t: 60 },
+            // 16: Every N-th issue grant squashed, replay after T cycles.
+            IssueReplayEveryN { n: 64, t: 4 },
+            IssueReplayEveryN { n: 16, t: 8 },
+            IssueReplayEveryN { n: 4, t: 16 },
+        ]);
+        BugCatalog::new(variants)
+    }
+
     /// A reduced catalogue (one mid-severity variant per type) for quick
     /// runs and tests.
     pub fn core_small() -> Self {
@@ -253,6 +274,16 @@ pub struct MemBugCatalog {
 }
 
 impl MemBugCatalog {
+    /// Builds a catalogue from explicit variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty.
+    pub fn new(variants: Vec<MemBugSpec>) -> Self {
+        assert!(!variants.is_empty(), "catalogue cannot be empty");
+        MemBugCatalog { variants }
+    }
+
     /// The default memory catalogue: the six types of §IV-D with level /
     /// parameter variants (10 bugs).
     pub fn full() -> Self {
@@ -287,6 +318,26 @@ impl MemBugCatalog {
                 SppDroppedPrefetch { n: 6 },
             ],
         }
+    }
+
+    /// The extended memory catalogue: [`MemBugCatalog::full`] plus
+    /// variants of the extension types (7: prefetcher degree/stride
+    /// pathology, 8: DRAM page-close regression), 14 bugs in all.
+    pub fn extended() -> Self {
+        use MemBugSpec::*;
+        let mut cat = Self::full();
+        cat.variants.extend([
+            // 7: SPP degree forced / stride skewed.
+            SppDegreeStride { degree: 8, skew: 0 },
+            SppDegreeStride {
+                degree: 8,
+                skew: -2,
+            },
+            // 8: DRAM forced page-close.
+            DramPageCloseDelay { t: 12 },
+            DramPageCloseDelay { t: 40 },
+        ]);
+        cat
     }
 
     /// All variants in catalogue order.
@@ -359,5 +410,21 @@ mod tests {
         let cat = MemBugCatalog::full();
         assert_eq!(cat.type_ids(), vec![1, 2, 3, 4, 5, 6]);
         assert_eq!(cat.len(), 10);
+    }
+
+    #[test]
+    fn extended_catalogues_add_new_families_without_touching_paper_ones() {
+        let core = BugCatalog::core_extended();
+        assert_eq!(core.len(), 48);
+        assert_eq!(core.type_ids(), (1..=16).collect::<Vec<u32>>());
+        assert_eq!(
+            core.variants()[..42],
+            BugCatalog::core_full().variants()[..],
+            "extension must be a strict superset of the paper catalogue"
+        );
+        let mem = MemBugCatalog::extended();
+        assert_eq!(mem.len(), 14);
+        assert_eq!(mem.type_ids(), (1..=8).collect::<Vec<u32>>());
+        assert_eq!(mem.variants()[..10], MemBugCatalog::full().variants()[..]);
     }
 }

@@ -169,4 +169,37 @@ mod tests {
         let curve = DetectionMetrics::roc(&decisions);
         assert!(curve.len() >= 3);
     }
+
+    #[test]
+    fn roc_tied_scores_one_point_per_threshold() {
+        // Five decisions but only two distinct scores: the curve must have
+        // exactly one point per threshold (plus the (0,0) anchor) with the
+        // tied group consumed atomically — not one point per decision.
+        let decisions = vec![
+            d(0.7, true, true, None),
+            d(0.7, true, false, None),
+            d(0.7, true, true, None),
+            d(0.2, false, false, None),
+            d(0.2, false, true, None),
+        ];
+        let curve = DetectionMetrics::roc(&decisions);
+        let expected = vec![
+            perfbug_ml::metrics::RocPoint {
+                fpr: 0.0,
+                tpr: 0.0,
+                threshold: f64::INFINITY,
+            },
+            perfbug_ml::metrics::RocPoint {
+                fpr: 0.5,
+                tpr: 2.0 / 3.0,
+                threshold: 0.7,
+            },
+            perfbug_ml::metrics::RocPoint {
+                fpr: 1.0,
+                tpr: 1.0,
+                threshold: 0.2,
+            },
+        ];
+        assert_eq!(curve, expected);
+    }
 }

@@ -1,0 +1,512 @@
+//! Deterministic, seed-parameterised bug fuzzer (ROADMAP item 3).
+//!
+//! [`FuzzSpec`] describes a randomized bug corpus: which families to draw
+//! from, how many variants per family, and an optional severity band the
+//! calibrated IPC impact must land in. Generation is a pure function of
+//! the spec — same seed, same catalog, bit for bit — so fuzzed corpora
+//! fingerprint, cache, shard and orchestrate exactly like hand-seeded
+//! ones (the catalogue's variants are part of the PBCL config
+//! fingerprint, see [`crate::persist::config_fingerprint`]).
+//!
+//! Severity is *calibrated*, not assumed: every candidate variant is
+//! simulated against a fixed calibration workload and its relative IPC
+//! (core) or cycle (memory) impact graded through [`Severity::grade`].
+//! Candidates outside the requested band are rejected and redrawn a
+//! bounded number of times; if the band cannot be hit, the closest
+//! candidate seen is kept, so generation always terminates with `count`
+//! variants per parameterised family.
+
+use std::sync::OnceLock;
+
+use perfbug_memsim::{simulate_memory, CacheLevel, MemArchConfig, MemBugSpec};
+use perfbug_uarch::{presets, simulate, BugSpec};
+use perfbug_workloads::{benchmark, Inst, Opcode, WorkloadScale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bugs::{BugCatalog, MemBugCatalog, Severity};
+
+/// Redraws per variant before settling for the closest-severity sample.
+const MAX_ATTEMPTS: usize = 12;
+
+/// Sampling step used by both simulators during calibration.
+const CALIBRATION_STEP: u64 = 500;
+
+/// One fuzzable bug family: a bug *type* in one of the two simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    /// A core-pipeline family, by [`BugSpec::type_id`] (1–16).
+    Core(u32),
+    /// A memory-system family, by [`MemBugSpec::type_id`] (1–8).
+    Mem(u32),
+}
+
+impl Family {
+    /// Every fuzzable family, core families first, ids ascending.
+    pub fn all() -> Vec<Family> {
+        (1..=16)
+            .map(Family::Core)
+            .chain((1..=8).map(Family::Mem))
+            .collect()
+    }
+
+    /// The family's stable name — the simulator's `type_name` (e.g.
+    /// `TlbPageWalkDelayT`, `SppDegreeStride`). Names are unique across
+    /// the two simulators.
+    pub fn name(self) -> &'static str {
+        // Any sample of the family carries the type name; the throwaway
+        // rng never influences generation state.
+        let mut rng = StdRng::seed_from_u64(0);
+        match self {
+            Family::Core(id) => sample_core(id, &mut rng).type_name(),
+            Family::Mem(id) => sample_mem(id, &mut rng).type_name(),
+        }
+    }
+
+    /// Resolves a family from its [`Family::name`] string.
+    pub fn parse(name: &str) -> Option<Family> {
+        Family::all().into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// A deterministic fuzzing recipe. Two equal specs generate bit-identical
+/// catalogues on any machine, worker count or shard partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzSpec {
+    /// Root seed of the draw stream.
+    pub seed: u64,
+    /// Families to sample, in order. Order matters: it fixes the draw
+    /// stream, hence the catalogue.
+    pub families: Vec<Family>,
+    /// Variants to generate per family.
+    pub count: usize,
+    /// Inclusive severity band (`min..=max`) the calibrated grade must
+    /// land in; `None` accepts any severity on the first draw.
+    pub severity_band: Option<(Severity, Severity)>,
+}
+
+/// One generated variant with its calibration evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzedVariant<T> {
+    /// The concrete bug.
+    pub spec: T,
+    /// Calibrated severity grade on the calibration workload.
+    pub severity: Severity,
+    /// Measured relative impact backing the grade.
+    pub impact: f64,
+}
+
+/// The output of [`FuzzSpec::generate`]: per-simulator variant lists in
+/// draw order, each with its calibrated severity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FuzzedCatalog {
+    /// Core-pipeline variants.
+    pub core: Vec<FuzzedVariant<BugSpec>>,
+    /// Memory-system variants.
+    pub mem: Vec<FuzzedVariant<MemBugSpec>>,
+}
+
+impl FuzzedCatalog {
+    /// The core variants as a [`BugCatalog`]; `None` when no core family
+    /// was requested.
+    pub fn core_catalog(&self) -> Option<BugCatalog> {
+        if self.core.is_empty() {
+            None
+        } else {
+            Some(BugCatalog::new(self.core.iter().map(|v| v.spec).collect()))
+        }
+    }
+
+    /// The memory variants as a [`MemBugCatalog`]; `None` when no memory
+    /// family was requested.
+    pub fn mem_catalog(&self) -> Option<MemBugCatalog> {
+        if self.mem.is_empty() {
+            None
+        } else {
+            Some(MemBugCatalog::new(
+                self.mem.iter().map(|v| v.spec).collect(),
+            ))
+        }
+    }
+}
+
+impl FuzzSpec {
+    /// Generates the catalogue. Pure in the spec: the draw stream is a
+    /// single [`StdRng`] seeded from `seed`, consumed family by family in
+    /// the order given.
+    pub fn generate(&self) -> FuzzedCatalog {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = FuzzedCatalog::default();
+        for &family in &self.families {
+            match family {
+                Family::Core(id) => {
+                    let picked = draw_family(
+                        self.count,
+                        self.severity_band,
+                        || sample_core(id, &mut rng),
+                        core_impact,
+                    );
+                    out.core.extend(picked);
+                }
+                Family::Mem(id) => {
+                    let picked = draw_family(
+                        self.count,
+                        self.severity_band,
+                        || sample_mem(id, &mut rng),
+                        mem_impact,
+                    );
+                    out.mem.extend(picked);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Draws up to `count` distinct variants of one family, rejection-sampling
+/// into the severity band (closest-seen fallback). Duplicate draws are
+/// skipped, so parameterless families contribute one variant regardless of
+/// `count`.
+fn draw_family<T: Copy + PartialEq>(
+    count: usize,
+    band: Option<(Severity, Severity)>,
+    mut sample: impl FnMut() -> T,
+    impact_of: impl Fn(T) -> f64,
+) -> Vec<FuzzedVariant<T>> {
+    let mut picked: Vec<FuzzedVariant<T>> = Vec::new();
+    for _ in 0..count {
+        let mut best: Option<FuzzedVariant<T>> = None;
+        for _ in 0..MAX_ATTEMPTS {
+            let cand = sample();
+            if picked.iter().any(|v| v.spec == cand) {
+                continue;
+            }
+            let impact = impact_of(cand);
+            let severity = Severity::grade(impact);
+            let var = FuzzedVariant {
+                spec: cand,
+                severity,
+                impact,
+            };
+            let in_band = band.map(|(lo, hi)| severity >= lo && severity <= hi);
+            if in_band.unwrap_or(true) {
+                best = Some(var);
+                break;
+            }
+            let closer = match &best {
+                None => true,
+                Some(b) => band_distance(severity, band) < band_distance(b.severity, band),
+            };
+            if closer {
+                best = Some(var);
+            }
+        }
+        match best {
+            Some(var) => picked.push(var),
+            // Every attempt was a duplicate: the family's parameter space
+            // is exhausted (e.g. parameterless SPP bugs) — stop early.
+            None => break,
+        }
+    }
+    picked
+}
+
+/// Bands away from the requested band (0 = inside).
+fn band_distance(sev: Severity, band: Option<(Severity, Severity)>) -> usize {
+    let Some((lo, hi)) = band else { return 0 };
+    let rank = |s: Severity| Severity::all().iter().position(|&x| x == s).unwrap_or(0);
+    let (s, l, h) = (rank(sev), rank(lo), rank(hi));
+    if s < l {
+        l - s
+    } else {
+        s.saturating_sub(h)
+    }
+}
+
+/// Opcodes the fuzzer targets for opcode-parameterised families: the mix
+/// that actually occurs in the SPEC-like traces, common and rare.
+const OPCODE_POOL: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Xor,
+    Opcode::Logic,
+    Opcode::Shift,
+    Opcode::Mul,
+    Opcode::Popcnt,
+    Opcode::FpAdd,
+    Opcode::FpMul,
+    Opcode::Load,
+    Opcode::Store,
+];
+
+fn pick_opcode(rng: &mut StdRng) -> Opcode {
+    OPCODE_POOL[rng.gen_range(0..OPCODE_POOL.len())]
+}
+
+/// Samples one concrete variant of core family `type_id` (1–16).
+///
+/// # Panics
+///
+/// Panics if `type_id` is not a known core family.
+pub fn sample_core(type_id: u32, rng: &mut StdRng) -> BugSpec {
+    match type_id {
+        1 => BugSpec::SerializeOpcode {
+            x: pick_opcode(rng),
+        },
+        2 => BugSpec::IssueOnlyIfOldest {
+            x: pick_opcode(rng),
+        },
+        3 => BugSpec::IfOldestIssueOnlyX {
+            x: pick_opcode(rng),
+        },
+        4 => BugSpec::DelayIfDependsOn {
+            x: pick_opcode(rng),
+            y: pick_opcode(rng),
+            t: rng.gen_range(2..=40u32),
+        },
+        5 => BugSpec::IqBelowDelay {
+            n: rng.gen_range(2..=24u32),
+            t: rng.gen_range(2..=24u32),
+        },
+        6 => BugSpec::RobBelowDelay {
+            n: rng.gen_range(4..=32u32),
+            t: rng.gen_range(2..=24u32),
+        },
+        7 => BugSpec::MispredictExtraDelay {
+            t: rng.gen_range(2..=40u32),
+        },
+        8 => BugSpec::StoresToLineDelay {
+            n: rng.gen_range(2..=8u32),
+            t: rng.gen_range(2..=40u32),
+        },
+        9 => BugSpec::WritesToRegDelay {
+            n: rng.gen_range(8..=64u32),
+            t: rng.gen_range(2..=16u32),
+            periodic: rng.gen_bool(0.5),
+        },
+        10 => BugSpec::L2ExtraLatency {
+            t: rng.gen_range(2..=30u32),
+        },
+        11 => BugSpec::FewerPhysRegs {
+            n: rng.gen_range(32..=280u32),
+        },
+        12 => BugSpec::LongBranchDelay {
+            bytes: rng.gen_range(4..=6u8),
+            t: rng.gen_range(2..=24u32),
+        },
+        13 => BugSpec::OpcodeUsesRegDelay {
+            x: pick_opcode(rng),
+            r: rng.gen_range(0..=7u8),
+            t: rng.gen_range(2..=24u32),
+        },
+        14 => BugSpec::BtbIndexMask {
+            lost_bits: rng.gen_range(2..=12u32),
+        },
+        15 => BugSpec::TlbPageWalkDelay {
+            entries: 1 << rng.gen_range(2..=7u32),
+            t: rng.gen_range(10..=60u32),
+        },
+        16 => BugSpec::IssueReplayEveryN {
+            n: rng.gen_range(4..=64u32),
+            t: rng.gen_range(2..=16u32),
+        },
+        other => panic!("unknown core bug family {other}"),
+    }
+}
+
+/// Samples one concrete variant of memory family `type_id` (1–8).
+///
+/// # Panics
+///
+/// Panics if `type_id` is not a known memory family.
+pub fn sample_mem(type_id: u32, rng: &mut StdRng) -> MemBugSpec {
+    let level = if rng.gen_bool(0.5) {
+        CacheLevel::L1d
+    } else {
+        CacheLevel::L2
+    };
+    match type_id {
+        1 => MemBugSpec::NoAgeUpdate { level },
+        2 => MemBugSpec::EvictMru { level },
+        3 => MemBugSpec::MissesDelay {
+            level,
+            n: rng.gen_range(50..=500u32),
+            t: rng.gen_range(2..=30u32),
+        },
+        4 => MemBugSpec::SppSignatureReset,
+        5 => MemBugSpec::SppLeastConfidence,
+        6 => MemBugSpec::SppDroppedPrefetch {
+            n: rng.gen_range(1..=8u32),
+        },
+        7 => MemBugSpec::SppDegreeStride {
+            degree: rng.gen_range(4..=16u32),
+            skew: rng.gen_range(-3..=3i64),
+        },
+        8 => MemBugSpec::DramPageCloseDelay {
+            t: rng.gen_range(4..=60u32),
+        },
+        other => panic!("unknown memory bug family {other}"),
+    }
+}
+
+/// The core calibration trace: the first probe of 458.sjeng at tiny scale.
+fn core_calibration_trace() -> &'static [Inst] {
+    static TRACE: OnceLock<Vec<Inst>> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let scale = WorkloadScale::tiny();
+        let spec = benchmark("458.sjeng").expect("suite benchmark");
+        let program = spec.program(&scale);
+        spec.probes(&scale)[0].trace(&program)
+    })
+}
+
+/// The memory calibration trace: a synthetic mix of a streaming load
+/// front (prefetcher + DRAM row locality), a hot reuse set (replacement
+/// policy) and a store sprinkle, so every memory family has something to
+/// perturb.
+fn mem_calibration_trace() -> &'static [Inst] {
+    static TRACE: OnceLock<Vec<Inst>> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let mut trace = Vec::new();
+        for i in 0..40_000u32 {
+            let mut stream = Inst::nop(0x1000);
+            stream.opcode = Opcode::Load;
+            stream.mem_addr = 0x4000_0000 + i * 64;
+            trace.push(stream);
+            if i % 4 == 0 {
+                let mut hot = Inst::nop(0x1004);
+                hot.opcode = Opcode::Load;
+                hot.mem_addr = 0x5000_0000 + (i % 192) * 64;
+                trace.push(hot);
+            }
+            if i % 7 == 0 {
+                let mut st = Inst::nop(0x1008);
+                st.opcode = Opcode::Store;
+                st.mem_addr = 0x7000_0000 + (i % 4096) * 64;
+                trace.push(st);
+            }
+        }
+        trace
+    })
+}
+
+fn mem_calibration_config() -> MemArchConfig {
+    perfbug_memsim::config::by_name("Skylake").expect("Skylake memory preset")
+}
+
+/// Calibrated relative IPC impact of one core bug on the calibration
+/// workload (`0.07` = 7 % IPC degradation; clamped at 0).
+pub fn core_impact(bug: BugSpec) -> f64 {
+    static HEALTHY: OnceLock<f64> = OnceLock::new();
+    let trace = core_calibration_trace();
+    let healthy = *HEALTHY
+        .get_or_init(|| simulate(&presets::skylake(), None, trace, CALIBRATION_STEP).overall_ipc());
+    let buggy = simulate(&presets::skylake(), Some(bug), trace, CALIBRATION_STEP).overall_ipc();
+    if healthy <= 0.0 {
+        return 0.0;
+    }
+    ((healthy - buggy) / healthy).max(0.0)
+}
+
+/// Calibrated relative cycle impact of one memory bug on the calibration
+/// workload (clamped at 0).
+pub fn mem_impact(bug: MemBugSpec) -> f64 {
+    static HEALTHY: OnceLock<u64> = OnceLock::new();
+    let trace = mem_calibration_trace();
+    let healthy = *HEALTHY.get_or_init(|| {
+        simulate_memory(&mem_calibration_config(), None, trace, CALIBRATION_STEP).total_cycles
+    });
+    let buggy = simulate_memory(
+        &mem_calibration_config(),
+        Some(bug),
+        trace,
+        CALIBRATION_STEP,
+    )
+    .total_cycles;
+    if healthy == 0 {
+        return 0.0;
+    }
+    (buggy as f64 - healthy as f64).max(0.0) / healthy as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_unique_and_parse_round_trips() {
+        let all = Family::all();
+        assert_eq!(all.len(), 24);
+        let mut names: Vec<&str> = all.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "family names must be unique");
+        for f in all {
+            assert_eq!(Family::parse(f.name()), Some(f));
+        }
+        assert_eq!(Family::parse("NoSuchFamily"), None);
+    }
+
+    #[test]
+    fn same_spec_generates_identical_catalogs() {
+        let spec = FuzzSpec {
+            seed: 7,
+            families: vec![Family::Core(15), Family::Core(16), Family::Mem(7)],
+            count: 2,
+            severity_band: None,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.core.len(), 4);
+        assert_eq!(a.mem.len(), 2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| FuzzSpec {
+            seed,
+            families: vec![Family::Core(7), Family::Core(10)],
+            count: 3,
+            severity_band: None,
+        };
+        assert_ne!(mk(1).generate(), mk(2).generate());
+    }
+
+    #[test]
+    fn parameterless_families_collapse_to_one_variant() {
+        let spec = FuzzSpec {
+            seed: 3,
+            families: vec![Family::Mem(4), Family::Mem(5)],
+            count: 5,
+            severity_band: None,
+        };
+        let cat = spec.generate();
+        assert_eq!(cat.mem.len(), 2, "one variant per parameterless family");
+    }
+
+    #[test]
+    fn severity_band_biases_grades_into_band() {
+        // High-band fuzzing of a family whose parameter clearly scales
+        // impact: every pick must grade at least Medium (closest-fallback
+        // may undershoot High, but never by more than the family allows).
+        let spec = FuzzSpec {
+            seed: 11,
+            families: vec![Family::Core(1)],
+            count: 3,
+            severity_band: Some((Severity::Medium, Severity::High)),
+        };
+        let relaxed = FuzzSpec {
+            severity_band: None,
+            ..spec.clone()
+        };
+        let banded: f64 = spec.generate().core.iter().map(|v| v.impact).sum();
+        let free: f64 = relaxed.generate().core.iter().map(|v| v.impact).sum();
+        assert!(
+            banded >= free,
+            "band (Medium..=High) must not select milder variants than unbanded \
+             ({banded} < {free})"
+        );
+    }
+}

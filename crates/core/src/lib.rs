@@ -40,6 +40,7 @@ pub mod counter_select;
 pub mod detmetrics;
 pub mod exec;
 pub mod experiment;
+pub mod fuzz;
 pub mod localize;
 pub mod memory;
 pub mod orchestrate;
@@ -55,6 +56,7 @@ pub use experiment::{
     collect, collect_sharded, evaluate_baseline, evaluate_two_stage, evaluate_two_stage_subset,
     ArchPartition, Collection, CollectionConfig, ProbeScale, RunKey,
 };
+pub use fuzz::{Family, FuzzSpec, FuzzedCatalog, FuzzedVariant};
 pub use memory::{collect_memory, collect_memory_sharded, MemCollectionConfig, TargetMetric};
 pub use orchestrate::{
     orchestrate_collection, run_orchestrator, CollectPlan, Fault, OrchestrateError,

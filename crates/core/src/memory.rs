@@ -390,7 +390,7 @@ fn select_mem_counters(
 
 /// Mirrors a memory catalogue into core-bug placeholders so the shared
 /// [`Collection`] evaluation (which consults type ids and names) works
-/// unchanged. The mapping preserves type ids (1–6) and variant order.
+/// unchanged. The mapping preserves type ids (1–8) and variant order.
 pub fn mem_catalog_as_core(catalog: &MemBugCatalog) -> BugCatalog {
     use perfbug_uarch::BugSpec;
     // Type ids must match the memory catalogue's variant-to-type mapping;
@@ -414,7 +414,9 @@ pub fn mem_catalog_as_core(catalog: &MemBugCatalog) -> BugCatalog {
                 t: 1,
             },
             5 => BugSpec::IqBelowDelay { n: 1, t: 1 },
-            _ => BugSpec::RobBelowDelay { n: 1, t: 1 },
+            6 => BugSpec::RobBelowDelay { n: 1, t: 1 },
+            7 => BugSpec::MispredictExtraDelay { t: 1 },
+            _ => BugSpec::StoresToLineDelay { n: 1, t: 1 },
         }
     };
     BugCatalog::new(

@@ -734,8 +734,8 @@ fn dec_arch_set(dec: &mut Dec) -> Result<ArchSet, PersistError> {
     }
 }
 
-/// Bug specs are tagged with their paper type id (1–14), then their
-/// parameters in declaration order.
+/// Bug specs are tagged with their type id (1–14 paper, 15–16
+/// extensions), then their parameters in declaration order.
 fn enc_bug(enc: &mut Enc, bug: &BugSpec) {
     enc.u8(bug.type_id() as u8);
     match *bug {
@@ -770,6 +770,14 @@ fn enc_bug(enc: &mut Enc, bug: &BugSpec) {
             enc.u32(t);
         }
         BugSpec::BtbIndexMask { lost_bits } => enc.u32(lost_bits),
+        BugSpec::TlbPageWalkDelay { entries, t } => {
+            enc.u32(entries);
+            enc.u32(t);
+        }
+        BugSpec::IssueReplayEveryN { n, t } => {
+            enc.u32(n);
+            enc.u32(t);
+        }
     }
 }
 
@@ -820,6 +828,14 @@ fn dec_bug(dec: &mut Dec) -> Result<BugSpec, PersistError> {
         },
         14 => BugSpec::BtbIndexMask {
             lost_bits: dec.u32()?,
+        },
+        15 => BugSpec::TlbPageWalkDelay {
+            entries: dec.u32()?,
+            t: dec.u32()?,
+        },
+        16 => BugSpec::IssueReplayEveryN {
+            n: dec.u32()?,
+            t: dec.u32()?,
         },
         t => return Err(PersistError::Corrupt(format!("invalid bug type tag {t}"))),
     })

@@ -51,6 +51,11 @@ fn synth_collection(
             r: 3,
             t: 8,
         },
+        // Post-paper extension types (ids 15/16): fuzzed corpora put
+        // these in cache files, so every persistence property must hold
+        // for them too.
+        BugSpec::TlbPageWalkDelay { entries: 64, t: 40 },
+        BugSpec::IssueReplayEveryN { n: 8, t: 12 },
     ]);
     let mut keys = vec![RunKey {
         arch: "Skylake".into(),
@@ -218,6 +223,77 @@ proptest! {
             prop_assert_eq!(parsed.shard, Some((index, count)));
         }
     }
+}
+
+/// A minimal structurally-valid collection around `catalog`: one probe,
+/// one engine, one bugged key per variant. No simulation involved — the
+/// point is pushing the *catalogue* through the codec.
+fn collection_with_catalog(catalog: BugCatalog) -> Collection {
+    let mut keys = vec![RunKey {
+        arch: "Skylake".into(),
+        set: ArchSet::IV,
+        bug: None,
+    }];
+    for b in 0..catalog.len() {
+        keys.push(RunKey {
+            arch: "Skylake".into(),
+            set: ArchSet::II,
+            bug: Some(b),
+        });
+    }
+    Collection {
+        probes: vec![ProbeMeta {
+            id: "bench#0".into(),
+            benchmark: "bench".into(),
+            weight: 1.0,
+        }],
+        engines: vec![EngineResult {
+            name: "GBT-0".into(),
+            deltas: vec![keys.iter().enumerate().map(|(i, _)| i as f64).collect()],
+            train_time: Duration::from_millis(1),
+            infer_time: Duration::from_micros(1),
+        }],
+        overall_ipc: vec![keys.iter().map(|_| 1.5).collect()],
+        agg_features: vec![keys.iter().map(|_| vec![0.25, -0.5]).collect()],
+        captures: Vec::new(),
+        keys,
+        catalog,
+    }
+}
+
+/// Every extended-catalogue variant — the post-paper core types and the
+/// memory types via their same-id core placeholder — survives the PBCL
+/// codec and the streaming verifier (`pbcol verify --stream`'s engine).
+#[test]
+fn extended_catalogs_round_trip_and_verify() {
+    use perfbug_core::bugs::MemBugCatalog;
+    use perfbug_core::memory::mem_catalog_as_core;
+    use perfbug_core::persist::{save_collection, verify_stream};
+
+    let dir = std::env::temp_dir().join(format!("perfbug-extcat-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let catalogs = [
+        BugCatalog::core_extended(),
+        mem_catalog_as_core(&MemBugCatalog::extended()),
+    ];
+    for (i, catalog) in catalogs.into_iter().enumerate() {
+        let col = collection_with_catalog(catalog);
+        let fp = 0xE0 + i as u64;
+
+        let bytes = encode_collection(&col, fp);
+        let back = decode_collection(&bytes, fp).expect("extended catalogue must decode");
+        assert_eq!(back, col, "catalogue {i} diverged through the codec");
+
+        let path = dir.join(format!("extcat-{i}.pbcol"));
+        save_collection(&path, &col, fp).expect("save");
+        let mut chunks = 0;
+        let header = verify_stream(&path, Some(fp), |_| chunks += 1)
+            .expect("extended catalogue must stream-verify");
+        assert_eq!(header.fingerprint, fp);
+        assert!(chunks > 0, "verifier must visit the probe chunks");
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(&dir);
 }
 
 // --------------------------------------------------------------------------

@@ -16,6 +16,7 @@ pub const OUTPUT_CRITICAL: &[&str] = &[
     "crates/bench/src/lib.rs",
     "crates/bench/src/bin/pbcol.rs",
     "crates/bench/src/bin/pborch.rs",
+    "crates/bench/src/bin/pbeval.rs",
 ];
 
 /// Files allowed to read wall clocks (`Instant::now`, `SystemTime::now`):
@@ -107,6 +108,22 @@ pub const ENV_REGISTRY: &[EnvVar] = &[
     EnvVar {
         name: "PERFBUG_ORCH_FAULT",
         purpose: "orchestrator fault injection (CI guard test hook)",
+    },
+    EnvVar {
+        name: "PERFBUG_FUZZ_SEED",
+        purpose: "pbeval: fuzzer seed (fallback for --seed)",
+    },
+    EnvVar {
+        name: "PERFBUG_FUZZ_FAMILIES",
+        purpose: "pbeval: comma-separated bug families or `all` (fallback for --families)",
+    },
+    EnvVar {
+        name: "PERFBUG_FUZZ_COUNT",
+        purpose: "pbeval: variants per family (fallback for --count)",
+    },
+    EnvVar {
+        name: "PERFBUG_FUZZ_BAND",
+        purpose: "pbeval: severity band min[..max] (fallback for --band)",
     },
 ];
 

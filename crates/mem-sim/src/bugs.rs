@@ -1,4 +1,6 @@
-//! The six memory-system performance-bug types of §IV-D.
+//! The memory-system performance-bug types: the six of §IV-D plus two
+//! extension families (7: prefetcher degree/stride pathology, 8: DRAM
+//! row-policy/page-close regression) grown past the paper's catalogue.
 
 /// Cache level selector for bugs with per-level variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,10 +48,28 @@ pub enum MemBugSpec {
         /// Drop period.
         n: u32,
     },
+    /// Bug 7 — the prefetcher's degree/stride control is broken: the
+    /// lookahead walk ignores path confidence and always runs `degree`
+    /// deep, and every predicted delta is skewed by `skew` blocks, so
+    /// low-confidence and off-target prefetches pollute the caches.
+    SppDegreeStride {
+        /// Forced lookahead depth (confidence threshold ignored).
+        degree: u32,
+        /// Blocks added to every predicted delta (0 = stride intact).
+        skew: i64,
+    },
+    /// Bug 8 — DRAM row-buffer policy regression: the controller closes
+    /// the row after every access (forced page-close), so an access that
+    /// would have been a row-buffer hit under the open-page policy pays
+    /// `t` extra cycles of activate latency.
+    DramPageCloseDelay {
+        /// Extra cycles per lost row-buffer hit.
+        t: u32,
+    },
 }
 
 impl MemBugSpec {
-    /// The paper's memory bug-type number (1–6).
+    /// The memory bug-type number (1–6 from the paper, 7–8 extensions).
     pub fn type_id(&self) -> u32 {
         match self {
             MemBugSpec::NoAgeUpdate { .. } => 1,
@@ -58,6 +78,8 @@ impl MemBugSpec {
             MemBugSpec::SppSignatureReset => 4,
             MemBugSpec::SppLeastConfidence => 5,
             MemBugSpec::SppDroppedPrefetch { .. } => 6,
+            MemBugSpec::SppDegreeStride { .. } => 7,
+            MemBugSpec::DramPageCloseDelay { .. } => 8,
         }
     }
 
@@ -70,6 +92,8 @@ impl MemBugSpec {
             MemBugSpec::SppSignatureReset => "SppSignatureReset",
             MemBugSpec::SppLeastConfidence => "SppLeastConfidence",
             MemBugSpec::SppDroppedPrefetch { .. } => "SppDroppedPrefetch",
+            MemBugSpec::SppDegreeStride { .. } => "SppDegreeStride",
+            MemBugSpec::DramPageCloseDelay { .. } => "DramPageCloseDelayT",
         }
     }
 
@@ -90,6 +114,12 @@ impl MemBugSpec {
             MemBugSpec::SppDroppedPrefetch { n } => {
                 format!("every {n}-th SPP prefetch dropped but marked executed")
             }
+            MemBugSpec::SppDegreeStride { degree, skew } => {
+                format!("SPP walks {degree} deep ignoring confidence, deltas skewed by {skew}")
+            }
+            MemBugSpec::DramPageCloseDelay { t } => {
+                format!("DRAM rows closed after every access, lost row hits cost {t} cycles")
+            }
         }
     }
 }
@@ -99,7 +129,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn type_ids_cover_one_to_six() {
+    fn type_ids_cover_all_types() {
         let bugs = [
             MemBugSpec::NoAgeUpdate {
                 level: CacheLevel::L1d,
@@ -115,9 +145,11 @@ mod tests {
             MemBugSpec::SppSignatureReset,
             MemBugSpec::SppLeastConfidence,
             MemBugSpec::SppDroppedPrefetch { n: 4 },
+            MemBugSpec::SppDegreeStride { degree: 8, skew: 1 },
+            MemBugSpec::DramPageCloseDelay { t: 20 },
         ];
         let ids: Vec<u32> = bugs.iter().map(MemBugSpec::type_id).collect();
-        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(ids, (1..=8).collect::<Vec<u32>>());
         for b in &bugs {
             assert!(!b.describe().is_empty());
         }

@@ -172,6 +172,7 @@ pub fn simulate_memory(
     let mut l1_miss_delay: Option<(u32, u32)> = None; // (threshold, delay)
     let mut l2_miss_delay: Option<(u32, u32)> = None;
     let mut drop_period: Option<u32> = None;
+    let mut dram_close: Option<u32> = None;
     match bug {
         Some(MemBugSpec::NoAgeUpdate { level }) => {
             let bugs = ReplacementBugs {
@@ -206,8 +207,16 @@ pub fn simulate_memory(
             ..Default::default()
         }),
         Some(MemBugSpec::SppDroppedPrefetch { n }) => drop_period = Some(n.max(1)),
+        Some(MemBugSpec::SppDegreeStride { degree, skew }) => spp.set_bugs(SppBugs {
+            degree_override: degree.max(1),
+            delta_skew: skew,
+            ..Default::default()
+        }),
+        Some(MemBugSpec::DramPageCloseDelay { t }) => dram_close = Some(t),
         None => {}
     }
+    // Bug 8 state: per-bank last open row, tracked only when installed.
+    let mut dram_banks = [u64::MAX; 8];
 
     let mut raw = Raw::default();
     let mut snapshot = raw;
@@ -275,6 +284,17 @@ pub fn simulate_memory(
                             raw.inc(C::LlcMisses);
                             raw.inc(C::MemAccesses);
                             latency = cfg.mem_latency;
+                            // Bug 8: the flat memory latency already prices
+                            // an open-page average; forced page-close makes
+                            // every would-be row hit pay the activate again.
+                            if let Some(t) = dram_close {
+                                let bank = ((addr >> 6) & 7) as usize;
+                                let row = addr >> 13;
+                                if dram_banks[bank] == row {
+                                    latency += t;
+                                }
+                                dram_banks[bank] = row;
+                            }
                         }
                     }
                 }
@@ -461,6 +481,77 @@ mod tests {
             without.overall_amat() >= with_pf.overall_amat(),
             "dropping all prefetches cannot improve AMAT"
         );
+    }
+
+    #[test]
+    fn degree_stride_bug_wastes_prefetches() {
+        // A unit-stride stream of fresh cache lines: every load misses L1
+        // and trains SPP. Healthy lookahead runs ahead of the stream; a
+        // negative skew lands every prefetch *behind* it, so usefulness
+        // collapses and AMAT rises.
+        let mut trace = Vec::new();
+        for i in 0..30_000u32 {
+            let mut ld = Inst::nop(0x1000);
+            ld.opcode = Opcode::Load;
+            ld.mem_addr = 0x4000_0000 + i * 64;
+            trace.push(ld);
+        }
+        let healthy = simulate_memory(&skylake(), None, &trace, 200);
+        let buggy = simulate_memory(
+            &skylake(),
+            Some(MemBugSpec::SppDegreeStride {
+                degree: 8,
+                skew: -2,
+            }),
+            &trace,
+            200,
+        );
+        let useful = |run: &MemRun| {
+            run.counter_rows
+                .iter()
+                .map(|row| row[C::PfUseful as usize])
+                .sum::<f64>()
+        };
+        assert!(
+            useful(&buggy) < useful(&healthy),
+            "skewed prefetches must be less useful ({} !< {})",
+            useful(&buggy),
+            useful(&healthy)
+        );
+        assert!(
+            buggy.overall_amat() > healthy.overall_amat(),
+            "lost coverage must raise AMAT ({} !> {})",
+            buggy.overall_amat(),
+            healthy.overall_amat()
+        );
+    }
+
+    #[test]
+    fn dram_page_close_bug_taxes_row_locality() {
+        // A streaming region far larger than the LLC: nearly every load
+        // reaches memory, and consecutive same-bank accesses share a DRAM
+        // row — exactly the row hits forced page-close throws away.
+        let mut trace = Vec::new();
+        for i in 0..40_000u32 {
+            let mut ld = Inst::nop(0x1000);
+            ld.opcode = Opcode::Load;
+            ld.mem_addr = 0x4000_0000 + i * 64;
+            trace.push(ld);
+        }
+        let healthy = simulate_memory(&skylake(), None, &trace, 200);
+        let buggy = simulate_memory(
+            &skylake(),
+            Some(MemBugSpec::DramPageCloseDelay { t: 40 }),
+            &trace,
+            200,
+        );
+        assert!(
+            buggy.total_cycles > healthy.total_cycles,
+            "lost row hits must cost cycles ({} !> {})",
+            buggy.total_cycles,
+            healthy.total_cycles
+        );
+        assert!(buggy.overall_amat() > healthy.overall_amat());
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct SppBugs {
     pub reset_signature: bool,
     /// Bug 5: lookahead follows the *least* confident delta.
     pub least_confidence: bool,
+    /// Bug 7 (degree half): walk exactly this deep, ignoring the path
+    /// confidence threshold. `0` = healthy (confidence-gated) walk.
+    pub degree_override: u32,
+    /// Bug 7 (stride half): blocks added to every predicted delta, so the
+    /// prefetch lands next to — not on — the predicted block.
+    pub delta_skew: i64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -152,7 +158,13 @@ impl Spp {
         let mut sig = signature;
         let mut cur = offset;
         let mut confidence = 1.0f64;
-        for _ in 0..self.cfg.max_degree {
+        // Bug 7: a forced degree walks past the confidence gate.
+        let depth = if self.bugs.degree_override > 0 {
+            self.bugs.degree_override as usize
+        } else {
+            self.cfg.max_degree
+        };
+        for _ in 0..depth {
             let pt = &self.pt[(sig as usize) % self.pt.len()];
             if pt.sig_count == 0 {
                 break;
@@ -167,10 +179,11 @@ impl Spp {
                 break;
             };
             let path_conf = confidence * (count as f64 / pt.sig_count as f64);
-            if path_conf < self.cfg.confidence_threshold {
+            if self.bugs.degree_override == 0 && path_conf < self.cfg.confidence_threshold {
                 break;
             }
-            let next = cur + delta;
+            // Bug 7: the issued stride is skewed off the predicted delta.
+            let next = cur + delta + self.bugs.delta_skew;
             if !(0..BLOCKS_PER_PAGE).contains(&next) {
                 break; // SPP does not cross pages (without the GHR trick)
             }

@@ -94,18 +94,17 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    // Rank scores ascending with mid-ranks for ties.
+    // Rank scores ascending with mid-ranks for ties. `total_cmp` keeps
+    // the sort a total order even with NaN scores (a broken probe model
+    // can emit them), so equal — including NaN — scores land adjacent and
+    // share one mid-rank instead of silently keeping input order.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+        while j + 1 < order.len() && scores_tie(scores[order[j + 1]], scores[order[i]]) {
             j += 1;
         }
         let mid = (i + j) as f64 / 2.0 + 1.0;
@@ -121,6 +120,13 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         .sum();
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos * n_neg) as f64
+}
+
+/// Whether two scores are the same ROC threshold. `==` except that NaN
+/// ties with NaN: un-scorable decisions must form one threshold group,
+/// not one ROC point each.
+fn scores_tie(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
 }
 
 /// One point of a ROC curve.
@@ -155,12 +161,11 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     if n_pos == 0 || n_neg == 0 {
         return Vec::new();
     }
+    // Descending total order: NaN scores (un-scorable decisions) sort
+    // first and collapse into a single threshold group below, one ROC
+    // point per distinct threshold — never one per decision.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut curve = vec![RocPoint {
         fpr: 0.0,
         tpr: 0.0,
@@ -172,7 +177,7 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     while i < order.len() {
         let threshold = scores[order[i]];
         // Consume all samples tied at this score before emitting a point.
-        while i < order.len() && scores[order[i]] == threshold {
+        while i < order.len() && scores_tie(scores[order[i]], threshold) {
             if labels[order[i]] {
                 tp += 1;
             } else {
@@ -259,6 +264,74 @@ mod tests {
             assert!(w[1].fpr >= w[0].fpr);
             assert!(w[1].tpr >= w[0].tpr);
         }
+    }
+
+    #[test]
+    fn roc_curve_tied_scores_one_point_per_threshold() {
+        // Six decisions over three distinct thresholds: exactly one curve
+        // point per threshold (plus the (0,0) anchor), never one per
+        // decision.
+        let scores = [0.9, 0.9, 0.5, 0.5, 0.5, 0.1];
+        let labels = [true, false, true, true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        let expected = [
+            RocPoint {
+                fpr: 0.0,
+                tpr: 0.0,
+                threshold: f64::INFINITY,
+            },
+            RocPoint {
+                fpr: 1.0 / 3.0,
+                tpr: 1.0 / 3.0,
+                threshold: 0.9,
+            },
+            RocPoint {
+                fpr: 2.0 / 3.0,
+                tpr: 1.0,
+                threshold: 0.5,
+            },
+            RocPoint {
+                fpr: 1.0,
+                tpr: 1.0,
+                threshold: 0.1,
+            },
+        ];
+        assert_eq!(curve, expected);
+    }
+
+    #[test]
+    fn roc_curve_nan_scores_collapse_to_one_point() {
+        // NaN != NaN, so a naive `==` tie check emits one point per NaN
+        // decision; they must form a single threshold group instead.
+        let scores = [f64::NAN, f64::NAN, f64::NAN, 0.8, 0.2];
+        let labels = [true, false, true, true, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(
+            curve.len(),
+            4,
+            "anchor + NaN group + two finite thresholds: {curve:?}"
+        );
+        let nan_point = &curve[1];
+        assert!(nan_point.threshold.is_nan());
+        assert!((nan_point.tpr - 2.0 / 3.0).abs() < 1e-12);
+        assert!((nan_point.fpr - 0.5).abs() < 1e-12);
+        // Curve stays monotone through the NaN group.
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn auc_with_nan_scores_is_deterministic() {
+        // Mid-ranked NaN group: the same inputs in any storage order give
+        // the same AUC (total_cmp makes the sort a total order).
+        let scores = [f64::NAN, 0.9, f64::NAN, 0.1];
+        let labels = [true, true, false, false];
+        let auc = roc_auc(&scores, &labels);
+        let scores_rev = [0.1, f64::NAN, 0.9, f64::NAN];
+        let labels_rev = [false, false, true, true];
+        assert_eq!(auc, roc_auc(&scores_rev, &labels_rev));
+        assert!(auc.is_finite());
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! The fourteen configurable core performance-bug types of §IV-C.
+//! The configurable core performance-bug types: the fourteen of §IV-C
+//! plus two extension families (15: TLB/page-walk latency, 16: issue
+//! replay/scheduler livelock) grown past the paper's catalogue.
 //!
 //! Each bug is purely a *timing* defect: the executed instruction stream is
 //! unchanged, only when things happen differs. Variants are produced by
@@ -121,6 +123,26 @@ pub enum BugSpec {
         /// Index bits masked away.
         lost_bits: u32,
     },
+    /// Bug 15 — the data TLB behaves as if it held only `entries` page
+    /// translations (direct-mapped); every miss pays a `t`-cycle page
+    /// walk on the load/store path. Models a TLB-sizing or page-walk
+    /// latency regression invisible to the retired instruction stream.
+    TlbPageWalkDelay {
+        /// Effective data-TLB capacity in pages.
+        entries: u32,
+        /// Page-walk penalty in cycles per TLB miss.
+        t: u32,
+    },
+    /// Bug 16 — the scheduler spuriously squashes every `n`-th issue
+    /// grant and replays the instruction `t` cycles later; the squashed
+    /// grant still occupies its issue port for the cycle (a bounded
+    /// replay-storm / scheduler-livelock pathology).
+    IssueReplayEveryN {
+        /// Squash every `n`-th issue grant.
+        n: u32,
+        /// Cycles before the squashed instruction may re-issue.
+        t: u32,
+    },
 }
 
 impl BugSpec {
@@ -141,6 +163,8 @@ impl BugSpec {
             BugSpec::LongBranchDelay { .. } => 12,
             BugSpec::OpcodeUsesRegDelay { .. } => 13,
             BugSpec::BtbIndexMask { .. } => 14,
+            BugSpec::TlbPageWalkDelay { .. } => 15,
+            BugSpec::IssueReplayEveryN { .. } => 16,
         }
     }
 
@@ -161,6 +185,8 @@ impl BugSpec {
             BugSpec::LongBranchDelay { .. } => "IfBranchLongerNDelayT",
             BugSpec::OpcodeUsesRegDelay { .. } => "IfXUsesRegNDelayT",
             BugSpec::BtbIndexMask { .. } => "BpIndexMaskN",
+            BugSpec::TlbPageWalkDelay { .. } => "TlbPageWalkDelayT",
+            BugSpec::IssueReplayEveryN { .. } => "ReplayEveryNDelayT",
         }
     }
 
@@ -200,6 +226,12 @@ impl BugSpec {
             BugSpec::BtbIndexMask { lost_bits } => {
                 format!("Branch predictor index loses {lost_bits} bits")
             }
+            BugSpec::TlbPageWalkDelay { entries, t } => {
+                format!("Data TLB holds {entries} pages, misses walk {t} cycles")
+            }
+            BugSpec::IssueReplayEveryN { n, t } => {
+                format!("Every {n}-th issue grant squashed, replay after {t} cycles")
+            }
         }
     }
 }
@@ -209,7 +241,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn type_ids_cover_one_to_fourteen() {
+    fn type_ids_cover_all_types() {
         let bugs = [
             BugSpec::SerializeOpcode { x: Opcode::Xor },
             BugSpec::IssueOnlyIfOldest { x: Opcode::Popcnt },
@@ -237,9 +269,11 @@ mod tests {
                 t: 10,
             },
             BugSpec::BtbIndexMask { lost_bits: 8 },
+            BugSpec::TlbPageWalkDelay { entries: 16, t: 30 },
+            BugSpec::IssueReplayEveryN { n: 8, t: 6 },
         ];
         let ids: Vec<u32> = bugs.iter().map(BugSpec::type_id).collect();
-        assert_eq!(ids, (1..=14).collect::<Vec<u32>>());
+        assert_eq!(ids, (1..=16).collect::<Vec<u32>>());
         for b in &bugs {
             assert!(!b.describe().is_empty());
             assert!(!b.type_name().is_empty());

@@ -89,6 +89,10 @@ struct Slot {
     phys_reg: u32,
     serialized: bool,
     mispredicted: bool,
+    /// Bug 16: this instruction's issue grant has already been squashed
+    /// and replayed once (each grant is squashed at most once, so replay
+    /// storms stay bounded and the watchdog is never tripped).
+    replayed: bool,
 }
 
 /// Simulates `trace` on `cfg`, optionally with one injected bug, sampling
@@ -162,6 +166,11 @@ struct Pipeline<'c> {
     div_busy_until: Vec<u64>,
     store_line_counts: HashMap<u32, u32>,
     mispredict_extra: u32,
+    /// Bug 15: direct-mapped data-TLB page slots (`u64::MAX` = invalid)
+    /// and the page-walk penalty.
+    dtlb: Option<(Vec<u64>, u32)>,
+    /// Bug 16: issue grants observed so far (squashed grants included).
+    issue_grants: u64,
 }
 
 impl<'c> Pipeline<'c> {
@@ -170,6 +179,7 @@ impl<'c> Pipeline<'c> {
         let mut hierarchy = Hierarchy::new(cfg);
         let mut predictor = BranchPredictor::new(cfg.bp_table_bits, cfg.btb_entries);
         let mut mispredict_extra = 0;
+        let mut dtlb = None;
         match bug {
             Some(BugSpec::FewerPhysRegs { n }) => {
                 phys_regs = phys_regs.saturating_sub(n).max(cfg.rob_size / 2 + 1);
@@ -179,6 +189,9 @@ impl<'c> Pipeline<'c> {
                 predictor.set_index_mask_lost_bits(lost_bits);
             }
             Some(BugSpec::MispredictExtraDelay { t }) => mispredict_extra = t,
+            Some(BugSpec::TlbPageWalkDelay { entries, t }) => {
+                dtlb = Some((vec![u64::MAX; entries.max(1) as usize], t));
+            }
             _ => {}
         }
         Pipeline {
@@ -205,6 +218,8 @@ impl<'c> Pipeline<'c> {
             div_busy_until: vec![0; cfg.ports.len()],
             store_line_counts: HashMap::new(),
             mispredict_extra,
+            dtlb,
+            issue_grants: 0,
         }
     }
 
@@ -430,6 +445,21 @@ impl<'c> Pipeline<'c> {
             match port {
                 Some(p) => {
                     port_used[p] = true;
+                    // Bug 16: every n-th issue grant is squashed; the
+                    // instruction keeps its port for the cycle but replays
+                    // t cycles later. Each instruction is squashed at most
+                    // once, so the pathology is severe yet bounded.
+                    if let Some(BugSpec::IssueReplayEveryN { n, t }) = self.bug {
+                        self.issue_grants += 1;
+                        if !self.rob[rob_idx].replayed
+                            && self.issue_grants.is_multiple_of(n.max(1) as u64)
+                        {
+                            let slot = &mut self.rob[rob_idx];
+                            slot.replayed = true;
+                            slot.min_issue = self.cycle + t as u64;
+                            continue;
+                        }
+                    }
                     self.issue_slot(rob_idx, p);
                     issued_seqs.push(seq);
                     issued += 1;
@@ -460,6 +490,19 @@ impl<'c> Pipeline<'c> {
         self.count_fu_op(op);
 
         let mut latency = self.exec_latency(op) + extra_exec;
+        // Bug 15: loads and stores translate through an undersized
+        // direct-mapped data TLB; a miss pays the page-walk penalty on the
+        // access's critical path.
+        if matches!(op, Opcode::Load | Opcode::Store) {
+            if let Some((slots, walk)) = self.dtlb.as_mut() {
+                let page = (inst.mem_addr >> 12) as u64;
+                let idx = (page % slots.len() as u64) as usize;
+                if slots[idx] != page {
+                    slots[idx] = page;
+                    latency += *walk;
+                }
+            }
+        }
         match op {
             Opcode::Load => {
                 self.counters.inc(Counter::Loads);
@@ -643,6 +686,7 @@ impl<'c> Pipeline<'c> {
                 phys_reg,
                 serialized,
                 mispredicted,
+                replayed: false,
             });
             renamed += 1;
         }
@@ -867,5 +911,83 @@ mod tests {
         let healthy = simulate(&cfg, None, &trace, 500);
         let buggy = simulate(&cfg, Some(BugSpec::FewerPhysRegs { n: 200 }), &trace, 500);
         assert!(buggy.total_cycles >= healthy.total_cycles);
+    }
+
+    #[test]
+    fn tlb_bug_slows_page_striding_loads() {
+        // Dependent loads touching a new 4 KiB page each time: with only
+        // 4 TLB slots every access conflict-misses and pays the walk.
+        let mut trace = Vec::new();
+        for i in 0..6_000u32 {
+            let mut ld = Inst::nop(0x1000 + (i % 64) * 4);
+            ld.opcode = Opcode::Load;
+            ld.mem_addr = 0x4000_0000 + (i % 64) * 4096;
+            ld.dst = 1;
+            ld.src1 = 1; // dependent chain: walks serialise
+            trace.push(ld);
+        }
+        let cfg = presets::skylake();
+        let healthy = simulate(&cfg, None, &trace, 500);
+        let buggy = simulate(
+            &cfg,
+            Some(BugSpec::TlbPageWalkDelay { entries: 4, t: 40 }),
+            &trace,
+            500,
+        );
+        assert!(
+            buggy.total_cycles > healthy.total_cycles,
+            "TLB walks must cost cycles ({} !> {})",
+            buggy.total_cycles,
+            healthy.total_cycles
+        );
+    }
+
+    #[test]
+    fn tlb_bug_is_mild_on_page_resident_code() {
+        // The same page over and over: after one walk everything hits even
+        // in a tiny TLB, so the bug barely moves single-page code.
+        let mut trace = Vec::new();
+        for i in 0..4_000u32 {
+            let mut ld = Inst::nop(0x1000 + (i % 64) * 4);
+            ld.opcode = Opcode::Load;
+            ld.mem_addr = 0x4000_0000 + (i % 16) * 8;
+            ld.dst = 1;
+            ld.src1 = 1;
+            trace.push(ld);
+        }
+        let cfg = presets::skylake();
+        let healthy = simulate(&cfg, None, &trace, 500);
+        let buggy = simulate(
+            &cfg,
+            Some(BugSpec::TlbPageWalkDelay { entries: 4, t: 40 }),
+            &trace,
+            500,
+        );
+        let slowdown = buggy.total_cycles as f64 / healthy.total_cycles as f64;
+        assert!(
+            slowdown < 1.02,
+            "page-resident code should be nearly unaffected (slowdown {slowdown})"
+        );
+    }
+
+    #[test]
+    fn replay_bug_slows_the_core_and_terminates() {
+        let trace = probe_trace();
+        let cfg = presets::skylake();
+        let healthy = simulate(&cfg, None, &trace, 500);
+        let buggy = simulate(
+            &cfg,
+            Some(BugSpec::IssueReplayEveryN { n: 4, t: 12 }),
+            &trace,
+            500,
+        );
+        assert!(
+            buggy.total_cycles > healthy.total_cycles,
+            "replay storms must cost cycles ({} !> {})",
+            buggy.total_cycles,
+            healthy.total_cycles
+        );
+        // The retired stream is unchanged: same instruction count.
+        assert_eq!(buggy.total_insts, healthy.total_insts);
     }
 }
