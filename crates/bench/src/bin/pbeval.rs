@@ -17,7 +17,10 @@
 //! `PERFBUG_FUZZ_FAMILIES`, `PERFBUG_FUZZ_COUNT`, `PERFBUG_FUZZ_BAND`) so
 //! CI can pin a corpus without wrapping the command line. Collection
 //! respects the shared cache/shard/orchestrator knobs (`PERFBUG_CACHE_DIR`
-//! et al.) exactly like the bench targets. See `docs/BUGS.md` for the
+//! et al.) exactly like the bench targets; with a cache directory set and
+//! no explicit `PERFBUG_TRACE_DIR`, the workload-trace cache defaults to
+//! `<cache-dir>/traces` so a fresh corpus (new fingerprint, no `.pbcol`
+//! to replay) still warm-starts its traces. See `docs/BUGS.md` for the
 //! family list and a walkthrough.
 
 use std::path::PathBuf;
@@ -60,7 +63,9 @@ usage: pbeval [--seed <u64>] [--families <name,...|all>] [--count <n>]
 The leave-one-bug-type-out protocol needs at least two families per
 simulator side; requesting a lone core (or memory) family is an error.
 Collection honours PERFBUG_CACHE_DIR, PERFBUG_SHARD and the
-orchestrator knobs (PERFBUG_ORCH_WORKERS et al.).";
+orchestrator knobs (PERFBUG_ORCH_WORKERS et al.). When PERFBUG_CACHE_DIR
+is set and PERFBUG_TRACE_DIR is not, traces are cached under
+<cache-dir>/traces so every fuzzed corpus replays the same traces.";
 
 /// The post-paper families added on top of the paper's Table III types —
 /// the default corpus `pbeval` exercises.
@@ -248,7 +253,21 @@ struct FamilyReport {
     latency: Option<usize>,
 }
 
+/// Warm-start: with collections cached but no trace directory chosen,
+/// default the workload-trace cache to `<cache-dir>/traces`. Fuzzed
+/// corpora change the collection fingerprint on every seed/band tweak
+/// (no `.pbcol` replay), but the traces underneath never change — this
+/// keeps them warm across corpora. Shard workers inherit the variable.
+fn default_trace_dir() {
+    if std::env::var_os(perfbug_core::tracecache::TRACE_DIR_ENV).is_none() {
+        if let Some(dir) = perfbug_bench::cache_dir() {
+            std::env::set_var(perfbug_core::tracecache::TRACE_DIR_ENV, dir.join("traces"));
+        }
+    }
+}
+
 fn evaluate(opts: &Options) -> Result<(), String> {
+    default_trace_dir();
     let spec = FuzzSpec {
         seed: opts.seed,
         families: opts.families.clone(),

@@ -48,6 +48,7 @@ pub mod persist;
 pub mod report;
 pub mod stage1;
 pub mod stage2;
+pub mod tracecache;
 
 pub use bugs::{BugCatalog, MemBugCatalog, Severity};
 pub use detmetrics::{Decision, DetectionMetrics};

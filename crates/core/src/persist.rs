@@ -323,7 +323,7 @@ impl From<io::Error> for PersistError {
 // --------------------------------------------------------------------------
 
 /// FNV-1a 64 offset basis.
-const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// FNV-1a 64 prime.
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -332,7 +332,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// [`FNV_BASIS`]; feeding a file's bytes in any split produces the same
 /// hash as one pass, which is what lets the streaming writer and
 /// verifier maintain the whole-file checksum incrementally.
-fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(FNV_PRIME);
@@ -341,7 +341,7 @@ fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
 }
 
 /// 64-bit FNV-1a over a byte slice (also the file checksum primitive).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_update(FNV_BASIS, bytes)
 }
 
@@ -503,52 +503,52 @@ pub fn parse_cache_file_name(name: &str) -> Option<ParsedCacheName> {
 // --------------------------------------------------------------------------
 
 /// Append-only encoder over a growable byte buffer.
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Enc { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn usize(&mut self, v: usize) {
+    pub(crate) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.u8(u8::from(v));
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn f64s(&mut self, vs: &[f64]) {
+    pub(crate) fn f64s(&mut self, vs: &[f64]) {
         self.usize(vs.len());
         for &v in vs {
             self.f64(v);
         }
     }
 
-    fn opt_usize(&mut self, v: Option<usize>) {
+    pub(crate) fn opt_usize(&mut self, v: Option<usize>) {
         match v {
             None => self.u8(0),
             Some(i) => {
@@ -558,7 +558,7 @@ impl Enc {
         }
     }
 
-    fn duration(&mut self, d: Duration) {
+    pub(crate) fn duration(&mut self, d: Duration) {
         self.u64(d.as_secs());
         self.u32(d.subsec_nanos());
     }
@@ -566,17 +566,17 @@ impl Enc {
 
 /// Cursor-based decoder; every read is bounds-checked so truncated input
 /// surfaces as [`PersistError::Corrupt`] instead of a panic.
-struct Dec<'b> {
-    bytes: &'b [u8],
-    pos: usize,
+pub(crate) struct Dec<'b> {
+    pub(crate) bytes: &'b [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'b> Dec<'b> {
-    fn new(bytes: &'b [u8]) -> Self {
+    pub(crate) fn new(bytes: &'b [u8]) -> Self {
         Dec { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'b [u8], PersistError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'b [u8], PersistError> {
         let end = self
             .pos
             .checked_add(n)
@@ -587,30 +587,30 @@ impl<'b> Dec<'b> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, PersistError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn usize(&mut self) -> Result<usize, PersistError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, PersistError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("length {v} overflows")))
     }
 
     /// A length prefix that is about to drive an allocation; bounded by
     /// the remaining payload so corrupt lengths cannot exhaust memory.
-    fn len(&mut self) -> Result<usize, PersistError> {
+    pub(crate) fn len(&mut self) -> Result<usize, PersistError> {
         let v = self.usize()?;
         if v > self.bytes.len().saturating_sub(self.pos) {
             return Err(PersistError::Corrupt(format!(
@@ -621,11 +621,11 @@ impl<'b> Dec<'b> {
         Ok(v)
     }
 
-    fn f64(&mut self) -> Result<f64, PersistError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn bool(&mut self) -> Result<bool, PersistError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, PersistError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -633,14 +633,14 @@ impl<'b> Dec<'b> {
         }
     }
 
-    fn str(&mut self) -> Result<String, PersistError> {
+    pub(crate) fn str(&mut self) -> Result<String, PersistError> {
         let n = self.len()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| PersistError::Corrupt("invalid utf-8 string".into()))
     }
 
-    fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
         let n = self.len()?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -649,7 +649,7 @@ impl<'b> Dec<'b> {
         Ok(out)
     }
 
-    fn opt_usize(&mut self) -> Result<Option<usize>, PersistError> {
+    pub(crate) fn opt_usize(&mut self) -> Result<Option<usize>, PersistError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.usize()?)),
@@ -657,7 +657,7 @@ impl<'b> Dec<'b> {
         }
     }
 
-    fn duration(&mut self) -> Result<Duration, PersistError> {
+    pub(crate) fn duration(&mut self) -> Result<Duration, PersistError> {
         let secs = self.u64()?;
         let nanos = self.u32()?;
         if nanos >= 1_000_000_000 {
@@ -846,22 +846,22 @@ fn dec_bug(dec: &mut Dec) -> Result<BugSpec, PersistError> {
 // --------------------------------------------------------------------------
 
 /// Chunk kind: the single meta chunk (keys, engine roster, catalogue).
-const CHUNK_META: u8 = 0;
+pub(crate) const CHUNK_META: u8 = 0;
 /// Chunk kind: a probe chunk holding `n_probes >= 1` probe records.
-const CHUNK_PROBES: u8 = 1;
+pub(crate) const CHUNK_PROBES: u8 = 1;
 /// Bytes of a chunk's frame header:
 /// `kind u8 | first_probe u64 | n_probes u32 | payload_len u64`.
-const CHUNK_FRAME_LEN: usize = 1 + 8 + 4 + 8;
+pub(crate) const CHUNK_FRAME_LEN: usize = 1 + 8 + 4 + 8;
 /// Total framing overhead of one chunk: frame header plus the trailing
 /// per-chunk FNV-1a checksum.
-const CHUNK_OVERHEAD: usize = CHUNK_FRAME_LEN + 8;
+pub(crate) const CHUNK_OVERHEAD: usize = CHUNK_FRAME_LEN + 8;
 /// Probes per probe chunk emitted by this build's writers. The format
 /// itself allows any `n_probes >= 1` per chunk; one probe per chunk
 /// gives probe-granular crash recovery and random access, which is what
 /// the resume path and [`ProbeReader`] are for.
 const PROBES_PER_CHUNK: u32 = 1;
 /// Bytes of the fixed v3 trailer: `footer_offset u64 | file fnv64`.
-const TRAILER_LEN: usize = 16;
+pub(crate) const TRAILER_LEN: usize = 16;
 
 /// One row of the v3 footer's chunk index, locating and identifying a
 /// chunk without touching its bytes.
@@ -1034,7 +1034,12 @@ fn dec_probe_record(dec: &mut Dec, n_engines: usize) -> Result<ProbeRecord, Pers
 /// Frames `payload` as one chunk: frame header, payload, then the
 /// per-chunk FNV-1a checksum over frame + payload. Returns the chunk
 /// bytes and its checksum.
-fn build_chunk(kind: u8, first_probe: u64, n_probes: u32, payload: &[u8]) -> (Vec<u8>, u64) {
+pub(crate) fn build_chunk(
+    kind: u8,
+    first_probe: u64,
+    n_probes: u32,
+    payload: &[u8],
+) -> (Vec<u8>, u64) {
     let mut enc = Enc::new();
     enc.u8(kind);
     enc.u64(first_probe);
@@ -1047,20 +1052,20 @@ fn build_chunk(kind: u8, first_probe: u64, n_probes: u32, payload: &[u8]) -> (Ve
 }
 
 /// A chunk parsed (and checksum-validated) out of a byte buffer.
-struct ParsedChunk<'b> {
-    kind: u8,
-    first_probe: u64,
-    n_probes: u32,
-    payload: &'b [u8],
-    checksum: u64,
+pub(crate) struct ParsedChunk<'b> {
+    pub(crate) kind: u8,
+    pub(crate) first_probe: u64,
+    pub(crate) n_probes: u32,
+    pub(crate) payload: &'b [u8],
+    pub(crate) checksum: u64,
     /// Total chunk length in bytes.
-    len: usize,
+    pub(crate) len: usize,
 }
 
 /// Parses the chunk starting at `bytes[offset..]`, validating the frame
 /// header, the payload bounds and the per-chunk checksum. `offset` is
 /// only used for error messages' byte positions.
-fn parse_chunk(bytes: &[u8], offset: usize) -> Result<ParsedChunk<'_>, PersistError> {
+pub(crate) fn parse_chunk(bytes: &[u8], offset: usize) -> Result<ParsedChunk<'_>, PersistError> {
     let at = |why: &str| PersistError::Corrupt(format!("chunk at byte {offset}: {why}"));
     if bytes.len() < CHUNK_OVERHEAD {
         return Err(at(&format!(

@@ -13,6 +13,7 @@ pub const OUTPUT_CRITICAL: &[&str] = &[
     "crates/core/src/persist.rs",
     "crates/core/src/orchestrate.rs",
     "crates/core/src/report.rs",
+    "crates/core/src/tracecache.rs",
     "crates/bench/src/lib.rs",
     "crates/bench/src/bin/pbcol.rs",
     "crates/bench/src/bin/pborch.rs",
@@ -37,6 +38,8 @@ pub const TIMING_ALLOWED: &[&str] = &[
 pub const PANIC_FREE: &[&str] = &[
     "crates/core/src/persist.rs",
     "crates/core/src/orchestrate.rs",
+    "crates/core/src/tracecache.rs",
+    "crates/workloads/src/wire.rs",
 ];
 
 /// Rule applicability of one scanned file.
@@ -80,6 +83,10 @@ pub const ENV_REGISTRY: &[EnvVar] = &[
     EnvVar {
         name: "PERFBUG_CACHE_DIR",
         purpose: "collection cache directory for evaluation targets",
+    },
+    EnvVar {
+        name: "PERFBUG_TRACE_DIR",
+        purpose: "persistent workload-trace cache directory (.pbtr files)",
     },
     EnvVar {
         name: "PERFBUG_SHARD",

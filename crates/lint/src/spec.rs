@@ -221,7 +221,10 @@ fn parse_persist_consts(code: &str, findings: &mut Vec<Finding>) -> BTreeMap<Str
         if t.starts_with("//") || t.starts_with('*') {
             continue;
         }
-        let t = t.strip_prefix("pub ").unwrap_or(t);
+        let t = t
+            .strip_prefix("pub(crate) ")
+            .or_else(|| t.strip_prefix("pub "))
+            .unwrap_or(t);
         let Some(rest) = t.strip_prefix("const ") else {
             continue;
         };
@@ -357,9 +360,9 @@ const MAGIC: [u8; 4] = *b"PBCL";
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 const HEADER_LEN: usize = 4 + 4 + 4 + 1 + 8 + (4 + 4 + 8 + 8 + 8);
-const CHUNK_FRAME_LEN: usize = 1 + 8 + 4 + 8;
+pub(crate) const CHUNK_FRAME_LEN: usize = 1 + 8 + 4 + 8;
 const CHUNK_OVERHEAD: usize = CHUNK_FRAME_LEN + 8;
-const TRAILER_LEN: usize = 16;
+pub(crate) const TRAILER_LEN: usize = 16;
 "#;
 
     #[test]

@@ -1,0 +1,184 @@
+//! Fixed-width wire codec for [`Inst`] records.
+//!
+//! This is the payload codec of the on-disk PBTR trace format
+//! (`perfbug-core`'s `tracecache`, `docs/FORMAT.md` §8): every dynamic
+//! instruction is one fixed-length little-endian record, so a trace chunk
+//! is random-accessible by index and its length is `count *`
+//! [`INST_WIRE_LEN`] exactly. The codec is deliberately dumb — no
+//! varints, no compression — because corruption detection lives one layer
+//! up (per-chunk and whole-file FNV-1a checksums); here the only jobs are
+//! byte-stability across builds and rejecting records that cannot have
+//! been produced by the encoder.
+//!
+//! Wire codes for [`Opcode`] are the variant's position in
+//! [`ALL_OPCODES`]. That table is append-only
+//! and never renumbered (the same discipline as the PBCL bug codec), so
+//! old trace files keep decoding after new opcodes are added.
+//!
+//! Decoding is panic-free: truncated or malformed records surface as
+//! [`InstWireError`], never as a crash.
+
+// pblint: allow-file(slice-index) -- decode keeps raw-byte indexing for the
+// fixed-width record fields; every site is behind the single INST_WIRE_LEN
+// length guard at the top of decode_inst, and the codec is exercised against
+// truncation and corruption in this module's tests and core's trace_props.
+use crate::isa::{Inst, Opcode, ALL_OPCODES};
+
+/// Bytes of one encoded [`Inst`] record:
+/// `pc u32 | mem_addr u32 | target u32 | opcode u8 | size u8 | src1 u8 |
+/// src2 u8 | dst u8 | taken u8`.
+pub const INST_WIRE_LEN: usize = 4 + 4 + 4 + 1 + 1 + 1 + 1 + 1 + 1;
+
+/// Version of this record layout; folded into the PBTR fingerprint so a
+/// layout change invalidates cached traces instead of misreading them.
+pub const INST_WIRE_VERSION: u32 = 1;
+
+/// A malformed [`Inst`] record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstWireError {
+    /// Fewer than [`INST_WIRE_LEN`] bytes were available.
+    Truncated {
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The opcode byte is not a valid wire code.
+    BadOpcode(u8),
+    /// The `taken` byte is neither 0 nor 1.
+    BadTaken(u8),
+}
+
+impl std::fmt::Display for InstWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstWireError::Truncated { have } => {
+                write!(f, "truncated inst record: {have} of {INST_WIRE_LEN} bytes")
+            }
+            InstWireError::BadOpcode(code) => write!(f, "invalid opcode wire code {code}"),
+            InstWireError::BadTaken(tag) => write!(f, "invalid taken tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for InstWireError {}
+
+/// The stable wire code of an opcode (its position in [`ALL_OPCODES`]).
+pub fn opcode_wire_code(op: Opcode) -> u8 {
+    let code = ALL_OPCODES
+        .iter()
+        .position(|&o| o == op)
+        // pblint: allow(panic-policy) -- encode-side invariant: ALL_OPCODES is
+        // the exhaustive opcode roster; a missing variant is a
+        // compile-time-shaped bug, not a recoverable input condition.
+        .expect("every opcode is in ALL_OPCODES");
+    code as u8
+}
+
+/// The opcode for a wire code, or `None` if the code is out of range.
+pub fn opcode_from_wire(code: u8) -> Option<Opcode> {
+    ALL_OPCODES.get(usize::from(code)).copied()
+}
+
+/// Appends the [`INST_WIRE_LEN`]-byte record of `inst` to `out`.
+pub fn encode_inst(inst: &Inst, out: &mut Vec<u8>) {
+    out.extend_from_slice(&inst.pc.to_le_bytes());
+    out.extend_from_slice(&inst.mem_addr.to_le_bytes());
+    out.extend_from_slice(&inst.target.to_le_bytes());
+    out.push(opcode_wire_code(inst.opcode));
+    out.push(inst.size);
+    out.push(inst.src1);
+    out.push(inst.src2);
+    out.push(inst.dst);
+    out.push(u8::from(inst.taken));
+}
+
+/// Decodes one record from the front of `bytes` (which may be longer
+/// than one record; exactly [`INST_WIRE_LEN`] bytes are consumed).
+pub fn decode_inst(bytes: &[u8]) -> Result<Inst, InstWireError> {
+    if bytes.len() < INST_WIRE_LEN {
+        return Err(InstWireError::Truncated { have: bytes.len() });
+    }
+    let u32_at = |at: usize| -> u32 {
+        let mut le = [0u8; 4];
+        le.copy_from_slice(&bytes[at..at + 4]);
+        u32::from_le_bytes(le)
+    };
+    let opcode = opcode_from_wire(bytes[12]).ok_or(InstWireError::BadOpcode(bytes[12]))?;
+    let taken = match bytes[17] {
+        0 => false,
+        1 => true,
+        tag => return Err(InstWireError::BadTaken(tag)),
+    };
+    Ok(Inst {
+        pc: u32_at(0),
+        mem_addr: u32_at(4),
+        target: u32_at(8),
+        opcode,
+        size: bytes[13],
+        src1: bytes[14],
+        src2: bytes[15],
+        dst: bytes[16],
+        taken,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::NO_REG;
+
+    fn sample() -> Inst {
+        Inst {
+            pc: 0x1234_5678,
+            mem_addr: 0x9abc_def0,
+            target: 0x0f0f_0f0f,
+            opcode: Opcode::Branch,
+            size: 5,
+            src1: 3,
+            src2: NO_REG,
+            dst: 7,
+            taken: true,
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let mut buf = Vec::new();
+        encode_inst(&sample(), &mut buf);
+        assert_eq!(buf.len(), INST_WIRE_LEN);
+        assert_eq!(decode_inst(&buf).expect("decodes"), sample());
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for op in ALL_OPCODES {
+            assert_eq!(opcode_from_wire(opcode_wire_code(op)), Some(op));
+        }
+        assert_eq!(opcode_from_wire(ALL_OPCODES.len() as u8), None);
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut buf = Vec::new();
+        encode_inst(&sample(), &mut buf);
+        for cut in 0..INST_WIRE_LEN {
+            assert_eq!(
+                decode_inst(&buf[..cut]),
+                Err(InstWireError::Truncated { have: cut })
+            );
+        }
+    }
+
+    #[test]
+    fn bad_opcode_and_taken_tags_are_rejected() {
+        let mut buf = Vec::new();
+        encode_inst(&sample(), &mut buf);
+        buf[12] = ALL_OPCODES.len() as u8;
+        assert!(matches!(
+            decode_inst(&buf),
+            Err(InstWireError::BadOpcode(_))
+        ));
+        buf[12] = 0;
+        buf[17] = 2;
+        assert!(matches!(decode_inst(&buf), Err(InstWireError::BadTaken(2))));
+    }
+}
