@@ -47,6 +47,7 @@ use perfbug_core::persist::{
     scan_part_file, verify_stream, ChunkEntry, FileHeader, PersistError, CORPUS_REVISION,
     FILE_EXTENSION, FORMAT_VERSION,
 };
+use perfbug_core::serve::is_tenant_dir_name;
 use perfbug_core::tracecache::{
     is_trace_temp_file_name, parse_trace_file_name, verify_trace_file, TraceReader,
     TRACE_FILE_EXTENSION, TRACE_FORMAT_VERSION, TRACE_REVISION,
@@ -816,7 +817,33 @@ fn prune(args: &[String]) -> Result<(), String> {
     if !dir.is_dir() {
         return Err(format!("{} is not a directory", dir.display()));
     }
-    prune_dir(&dir, dry_run, ORPHAN_TEMP_AGE)
+    prune_tree(&dir, dry_run, ORPHAN_TEMP_AGE)
+}
+
+/// Prunes `dir` itself, then every per-fingerprint tenant subdirectory
+/// (`<16 hex digits>/`, the multi-tenant store layout `pbserve` keeps).
+/// Each tenant is pruned *independently* — mtime gating and orphan
+/// reasoning never mix files across tenant boundaries, so one tenant's
+/// stale leftovers can never strand (or take down) another tenant's
+/// complete shard set. Non-tenant subdirectories are left alone.
+fn prune_tree(dir: &Path, dry_run: bool, temp_age: Duration) -> Result<(), String> {
+    prune_dir(dir, dry_run, temp_age)?;
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    let mut tenants = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() && entry.file_name().to_str().is_some_and(is_tenant_dir_name) {
+            tenants.push(path);
+        }
+    }
+    tenants.sort();
+    for tenant in tenants {
+        println!("tenant {}:", tenant.display());
+        prune_dir(&tenant, dry_run, temp_age)?;
+    }
+    Ok(())
 }
 
 fn prune_dir(dir: &Path, dry_run: bool, temp_age: Duration) -> Result<(), String> {
@@ -964,6 +991,63 @@ mod tests {
             "foreign .tmp files are not ours to touch"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_recurses_into_tenant_subdirectories_independently() {
+        let root = scratch("prune-tenants");
+        let epoch = std::time::SystemTime::UNIX_EPOCH;
+        let age = |p: &Path| {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(p)
+                .expect("open")
+                .set_modified(epoch)
+                .expect("set mtime");
+        };
+        // Tenant A: an ancient orphaned temp and an orphaned run report.
+        let tenant_a = root.join("00000000deadbeef");
+        std::fs::create_dir_all(&tenant_a).expect("tenant a");
+        let a_temp = tenant_a.join("demo-core-00ff.pbcol.123-0.tmp");
+        std::fs::write(&a_temp, b"junk").expect("write");
+        age(&a_temp);
+        let a_report = tenant_a.join("demo-core-00ff.orchrun.json");
+        std::fs::write(&a_report, b"{}").expect("write");
+        // Tenant B: a fresh temp (live writer) that must survive A's rot.
+        let tenant_b = root.join("00000000feedc0de");
+        std::fs::create_dir_all(&tenant_b).expect("tenant b");
+        let b_temp = tenant_b.join("demo-core-00aa.pbcol.456-0.tmp");
+        std::fs::write(&b_temp, b"junk").expect("write");
+        // Root level: an old orphan of its own, plus a non-tenant subdir
+        // prune must not descend into.
+        let root_temp = root.join("demo-core-0011.pbcol.789-0.tmp");
+        std::fs::write(&root_temp, b"junk").expect("write");
+        age(&root_temp);
+        let foreign = root.join("not-a-tenant");
+        std::fs::create_dir_all(&foreign).expect("foreign dir");
+        let foreign_temp = foreign.join("demo-core-0022.pbcol.999-0.tmp");
+        std::fs::write(&foreign_temp, b"junk").expect("write");
+        age(&foreign_temp);
+
+        prune_tree(&root, true, ORPHAN_TEMP_AGE).expect("dry run");
+        assert!(
+            a_temp.exists() && a_report.exists(),
+            "dry run deletes nothing"
+        );
+
+        prune_tree(&root, false, ORPHAN_TEMP_AGE).expect("prune");
+        assert!(!a_temp.exists(), "tenant A's orphaned temp must be evicted");
+        assert!(
+            !a_report.exists(),
+            "tenant A's orphaned report must be evicted"
+        );
+        assert!(b_temp.exists(), "tenant B's fresh temp must survive");
+        assert!(!root_temp.exists(), "root-level orphan must be evicted");
+        assert!(
+            foreign_temp.exists(),
+            "non-tenant subdirectories are not ours to touch"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

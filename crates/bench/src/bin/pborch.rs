@@ -1,5 +1,5 @@
 //! `pborch` — shard orchestrator CLI: a process-pool driver for sharded
-//! collection passes.
+//! collection passes, local or distributed.
 //!
 //! PR 3's sharded collection required one hand-run `PERFBUG_SHARD=<i>/<n>`
 //! invocation per worker. `pborch run` drives the whole pass from one
@@ -12,9 +12,16 @@
 //! run report beside the cache file (printed by `pbcol inspect` as
 //! shard-attempt provenance).
 //!
+//! With `--hosts` (or `PERFBUG_ORCH_HOSTS`) the same supervision loop
+//! fans shards out to `pborch worker-daemon` processes over the TCP
+//! worker protocol (`docs/FORMAT.md` §9) instead of spawning local
+//! children — a dead daemon or connection is just a failed attempt, and
+//! the retry/requeue/byte-identity guarantees are unchanged.
+//!
 //! ```text
-//! pborch run    --spec <name> --cache-dir <dir> --workers <n> [options]
-//! pborch worker --spec <name> --cache-dir <dir> --shard <i>/<n>
+//! pborch run           --spec <name> --cache-dir <dir> --workers <n> [options]
+//! pborch worker        --spec <name> --cache-dir <dir> --shard <i>/<n>
+//! pborch worker-daemon --listen <host:port>
 //! pborch specs
 //! ```
 //!
@@ -28,20 +35,19 @@
 //! worker loss — including a torn write — still assembles the
 //! bit-identical corpus.
 
-use std::path::{Path, PathBuf};
-use std::process::{Command, ExitCode, Stdio};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use perfbug_bench::{base_config, gbt250, replay_demo_config};
-use perfbug_core::exec::ShardSpec;
-use perfbug_core::experiment::{collect, Collection, CollectionConfig};
-use perfbug_core::memory::{collect_memory, MemCollectionConfig, TargetMetric};
-use perfbug_core::orchestrate::{self, CollectPlan, Fault, OrchestratorConfig};
-use perfbug_core::persist::{
-    self, encode_collection_with, ExperimentKind, FileHeader, ShardManifest, CORPUS_REVISION,
+use perfbug_bench::specs::{
+    flag_value, parse_num, resolve_spec, run_worker, worker_command, SpecConfig, SPECS,
 };
-use perfbug_ml::GbtParams;
-use perfbug_workloads::WorkloadScale;
+use perfbug_core::exec::ShardSpec;
+use perfbug_core::experiment::Collection;
+use perfbug_core::orchestrate::{self, remote, CollectPlan, Fault, OrchestratorConfig};
+use perfbug_core::persist::{encode_collection_with, FileHeader, ShardManifest, CORPUS_REVISION};
 
 const USAGE: &str = "pborch — shard orchestrator (process-pool driver with retry/requeue)
 
@@ -50,12 +56,19 @@ USAGE:
                   [--shards <m>]        shard count (default 2 x workers)
                   [--max-attempts <k>]  per-shard retry budget (default 3)
                   [--timeout-secs <s>]  per-shard timeout (default none)
+                  [--hosts <h:p,...>]   fan shards out to worker daemons
+                                        (default: PERFBUG_ORCH_HOSTS; unset
+                                        means local child processes)
                   [--check-full]        also collect single-process and fail
                                         unless the merged corpus is
                                         bit-identical (timings zeroed)
     pborch worker --spec <name> --cache-dir <dir> --shard <i>/<n>
                   (internal: one shard worker's turn; run exits after the
                    shard is saved)
+    pborch worker-daemon --listen <host:port>
+                  serve LaunchShard requests over TCP: each accepted
+                  launch re-invokes this binary in worker mode and
+                  streams heartbeat/checksum/exit frames back
     pborch specs  list the named collection specs
 
 Faults: PERFBUG_ORCH_FAULT=<op>:<shard>[@<attempt>][,...] makes the
@@ -63,87 +76,9 @@ supervisor fault that shard's worker on that attempt (default: first).
 Ops: kill (right after launch), killmid (once >= 1 probe chunk is
 durable in the part file), torn (killmid + mid-chunk tear of the part
 file). Retries resume from the durable chunk prefix; the supervisor
-prints `resumed=<k>` per resuming attempt.
+prints `resumed=<k>` per resuming attempt. Over --hosts, a supervisor
+kill closes the daemon connection, which kills the remote worker.
 The run report lands at <cache-dir>/<spec>-<kind>-<fp>.orchrun.json.";
-
-/// A named collection configuration `pborch` can orchestrate.
-enum SpecConfig {
-    Core(CollectionConfig),
-    Memory(MemCollectionConfig),
-}
-
-impl SpecConfig {
-    fn kind(&self) -> ExperimentKind {
-        match self {
-            SpecConfig::Core(_) => ExperimentKind::Core,
-            SpecConfig::Memory(_) => ExperimentKind::Memory,
-        }
-    }
-
-    fn fingerprint(&self) -> u64 {
-        match self {
-            SpecConfig::Core(c) => persist::config_fingerprint(c),
-            SpecConfig::Memory(c) => persist::mem_config_fingerprint(c),
-        }
-    }
-
-    fn collect_shard_or_resume(
-        &self,
-        path: &Path,
-        shard: ShardSpec,
-    ) -> Result<persist::ShardOutcome, persist::PersistError> {
-        match self {
-            SpecConfig::Core(c) => persist::collect_shard_or_resume(path, c, shard),
-            SpecConfig::Memory(c) => persist::collect_memory_shard_or_resume(path, c, shard),
-        }
-    }
-
-    fn collect_full(&self) -> Collection {
-        match self {
-            SpecConfig::Core(c) => collect(c),
-            SpecConfig::Memory(c) => collect_memory(c),
-        }
-    }
-}
-
-/// `(name, description)` of every named spec, for `pborch specs`.
-const SPECS: [(&str, &str); 3] = [
-    (
-        "replay-demo",
-        "the CI replay-guard corpus: 2 benchmarks, 3 core bugs, 6 probes, GBT-40",
-    ),
-    (
-        "gbt-quick",
-        "GBT-250 over the PERFBUG_SCALE catalogue with a 6-probe quick cap",
-    ),
-    (
-        "mem-quick",
-        "memory experiment (AMAT, GBT-30) at tiny workload scale, 4 probes",
-    ),
-];
-
-fn resolve_spec(name: &str) -> Result<SpecConfig, String> {
-    match name {
-        "replay-demo" => Ok(SpecConfig::Core(replay_demo_config())),
-        "gbt-quick" => Ok(SpecConfig::Core(base_config(vec![gbt250()], 6))),
-        "mem-quick" => {
-            let mut config = MemCollectionConfig::new(
-                vec![perfbug_core::stage1::EngineSpec::Gbt(GbtParams {
-                    n_trees: 30,
-                    ..GbtParams::default()
-                })],
-                TargetMetric::Amat,
-            );
-            config.workload = WorkloadScale::tiny();
-            config.step_cycles = 300;
-            config.max_probes = Some(4);
-            Ok(SpecConfig::Memory(config))
-        }
-        other => Err(format!(
-            "unknown spec {other:?} (run `pborch specs` for the list)"
-        )),
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -156,7 +91,8 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "run" => run(rest),
-        "worker" => worker(rest),
+        "worker" => run_worker(rest),
+        "worker-daemon" => worker_daemon(rest),
         "specs" => {
             for (name, desc) in SPECS {
                 println!("{name:<12} {desc}");
@@ -185,20 +121,6 @@ struct CommonArgs {
     cache_dir: PathBuf,
 }
 
-/// Pulls the value of a `--flag value` pair out of `args`.
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == flag {
-            return match it.next() {
-                Some(v) => Ok(Some(v.clone())),
-                None => Err(format!("{flag} needs a value")),
-            };
-        }
-    }
-    Ok(None)
-}
-
 fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
     let spec_name =
         flag_value(args, "--spec")?.ok_or("--spec <name> is required (see `pborch specs`)")?;
@@ -209,11 +131,6 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         spec,
         cache_dir: PathBuf::from(cache_dir),
     })
-}
-
-fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, String> {
-    raw.parse()
-        .map_err(|_| format!("{what} must be a number, got {raw:?}"))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -244,6 +161,10 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     config.faults = Fault::from_env()?;
     let check_full = args.iter().any(|a| a == "--check-full");
+    let hosts = match flag_value(args, "--hosts")? {
+        Some(raw) => Some(remote::parse_hosts(&raw).map_err(|e| format!("--hosts: {e}"))?),
+        None => remote::hosts_from_env()?,
+    };
 
     let kind = common.spec.kind();
     let fingerprint = common.spec.fingerprint();
@@ -253,7 +174,6 @@ fn run(args: &[String]) -> Result<(), String> {
         kind,
         fingerprint,
     };
-    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     println!(
         "orchestrating {}: {} workers x {} shards (<= {} attempts each{}), fingerprint {:016x}",
         common.spec_name,
@@ -267,28 +187,32 @@ fn run(args: &[String]) -> Result<(), String> {
         },
         fingerprint
     );
-    let spec_name = common.spec_name.clone();
-    let cache_dir = common.cache_dir.clone();
-    let build = move |shard: ShardSpec, attempt: u32| {
-        println!(
-            "  launch shard {}/{} (attempt {attempt})",
-            shard.index, shard.count
-        );
-        let mut cmd = Command::new(&exe);
-        cmd.arg("worker")
-            .arg("--spec")
-            .arg(&spec_name)
-            .arg("--cache-dir")
-            .arg(&cache_dir)
-            .arg("--shard")
-            .arg(format!("{}/{}", shard.index, shard.count))
-            // The fault hook belongs to this supervisor, not the workers.
-            .env_remove(orchestrate::FAULT_ENV)
-            .stdout(Stdio::null());
-        cmd
-    };
-    let run = orchestrate::orchestrate_collection(&plan, &config, build)
-        .map_err(|e| format!("{}: {e}", common.spec_name))?;
+    let run = match hosts {
+        Some(hosts) => {
+            println!(
+                "  distributed: fan-out over {} worker daemon(s): {}",
+                hosts.len(),
+                hosts.join(", ")
+            );
+            let mut launcher = remote::RemoteLauncher::for_plan(hosts, &plan);
+            orchestrate::orchestrate_collection_with(&plan, &config, &mut launcher)
+        }
+        None => {
+            let exe =
+                std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+            let spec_name = common.spec_name.clone();
+            let cache_dir = common.cache_dir.clone();
+            let build = move |shard: ShardSpec, attempt: u32| {
+                println!(
+                    "  launch shard {}/{} (attempt {attempt})",
+                    shard.index, shard.count
+                );
+                worker_command(&exe, &spec_name, &cache_dir, shard)
+            };
+            orchestrate::orchestrate_collection(&plan, &config, build)
+        }
+    }
+    .map_err(|e| format!("{}: {e}", common.spec_name))?;
     println!("{}", run.report.summary());
     // Resume accounting: retries that picked up a crashed attempt's
     // durable part-file prefix (worker stdout is nulled, so the
@@ -338,30 +262,33 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn worker(args: &[String]) -> Result<(), String> {
-    let common = parse_common(args)?;
-    let raw = flag_value(args, "--shard")?.ok_or("--shard <i>/<n> is required")?;
-    let shard = ShardSpec::parse(&raw)?;
-    std::fs::create_dir_all(&common.cache_dir)
-        .map_err(|e| format!("cannot create {}: {e}", common.cache_dir.display()))?;
-    let path = common.cache_dir.join(persist::shard_file_name(
-        &common.spec_name,
-        common.spec.kind(),
-        common.spec.fingerprint(),
-        shard.index,
-        shard.count,
-    ));
-    let outcome = common
-        .spec
-        .collect_shard_or_resume(&path, shard)
-        .map_err(|e| format!("shard {}: {e}", path.display()))?;
-    println!(
-        "worker: shard {}/{} ({} probes, resumed={}) -> {}",
-        shard.index,
-        shard.count,
-        outcome.collection.probes.len(),
-        outcome.resumed_probes,
-        path.display()
-    );
-    Ok(())
+/// `pborch worker-daemon --listen <host:port>`: serve shard launches
+/// over the TCP worker protocol. Every admitted launch re-invokes this
+/// binary in `worker` mode exactly as a local `pborch run` would; the
+/// config fingerprint in each request must match this binary's own
+/// resolution of the spec, so supervisor/daemon version skew is rejected
+/// up front.
+fn worker_daemon(args: &[String]) -> Result<(), String> {
+    let listen = flag_value(args, "--listen")?.ok_or("--listen <host:port> is required")?;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let listener =
+        TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(listen);
+    println!("pborch worker-daemon listening on {addr}");
+    let agent = remote::CommandAgent {
+        admit: perfbug_bench::specs::admit_launch,
+        build: move |req: &remote::LaunchRequest| {
+            worker_command(
+                &exe,
+                &req.prefix,
+                std::path::Path::new(&req.cache_dir),
+                req.shard,
+            )
+        },
+    };
+    remote::serve_daemon(listener, Arc::new(agent), remote::DaemonOptions::default())
+        .map_err(|e| format!("worker-daemon: {e}"))
 }

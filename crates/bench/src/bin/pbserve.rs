@@ -1,0 +1,100 @@
+//! `pbserve` — the always-on detection service daemon.
+//!
+//! Accepts experiment submissions as deterministic flat-JSON lines over
+//! TCP (`perfbug_core::serve`), maintains a multi-tenant corpus store
+//! keyed by config fingerprint (`<store>/<fingerprint:016x>/`, each
+//! tenant an ordinary cache directory `pbcol` can verify and prune),
+//! streams progress events plus the standard `orchrun.json` report
+//! schema back to the submitting client, and serves repeat submissions
+//! straight from cache — **zero simulations** on a hit, which is the
+//! property CI's service smoke asserts.
+//!
+//! ```text
+//! pbserve [--listen <host:port>] [--store <dir>]
+//! pbserve worker --spec <name> --cache-dir <dir> --shard <i>/<n>   (internal)
+//! ```
+//!
+//! `--listen` falls back to `PERFBUG_SERVE_ADDR` (default
+//! `127.0.0.1:7411`), `--store` to `PERFBUG_SERVE_STORE` (required).
+//! Orchestrated submissions (`workers >= 1`) re-invoke this binary in
+//! `worker` mode per shard; submissions carrying `hosts` fan out to
+//! `pborch worker-daemon` endpoints instead. Submit with `pbsub`.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use perfbug_bench::specs::{flag_value, run_worker, BenchBackend};
+use perfbug_core::serve::{self, ServeOptions, ServeStore};
+
+const USAGE: &str = "pbserve — detection service daemon (multi-tenant corpus store over TCP)
+
+USAGE:
+    pbserve [--listen <host:port>]  address to serve on
+                                    (default: PERFBUG_SERVE_ADDR, then 127.0.0.1:7411)
+            [--store <dir>]         multi-tenant store root
+                                    (default: PERFBUG_SERVE_STORE; required)
+    pbserve worker --spec <name> --cache-dir <dir> --shard <i>/<n>
+                                    (internal: one shard worker's turn)
+
+Protocol: one flat-JSON request line in, flat-JSON event lines out
+(accepted, cache-hit, collecting, report, done | error); see
+docs/ARCHITECTURE.md. Submit and tail with `pbsub`.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some((cmd, rest)) = args.split_first() {
+        match cmd.as_str() {
+            "worker" => {
+                return match run_worker(rest) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(msg) => {
+                        eprintln!("pbserve worker: {msg}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => {}
+        }
+    }
+    match serve_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pbserve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_main(args: &[String]) -> Result<(), String> {
+    let addr = match flag_value(args, "--listen")? {
+        Some(addr) => addr,
+        None => serve::addr_from_env(),
+    };
+    let store_root = match flag_value(args, "--store")? {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => serve::store_from_env()
+            .ok_or("--store <dir> is required (or set PERFBUG_SERVE_STORE)")?,
+    };
+    std::fs::create_dir_all(&store_root)
+        .map_err(|e| format!("cannot create store {}: {e}", store_root.display()))?;
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "pbserve listening on {bound} (store {})",
+        store_root.display()
+    );
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let backend = BenchBackend { exe };
+    serve::serve(
+        listener,
+        Arc::new(backend),
+        ServeStore::new(store_root),
+        ServeOptions::default(),
+    )
+    .map_err(|e| format!("serve loop: {e}"))
+}

@@ -50,6 +50,8 @@
 //! the matching offline cache tools. See the README walkthrough and
 //! `docs/FORMAT.md`.
 
+pub mod specs;
+
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 

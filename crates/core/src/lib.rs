@@ -46,6 +46,7 @@ pub mod memory;
 pub mod orchestrate;
 pub mod persist;
 pub mod report;
+pub mod serve;
 pub mod stage1;
 pub mod stage2;
 pub mod tracecache;

@@ -46,6 +46,8 @@
 //! prove, on every push, that losing a worker mid-pass still converges to
 //! the bit-identical corpus.
 
+pub mod remote;
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
@@ -585,7 +587,7 @@ impl RunReport {
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control characters).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -1056,6 +1058,23 @@ pub fn orchestrate_collection<B>(
 where
     B: FnMut(ShardSpec, u32) -> Command,
 {
+    let mut launcher = ProcessLauncher {
+        build: worker_command,
+        verify: |shard| verify_shard_file(plan, shard),
+        plan: Some(plan.clone()),
+    };
+    orchestrate_collection_with(plan, config, &mut launcher)
+}
+
+/// [`orchestrate_collection`] over any [`Launcher`] — the seam the
+/// distributed path ([`remote::RemoteLauncher`]) plugs into: same
+/// replay-first short circuit, same report, same shard-merge assembly,
+/// only the transport that starts workers differs.
+pub fn orchestrate_collection_with<L: Launcher>(
+    plan: &CollectPlan,
+    config: &OrchestratorConfig,
+    launcher: &mut L,
+) -> Result<OrchestratedRun, OrchestrateError> {
     std::fs::create_dir_all(&plan.dir).map_err(PersistError::from)?;
     let full = plan.full_path();
     let report_path = report_path_for(&full);
@@ -1070,12 +1089,7 @@ where
         });
     }
 
-    let mut launcher = ProcessLauncher {
-        build: worker_command,
-        verify: |shard| verify_shard_file(plan, shard),
-        plan: Some(plan.clone()),
-    };
-    let report = run_orchestrator(config, &mut launcher);
+    let report = run_orchestrator(config, launcher);
     std::fs::write(
         &report_path,
         report.to_json(&plan.prefix, plan.kind, plan.fingerprint),

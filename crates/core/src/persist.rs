@@ -340,8 +340,11 @@ pub(crate) fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
     hash
 }
 
-/// 64-bit FNV-1a over a byte slice (also the file checksum primitive).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a over a byte slice — the checksum primitive of both the
+/// cache file format and the remote worker protocol's wire frames
+/// (`docs/FORMAT.md` §9), so supervisors can cross-check daemon-reported
+/// shard checksums against local bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_update(FNV_BASIS, bytes)
 }
 

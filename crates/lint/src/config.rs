@@ -11,13 +11,18 @@
 /// ([`hash-iter`](crate::rules)).
 pub const OUTPUT_CRITICAL: &[&str] = &[
     "crates/core/src/persist.rs",
-    "crates/core/src/orchestrate.rs",
+    "crates/core/src/orchestrate/mod.rs",
+    "crates/core/src/orchestrate/remote.rs",
+    "crates/core/src/serve.rs",
     "crates/core/src/report.rs",
     "crates/core/src/tracecache.rs",
     "crates/bench/src/lib.rs",
+    "crates/bench/src/specs.rs",
     "crates/bench/src/bin/pbcol.rs",
     "crates/bench/src/bin/pborch.rs",
     "crates/bench/src/bin/pbeval.rs",
+    "crates/bench/src/bin/pbserve.rs",
+    "crates/bench/src/bin/pbsub.rs",
 ];
 
 /// Files allowed to read wall clocks (`Instant::now`, `SystemTime::now`):
@@ -27,7 +32,8 @@ pub const OUTPUT_CRITICAL: &[&str] = &[
 pub const TIMING_ALLOWED: &[&str] = &[
     "crates/compat/criterion/src/lib.rs",
     "crates/core/src/exec.rs",
-    "crates/core/src/orchestrate.rs",
+    "crates/core/src/orchestrate/mod.rs",
+    "crates/core/src/orchestrate/remote.rs",
     "crates/bench/src/bin/speed_test.rs",
 ];
 
@@ -37,7 +43,9 @@ pub const TIMING_ALLOWED: &[&str] = &[
 /// retry/resume logic unreachable.
 pub const PANIC_FREE: &[&str] = &[
     "crates/core/src/persist.rs",
-    "crates/core/src/orchestrate.rs",
+    "crates/core/src/orchestrate/mod.rs",
+    "crates/core/src/orchestrate/remote.rs",
+    "crates/core/src/serve.rs",
     "crates/core/src/tracecache.rs",
     "crates/workloads/src/wire.rs",
 ];
@@ -115,6 +123,18 @@ pub const ENV_REGISTRY: &[EnvVar] = &[
     EnvVar {
         name: "PERFBUG_ORCH_FAULT",
         purpose: "orchestrator fault injection (CI guard test hook)",
+    },
+    EnvVar {
+        name: "PERFBUG_ORCH_HOSTS",
+        purpose: "fan shards out to pborch worker-daemon endpoints (host:port list)",
+    },
+    EnvVar {
+        name: "PERFBUG_SERVE_ADDR",
+        purpose: "pbserve/pbsub service address (default 127.0.0.1:7411)",
+    },
+    EnvVar {
+        name: "PERFBUG_SERVE_STORE",
+        purpose: "pbserve multi-tenant corpus store root directory",
     },
     EnvVar {
         name: "PERFBUG_FUZZ_SEED",

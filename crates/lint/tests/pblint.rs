@@ -283,7 +283,12 @@ fn deny_all_fails_on_a_seeded_workspace() {
     fs::write(tmp.join("docs/FORMAT.md"), real_doc()).expect("copy FORMAT.md");
     fs::write(tmp.join("crates/core/src/persist.rs"), real_code()).expect("copy persist.rs");
     fs::copy(workspace_root().join("README.md"), tmp.join("README.md")).expect("copy README");
-    for rel in ["crates/core/src/orchestrate.rs", "crates/bench/src/lib.rs"] {
+    for rel in [
+        "crates/core/src/orchestrate/mod.rs",
+        "crates/core/src/orchestrate/remote.rs",
+        "crates/core/src/serve.rs",
+        "crates/bench/src/lib.rs",
+    ] {
         let dst = tmp.join(rel);
         fs::create_dir_all(dst.parent().expect("parent")).expect("mkdir");
         fs::copy(workspace_root().join(rel), &dst).expect("copy PERFBUG_* read sites");
